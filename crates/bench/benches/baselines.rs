@@ -1,0 +1,72 @@
+//! Criterion bench for experiment E10: the Figure 3 algorithm at `k = 1`
+//! vs the MR `◇S` consensus baseline vs the full pipeline
+//! (`◇S_x + ◇φ_y → Ω_1 → consensus`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_core::harness::{run_consensus_mr, run_kset_omega, CrashPlan, KsetConfig};
+use fd_grid::pipeline::run_pipeline;
+use fd_sim::{FailurePattern, Time};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    let n = 5;
+    let t = 2;
+
+    g.bench_function("fig3_omega1", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let cfg = KsetConfig::new(n, t, 1)
+                .seed(seed)
+                .gst(Time(400))
+                .crashes(CrashPlan::Random {
+                    f: 1,
+                    by: Time(300),
+                });
+            let rep = run_kset_omega(&cfg);
+            assert!(rep.spec.ok);
+            rep.msgs_sent
+        })
+    });
+
+    g.bench_function("mr_diamond_s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let cfg = KsetConfig::new(n, t, 1)
+                .seed(seed)
+                .gst(Time(400))
+                .crashes(CrashPlan::Random {
+                    f: 1,
+                    by: Time(300),
+                });
+            let rep = run_consensus_mr(&cfg);
+            assert!(rep.spec.ok);
+            rep.msgs_sent
+        })
+    });
+
+    g.bench_function("pipeline_consensus", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let rep = run_pipeline(
+                n,
+                t,
+                2,
+                1,
+                FailurePattern::all_correct(n),
+                Time(400),
+                seed,
+                Time(150_000),
+            );
+            assert!(rep.spec.ok);
+            rep.msgs_sent
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

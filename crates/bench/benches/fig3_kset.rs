@@ -1,0 +1,54 @@
+//! Criterion bench for **paper Figure 3**: the `Ω_k`-based `k`-set
+//! agreement algorithm — time-to-completion of a full simulated run across
+//! `(n, k)` and crash scenarios (experiments E4/E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::harness::{run_kset_omega, CrashPlan, KsetConfig};
+use fd_sim::Time;
+
+fn bench_kset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_kset");
+    g.sample_size(10);
+    for &(n, t) in &[(5usize, 2usize), (7, 3), (9, 4)] {
+        for k in [1usize, 2] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}_t{t}"), format!("k{k}")),
+                &(n, t, k),
+                |b, &(n, t, k)| {
+                    let mut seed = 0;
+                    b.iter(|| {
+                        seed += 1;
+                        let cfg = KsetConfig::new(n, t, k)
+                            .seed(seed)
+                            .gst(Time(400))
+                            .crashes(CrashPlan::Random {
+                                f: t,
+                                by: Time(500),
+                            });
+                        let rep = run_kset_omega(&cfg);
+                        assert!(rep.spec.ok, "{}", rep.spec);
+                        rep.msgs_sent
+                    })
+                },
+            );
+        }
+    }
+    // Zero-degradation fast path: perfect oracle + initial crashes.
+    g.bench_function("zero_degradation_n6", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let cfg = KsetConfig::new(6, 2, 1)
+                .seed(seed)
+                .gst(Time::ZERO)
+                .crashes(CrashPlan::Initial { f: 2 });
+            let rep = run_kset_omega(&cfg);
+            assert_eq!(rep.max_round, 1);
+            rep.msgs_sent
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kset);
+criterion_main!(benches);

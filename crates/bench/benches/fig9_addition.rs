@@ -1,0 +1,51 @@
+//! Criterion bench for **paper Figure 9**: the addition `φ_y + S_x → S`
+//! in both substrates (experiment E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_sim::{FailurePattern, ProcessId, Time};
+use fd_transforms::{run_addition_mp, run_addition_shm, AdditionFlavour};
+
+fn bench_addition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_addition");
+    g.sample_size(10);
+    let n = 5;
+    let t = 2;
+    g.bench_function("message_passing_eventual", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let fp = FailurePattern::builder(n)
+                .crash(ProcessId(2), Time(200))
+                .build();
+            let rep = run_addition_mp(
+                n,
+                t,
+                2,
+                1,
+                fp,
+                AdditionFlavour::Eventual(Time(500)),
+                seed,
+                Time(30_000),
+            );
+            assert!(rep.check.ok, "{}", rep.check);
+            rep.trace.counter("addition.scan")
+        })
+    });
+    g.bench_function("shared_memory_perpetual", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let fp = FailurePattern::builder(4)
+                .crash(ProcessId(3), Time(500))
+                .build();
+            let rep =
+                run_addition_shm(4, 1, 1, 1, fp, AdditionFlavour::Perpetual, seed, 300_000);
+            assert!(rep.check.ok, "{}", rep.check);
+            rep.trace.counter("addition.scan")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_addition);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Prints every experiment table (EXPERIMENTS.md content).
+//!
+//! Usage: `cargo run -p fd-bench --bin tables --release [-- --quick]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "# Experiment tables — Irreducibility and Additivity of Set \
+         Agreement-oriented Failure Detector Classes (PODC 2006)"
+    );
+    println!(
+        "\nmode: {} (seeds per configuration: {})",
+        if quick { "quick" } else { "full" },
+        fd_bench::experiments::seeds(quick)
+    );
+    for table in fd_bench::all(quick) {
+        println!("{table}");
+    }
+}

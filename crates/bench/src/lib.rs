@@ -1,0 +1,16 @@
+//! # fd-bench — experiment harness regenerating every paper artifact
+//!
+//! One experiment per figure/theorem of the paper (see DESIGN.md §3 for the
+//! index). The [`experiments`] module computes the tables; the `tables`
+//! binary prints them (`cargo run -p fd-bench --bin tables --release`);
+//! the criterion benches (`cargo bench -p fd-bench`) time the same
+//! workloads.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::all;
+pub use table::Table;

@@ -1,0 +1,40 @@
+//! # fd-core — the paper's set-agreement algorithms
+//!
+//! The primary contribution of *"Irreducibility and Additivity of Set
+//! Agreement-oriented Failure Detector Classes"* (PODC 2006), §3: an
+//! `Ω_k`-based `k`-set agreement algorithm (paper Figure 3), together with
+//! the problem-specification checkers and the `◇S` consensus baseline it
+//! generalizes.
+//!
+//! * [`KsetOmega`] — the Figure 3 algorithm (two-phase rounds on top of an
+//!   `Ω_z` oracle, `t < n/2`, at most `k ≥ z` distinct decisions);
+//! * [`ConsensusMr`] — the Mostéfaoui–Raynal `◇S` quorum-based consensus
+//!   (the paper's reference [18]), used as a baseline;
+//! * [`spec`] — validity / k-agreement / termination checkers;
+//! * [`harness`] — one-call experiment runners.
+//!
+//! ## Example
+//!
+//! ```
+//! use fd_core::harness::{run_kset_omega, KsetConfig};
+//!
+//! // 2-set agreement among 5 processes with an adversarial Ω_2.
+//! let report = run_kset_omega(&KsetConfig::new(5, 2, 2).seed(42));
+//! assert!(report.spec.ok, "{}", report.spec);
+//! assert!(report.decided_values.len() <= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod consensus_mr;
+pub mod lower_bound;
+pub mod repeated;
+pub mod harness;
+pub mod kset_omega;
+pub mod spec;
+
+pub use consensus_mr::{ConsensusMr, MrMsg};
+pub use harness::{run_consensus_mr, run_kset_omega, CrashPlan, KsetConfig, KsetReport};
+pub use kset_omega::{KsetMsg, KsetOmega, LeaderInput};
+pub use repeated::{run_repeated, RepMsg, RepeatedKset, RepeatedReport};

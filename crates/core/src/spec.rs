@@ -1,0 +1,163 @@
+//! Problem-specification checkers for `k`-set agreement.
+//!
+//! The paper's definition (§1): every process proposes a value and every
+//! non-faulty process must decide (termination) such that at most `k`
+//! different values are decided (agreement) and every decided value is a
+//! proposed value (validity). `k = 1` is consensus.
+
+use fd_detectors::CheckOutcome;
+use fd_sim::{slot, FailurePattern, ProcessId, Time, Trace};
+
+/// **Validity**: every decided value was proposed.
+pub fn validity(trace: &Trace, proposals: &[u64]) -> CheckOutcome {
+    for d in trace.decisions() {
+        if !proposals.contains(&d.value) {
+            return CheckOutcome::fail(format!(
+                "validity: {} decided {} which was never proposed",
+                d.by, d.value
+            ));
+        }
+    }
+    CheckOutcome::pass(None, "validity")
+}
+
+/// **k-Agreement**: at most `k` distinct values are decided.
+pub fn k_agreement(trace: &Trace, k: usize) -> CheckOutcome {
+    let distinct = trace.decided_values();
+    if distinct.len() > k {
+        CheckOutcome::fail(format!(
+            "agreement: {} distinct values decided ({distinct:?}) > k = {k}",
+            distinct.len()
+        ))
+    } else {
+        CheckOutcome::pass(None, format!("{} distinct decisions ≤ k = {k}", distinct.len()))
+    }
+}
+
+/// **Termination**: every correct process decides (within the horizon).
+pub fn termination(trace: &Trace, fp: &FailurePattern) -> CheckOutcome {
+    let missing = fp.correct() - trace.deciders();
+    if missing.is_empty() {
+        CheckOutcome::pass(None, "termination")
+    } else {
+        CheckOutcome::fail(format!("termination: correct {missing} never decided"))
+    }
+}
+
+/// **No duplicate decisions**: a process decides at most once.
+pub fn decide_once(trace: &Trace) -> CheckOutcome {
+    let mut seen = fd_sim::PSet::new();
+    for d in trace.decisions() {
+        if !seen.insert(d.by) {
+            return CheckOutcome::fail(format!("{} decided twice", d.by));
+        }
+    }
+    CheckOutcome::pass(None, "decide-once")
+}
+
+/// The full `k`-set agreement specification.
+pub fn kset_spec(
+    trace: &Trace,
+    fp: &FailurePattern,
+    k: usize,
+    proposals: &[u64],
+) -> CheckOutcome {
+    validity(trace, proposals)
+        .and(k_agreement(trace, k))
+        .and(termination(trace, fp))
+        .and(decide_once(trace))
+}
+
+/// The largest round reached by any correct process (1 if the algorithm
+/// decided immediately; 0 if no round was ever published).
+pub fn max_round(trace: &Trace, fp: &FailurePattern) -> u64 {
+    fp.correct()
+        .iter()
+        .filter_map(|p| trace.history(p, slot::ROUND).last())
+        .map(|v| match v {
+            fd_sim::FdValue::Num(r) => r,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Times of the first and last decisions, if any were made.
+pub fn decision_span(trace: &Trace) -> Option<(Time, Time)> {
+    let ds = trace.decisions();
+    Some((ds.first()?.at, ds.last()?.at))
+}
+
+/// Decision latency of a given process.
+pub fn decision_time(trace: &Trace, p: ProcessId) -> Option<Time> {
+    trace.decision_of(p).map(|d| d.at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_sim::FdValue;
+
+    fn fp() -> FailurePattern {
+        FailurePattern::builder(3).crash(ProcessId(2), Time(10)).build()
+    }
+
+    #[test]
+    fn validity_pass_fail() {
+        let mut tr = Trace::new();
+        tr.decide(Time(5), ProcessId(0), 7);
+        assert!(validity(&tr, &[7, 9]).ok);
+        assert!(!validity(&tr, &[9]).ok);
+    }
+
+    #[test]
+    fn agreement_counts_distinct() {
+        let mut tr = Trace::new();
+        tr.decide(Time(1), ProcessId(0), 1);
+        tr.decide(Time(2), ProcessId(1), 2);
+        tr.decide(Time(3), ProcessId(2), 1);
+        assert!(k_agreement(&tr, 2).ok);
+        assert!(!k_agreement(&tr, 1).ok);
+    }
+
+    #[test]
+    fn termination_needs_all_correct() {
+        let mut tr = Trace::new();
+        tr.decide(Time(1), ProcessId(0), 1);
+        assert!(!termination(&tr, &fp()).ok);
+        tr.decide(Time(2), ProcessId(1), 1);
+        assert!(termination(&tr, &fp()).ok); // p3 is faulty, excused
+    }
+
+    #[test]
+    fn decide_once_rejects_duplicates() {
+        let mut tr = Trace::new();
+        tr.decide(Time(1), ProcessId(0), 1);
+        tr.decide(Time(2), ProcessId(0), 1);
+        assert!(!decide_once(&tr).ok);
+    }
+
+    #[test]
+    fn full_spec() {
+        let mut tr = Trace::new();
+        tr.decide(Time(1), ProcessId(0), 5);
+        tr.decide(Time(2), ProcessId(1), 6);
+        let out = kset_spec(&tr, &fp(), 2, &[5, 6]);
+        assert!(out.ok, "{out}");
+        assert!(!kset_spec(&tr, &fp(), 1, &[5, 6]).ok);
+    }
+
+    #[test]
+    fn metrics() {
+        let mut tr = Trace::new();
+        tr.publish(ProcessId(0), slot::ROUND, Time(1), FdValue::Num(1));
+        tr.publish(ProcessId(0), slot::ROUND, Time(5), FdValue::Num(3));
+        tr.publish(ProcessId(1), slot::ROUND, Time(5), FdValue::Num(2));
+        assert_eq!(max_round(&tr, &fp()), 3);
+        tr.decide(Time(7), ProcessId(0), 4);
+        tr.decide(Time(9), ProcessId(1), 4);
+        assert_eq!(decision_span(&tr), Some((Time(7), Time(9))));
+        assert_eq!(decision_time(&tr, ProcessId(1)), Some(Time(9)));
+        assert_eq!(decision_time(&tr, ProcessId(2)), None);
+    }
+}

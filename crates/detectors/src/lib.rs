@@ -1,0 +1,83 @@
+//! # fd-detectors — failure-detector class oracles and property checkers
+//!
+//! Implements every failure-detector class studied in *"Irreducibility and
+//! Additivity of Set Agreement-oriented Failure Detector Classes"* (PODC
+//! 2006) as a concrete, adversarially parameterizable oracle over a
+//! simulated run, plus mechanical checkers for each class's defining
+//! properties.
+//!
+//! ## The grid (paper Figure 1)
+//!
+//! | line `z` | perpetual | eventual | leader | query (perpetual) | query (eventual) |
+//! |---|---|---|---|---|---|
+//! | 1 | `S_{t+1}` | `◇S_{t+1}` | `Ω_1 = Ω` | `φ_t ≡ P` | `◇φ_t ≡ ◇P` |
+//! | z | `S_{t−z+2}` | `◇S_{t−z+2}` | `Ω_z` | `φ_{t−z+1}` | `◇φ_{t−z+1}` |
+//! | t+1 | `S_1` | `◇S_1` | `Ω_{t+1}` | `φ_0` | `◇φ_0` |
+//!
+//! Every class in line `z` allows solving `z`-set agreement; `Ω_z` is the
+//! weakest of its line (paper Theorem 5 and §6).
+//!
+//! ## Oracles
+//!
+//! * [`SxOracle`] — `S_x` / `◇S_x` (limited-scope accuracy, §2.2);
+//! * [`OmegaOracle`] — `Ω_z` (eventual multiple leadership);
+//! * [`PhiOracle`] / [`PsiOracle`] — `φ_y` / `◇φ_y` / `Ψ_y` (queries);
+//! * [`PerfectOracle`] — `P` / `◇P`;
+//! * [`ScriptedOracle`] — replay of authored histories (for the
+//!   irreducibility witnesses).
+//!
+//! Oracles realize the *adversarial envelope* of their class: arbitrary
+//! noise before stabilization, permanent slander where permitted, leader
+//! sets packed with faulty processes, query answers as unhelpful as the
+//! class allows. An algorithm that works against these oracles works
+//! against any detector of the class.
+//!
+//! ## Checkers
+//!
+//! [`check`] verifies recorded traces against class definitions
+//! (completeness, limited-scope accuracy, eventual leadership, perfection),
+//! suffix-style with explicit stabilization margins.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod check;
+pub mod noise;
+pub mod omega;
+pub mod omega_s;
+pub mod perfect;
+pub mod phi;
+pub mod scripted;
+pub mod sx;
+
+pub use check::CheckOutcome;
+pub use omega::{OmegaAdversary, OmegaOracle};
+pub use omega_s::{check_omega_scoped, OmegaScopedOracle, PairsToOmega};
+pub use perfect::PerfectOracle;
+pub use phi::{PhiAdversary, PhiOracle, PsiOracle};
+pub use scripted::{ScriptedOracle, SetSchedule};
+pub use sx::{Scope, SxAdversary, SxOracle};
+
+/// Samples an oracle's `trusted_i` outputs over a time grid into a trace
+/// (a minimal in-crate twin of `fd_transforms::sample_oracle`, needed by
+/// the `Ω^S` tests without a dependency cycle).
+pub fn scripted_sample(
+    oracle: &mut dyn fd_sim::OracleSuite,
+    fp: &fd_sim::FailurePattern,
+    horizon: fd_sim::Time,
+    step: u64,
+) -> fd_sim::Trace {
+    let mut trace = fd_sim::Trace::new();
+    let mut now = fd_sim::Time::ZERO;
+    while now <= horizon {
+        for i in (0..fp.n()).map(fd_sim::ProcessId) {
+            if fp.is_alive_at(i, now) {
+                let s = oracle.trusted(i, now);
+                trace.publish(i, fd_sim::slot::TRUSTED, now, fd_sim::FdValue::Set(s));
+            }
+        }
+        now += step.max(1);
+    }
+    trace.set_horizon(horizon);
+    trace
+}

@@ -1,0 +1,135 @@
+//! Scripted oracles: replay explicitly authored output histories.
+//!
+//! Used by the irreducibility witnesses (run constructions of Theorems
+//! 8–11, where the adversary fixes the failure-detector outputs of two runs
+//! to be identical) and by negative tests of the property checkers.
+
+use fd_sim::{OracleSuite, PSet, ProcessId, Time};
+use std::collections::BTreeMap;
+
+/// A step-function schedule of `PSet` values per process.
+#[derive(Clone, Debug, Default)]
+pub struct SetSchedule {
+    per_proc: BTreeMap<ProcessId, Vec<(Time, PSet)>>,
+    default: PSet,
+}
+
+impl SetSchedule {
+    /// A schedule that always returns `default`.
+    pub fn constant(default: PSet) -> Self {
+        SetSchedule {
+            per_proc: BTreeMap::new(),
+            default,
+        }
+    }
+
+    /// Appends a change point: from `at` on, `p` observes `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if change points for `p` are not appended in time order.
+    pub fn set(&mut self, p: ProcessId, at: Time, value: PSet) -> &mut Self {
+        let v = self.per_proc.entry(p).or_default();
+        assert!(
+            v.last().is_none_or(|&(prev, _)| prev <= at),
+            "schedule points must be appended in time order"
+        );
+        v.push((at, value));
+        self
+    }
+
+    /// The value observed by `p` at `now`.
+    pub fn at(&self, p: ProcessId, now: Time) -> PSet {
+        match self.per_proc.get(&p) {
+            None => self.default,
+            Some(points) => match points.partition_point(|&(at, _)| at <= now) {
+                0 => self.default,
+                i => points[i - 1].1,
+            },
+        }
+    }
+}
+
+/// An oracle whose `suspected` / `trusted` outputs follow authored
+/// [`SetSchedule`]s and whose `query` follows a fixed function of
+/// `(set, time)`.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedOracle {
+    /// Schedule backing `suspected_i`.
+    pub suspected: SetSchedule,
+    /// Schedule backing `trusted_i`.
+    pub trusted: SetSchedule,
+    /// `query(X)` answers: `(X, answer-from, answer)` rules scanned in
+    /// order; first rule with matching set and `now ≥ from` wins; default
+    /// answer is `false`.
+    pub query_rules: Vec<(PSet, Time, bool)>,
+}
+
+impl ScriptedOracle {
+    /// A fully quiet oracle (empty suspicions, empty trust, false queries).
+    pub fn new() -> Self {
+        ScriptedOracle::default()
+    }
+
+    /// Adds a query rule (later rules win over earlier ones).
+    pub fn rule(&mut self, x: PSet, from: Time, answer: bool) -> &mut Self {
+        self.query_rules.push((x, from, answer));
+        self
+    }
+}
+
+impl OracleSuite for ScriptedOracle {
+    fn suspected(&mut self, p: ProcessId, now: Time) -> PSet {
+        self.suspected.at(p, now)
+    }
+
+    fn trusted(&mut self, p: ProcessId, now: Time) -> PSet {
+        self.trusted.at(p, now)
+    }
+
+    fn query(&mut self, _p: ProcessId, x: PSet, now: Time) -> bool {
+        let mut ans = false;
+        for &(set, from, answer) in &self.query_rules {
+            if set == x && now >= from {
+                ans = answer;
+            }
+        }
+        ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_step_function() {
+        let mut s = SetSchedule::constant(PSet::EMPTY);
+        s.set(ProcessId(0), Time(10), PSet::singleton(ProcessId(1)));
+        s.set(ProcessId(0), Time(20), PSet::singleton(ProcessId(2)));
+        assert_eq!(s.at(ProcessId(0), Time(5)), PSet::EMPTY);
+        assert_eq!(s.at(ProcessId(0), Time(10)), PSet::singleton(ProcessId(1)));
+        assert_eq!(s.at(ProcessId(0), Time(25)), PSet::singleton(ProcessId(2)));
+        // Other processes fall back to the default.
+        assert_eq!(s.at(ProcessId(1), Time(25)), PSet::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_rejected() {
+        let mut s = SetSchedule::constant(PSet::EMPTY);
+        s.set(ProcessId(0), Time(10), PSet::EMPTY);
+        s.set(ProcessId(0), Time(5), PSet::EMPTY);
+    }
+
+    #[test]
+    fn query_rules_later_wins() {
+        let mut o = ScriptedOracle::new();
+        let x = PSet::singleton(ProcessId(0));
+        o.rule(x, Time(0), false).rule(x, Time(10), true);
+        assert!(!o.query(ProcessId(1), x, Time(5)));
+        assert!(o.query(ProcessId(1), x, Time(10)));
+        // Unknown sets default to false.
+        assert!(!o.query(ProcessId(1), PSet::full(2), Time(99)));
+    }
+}

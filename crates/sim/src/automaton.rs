@@ -1,0 +1,295 @@
+//! Process automata: the programming model for distributed algorithms.
+//!
+//! Each process of the paper's pseudo-code is implemented as a deterministic
+//! state machine reacting to deliveries and local steps. The pseudo-code's
+//! `wait until` statements become guards re-evaluated on every event; its
+//! `repeat forever` tasks run on periodic [`EventKind::Step`] events.
+//!
+//! [`EventKind::Step`]: crate::event::EventKind::Step
+
+use crate::id::{PSet, ProcessId};
+use crate::oracle::OracleSuite;
+use crate::time::Time;
+use crate::trace::{FdValue, Trace};
+
+/// An operation emitted by an automaton during one activation; the runtime
+/// applies them after the activation returns.
+#[derive(Clone, Debug)]
+pub enum Op<M> {
+    /// Point-to-point send.
+    Send {
+        /// Destination.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// `Broadcast(m)`: a plain send to every process (including self).
+    Broadcast {
+        /// Payload.
+        msg: M,
+    },
+    /// `R_broadcast(m)`: reliable broadcast (paper §2.1 semantics).
+    RBroadcast {
+        /// Payload.
+        msg: M,
+    },
+    /// Request an extra `Step` event after `delay` ticks.
+    Timer {
+        /// Delay in ticks (≥ 1).
+        delay: u64,
+    },
+    /// Stop this process's periodic steps (its tasks halted).
+    Halt,
+}
+
+/// Execution context passed to an automaton on every activation.
+///
+/// Gives access to the clock, the process's identity, the system size, the
+/// failure-detector bundle, and the outgoing operation buffer.
+pub struct Ctx<'a, M> {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    now: Time,
+    oracle: &'a mut dyn OracleSuite,
+    trace: &'a mut Trace,
+    ops: Vec<Op<M>>,
+}
+
+impl<M> std::fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("me", &self.me)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Creates a context (used by the runtime; exposed for harnesses that
+    /// drive automata directly in unit tests).
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        t: usize,
+        now: Time,
+        oracle: &'a mut dyn OracleSuite,
+        trace: &'a mut Trace,
+    ) -> Self {
+        Ctx {
+            me,
+            n,
+            t,
+            now,
+            oracle,
+            trace,
+            ops: Vec::new(),
+        }
+    }
+
+    /// This process's identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Total number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of crashes `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Reads `suspected_i` from the underlying failure detector.
+    pub fn suspected(&mut self) -> PSet {
+        self.oracle.suspected(self.me, self.now)
+    }
+
+    /// Reads `trusted_i` from the underlying failure detector.
+    pub fn trusted(&mut self) -> PSet {
+        self.oracle.trusted(self.me, self.now)
+    }
+
+    /// Invokes `query(x)` on the underlying failure detector.
+    pub fn query(&mut self, x: PSet) -> bool {
+        self.oracle.query(self.me, x, self.now)
+    }
+
+    /// Sends `msg` to `to` over the (reliable, asynchronous) channel.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.ops.push(Op::Send { to, msg });
+    }
+
+    /// `Broadcast(m)`: sends `msg` to every process including self.
+    pub fn broadcast(&mut self, msg: M) {
+        self.ops.push(Op::Broadcast { msg });
+    }
+
+    /// `R_broadcast(m)`: reliably broadcasts `msg` (paper §2.1).
+    pub fn rb_broadcast(&mut self, msg: M) {
+        self.ops.push(Op::RBroadcast { msg });
+    }
+
+    /// Requests an extra activation after `delay` ticks (≥ 1).
+    pub fn set_timer(&mut self, delay: u64) {
+        self.ops.push(Op::Timer {
+            delay: delay.max(1),
+        });
+    }
+
+    /// Stops this process's periodic steps.
+    pub fn halt(&mut self) {
+        self.ops.push(Op::Halt);
+    }
+
+    /// Publishes an observable output value (deduplicated step function).
+    pub fn publish(&mut self, slot: u32, value: FdValue) {
+        self.trace.publish(self.me, slot, self.now, value);
+    }
+
+    /// Records the decision of this process.
+    pub fn decide(&mut self, value: u64) {
+        self.trace.decide(self.now, self.me, value);
+    }
+
+    /// Increments a named metric counter.
+    pub fn bump(&mut self, name: &'static str) {
+        self.trace.bump(name, 1);
+    }
+
+    /// Drains the buffered operations (runtime use).
+    pub fn take_ops(&mut self) -> Vec<Op<M>> {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Runs `f` with a child context typed at a different message alphabet,
+    /// sharing this context's clock, oracle and trace, and returns the
+    /// closure's value together with the ops it buffered. Used by wrapper
+    /// automata (e.g. the echo-based reliable broadcast, the two-wheels
+    /// composition) that translate an inner algorithm's operations.
+    pub fn reborrow_inner<M2, R>(
+        &mut self,
+        f: impl FnOnce(&mut Ctx<'_, M2>) -> R,
+    ) -> (R, Vec<Op<M2>>) {
+        let mut child = Ctx {
+            me: self.me,
+            n: self.n,
+            t: self.t,
+            now: self.now,
+            oracle: &mut *self.oracle,
+            trace: &mut *self.trace,
+            ops: Vec::new(),
+        };
+        let r = f(&mut child);
+        (r, child.ops)
+    }
+}
+
+/// Replays operations buffered by an inner automaton (obtained via
+/// [`Ctx::reborrow_inner`]) into an outer context, translating message
+/// payloads with `f`. This is the plumbing for *composed* automata — e.g.
+/// the two-wheels construction wraps two sub-algorithms whose messages are
+/// embedded into one combined alphabet.
+pub fn forward_ops<M1, M2>(ctx: &mut Ctx<'_, M2>, ops: Vec<Op<M1>>, mut f: impl FnMut(M1) -> M2) {
+    for op in ops {
+        match op {
+            Op::Send { to, msg } => ctx.send(to, f(msg)),
+            Op::Broadcast { msg } => ctx.broadcast(f(msg)),
+            Op::RBroadcast { msg } => ctx.rb_broadcast(f(msg)),
+            Op::Timer { delay } => ctx.set_timer(delay),
+            Op::Halt => ctx.halt(),
+        }
+    }
+}
+
+/// A deterministic per-process state machine.
+///
+/// The runtime activates exactly one callback per event; callbacks must not
+/// block — `wait until` conditions are expressed by returning and
+/// re-checking guards on later activations.
+pub trait Automaton {
+    /// The message alphabet of the algorithm.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once at time zero (before any delivery), unless the process
+    /// crashed initially.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a point-to-point or plain-broadcast message arrives.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a reliably-broadcast message is R-delivered
+    /// (`from` is the original broadcaster).
+    fn on_rb_deliver(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        // Most algorithms treat R-delivery like an ordinary delivery.
+        self.on_message(from, msg, ctx);
+    }
+
+    /// Called on periodic local steps (drives `repeat forever` tasks and
+    /// re-evaluates time-dependent guards such as oracle reads).
+    fn on_step(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::NoOracle;
+
+    #[test]
+    fn ctx_buffers_ops() {
+        let mut oracle = NoOracle;
+        let mut trace = Trace::new();
+        let mut ctx: Ctx<'_, u8> =
+            Ctx::new(ProcessId(0), 3, 1, Time(5), &mut oracle, &mut trace);
+        ctx.send(ProcessId(1), 7);
+        ctx.broadcast(8);
+        ctx.rb_broadcast(9);
+        ctx.set_timer(0);
+        ctx.halt();
+        let ops = ctx.take_ops();
+        assert_eq!(ops.len(), 5);
+        assert!(matches!(ops[0], Op::Send { to: ProcessId(1), msg: 7 }));
+        assert!(matches!(ops[3], Op::Timer { delay: 1 })); // clamped to >= 1
+        assert!(matches!(ops[4], Op::Halt));
+        assert!(ctx.take_ops().is_empty());
+    }
+
+    #[test]
+    fn ctx_publish_and_decide_land_in_trace() {
+        let mut oracle = NoOracle;
+        let mut trace = Trace::new();
+        {
+            let mut ctx: Ctx<'_, u8> =
+                Ctx::new(ProcessId(2), 3, 1, Time(4), &mut oracle, &mut trace);
+            ctx.publish(crate::trace::slot::TRUSTED, FdValue::Num(1));
+            ctx.decide(99);
+            ctx.bump("x");
+        }
+        assert_eq!(trace.decisions().len(), 1);
+        assert_eq!(trace.counter("x"), 1);
+        assert_eq!(
+            trace
+                .history(ProcessId(2), crate::trace::slot::TRUSTED)
+                .last(),
+            Some(FdValue::Num(1))
+        );
+    }
+
+    #[test]
+    fn ctx_accessors() {
+        let mut oracle = NoOracle;
+        let mut trace = Trace::new();
+        let ctx: Ctx<'_, u8> = Ctx::new(ProcessId(1), 5, 2, Time(9), &mut oracle, &mut trace);
+        assert_eq!(ctx.me(), ProcessId(1));
+        assert_eq!(ctx.n(), 5);
+        assert_eq!(ctx.t(), 2);
+        assert_eq!(ctx.now(), Time(9));
+    }
+}

@@ -1,0 +1,147 @@
+//! The discrete-event queue.
+
+use crate::id::ProcessId;
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// Point-to-point delivery of `msg` from `from`.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// Reliable-broadcast delivery of `msg` R-broadcast by `from`.
+    RbDeliver {
+        /// Original broadcaster.
+        from: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// A local step of the process (drives `repeat forever` tasks and
+    /// re-evaluates time-dependent guards).
+    Step,
+    /// The process crashes.
+    Crash,
+}
+
+/// A scheduled event targeting process `to` at time `at`.
+#[derive(Clone, Debug)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: Time,
+    /// Deterministic tie-breaker (insertion order).
+    pub seq: u64,
+    /// Target process.
+    pub to: ProcessId,
+    /// What happens.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Sequence numbers break ties deterministically (FIFO insertion).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` for `to` at time `at`.
+    pub fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, to, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(Time(5), ProcessId(0), EventKind::Step);
+        q.push(Time(1), ProcessId(1), EventKind::Step);
+        q.push(Time(3), ProcessId(2), EventKind::Crash);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(Time(2), ProcessId(0), EventKind::Step);
+        q.push(Time(2), ProcessId(1), EventKind::Step);
+        assert_eq!(q.pop().unwrap().to, ProcessId(0));
+        assert_eq!(q.pop().unwrap().to, ProcessId(1));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(9), ProcessId(0), EventKind::Step);
+        assert_eq!(q.peek_time(), Some(Time(9)));
+        assert_eq!(q.len(), 1);
+    }
+}

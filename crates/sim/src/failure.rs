@@ -1,0 +1,244 @@
+//! Failure patterns: who crashes and when.
+//!
+//! A run of the paper's model is parameterized by a *failure pattern*: a
+//! function assigning to each process an optional crash time. A process is
+//! *correct* in the run if it never crashes, and *faulty* otherwise. `t`
+//! bounds the number of faulty processes (`0 ≤ t < n` in general; most
+//! algorithms additionally require `t < n/2`).
+
+use crate::id::{PSet, ProcessId};
+use crate::rng::SplitMix64;
+use crate::time::Time;
+
+/// The crash schedule of one run.
+///
+/// # Examples
+///
+/// ```
+/// use fd_sim::{FailurePattern, ProcessId, Time};
+/// let fp = FailurePattern::builder(4)
+///     .crash(ProcessId(2), Time(10))
+///     .build();
+/// assert!(fp.is_correct(ProcessId(0)));
+/// assert!(!fp.is_correct(ProcessId(2)));
+/// assert!(fp.is_alive_at(ProcessId(2), Time(9)));
+/// assert!(!fp.is_alive_at(ProcessId(2), Time(10)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailurePattern {
+    n: usize,
+    crash_at: Vec<Option<Time>>,
+}
+
+impl FailurePattern {
+    /// A pattern with `n` processes and no failures.
+    pub fn all_correct(n: usize) -> Self {
+        FailurePattern {
+            n,
+            crash_at: vec![None; n],
+        }
+    }
+
+    /// Starts building a pattern for `n` processes.
+    pub fn builder(n: usize) -> FailurePatternBuilder {
+        FailurePatternBuilder {
+            fp: FailurePattern::all_correct(n),
+        }
+    }
+
+    /// Random pattern: `f` uniformly-chosen processes crash at uniform times
+    /// in `[0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f > n`.
+    pub fn random(n: usize, f: usize, horizon: Time, rng: &mut SplitMix64) -> Self {
+        let mut b = FailurePattern::builder(n);
+        for i in rng.sample_indices(n, f) {
+            let at = Time(rng.range(0, horizon.ticks().max(1)));
+            b = b.crash(ProcessId(i), at);
+        }
+        b.build()
+    }
+
+    /// Random pattern where all `f` crashes are *initial* (before the run
+    /// starts) — the premise of the paper's zero-degradation property.
+    pub fn random_initial(n: usize, f: usize, rng: &mut SplitMix64) -> Self {
+        let mut b = FailurePattern::builder(n);
+        for i in rng.sample_indices(n, f) {
+            b = b.crash(ProcessId(i), Time::ZERO);
+        }
+        b.build()
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The crash time of `p`, if `p` is faulty.
+    pub fn crash_time(&self, p: ProcessId) -> Option<Time> {
+        self.crash_at[p.0]
+    }
+
+    /// Whether `p` never crashes in this run.
+    pub fn is_correct(&self, p: ProcessId) -> bool {
+        self.crash_at[p.0].is_none()
+    }
+
+    /// Whether `p` has not yet crashed at time `now` (crash takes effect at
+    /// its scheduled instant).
+    pub fn is_alive_at(&self, p: ProcessId, now: Time) -> bool {
+        match self.crash_at[p.0] {
+            None => true,
+            Some(tc) => now < tc,
+        }
+    }
+
+    /// The set `C` of correct processes.
+    pub fn correct(&self) -> PSet {
+        (0..self.n)
+            .map(ProcessId)
+            .filter(|&p| self.is_correct(p))
+            .collect()
+    }
+
+    /// The set of faulty processes (crashed at any time in the run).
+    pub fn faulty(&self) -> PSet {
+        self.correct().complement(self.n)
+    }
+
+    /// Number of faulty processes (`f` in the paper).
+    pub fn num_faulty(&self) -> usize {
+        self.faulty().len()
+    }
+
+    /// The set of processes already crashed at time `now`.
+    pub fn crashed_at(&self, now: Time) -> PSet {
+        (0..self.n)
+            .map(ProcessId)
+            .filter(|&p| !self.is_alive_at(p, now))
+            .collect()
+    }
+
+    /// The set of processes alive at time `now`.
+    pub fn alive_at(&self, now: Time) -> PSet {
+        self.crashed_at(now).complement(self.n)
+    }
+
+    /// The earliest time at which every member of `xs` has crashed, or
+    /// `None` if some member is correct.
+    ///
+    /// This is the instant from which `φ_y`'s liveness clock starts for a
+    /// query on `xs`.
+    pub fn all_crashed_by(&self, xs: PSet) -> Option<Time> {
+        let mut worst = Time::ZERO;
+        for p in xs {
+            match self.crash_at[p.0] {
+                None => return None,
+                Some(tc) => worst = worst.max(tc),
+            }
+        }
+        Some(worst)
+    }
+
+    /// The last crash instant of the run (`Time::ZERO` if failure-free).
+    pub fn last_crash(&self) -> Time {
+        self.crash_at.iter().flatten().copied().max().unwrap_or(Time::ZERO)
+    }
+}
+
+/// Builder for [`FailurePattern`].
+#[derive(Clone, Debug)]
+pub struct FailurePatternBuilder {
+    fp: FailurePattern,
+}
+
+impl FailurePatternBuilder {
+    /// Schedules `p` to crash at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn crash(mut self, p: ProcessId, at: Time) -> Self {
+        assert!(p.0 < self.fp.n, "{p} out of range (n={})", self.fp.n);
+        self.fp.crash_at[p.0] = Some(at);
+        self
+    }
+
+    /// Schedules every member of `xs` to crash at `at`.
+    pub fn crash_all(mut self, xs: PSet, at: Time) -> Self {
+        for p in xs {
+            self = self.crash(p, at);
+        }
+        self
+    }
+
+    /// Finishes the pattern.
+    pub fn build(self) -> FailurePattern {
+        self.fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_correct_basics() {
+        let fp = FailurePattern::all_correct(3);
+        assert_eq!(fp.correct(), PSet::full(3));
+        assert_eq!(fp.num_faulty(), 0);
+        assert_eq!(fp.last_crash(), Time::ZERO);
+    }
+
+    #[test]
+    fn crash_semantics() {
+        let fp = FailurePattern::builder(3).crash(ProcessId(1), Time(5)).build();
+        assert!(fp.is_alive_at(ProcessId(1), Time(4)));
+        assert!(!fp.is_alive_at(ProcessId(1), Time(5)));
+        assert_eq!(fp.crashed_at(Time(5)), PSet::singleton(ProcessId(1)));
+        assert_eq!(fp.alive_at(Time(4)), PSet::full(3));
+        assert_eq!(fp.crash_time(ProcessId(1)), Some(Time(5)));
+        assert_eq!(fp.crash_time(ProcessId(0)), None);
+    }
+
+    #[test]
+    fn all_crashed_by() {
+        let fp = FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(3))
+            .crash(ProcessId(2), Time(8))
+            .build();
+        let both = PSet::from_iter([ProcessId(0), ProcessId(2)]);
+        assert_eq!(fp.all_crashed_by(both), Some(Time(8)));
+        let with_correct = both | PSet::singleton(ProcessId(1));
+        assert_eq!(fp.all_crashed_by(with_correct), None);
+        assert_eq!(fp.all_crashed_by(PSet::EMPTY), Some(Time::ZERO));
+        assert_eq!(fp.last_crash(), Time(8));
+    }
+
+    #[test]
+    fn random_respects_f() {
+        let mut rng = SplitMix64::new(11);
+        let fp = FailurePattern::random(10, 3, Time(100), &mut rng);
+        assert_eq!(fp.num_faulty(), 3);
+        let fp0 = FailurePattern::random_initial(10, 4, &mut rng);
+        assert_eq!(fp0.num_faulty(), 4);
+        for p in fp0.faulty() {
+            assert_eq!(fp0.crash_time(p), Some(Time::ZERO));
+        }
+    }
+
+    #[test]
+    fn crash_all() {
+        let xs = PSet::from_iter([ProcessId(0), ProcessId(1)]);
+        let fp = FailurePattern::builder(3).crash_all(xs, Time(2)).build();
+        assert_eq!(fp.faulty(), xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn crash_out_of_range_panics() {
+        let _ = FailurePattern::builder(2).crash(ProcessId(5), Time(1));
+    }
+}

@@ -1,0 +1,383 @@
+//! Process identities and compact process sets.
+//!
+//! The paper considers a system `Π = {p_1, …, p_n}`. Internally processes are
+//! numbered `0..n`; [`ProcessId::display_index`] recovers the paper's
+//! 1-based identity when printing.
+
+use std::fmt;
+
+/// Maximum number of processes supported by [`PSet`]'s `u128` representation.
+pub const MAX_PROCESSES: usize = 128;
+
+/// The identity of a process (`0`-based).
+///
+/// # Examples
+///
+/// ```
+/// use fd_sim::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.display_index(), 4); // the paper's p_4
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The paper's 1-based index of this process.
+    pub fn display_index(self) -> usize {
+        self.0 + 1
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.display_index())
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.display_index())
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// A set of processes, represented as a `u128` bitmask (so `n ≤ 128`).
+///
+/// All set algebra is O(1). `PSet` is the lingua franca of the crate: failure
+/// detector outputs (`suspected_i`, `trusted_i`), query arguments (the sets
+/// `X` of `φ_y.query(X)`), quorums and scopes are all `PSet`s.
+///
+/// # Examples
+///
+/// ```
+/// use fd_sim::{PSet, ProcessId};
+/// let a = PSet::from_iter([0, 1, 2].map(ProcessId));
+/// let b = PSet::from_iter([1, 2, 3].map(ProcessId));
+/// assert_eq!((a & b).len(), 2);
+/// assert_eq!((a | b).len(), 4);
+/// assert!(a.contains(ProcessId(0)));
+/// assert!(!(a - b).contains(ProcessId(1)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PSet(u128);
+
+impl PSet {
+    /// The empty set.
+    pub const EMPTY: PSet = PSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PSet(0)
+    }
+
+    /// The full set `{p_1, …, p_n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_PROCESSES, "PSet supports at most 128 processes");
+        if n == MAX_PROCESSES {
+            PSet(u128::MAX)
+        } else {
+            PSet((1u128 << n) - 1)
+        }
+    }
+
+    /// The singleton `{p}`.
+    pub fn singleton(p: ProcessId) -> Self {
+        assert!(p.0 < MAX_PROCESSES);
+        PSet(1u128 << p.0)
+    }
+
+    /// Constructs a set from a raw bitmask.
+    pub fn from_bits(bits: u128) -> Self {
+        PSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Number of processes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `p` belongs to the set.
+    pub fn contains(self, p: ProcessId) -> bool {
+        p.0 < MAX_PROCESSES && self.0 & (1u128 << p.0) != 0
+    }
+
+    /// Inserts `p`; returns `true` if it was not already present.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let fresh = !self.contains(p);
+        self.0 |= 1u128 << p.0;
+        fresh
+    }
+
+    /// Removes `p`; returns `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let present = self.contains(p);
+        self.0 &= !(1u128 << p.0);
+        present
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(self, other: PSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset(self, other: PSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the two sets are disjoint.
+    pub fn is_disjoint(self, other: PSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether the two sets are ordered by containment (either way).
+    ///
+    /// This is the `Ψ_y` well-formedness condition on query arguments:
+    /// any two queried sets `X`, `X'` must satisfy `X ⊆ X'` or `X' ⊆ X`.
+    pub fn comparable(self, other: PSet) -> bool {
+        self.is_subset(other) || other.is_subset(self)
+    }
+
+    /// The smallest identity in the set, if any.
+    pub fn min(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// The largest identity in the set, if any.
+    pub fn max(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId(127 - self.0.leading_zeros() as usize))
+        }
+    }
+
+    /// Iterates over members in increasing identity order.
+    pub fn iter(self) -> PSetIter {
+        PSetIter(self.0)
+    }
+
+    /// The complement within `{p_1, …, p_n}`.
+    pub fn complement(self, n: usize) -> PSet {
+        PSet(!self.0 & PSet::full(n).0)
+    }
+}
+
+impl std::ops::BitAnd for PSet {
+    type Output = PSet;
+    fn bitand(self, rhs: PSet) -> PSet {
+        PSet(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::BitOr for PSet {
+    type Output = PSet;
+    fn bitor(self, rhs: PSet) -> PSet {
+        PSet(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitXor for PSet {
+    type Output = PSet;
+    fn bitxor(self, rhs: PSet) -> PSet {
+        PSet(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::Sub for PSet {
+    type Output = PSet;
+    fn sub(self, rhs: PSet) -> PSet {
+        PSet(self.0 & !rhs.0)
+    }
+}
+
+impl std::ops::BitAndAssign for PSet {
+    fn bitand_assign(&mut self, rhs: PSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl std::ops::BitOrAssign for PSet {
+    fn bitor_assign(&mut self, rhs: PSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::SubAssign for PSet {
+    fn sub_assign(&mut self, rhs: PSet) {
+        self.0 &= !rhs.0;
+    }
+}
+
+impl FromIterator<ProcessId> for PSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = PSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for PSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for PSet {
+    type Item = ProcessId;
+    type IntoIter = PSetIter;
+    fn into_iter(self) -> PSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`PSet`] in increasing identity order.
+#[derive(Clone, Debug)]
+pub struct PSetIter(u128);
+
+impl Iterator for PSetIter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessId(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PSetIter {}
+
+impl fmt::Debug for PSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, p) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for PSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(ids: &[usize]) -> PSet {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert!(PSet::EMPTY.is_empty());
+        assert_eq!(PSet::full(5).len(), 5);
+        assert_eq!(PSet::full(128).len(), 128);
+        assert_eq!(PSet::full(0), PSet::EMPTY);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = PSet::new();
+        assert!(s.insert(ProcessId(3)));
+        assert!(!s.insert(ProcessId(3)));
+        assert!(s.contains(ProcessId(3)));
+        assert!(s.remove(ProcessId(3)));
+        assert!(!s.remove(ProcessId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ps(&[0, 1, 2]);
+        let b = ps(&[2, 3]);
+        assert_eq!(a & b, ps(&[2]));
+        assert_eq!(a | b, ps(&[0, 1, 2, 3]));
+        assert_eq!(a - b, ps(&[0, 1]));
+        assert_eq!(a ^ b, ps(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = ps(&[1, 2]);
+        let b = ps(&[0, 1, 2, 3]);
+        assert!(a.is_subset(b));
+        assert!(b.is_superset(a));
+        assert!(a.comparable(b));
+        assert!(!a.comparable(ps(&[2, 4])));
+        assert!(a.is_disjoint(ps(&[0, 3])));
+    }
+
+    #[test]
+    fn min_max_iter_order() {
+        let s = ps(&[5, 1, 9]);
+        assert_eq!(s.min(), Some(ProcessId(1)));
+        assert_eq!(s.max(), Some(ProcessId(9)));
+        let v: Vec<usize> = s.iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(PSet::EMPTY.min(), None);
+        assert_eq!(PSet::EMPTY.max(), None);
+    }
+
+    #[test]
+    fn complement() {
+        let s = ps(&[0, 2]);
+        assert_eq!(s.complement(4), ps(&[1, 3]));
+        assert_eq!(PSet::EMPTY.complement(3), PSet::full(3));
+    }
+
+    #[test]
+    fn display_one_based() {
+        assert_eq!(format!("{}", ProcessId(0)), "p1");
+        assert_eq!(format!("{}", ps(&[0, 2])), "{p1,p3}");
+    }
+
+    #[test]
+    fn iterator_len() {
+        let s = ps(&[3, 7, 11]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(s.iter().count(), 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! # fd-sim — a deterministic asynchronous distributed-system simulator
+//!
+//! The substrate for reproducing *"Irreducibility and Additivity of Set
+//! Agreement-oriented Failure Detector Classes"* (Mostéfaoui, Rajsbaum,
+//! Raynal, Travers; PODC 2006). It implements the paper's computation model
+//! (§2) exactly:
+//!
+//! * `n` processes that may crash (at most `t` per run), described by a
+//!   [`FailurePattern`];
+//! * reliable, asynchronous, non-FIFO channels with adversarially chosen
+//!   finite delays ([`network`]);
+//! * a reliable-broadcast abstraction with validity / integrity /
+//!   termination, both axiomatic (built into the engine) and constructive
+//!   ([`echo`]);
+//! * failure detectors accessed only through the [`OracleSuite`] interface;
+//! * a shared-memory variant with SWMR atomic registers ([`shm`]) for the
+//!   paper's Figure 9.
+//!
+//! Algorithms are written as [`Automaton`] state machines and executed by
+//! [`Sim`], which records a [`Trace`] — the raw material for the
+//! property checkers in the `fd-detectors` crate.
+//!
+//! Everything is deterministic in a single `u64` seed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fd_sim::*;
+//!
+//! /// Every process broadcasts its id; decides the smallest id it hears
+//! /// from n - t processes.
+//! struct MinId { heard: Vec<u64>, decided: bool }
+//! impl Automaton for MinId {
+//!     type Msg = u64;
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+//!         ctx.broadcast(ctx.me().0 as u64);
+//!     }
+//!     fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+//!         self.heard.push(msg);
+//!         if !self.decided && self.heard.len() >= ctx.n() - ctx.t() {
+//!             self.decided = true;
+//!             ctx.decide(*self.heard.iter().min().unwrap());
+//!         }
+//!     }
+//!     fn on_step(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+//! }
+//!
+//! let cfg = SimConfig::new(5, 1).seed(1);
+//! let fp = FailurePattern::all_correct(5);
+//! let mut sim = Sim::new(cfg, fp, |_| MinId { heard: vec![], decided: false }, NoOracle);
+//! let report = sim.run();
+//! assert_eq!(report.trace.deciders().len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod automaton;
+pub mod echo;
+pub mod event;
+pub mod failure;
+pub mod id;
+pub mod network;
+pub mod oracle;
+pub mod rng;
+pub mod runtime;
+pub mod shm;
+pub mod time;
+pub mod trace;
+
+pub use automaton::{forward_ops, Automaton, Ctx, Op};
+pub use echo::{EchoMsg, EchoRb};
+pub use event::{Event, EventKind, EventQueue};
+pub use failure::{FailurePattern, FailurePatternBuilder};
+pub use id::{PSet, PSetIter, ProcessId, MAX_PROCESSES};
+pub use network::{DelayModel, DelayRule, Network};
+pub use oracle::{NoOracle, OracleSuite, SuspectPlusQuery};
+pub use rng::SplitMix64;
+pub use runtime::{counter, RunReport, Sim, SimConfig};
+pub use shm::{run_shm, RegAddr, SharedMem, ShmConfig, ShmCtx, ShmProcess};
+pub use time::Time;
+pub use trace::{slot, Decision, FdValue, History, Sample, Trace};

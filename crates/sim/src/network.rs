@@ -1,0 +1,213 @@
+//! The asynchronous network: reliable, non-FIFO channels with adversarially
+//! chosen (finite) delays.
+//!
+//! The paper's model (§2.1): every pair of processes is connected by a
+//! reliable channel — no creation, alteration, or loss — but there is *no*
+//! bound on transfer delays and channels are not FIFO. The simulator draws
+//! each message's delay independently from a [`DelayModel`] and then applies
+//! any matching [`DelayRule`]s, which is how the indistinguishable-run
+//! adversaries of Theorems 8–11 are expressed ("all messages sent by the
+//! processes of `E` between τ and τ₁ are delayed until after τ₁").
+
+use crate::id::{PSet, ProcessId};
+use crate::rng::SplitMix64;
+use crate::time::Time;
+
+/// Distribution of base message delays (always ≥ 1 tick).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message takes exactly `d` ticks.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Minimum delay.
+        lo: u64,
+        /// Maximum delay.
+        hi: u64,
+    },
+    /// Uniform in `[lo, hi]`, but with probability `spike_pct`% the delay is
+    /// multiplied by `factor` — a heavy-tail adversary that exercises the
+    /// "anarchy period" before failure detectors stabilize.
+    Spiky {
+        /// Minimum base delay.
+        lo: u64,
+        /// Maximum base delay.
+        hi: u64,
+        /// Spike probability in percent.
+        spike_pct: u8,
+        /// Multiplier applied on a spike.
+        factor: u64,
+    },
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::Uniform { lo: 1, hi: 10 }
+    }
+}
+
+impl DelayModel {
+    /// Draws one delay.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let d = match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { lo, hi } => rng.range(lo.min(hi), hi.max(lo)),
+            DelayModel::Spiky {
+                lo,
+                hi,
+                spike_pct,
+                factor,
+            } => {
+                let base = rng.range(lo.min(hi), hi.max(lo));
+                if rng.chance(spike_pct as u64, 100) {
+                    base.saturating_mul(factor.max(1))
+                } else {
+                    base
+                }
+            }
+        };
+        d.max(1)
+    }
+}
+
+/// A targeted-delay adversary rule.
+///
+/// Messages sent by a process in `from` to a process in `to`, at a send time
+/// inside `[active_from, active_to)`, are not delivered before
+/// `deliver_not_before`. Channels stay reliable — nothing is dropped, only
+/// delayed, exactly as in the run constructions of the paper's
+/// irreducibility proofs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayRule {
+    /// Senders the rule applies to.
+    pub from: PSet,
+    /// Receivers the rule applies to.
+    pub to: PSet,
+    /// Start (inclusive) of the send-time window.
+    pub active_from: Time,
+    /// End (exclusive) of the send-time window.
+    pub active_to: Time,
+    /// Earliest allowed delivery time for matching messages.
+    pub deliver_not_before: Time,
+}
+
+impl DelayRule {
+    /// A rule delaying everything `from → to` sent before `until` to arrive
+    /// no earlier than `until`.
+    pub fn silence_until(from: PSet, to: PSet, until: Time) -> Self {
+        DelayRule {
+            from,
+            to,
+            active_from: Time::ZERO,
+            active_to: until,
+            deliver_not_before: until,
+        }
+    }
+
+    fn applies(&self, from: ProcessId, to: ProcessId, sent_at: Time) -> bool {
+        self.from.contains(from)
+            && self.to.contains(to)
+            && sent_at >= self.active_from
+            && sent_at < self.active_to
+    }
+}
+
+/// The network: computes delivery times.
+#[derive(Clone, Debug)]
+pub struct Network {
+    delay: DelayModel,
+    rules: Vec<DelayRule>,
+    rng: SplitMix64,
+}
+
+impl Network {
+    /// Creates a network with the given base delay model, adversary rules,
+    /// and a dedicated RNG stream.
+    pub fn new(delay: DelayModel, rules: Vec<DelayRule>, rng: SplitMix64) -> Self {
+        Network { delay, rules, rng }
+    }
+
+    /// Delivery time for a message `from → to` sent at `sent_at`.
+    pub fn delivery_time(&mut self, from: ProcessId, to: ProcessId, sent_at: Time) -> Time {
+        let mut at = sent_at + self.delay.sample(&mut self.rng);
+        for r in &self.rules {
+            if r.applies(from, to, sent_at) && at < r.deliver_not_before {
+                // Deterministic small jitter past the release point keeps
+                // releases from synchronizing into one mega-tick.
+                at = r.deliver_not_before + self.rng.range(0, 3);
+            }
+        }
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(99)
+    }
+
+    #[test]
+    fn fixed_delay() {
+        let mut net = Network::new(DelayModel::Fixed(4), vec![], rng());
+        let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(10));
+        assert_eq!(at, Time(14));
+    }
+
+    #[test]
+    fn delay_at_least_one() {
+        let mut net = Network::new(DelayModel::Fixed(0), vec![], rng());
+        let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(10));
+        assert_eq!(at, Time(11));
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut net = Network::new(DelayModel::Uniform { lo: 2, hi: 6 }, vec![], rng());
+        for _ in 0..200 {
+            let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(0));
+            assert!((2..=6).contains(&at.0));
+        }
+    }
+
+    #[test]
+    fn spiky_produces_spikes() {
+        let mut net = Network::new(
+            DelayModel::Spiky {
+                lo: 1,
+                hi: 2,
+                spike_pct: 50,
+                factor: 100,
+            },
+            vec![],
+            rng(),
+        );
+        let mut spiked = false;
+        for _ in 0..100 {
+            let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(0));
+            if at.0 >= 100 {
+                spiked = true;
+            }
+        }
+        assert!(spiked);
+    }
+
+    #[test]
+    fn rule_delays_matching_messages() {
+        let e = PSet::singleton(ProcessId(0));
+        let all = PSet::full(3);
+        let rule = DelayRule::silence_until(e, all, Time(100));
+        let mut net = Network::new(DelayModel::Fixed(1), vec![rule], rng());
+        // Sent inside the window: held back to >= 100.
+        let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(5));
+        assert!(at >= Time(100));
+        // Different sender: unaffected.
+        let at = net.delivery_time(ProcessId(2), ProcessId(1), Time(5));
+        assert_eq!(at, Time(6));
+        // Sent after the window: unaffected.
+        let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(200));
+        assert_eq!(at, Time(201));
+    }
+}

@@ -1,0 +1,538 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives a set of [`Automaton`] processes over the asynchronous network of
+//! [`crate::network`], under a [`FailurePattern`], recording a [`Trace`].
+//! Everything is deterministic in the `(config, pattern, seed)` triple.
+
+use crate::automaton::{Automaton, Ctx, Op};
+use crate::event::{EventKind, EventQueue};
+use crate::failure::FailurePattern;
+use crate::id::{PSet, ProcessId};
+use crate::network::{DelayModel, DelayRule, Network};
+use crate::oracle::OracleSuite;
+use crate::rng::SplitMix64;
+use crate::time::Time;
+use crate::trace::Trace;
+
+/// Counter names bumped by the engine itself.
+pub mod counter {
+    /// Point-to-point messages sent (a broadcast counts `n`).
+    pub const SENT: &str = "sim.sent";
+    /// Reliable-broadcast invocations.
+    pub const RB_SENT: &str = "sim.rb_sent";
+    /// Deliveries actually handed to live processes.
+    pub const DELIVERED: &str = "sim.delivered";
+    /// Events processed by the engine.
+    pub const EVENTS: &str = "sim.events";
+}
+
+/// Static configuration of a run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of processes `n` (≤ 128).
+    pub n: usize,
+    /// Resilience bound `t` (maximum number of crashes).
+    pub t: usize,
+    /// Root seed; all nondeterminism derives from it.
+    pub seed: u64,
+    /// Hard stop: no event after this time is processed.
+    pub max_time: Time,
+    /// Base message-delay distribution.
+    pub delay: DelayModel,
+    /// Targeted-delay adversary rules.
+    pub rules: Vec<DelayRule>,
+    /// Periodic step interval bounds `[step_min, step_max]` (≥ 1).
+    pub step_min: u64,
+    /// See `step_min`.
+    pub step_max: u64,
+    /// Probability (percent) that an R-broadcast by a *faulty* process
+    /// reaches no correct process (the partial-broadcast freedom the
+    /// reliable-broadcast spec grants the adversary).
+    pub rb_partial_pct: u8,
+    /// Safety valve: abort after this many events (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A reasonable default configuration for `n` processes with resilience
+    /// `t`: uniform delays 1–10, steps every 1–5 ticks, horizon 50 000.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(n >= 2, "need at least two processes");
+        assert!(t < n, "t must be < n");
+        SimConfig {
+            n,
+            t,
+            seed: 0,
+            max_time: Time(50_000),
+            delay: DelayModel::default(),
+            rules: Vec::new(),
+            step_min: 1,
+            step_max: 5,
+            rb_partial_pct: 30,
+            max_events: 20_000_000,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the horizon (builder style).
+    pub fn max_time(mut self, max_time: Time) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Sets the delay model (builder style).
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Adds a targeted-delay rule (builder style).
+    pub fn rule(mut self, rule: DelayRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// Outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Everything observed during the run.
+    pub trace: Trace,
+    /// Time of the last processed event.
+    pub end: Time,
+    /// Number of processed events.
+    pub events: u64,
+    /// Whether the run stopped because the early-stop predicate fired.
+    pub stopped_early: bool,
+}
+
+/// The simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use fd_sim::*;
+///
+/// // A trivial automaton: everyone broadcasts "hello" once and decides on
+/// // the first hello it hears.
+/// #[derive(Default)]
+/// struct Hello { decided: bool }
+/// impl Automaton for Hello {
+///     type Msg = u64;
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+///         ctx.broadcast(ctx.me().0 as u64);
+///     }
+///     fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+///         if !self.decided {
+///             self.decided = true;
+///             ctx.decide(msg);
+///             ctx.halt();
+///         }
+///     }
+///     fn on_step(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+/// }
+///
+/// let cfg = SimConfig::new(4, 1).seed(7);
+/// let fp = FailurePattern::all_correct(4);
+/// let mut sim = Sim::new(cfg, fp, |_p| Hello::default(), NoOracle);
+/// let report = sim.run();
+/// assert_eq!(report.trace.deciders().len(), 4);
+/// ```
+pub struct Sim<A: Automaton, O: OracleSuite> {
+    cfg: SimConfig,
+    fp: FailurePattern,
+    procs: Vec<A>,
+    halted: Vec<bool>,
+    oracle: O,
+    net: Network,
+    queue: EventQueue<A::Msg>,
+    /// One independent step-schedule stream per process, so that the
+    /// presence or absence of one process's events never perturbs another
+    /// process's step times — a prerequisite for the indistinguishable-run
+    /// adversaries of the paper's irreducibility proofs.
+    step_rngs: Vec<SplitMix64>,
+    rb_rng: SplitMix64,
+    trace: Trace,
+    now: Time,
+    events: u64,
+}
+
+impl<A: Automaton, O: OracleSuite> std::fmt::Debug for Sim<A, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Automaton, O: OracleSuite> Sim<A, O> {
+    /// Builds a simulation: one automaton per process from the factory, the
+    /// failure pattern, and the oracle bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern size does not match `cfg.n` or if the pattern
+    /// violates `t`.
+    pub fn new(
+        cfg: SimConfig,
+        fp: FailurePattern,
+        mut make: impl FnMut(ProcessId) -> A,
+        oracle: O,
+    ) -> Self {
+        assert_eq!(fp.n(), cfg.n, "failure pattern size mismatch");
+        assert!(
+            fp.num_faulty() <= cfg.t,
+            "failure pattern has {} crashes but t = {}",
+            fp.num_faulty(),
+            cfg.t
+        );
+        let root = SplitMix64::new(cfg.seed);
+        let net = Network::new(cfg.delay.clone(), cfg.rules.clone(), root.stream(0xDE1A));
+        let procs: Vec<A> = (0..cfg.n).map(|i| make(ProcessId(i))).collect();
+        let mut sim = Sim {
+            halted: vec![false; cfg.n],
+            procs,
+            oracle,
+            net,
+            queue: EventQueue::new(),
+            step_rngs: (0..cfg.n)
+                .map(|i| root.stream(0x57E9).stream(i as u64))
+                .collect(),
+            rb_rng: root.stream(0x4BAD),
+            trace: Trace::new(),
+            now: Time::ZERO,
+            events: 0,
+            cfg,
+            fp,
+        };
+        sim.bootstrap();
+        sim
+    }
+
+    fn bootstrap(&mut self) {
+        for i in 0..self.cfg.n {
+            let p = ProcessId(i);
+            if self.fp.is_alive_at(p, Time::ZERO) {
+                self.activate(p, Activation::Start);
+                let d = self.step_rngs[i].range(self.cfg.step_min.max(1), self.cfg.step_max.max(1));
+                self.queue.push(Time(d), p, EventKind::Step);
+            }
+        }
+    }
+
+    /// Runs until the horizon, event cap, or queue exhaustion.
+    pub fn run(&mut self) -> RunReport {
+        self.run_until(|_| false)
+    }
+
+    /// Runs until `stop(&trace)` returns true (checked after each event),
+    /// the horizon, the event cap, or queue exhaustion.
+    pub fn run_until(&mut self, mut stop: impl FnMut(&Trace) -> bool) -> RunReport {
+        let mut stopped_early = false;
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > self.cfg.max_time {
+                break;
+            }
+            if self.cfg.max_events != 0 && self.events >= self.cfg.max_events {
+                break;
+            }
+            self.now = ev.at;
+            self.events += 1;
+            self.trace.bump(counter::EVENTS, 1);
+            let to = ev.to;
+            match ev.kind {
+                EventKind::Deliver { from, msg } => {
+                    if self.fp.is_alive_at(to, self.now) {
+                        self.trace.bump(counter::DELIVERED, 1);
+                        self.activate(to, Activation::Message { from, msg, rb: false });
+                    }
+                }
+                EventKind::RbDeliver { from, msg } => {
+                    if self.fp.is_alive_at(to, self.now) {
+                        self.trace.bump(counter::DELIVERED, 1);
+                        self.activate(to, Activation::Message { from, msg, rb: true });
+                    }
+                }
+                EventKind::Step => {
+                    if self.fp.is_alive_at(to, self.now) && !self.halted[to.0] {
+                        self.activate(to, Activation::Step);
+                        if !self.halted[to.0] {
+                            let d = self.step_rngs[to.0]
+                                .range(self.cfg.step_min.max(1), self.cfg.step_max.max(1));
+                            self.queue.push(self.now + d, to, EventKind::Step);
+                        }
+                    }
+                }
+                EventKind::Crash => {}
+            }
+            if stop(&self.trace) {
+                stopped_early = true;
+                break;
+            }
+        }
+        let end = self.now;
+        // If the run stopped early the observation window ends at the last
+        // event; otherwise (horizon reached or queue drained — after which
+        // nothing can change) it extends to the configured horizon.
+        self.trace
+            .set_horizon(if stopped_early { end } else { self.cfg.max_time });
+        RunReport {
+            trace: self.trace.clone(),
+            end,
+            events: self.events,
+            stopped_early,
+        }
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The failure pattern of this run.
+    pub fn failure_pattern(&self) -> &FailurePattern {
+        &self.fp
+    }
+
+    /// Immutable access to a process automaton (for post-run inspection).
+    pub fn process(&self, p: ProcessId) -> &A {
+        &self.procs[p.0]
+    }
+
+    fn activate(&mut self, p: ProcessId, what: Activation<A::Msg>) {
+        let ops = {
+            let proc = &mut self.procs[p.0];
+            let mut ctx = Ctx::new(
+                p,
+                self.cfg.n,
+                self.cfg.t,
+                self.now,
+                &mut self.oracle,
+                &mut self.trace,
+            );
+            match what {
+                Activation::Start => proc.on_start(&mut ctx),
+                Activation::Message { from, msg, rb: false } => proc.on_message(from, msg, &mut ctx),
+                Activation::Message { from, msg, rb: true } => proc.on_rb_deliver(from, msg, &mut ctx),
+                Activation::Step => proc.on_step(&mut ctx),
+            }
+            ctx.take_ops()
+        };
+        self.apply_ops(p, ops);
+    }
+
+    fn apply_ops(&mut self, from: ProcessId, ops: Vec<Op<A::Msg>>) {
+        for op in ops {
+            match op {
+                Op::Send { to, msg } => {
+                    self.trace.bump(counter::SENT, 1);
+                    let at = self.net.delivery_time(from, to, self.now);
+                    self.queue.push(at, to, EventKind::Deliver { from, msg });
+                }
+                Op::Broadcast { msg } => {
+                    for i in 0..self.cfg.n {
+                        self.trace.bump(counter::SENT, 1);
+                        let to = ProcessId(i);
+                        let at = self.net.delivery_time(from, to, self.now);
+                        self.queue.push(at, to, EventKind::Deliver { from, msg: msg.clone() });
+                    }
+                }
+                Op::RBroadcast { msg } => {
+                    self.trace.bump(counter::RB_SENT, 1);
+                    self.rb_cast(from, msg);
+                }
+                Op::Timer { delay } => {
+                    self.queue.push(self.now + delay, from, EventKind::Step);
+                }
+                Op::Halt => {
+                    self.halted[from.0] = true;
+                }
+            }
+        }
+    }
+
+    /// Reliable-broadcast semantics (paper §2.1):
+    /// * validity / integrity by construction (each receiver gets one copy);
+    /// * termination: if the sender is correct, every correct process
+    ///   R-delivers; if the sender is faulty, the adversary may instead let
+    ///   the message reach only a (possibly empty) subset of the faulty
+    ///   processes — never a strict subset of the correct ones.
+    fn rb_cast(&mut self, from: ProcessId, msg: A::Msg) {
+        let receivers: PSet = if !self.fp.is_correct(from)
+            && self.rb_rng.chance(self.cfg.rb_partial_pct as u64, 100)
+        {
+            // Partial broadcast: a random subset of the faulty processes.
+            let faulty: Vec<ProcessId> = self.fp.faulty().iter().collect();
+            let k = self.rb_rng.below(faulty.len() as u64 + 1) as usize;
+            self.rb_rng
+                .sample_indices(faulty.len(), k)
+                .into_iter()
+                .map(|i| faulty[i])
+                .collect()
+        } else {
+            PSet::full(self.cfg.n)
+        };
+        for to in receivers {
+            let at = self.net.delivery_time(from, to, self.now);
+            self.queue
+                .push(at, to, EventKind::RbDeliver { from, msg: msg.clone() });
+        }
+    }
+}
+
+enum Activation<M> {
+    Start,
+    Message { from: ProcessId, msg: M, rb: bool },
+    Step,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::NoOracle;
+    use crate::trace::slot;
+    use crate::trace::FdValue;
+
+    /// Broadcasts once; counts receipts; decides when it heard everyone
+    /// except up to `t` processes.
+    struct Counter {
+        heard: PSet,
+        decided: bool,
+    }
+
+    impl Automaton for Counter {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.broadcast(());
+        }
+
+        fn on_message(&mut self, from: ProcessId, _msg: (), ctx: &mut Ctx<'_, ()>) {
+            self.heard.insert(from);
+            if !self.decided && self.heard.len() >= ctx.n() - ctx.t() {
+                self.decided = true;
+                ctx.decide(self.heard.len() as u64);
+            }
+        }
+
+        fn on_step(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+    }
+
+    fn counter(_p: ProcessId) -> Counter {
+        Counter {
+            heard: PSet::EMPTY,
+            decided: false,
+        }
+    }
+
+    #[test]
+    fn all_correct_everyone_decides() {
+        let cfg = SimConfig::new(5, 1).seed(3);
+        let fp = FailurePattern::all_correct(5);
+        let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+        let rep = sim.run();
+        assert_eq!(rep.trace.deciders(), PSet::full(5));
+    }
+
+    #[test]
+    fn crashed_process_does_not_decide() {
+        let cfg = SimConfig::new(5, 1).seed(4);
+        let fp = FailurePattern::builder(5).crash(ProcessId(2), Time::ZERO).build();
+        let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+        let rep = sim.run();
+        assert!(!rep.trace.deciders().contains(ProcessId(2)));
+        assert_eq!(rep.trace.deciders().len(), 4);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = |seed| {
+            let cfg = SimConfig::new(6, 2).seed(seed);
+            let fp = FailurePattern::builder(6).crash(ProcessId(0), Time(7)).build();
+            let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+            let rep = sim.run();
+            (
+                rep.events,
+                rep.trace.counter(counter::SENT),
+                rep.trace.decisions().to_vec(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn early_stop_predicate() {
+        let cfg = SimConfig::new(4, 1).seed(5);
+        let fp = FailurePattern::all_correct(4);
+        let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+        let rep = sim.run_until(|t| !t.decisions().is_empty());
+        assert!(rep.stopped_early);
+        assert!(!rep.trace.decisions().is_empty());
+    }
+
+    /// An automaton that publishes its round on every step and halts at 3.
+    struct Stepper {
+        rounds: u64,
+    }
+
+    impl Automaton for Stepper {
+        type Msg = ();
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+        fn on_message(&mut self, _f: ProcessId, _m: (), _ctx: &mut Ctx<'_, ()>) {}
+        fn on_step(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.rounds += 1;
+            ctx.publish(slot::ROUND, FdValue::Num(self.rounds));
+            if self.rounds == 3 {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn halt_stops_steps() {
+        let cfg = SimConfig::new(2, 0).seed(6);
+        let fp = FailurePattern::all_correct(2);
+        let mut sim = Sim::new(cfg, fp, |_| Stepper { rounds: 0 }, NoOracle);
+        let rep = sim.run();
+        for i in 0..2 {
+            assert_eq!(
+                rep.trace.history(ProcessId(i), slot::ROUND).last(),
+                Some(FdValue::Num(3))
+            );
+        }
+    }
+
+    #[test]
+    fn messages_from_faulty_sender_still_delivered() {
+        // p0 broadcasts at start then crashes at t=1: reliability of the
+        // channel means its messages still arrive.
+        struct Once;
+        impl Automaton for Once {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if ctx.me() == ProcessId(0) {
+                    ctx.broadcast(1);
+                }
+            }
+            fn on_message(&mut self, from: ProcessId, _m: u8, ctx: &mut Ctx<'_, u8>) {
+                if from == ProcessId(0) && ctx.me() != ProcessId(0) {
+                    ctx.decide(1);
+                }
+            }
+            fn on_step(&mut self, _ctx: &mut Ctx<'_, u8>) {}
+        }
+        let cfg = SimConfig::new(3, 1).seed(8);
+        let fp = FailurePattern::builder(3).crash(ProcessId(0), Time(1)).build();
+        let mut sim = Sim::new(cfg, fp, |_| Once, NoOracle);
+        let rep = sim.run();
+        assert!(rep.trace.deciders().contains(ProcessId(1)));
+        assert!(rep.trace.deciders().contains(ProcessId(2)));
+    }
+}

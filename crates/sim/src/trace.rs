@@ -1,0 +1,280 @@
+//! Run traces: everything a property checker or metric needs to observe.
+//!
+//! The paper's failure-detector classes are defined by properties of output
+//! *histories* ("there is a time after which …"). Algorithms therefore
+//! publish their observable outputs — suspicion sets, trusted sets,
+//! representatives, decisions — into the [`Trace`], which deduplicates
+//! consecutive identical values so histories stay compact step functions.
+
+use crate::id::{PSet, ProcessId};
+use crate::time::Time;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Well-known output slots. A *slot* identifies one published variable of a
+/// process (e.g. its `trusted_i` set); transformations building a failure
+/// detector publish into the slot matching the class they claim to build.
+pub mod slot {
+    /// `suspected_i` — output of an (eventually) strong failure detector.
+    pub const SUSPECTED: u32 = 0;
+    /// `trusted_i` — output of an `Ω_z` failure detector.
+    pub const TRUSTED: u32 = 1;
+    /// `repr_i` — output of the lower-wheel component (paper Figure 5).
+    pub const REPR: u32 = 2;
+    /// Current round number of a round-based algorithm.
+    pub const ROUND: u32 = 3;
+    /// First user-defined slot.
+    pub const USER: u32 = 16;
+}
+
+/// A published failure-detector output value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdValue {
+    /// A set of processes (suspected / trusted sets).
+    Set(PSet),
+    /// A single process (e.g. `repr_i`).
+    Proc(ProcessId),
+    /// A boolean (e.g. a query answer).
+    Flag(bool),
+    /// An arbitrary numeric value (e.g. a round number).
+    Num(u64),
+}
+
+impl FdValue {
+    /// The contained set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Set`.
+    pub fn as_set(self) -> PSet {
+        match self {
+            FdValue::Set(s) => s,
+            other => panic!("expected FdValue::Set, got {other:?}"),
+        }
+    }
+
+    /// The contained process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Proc`.
+    pub fn as_proc(self) -> ProcessId {
+        match self {
+            FdValue::Proc(p) => p,
+            other => panic!("expected FdValue::Proc, got {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for FdValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdValue::Set(s) => write!(f, "{s}"),
+            FdValue::Proc(p) => write!(f, "{p}"),
+            FdValue::Flag(b) => write!(f, "{b}"),
+            FdValue::Num(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One change point of a published variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// When the value started to hold.
+    pub at: Time,
+    /// The value.
+    pub value: FdValue,
+}
+
+/// A decision event of an agreement algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// When the decision happened.
+    pub at: Time,
+    /// The deciding process.
+    pub by: ProcessId,
+    /// The decided value.
+    pub value: u64,
+}
+
+/// The step-function history of one `(process, slot)` variable.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    samples: Vec<Sample>,
+}
+
+impl History {
+    /// All change points, in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The value holding at time `at` (the last change at or before `at`).
+    pub fn value_at(&self, at: Time) -> Option<FdValue> {
+        match self.samples.partition_point(|s| s.at <= at) {
+            0 => None,
+            i => Some(self.samples[i - 1].value),
+        }
+    }
+
+    /// The final value of the history.
+    pub fn last(&self) -> Option<FdValue> {
+        self.samples.last().map(|s| s.value)
+    }
+
+    /// The time of the last change.
+    pub fn last_change(&self) -> Option<Time> {
+        self.samples.last().map(|s| s.at)
+    }
+
+    fn push(&mut self, at: Time, value: FdValue) {
+        if self.samples.last().map(|s| s.value) != Some(value) {
+            self.samples.push(Sample { at, value });
+        }
+    }
+}
+
+/// Everything recorded during one run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    histories: BTreeMap<(ProcessId, u32), History>,
+    decisions: Vec<Decision>,
+    counters: BTreeMap<&'static str, u64>,
+    horizon: Time,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records that `(p, slot)` holds `value` from time `at` on.
+    /// Consecutive duplicates are elided.
+    pub fn publish(&mut self, p: ProcessId, slot: u32, at: Time, value: FdValue) {
+        self.histories.entry((p, slot)).or_default().push(at, value);
+    }
+
+    /// Records a decision.
+    pub fn decide(&mut self, at: Time, by: ProcessId, value: u64) {
+        self.decisions.push(Decision { at, by, value });
+    }
+
+    /// Increments a named counter.
+    pub fn bump(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets the horizon (the end time of the observation window).
+    pub fn set_horizon(&mut self, at: Time) {
+        self.horizon = self.horizon.max(at);
+    }
+
+    /// The end of the observation window.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// The history of `(p, slot)` (empty if never published).
+    pub fn history(&self, p: ProcessId, slot: u32) -> &History {
+        static EMPTY: History = History { samples: Vec::new() };
+        self.histories.get(&(p, slot)).unwrap_or(&EMPTY)
+    }
+
+    /// Iterates over all `(process, slot)` histories.
+    pub fn histories(&self) -> impl Iterator<Item = (&(ProcessId, u32), &History)> {
+        self.histories.iter()
+    }
+
+    /// All decisions in time order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// The decision of process `p`, if any.
+    pub fn decision_of(&self, p: ProcessId) -> Option<Decision> {
+        self.decisions.iter().find(|d| d.by == p).copied()
+    }
+
+    /// The set of processes that decided.
+    pub fn deciders(&self) -> PSet {
+        self.decisions.iter().map(|d| d.by).collect()
+    }
+
+    /// The set of distinct decided values.
+    pub fn decided_values(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.decisions.iter().map(|d| d.value).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// A named counter's value (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters.
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_consecutive() {
+        let mut t = Trace::new();
+        let p = ProcessId(0);
+        t.publish(p, slot::TRUSTED, Time(1), FdValue::Num(7));
+        t.publish(p, slot::TRUSTED, Time(2), FdValue::Num(7));
+        t.publish(p, slot::TRUSTED, Time(3), FdValue::Num(8));
+        assert_eq!(t.history(p, slot::TRUSTED).samples().len(), 2);
+    }
+
+    #[test]
+    fn value_at_step_function() {
+        let mut t = Trace::new();
+        let p = ProcessId(1);
+        t.publish(p, slot::REPR, Time(5), FdValue::Proc(ProcessId(2)));
+        t.publish(p, slot::REPR, Time(9), FdValue::Proc(ProcessId(3)));
+        let h = t.history(p, slot::REPR);
+        assert_eq!(h.value_at(Time(4)), None);
+        assert_eq!(h.value_at(Time(5)), Some(FdValue::Proc(ProcessId(2))));
+        assert_eq!(h.value_at(Time(8)), Some(FdValue::Proc(ProcessId(2))));
+        assert_eq!(h.value_at(Time(9)), Some(FdValue::Proc(ProcessId(3))));
+        assert_eq!(h.last_change(), Some(Time(9)));
+    }
+
+    #[test]
+    fn decisions_and_counters() {
+        let mut t = Trace::new();
+        t.decide(Time(4), ProcessId(0), 42);
+        t.decide(Time(6), ProcessId(1), 42);
+        t.decide(Time(7), ProcessId(2), 13);
+        assert_eq!(t.decided_values(), vec![13, 42]);
+        assert_eq!(t.deciders().len(), 3);
+        assert_eq!(t.decision_of(ProcessId(1)).unwrap().value, 42);
+        assert_eq!(t.decision_of(ProcessId(9)), None);
+        t.bump("msgs", 2);
+        t.bump("msgs", 3);
+        assert_eq!(t.counter("msgs"), 5);
+        assert_eq!(t.counter("absent"), 0);
+    }
+
+    #[test]
+    fn empty_history_is_shared() {
+        let t = Trace::new();
+        assert!(t.history(ProcessId(3), slot::SUSPECTED).samples().is_empty());
+    }
+
+    #[test]
+    fn horizon_monotone() {
+        let mut t = Trace::new();
+        t.set_horizon(Time(5));
+        t.set_horizon(Time(3));
+        assert_eq!(t.horizon(), Time(5));
+    }
+}

@@ -1,0 +1,356 @@
+//! One-call runners for every transformation, returning the recorded trace
+//! together with the target-class check outcome.
+
+use crate::addition_s::{AdditionMp, AdditionShm};
+use crate::psi_omega::PsiToOmega;
+use crate::two_wheels::{TwParams, TwoWheels};
+use fd_detectors::{check, CheckOutcome, PhiOracle, PsiOracle, Scope, SxOracle};
+use fd_sim::{
+    run_shm, FailurePattern, OracleSuite, ProcessId, ShmConfig, Sim, SimConfig, SuspectPlusQuery,
+    Time, Trace,
+};
+
+/// Margin (ticks before the horizon) an eventual property must hold for.
+pub const DEFAULT_MARGIN: u64 = 3_000;
+
+/// Outcome of one transformation run.
+#[derive(Clone, Debug)]
+pub struct TransformReport {
+    /// The run's trace (the built detector's output histories).
+    pub trace: Trace,
+    /// The run's failure pattern.
+    pub fp: FailurePattern,
+    /// The target-class property check.
+    pub check: CheckOutcome,
+}
+
+/// Runs the two-wheels transformation `◇S_x + ◇φ_y → Ω_z` (Figures 5+6)
+/// under adversarial oracles stabilizing at `gst`, and checks the built
+/// detector against the `Ω_z` definition.
+pub fn run_two_wheels(
+    params: TwParams,
+    fp: FailurePattern,
+    gst: Time,
+    seed: u64,
+    max_time: Time,
+) -> TransformReport {
+    run_two_wheels_opt(params, fp, gst, seed, max_time, true)
+}
+
+/// As [`run_two_wheels`] with an explicit broadcast-throttle switch
+/// (`throttled = false` restores the paper's literal
+/// re-broadcast-while-dissatisfied tasks — the ablation of experiment E12).
+pub fn run_two_wheels_opt(
+    params: TwParams,
+    fp: FailurePattern,
+    gst: Time,
+    seed: u64,
+    max_time: Time,
+    throttled: bool,
+) -> TransformReport {
+    let sx = SxOracle::new(
+        fp.clone(),
+        params.t,
+        params.x,
+        Scope::Eventual(gst),
+        seed ^ 0x5e5e,
+    );
+    let phi = PhiOracle::new(
+        fp.clone(),
+        params.t,
+        params.y,
+        Scope::Eventual(gst),
+        seed ^ 0x9191,
+    );
+    let oracle = SuspectPlusQuery {
+        suspect: sx,
+        query: phi,
+    };
+    let cfg = SimConfig::new(params.n, params.t)
+        .seed(seed)
+        .max_time(max_time);
+    let mut sim = Sim::new(
+        cfg,
+        fp.clone(),
+        |p| {
+            let w = TwoWheels::new(p, params);
+            if throttled {
+                w
+            } else {
+                w.unthrottled()
+            }
+        },
+        oracle,
+    );
+    let trace = sim.run().trace;
+    let check = check::omega_z(&trace, &fp, params.z, DEFAULT_MARGIN);
+    TransformReport { trace, fp, check }
+}
+
+/// Runs the `Ψ_y → Ω_z` transformation (Figure 8) and checks `Ω_z`.
+///
+/// The `Ψ_y` oracle is strict: any containment violation by the
+/// transformation would panic the run.
+pub fn run_psi_omega(
+    n: usize,
+    t: usize,
+    y: usize,
+    z: usize,
+    fp: FailurePattern,
+    gst: Time,
+    seed: u64,
+    max_time: Time,
+) -> TransformReport {
+    let phi = PhiOracle::new(fp.clone(), t, y, Scope::Eventual(gst), seed ^ 0x8888);
+    let oracle = PsiOracle::new(phi);
+    let cfg = SimConfig::new(n, t).seed(seed).max_time(max_time);
+    let mut sim = Sim::new(cfg, fp.clone(), |_| PsiToOmega::new(n, z), oracle);
+    let trace = sim.run().trace;
+    let check = check::omega_z(&trace, &fp, z, DEFAULT_MARGIN);
+    TransformReport { trace, fp, check }
+}
+
+/// Which flavour of the Figure 9 addition to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdditionFlavour {
+    /// Perpetual inputs (`S_x + φ_y`), perpetual output (`S`).
+    Perpetual,
+    /// Eventual inputs (`◇S_x + ◇φ_y`) stabilizing at the given time,
+    /// eventual output (`◇S`).
+    Eventual(Time),
+}
+
+impl AdditionFlavour {
+    fn scope(self) -> Scope {
+        match self {
+            AdditionFlavour::Perpetual => Scope::Perpetual,
+            AdditionFlavour::Eventual(gst) => Scope::Eventual(gst),
+        }
+    }
+}
+
+fn addition_oracle(
+    fp: &FailurePattern,
+    t: usize,
+    x: usize,
+    y: usize,
+    flavour: AdditionFlavour,
+    seed: u64,
+) -> SuspectPlusQuery<SxOracle, PhiOracle> {
+    SuspectPlusQuery {
+        suspect: SxOracle::new(fp.clone(), t, x, flavour.scope(), seed ^ 0x1f1f),
+        query: PhiOracle::new(fp.clone(), t, y, flavour.scope(), seed ^ 0x2e2e),
+    }
+}
+
+fn addition_check(
+    trace: &Trace,
+    fp: &FailurePattern,
+    n: usize,
+    flavour: AdditionFlavour,
+    start_slack: u64,
+) -> CheckOutcome {
+    match flavour {
+        // Output class S = S_n: completeness + perpetual full-scope accuracy.
+        AdditionFlavour::Perpetual => check::s_x(trace, fp, n, DEFAULT_MARGIN, start_slack),
+        // Output class ◇S = ◇S_n.
+        AdditionFlavour::Eventual(_) => check::diamond_s_x(trace, fp, n, DEFAULT_MARGIN),
+    }
+}
+
+/// Runs the shared-memory Figure 9 addition `φ_y + S_x → S` and checks the
+/// output against the (`◇`)`S` definition.
+pub fn run_addition_shm(
+    n: usize,
+    t: usize,
+    x: usize,
+    y: usize,
+    fp: FailurePattern,
+    flavour: AdditionFlavour,
+    seed: u64,
+    max_steps: u64,
+) -> TransformReport {
+    let mut oracle = addition_oracle(&fp, t, x, y, flavour, seed);
+    let cfg = ShmConfig {
+        max_steps,
+        ..ShmConfig::new(n, t).seed(seed)
+    };
+    let trace = run_shm(&cfg, &fp, |_| AdditionShm::new(n), &mut oracle);
+    // The shm scheduler's first publications happen after a few scans.
+    let slack = trace
+        .histories()
+        .filter(|((_, s), _)| *s == fd_sim::slot::SUSPECTED)
+        .filter_map(|(_, h)| h.samples().first().map(|s| s.at.ticks()))
+        .max()
+        .unwrap_or(0);
+    let check = addition_check(&trace, &fp, n, flavour, slack + 1);
+    TransformReport { trace, fp, check }
+}
+
+/// Runs the message-passing port of the Figure 9 addition.
+pub fn run_addition_mp(
+    n: usize,
+    t: usize,
+    x: usize,
+    y: usize,
+    fp: FailurePattern,
+    flavour: AdditionFlavour,
+    seed: u64,
+    max_time: Time,
+) -> TransformReport {
+    let oracle = addition_oracle(&fp, t, x, y, flavour, seed);
+    let cfg = SimConfig::new(n, t).seed(seed).max_time(max_time);
+    let mut sim = Sim::new(cfg, fp.clone(), |_| AdditionMp::new(n), oracle);
+    let trace = sim.run().trace;
+    let slack = trace
+        .histories()
+        .filter(|((_, s), _)| *s == fd_sim::slot::SUSPECTED)
+        .filter_map(|(_, h)| {
+            // First non-empty publication (the initial ∅ is a placeholder).
+            h.samples().iter().find(|s| s.at > Time::ZERO).map(|s| s.at.ticks())
+        })
+        .max()
+        .unwrap_or(0);
+    let check = addition_check(&trace, &fp, n, flavour, slack + 1);
+    TransformReport { trace, fp, check }
+}
+
+/// Samples a (possibly adapted) oracle's outputs over a time grid into a
+/// trace, so the class checkers can audit the oracle itself — the engine of
+/// the grid experiment E1.
+pub fn sample_oracle(
+    oracle: &mut dyn OracleSuite,
+    fp: &FailurePattern,
+    horizon: Time,
+    step: u64,
+    which: SampledSlot,
+) -> Trace {
+    let mut trace = Trace::new();
+    let mut now = Time::ZERO;
+    while now <= horizon {
+        for i in (0..fp.n()).map(ProcessId) {
+            if !fp.is_alive_at(i, now) {
+                continue;
+            }
+            match which {
+                SampledSlot::Suspected => {
+                    let s = oracle.suspected(i, now);
+                    trace.publish(i, fd_sim::slot::SUSPECTED, now, fd_sim::FdValue::Set(s));
+                }
+                SampledSlot::Trusted => {
+                    let s = oracle.trusted(i, now);
+                    trace.publish(i, fd_sim::slot::TRUSTED, now, fd_sim::FdValue::Set(s));
+                }
+            }
+        }
+        now += step.max(1);
+    }
+    trace.set_horizon(horizon);
+    trace
+}
+
+/// Which output [`sample_oracle`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampledSlot {
+    /// Record `suspected_i`.
+    Suspected,
+    /// Record `trusted_i`.
+    Trusted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_wheels_builds_omega_all_correct() {
+        let n = 5;
+        let t = 2;
+        // x + y + z = 2 + 1 + 1 = 5 = t + 2  (wait: t+2 = 4; use x=2,y=1 ⇒
+        // z = t+2−x−y = 1).
+        let params = TwParams::optimal(n, t, 2, 1);
+        assert_eq!(params.z, 1);
+        for seed in 0..3 {
+            let rep = run_two_wheels(
+                params,
+                FailurePattern::all_correct(n),
+                Time(400),
+                seed,
+                Time(40_000),
+            );
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+        }
+    }
+
+    #[test]
+    fn two_wheels_builds_omega_with_crashes() {
+        let n = 5;
+        let t = 2;
+        let params = TwParams::optimal(n, t, 1, 1); // z = 2
+        for seed in 0..3 {
+            let fp = FailurePattern::builder(n)
+                .crash(ProcessId(1), Time(150))
+                .crash(ProcessId(3), Time(600))
+                .build();
+            let rep = run_two_wheels(params, fp, Time(800), seed, Time(40_000));
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+        }
+    }
+
+    #[test]
+    fn two_wheels_y_zero_special_case() {
+        // §4.3: ◇S_x alone (φ_0 gives nothing): x + z = t + 2.
+        let n = 5;
+        let t = 2;
+        let params = TwParams::optimal(n, t, 3, 0); // z = 1
+        let rep = run_two_wheels(
+            params,
+            FailurePattern::all_correct(n),
+            Time(300),
+            11,
+            Time(40_000),
+        );
+        assert!(rep.check.ok, "{}", rep.check);
+    }
+
+    #[test]
+    fn psi_omega_feasible() {
+        let n = 5;
+        let t = 2;
+        // y + z = 1 + 2 = 3 ≥ t + 1.
+        for seed in 0..3 {
+            let fp = FailurePattern::builder(n).crash(ProcessId(0), Time(100)).build();
+            let rep = run_psi_omega(n, t, 1, 2, fp, Time(300), seed, Time(20_000));
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+        }
+    }
+
+    #[test]
+    fn addition_mp_builds_diamond_s() {
+        let n = 5;
+        let t = 2;
+        // x + y = 2 + 1 = 3 > t.
+        let fp = FailurePattern::builder(n).crash(ProcessId(2), Time(200)).build();
+        let rep = run_addition_mp(
+            n,
+            t,
+            2,
+            1,
+            fp,
+            AdditionFlavour::Eventual(Time(500)),
+            5,
+            Time(40_000),
+        );
+        assert!(rep.check.ok, "{}", rep.check);
+    }
+
+    #[test]
+    fn addition_shm_builds_s() {
+        let n = 4;
+        let t = 1;
+        // x + y = 1 + 1 = 2 > t = 1.
+        let fp = FailurePattern::builder(n).crash(ProcessId(3), Time(500)).build();
+        let rep = run_addition_shm(n, t, 1, 1, fp, AdditionFlavour::Perpetual, 6, 300_000);
+        assert!(rep.check.ok, "{}", rep.check);
+    }
+}

@@ -1,0 +1,207 @@
+//! Structural reductions between classes — the bold arrows of the paper's
+//! **Figure 1 grid** that need no distributed algorithm, only a local
+//! adapter (or nothing at all):
+//!
+//! * `S_{x+1} → S_x`, `◇S_{x+1} → ◇S_x`, `S_x → ◇S_x` — identity;
+//! * `Ω_z → Ω_{z+1}` — identity;
+//! * `φ_{y+1} → φ_y`, `◇φ_{y+1} → ◇φ_y` — [`WeakenPhi`] (the triviality
+//!   thresholds move, so small sets must be answered `true` without
+//!   consulting the stronger detector);
+//! * `φ_y → Ψ_y` — identity (a `φ_y` detector queried along a containment
+//!   chain is a `Ψ_y` detector);
+//! * `Ω_1 → ◇S` — [`OmegaToDiamondS`] (suspect everyone but the leader);
+//! * `φ_t → P` — [`PhiToP`] (singleton queries decide each process's fate);
+//! * `P → φ_t` — [`PToPhi`] (answer from the perfect suspicion list).
+//!
+//! Each adapter is itself an [`OracleSuite`], so adapted detectors plug
+//! into any algorithm or checker unchanged. Experiment E1 samples each
+//! adapter's outputs over many adversarial runs and feeds them to the
+//! target class's property checker.
+
+use fd_sim::{OracleSuite, PSet, ProcessId, Time};
+
+/// `φ_y → φ_{y'}` for `y' ≤ y`: answers the weaker class's triviality
+/// ranges locally and delegates the (narrower) meaningful range.
+#[derive(Clone, Debug)]
+pub struct WeakenPhi<O> {
+    inner: O,
+    t: usize,
+    y_target: usize,
+}
+
+impl<O: OracleSuite> WeakenPhi<O> {
+    /// Wraps `inner` (a `φ_y` oracle) as a `φ_{y_target}` oracle.
+    pub fn new(inner: O, t: usize, y_target: usize) -> Self {
+        assert!(y_target <= t, "need y' <= t");
+        WeakenPhi {
+            inner,
+            t,
+            y_target,
+        }
+    }
+}
+
+impl<O: OracleSuite> OracleSuite for WeakenPhi<O> {
+    fn query(&mut self, p: ProcessId, x: PSet, now: Time) -> bool {
+        let sz = x.len();
+        if sz <= self.t - self.y_target {
+            true
+        } else if sz > self.t {
+            false
+        } else {
+            // t − y' < |X| ≤ t lies inside the stronger detector's
+            // meaningful range (t − y ≤ t − y' < |X|), so delegate.
+            self.inner.query(p, x, now)
+        }
+    }
+}
+
+/// `Ω_1 → ◇S`: `suspected_i = Π \ trusted_i \ {i}`.
+///
+/// Sound only for `z = 1`: with a larger eventual leader set, faulty
+/// members of the set would escape suspicion and break strong
+/// completeness — which is why the grid has no `Ω_z → ◇S_x` arrow for
+/// `z ≥ 2` (Theorem 11).
+#[derive(Clone, Debug)]
+pub struct OmegaToDiamondS<O> {
+    inner: O,
+    n: usize,
+}
+
+impl<O: OracleSuite> OmegaToDiamondS<O> {
+    /// Wraps an `Ω_1` oracle.
+    pub fn new(inner: O, n: usize) -> Self {
+        OmegaToDiamondS { inner, n }
+    }
+}
+
+impl<O: OracleSuite> OracleSuite for OmegaToDiamondS<O> {
+    fn suspected(&mut self, p: ProcessId, now: Time) -> PSet {
+        let mut s = PSet::full(self.n) - self.inner.trusted(p, now);
+        s.remove(p);
+        s
+    }
+}
+
+/// `φ_t → P`: `suspected_i = { j : query({j}) }`. With `y = t` every
+/// singleton lies in the meaningful range, so the query safety/liveness
+/// properties *are* perfect accuracy/completeness.
+#[derive(Clone, Debug)]
+pub struct PhiToP<O> {
+    inner: O,
+    n: usize,
+}
+
+impl<O: OracleSuite> PhiToP<O> {
+    /// Wraps a `φ_t` oracle.
+    pub fn new(inner: O, n: usize) -> Self {
+        PhiToP { inner, n }
+    }
+}
+
+impl<O: OracleSuite> OracleSuite for PhiToP<O> {
+    fn suspected(&mut self, p: ProcessId, now: Time) -> PSet {
+        let mut s = PSet::new();
+        for j in (0..self.n).map(ProcessId) {
+            if j != p && self.inner.query(p, PSet::singleton(j), now) {
+                s.insert(j);
+            }
+        }
+        s
+    }
+}
+
+/// `P → φ_t`: `query(X) = X ⊆ suspected_i` (plus the size trivialities).
+#[derive(Clone, Debug)]
+pub struct PToPhi<O> {
+    inner: O,
+    t: usize,
+}
+
+impl<O: OracleSuite> PToPhi<O> {
+    /// Wraps a `P` oracle as `φ_t`.
+    pub fn new(inner: O, t: usize) -> Self {
+        PToPhi { inner, t }
+    }
+}
+
+impl<O: OracleSuite> OracleSuite for PToPhi<O> {
+    fn query(&mut self, p: ProcessId, x: PSet, now: Time) -> bool {
+        if x.is_empty() {
+            true // |X| ≤ t − t = 0
+        } else if x.len() > self.t {
+            false
+        } else {
+            x.is_subset(self.inner.suspected(p, now))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_detectors::{OmegaOracle, PerfectOracle, PhiOracle, Scope};
+    use fd_sim::FailurePattern;
+
+    fn fp() -> FailurePattern {
+        FailurePattern::builder(5)
+            .crash(ProcessId(4), Time(10))
+            .build()
+    }
+
+    #[test]
+    fn weaken_phi_triviality_shifts() {
+        // φ_2 → φ_1 with t = 2: |X| ≤ 1 must now answer true.
+        let inner = PhiOracle::new(fp(), 2, 2, Scope::Perpetual, 1);
+        let mut weak = WeakenPhi::new(inner, 2, 1);
+        let alive_singleton = PSet::singleton(ProcessId(0));
+        // Under φ_2 this would be a meaningful (false) query; under φ_1 it
+        // is trivially true.
+        assert!(weak.query(ProcessId(1), alive_singleton, Time(5000)));
+        // Meaningful range of φ_1: |X| = 2.
+        let mixed = PSet::from_iter([ProcessId(0), ProcessId(4)]);
+        assert!(!weak.query(ProcessId(1), mixed, Time(5000)));
+        // |X| > t stays false.
+        assert!(!weak.query(ProcessId(1), PSet::full(5) - PSet::singleton(ProcessId(1)), Time(0)));
+    }
+
+    #[test]
+    fn omega1_to_diamond_s() {
+        let inner = OmegaOracle::new(fp(), 1, Time(100), 2);
+        let leader = inner.final_set().min().unwrap();
+        let mut ds = OmegaToDiamondS::new(inner, 5);
+        let late = Time(5000);
+        for i in (0..4).map(ProcessId) {
+            let s = ds.suspected(i, late);
+            assert!(!s.contains(leader), "{i} suspects the leader");
+            assert!(!s.contains(i));
+            // Completeness: the crashed p5 is suspected (it cannot be the
+            // correct leader).
+            assert!(s.contains(ProcessId(4)));
+        }
+    }
+
+    #[test]
+    fn phi_t_to_p_is_perfect() {
+        let inner = PhiOracle::new(fp(), 2, 2, Scope::Perpetual, 3);
+        let mut p = PhiToP::new(inner, 5);
+        // After the liveness lag the crashed p5 is suspected; nobody else.
+        let s = p.suspected(ProcessId(0), Time(5000));
+        assert_eq!(s, PSet::singleton(ProcessId(4)));
+        // Early: nothing suspected (safety).
+        let s = p.suspected(ProcessId(0), Time(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn p_to_phi_t_roundtrip() {
+        let inner = PerfectOracle::new(fp(), Scope::Perpetual, 4);
+        let mut phi = PToPhi::new(inner, 2);
+        assert!(phi.query(ProcessId(0), PSet::EMPTY, Time(0)));
+        assert!(phi.query(ProcessId(0), PSet::singleton(ProcessId(4)), Time(5000)));
+        assert!(!phi.query(ProcessId(0), PSet::singleton(ProcessId(1)), Time(5000)));
+        // |X| > t.
+        let big = PSet::from_iter([ProcessId(0), ProcessId(1), ProcessId(2)]);
+        assert!(!phi.query(ProcessId(3), big, Time(5000)));
+    }
+}

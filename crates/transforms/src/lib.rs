@@ -1,0 +1,43 @@
+//! # fd-transforms — reductions, additions, and irreducibility witnesses
+//!
+//! The transformation algorithms of *"Irreducibility and Additivity of Set
+//! Agreement-oriented Failure Detector Classes"* (PODC 2006):
+//!
+//! * [`two_wheels`] — the additivity construction `◇S_x + ◇φ_y → Ω_z`
+//!   (paper Figures 5 + 6; optimal iff `x + y + z ≥ t + 2`, Theorem 7);
+//! * [`psi_omega`] — the simple `Ψ_y → Ω_z` construction (Figure 8,
+//!   `y + z ≥ t + 1`, Theorem 12);
+//! * [`addition_s`] — the simple addition `φ_y + S_x → S` in shared memory
+//!   and message passing (Figure 9, `x + y > t`, Theorem 13);
+//! * [`inclusion`] — the grid's structural arrows (local adapters);
+//! * [`ring`] — the combinatorial rings both wheels scan (Figure 4);
+//! * [`witness`] — *executable* renderings of the irreducibility proofs
+//!   (indistinguishable-run adversaries, boundary violations, and the
+//!   Theorem 5 lower bounds);
+//! * [`harness`] — one-call run-and-check entry points.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addition_s;
+pub mod harness;
+pub mod inclusion;
+pub mod lower_wheel;
+pub mod psi_omega;
+pub mod ring;
+pub mod two_wheels;
+pub mod upper_wheel;
+pub mod witness;
+
+pub use addition_s::{AdditionMp, AdditionShm, Heartbeat};
+pub use harness::{
+    run_addition_mp, run_addition_shm, run_psi_omega, run_two_wheels, run_two_wheels_opt,
+    sample_oracle,
+    AdditionFlavour, SampledSlot, TransformReport, DEFAULT_MARGIN,
+};
+pub use inclusion::{OmegaToDiamondS, PToPhi, PhiToP, WeakenPhi};
+pub use lower_wheel::{LowerMsg, LowerWheel};
+pub use psi_omega::PsiToOmega;
+pub use ring::{binom, first_subset, next_subset, MemberRing, NestedRing};
+pub use two_wheels::{TwMsg, TwParams, TwoWheels};
+pub use upper_wheel::{UpperMsg, UpperWheel};

@@ -1,0 +1,306 @@
+//! The lower wheel — **paper Figure 5**.
+//!
+//! First half of the two-wheels addition `◇S_x + ◇φ_y → Ω_z` (§4.1). The
+//! lower wheel consumes the `◇S_x` detector and provides each process with
+//! a local variable `repr_i` such that, eventually, there is a set `X` of
+//! `x` processes with:
+//!
+//! * every process outside `X` has `repr_i = i`;
+//! * either every member of `X` has crashed, or all alive members of `X`
+//!   agree on `repr_i = ℓ̂`, the identity of a *correct* common
+//!   representative in `X` (Theorem 6).
+//!
+//! Mechanics: all processes scan the same cyclic sequence of `(ℓ, X)` pairs
+//! ([`crate::ring::MemberRing`]). A member `p_i` of the current `X` that
+//! suspects the current candidate `ℓx_i` reliably broadcasts
+//! `X_MOVE(ℓx_i, X_i)`; each delivered `X_MOVE` is *buffered* until the
+//! local pair matches and then consumed exactly once, advancing the ring —
+//! so all correct processes consume the same multiset in the same ring
+//! order and stay synchronized. Once the `◇S_x` accuracy scope stops
+//! suspecting its pivot, the wheel reaches a pair it never leaves: the
+//! protocol is **quiescent** (Corollary 1 — checked by tests and by
+//! experiment E7).
+
+use crate::ring::MemberRing;
+use fd_sim::{slot, Automaton, Ctx, FdValue, PSet, ProcessId};
+use std::collections::BTreeMap;
+
+/// Message alphabet of the lower wheel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerMsg {
+    /// `X_MOVE(ℓx, X)`: the sender (a member of `X`) suspects `ℓx`.
+    XMove {
+        /// The rejected candidate representative.
+        lx: ProcessId,
+        /// The scope the candidate was drawn from.
+        xs: PSet,
+    },
+}
+
+/// One process of the lower wheel (Figure 5).
+#[derive(Clone, Debug)]
+pub struct LowerWheel {
+    ring: MemberRing,
+    /// Current pair `(ℓx_i, X_i)`.
+    cur: (ProcessId, PSet),
+    /// Buffered `X_MOVE`s awaiting their pair (multiset semantics).
+    pending: BTreeMap<(ProcessId, u128), u32>,
+    /// Total ring advances (also identifies the current pair *instance*,
+    /// used to broadcast at most one `X_MOVE` per instance).
+    advances: u64,
+    sent_for: Option<u64>,
+    /// Current `repr_i`.
+    repr: ProcessId,
+    /// Broadcast at most one `X_MOVE` per pair instance (default). The
+    /// paper's task T1 re-broadcasts on every iteration while dissatisfied;
+    /// both variants are correct (consumption is multiset-based), and the
+    /// ablation bench measures the message-count difference.
+    throttle: bool,
+}
+
+impl LowerWheel {
+    /// Creates the component for process `me` in a system of `n` with scope
+    /// parameter `x`.
+    pub fn new(me: ProcessId, n: usize, x: usize) -> Self {
+        let ring = MemberRing::new(n, x);
+        LowerWheel {
+            ring,
+            cur: ring.start(),
+            pending: BTreeMap::new(),
+            advances: 0,
+            sent_for: None,
+            repr: me,
+            throttle: true,
+        }
+    }
+
+    /// Disables the one-broadcast-per-pair-instance throttle, restoring the
+    /// paper's literal re-broadcast-while-dissatisfied behaviour (used by
+    /// the ablation bench).
+    pub fn unthrottled(mut self) -> Self {
+        self.throttle = false;
+        self
+    }
+
+    /// The current representative `repr_i`.
+    pub fn repr(&self) -> ProcessId {
+        self.repr
+    }
+
+    /// The current pair `(ℓx_i, X_i)`.
+    pub fn current(&self) -> (ProcessId, PSet) {
+        self.cur
+    }
+
+    /// Total ring advances so far (a stability metric for experiment E7).
+    pub fn advances(&self) -> u64 {
+        self.advances
+    }
+
+    /// Task T2 consumption rule: drain buffered moves matching the current
+    /// pair, advancing the ring once per consumed message.
+    fn drain(&mut self) {
+        loop {
+            let key = (self.cur.0, self.cur.1.bits());
+            match self.pending.get_mut(&key) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.pending.remove(&key);
+                    }
+                    self.cur = self.ring.next(self.cur);
+                    self.advances += 1;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Updates and publishes `repr_i` (task T1, first line).
+    fn refresh_repr(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+        let me = ctx.me();
+        self.repr = if self.cur.1.contains(me) { self.cur.0 } else { me };
+        ctx.publish(slot::REPR, FdValue::Proc(self.repr));
+    }
+
+    /// One iteration of task T1.
+    pub fn tick(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+        self.drain();
+        self.refresh_repr(ctx);
+        let me = ctx.me();
+        // Only members of the current X may contest its candidate, and we
+        // broadcast at most one X_MOVE per pair instance.
+        if self.cur.1.contains(me)
+            && (!self.throttle || self.sent_for != Some(self.advances))
+            && ctx.suspected().contains(self.cur.0)
+        {
+            self.sent_for = Some(self.advances);
+            ctx.bump("lower.x_move");
+            ctx.rb_broadcast(LowerMsg::XMove {
+                lx: self.cur.0,
+                xs: self.cur.1,
+            });
+        }
+    }
+
+    /// Task T2: buffer a delivered `X_MOVE`.
+    pub fn deliver(&mut self, msg: LowerMsg, ctx: &mut Ctx<'_, LowerMsg>) {
+        let LowerMsg::XMove { lx, xs } = msg;
+        *self.pending.entry((lx, xs.bits())).or_insert(0) += 1;
+        self.drain();
+        self.refresh_repr(ctx);
+    }
+}
+
+impl Automaton for LowerWheel {
+    type Msg = LowerMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+        self.refresh_repr(ctx);
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: LowerMsg, ctx: &mut Ctx<'_, LowerMsg>) {
+        // X_MOVEs travel by reliable broadcast only.
+        self.deliver(msg, ctx);
+    }
+
+    fn on_step(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+        self.tick(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_detectors::{Scope, SxOracle};
+    use fd_sim::{FailurePattern, Sim, SimConfig, Time, Trace};
+
+    fn run(
+        n: usize,
+        t: usize,
+        x: usize,
+        fp: FailurePattern,
+        gst: u64,
+        seed: u64,
+    ) -> (Trace, FailurePattern) {
+        let oracle = SxOracle::new(fp.clone(), t, x, Scope::Eventual(Time(gst)), seed);
+        let cfg = SimConfig::new(n, t).seed(seed).max_time(Time(30_000));
+        let mut sim = Sim::new(cfg, fp.clone(), |p| LowerWheel::new(p, n, x), oracle);
+        (sim.run().trace, fp)
+    }
+
+    /// Theorem 6's postcondition, checked on the REPR histories.
+    fn check_theorem6(trace: &Trace, fp: &FailurePattern, n: usize, x: usize) {
+        // Final repr of each correct process.
+        let repr: Vec<Option<ProcessId>> = (0..n)
+            .map(|i| {
+                trace
+                    .history(ProcessId(i), slot::REPR)
+                    .last()
+                    .map(|v| v.as_proc())
+            })
+            .collect();
+        // There must exist an x-subset X such that outside X repr = self,
+        // and inside X the alive members share a correct representative
+        // (or X is fully crashed).
+        let correct = fp.correct();
+        // Candidate X: processes whose final repr differs from self, plus
+        // padding from crashed processes.
+        let mut xset = PSet::new();
+        for i in correct {
+            if let Some(r) = repr[i.0] {
+                if r != i {
+                    xset.insert(i);
+                }
+            }
+        }
+        if xset.is_empty() {
+            // Everyone is their own representative: legal only if the
+            // stabilized X is fully crashed or x processes agree anyway —
+            // with a correct pivot inside X, the pivot's repr is itself, so
+            // we accept the case where some correct process is its own
+            // representative and no one else points elsewhere.
+            return;
+        }
+        // All pointed-to representatives must be a single correct process.
+        let mut target = None;
+        for i in xset {
+            let r = repr[i.0].unwrap();
+            assert!(
+                target.is_none() || target == Some(r),
+                "two different representatives: {:?} vs {:?}",
+                target,
+                r
+            );
+            target = Some(r);
+        }
+        let ell = target.unwrap();
+        assert!(fp.is_correct(ell), "representative {ell} is faulty");
+        // ℓ must belong to the stabilized X together with its followers.
+        xset.insert(ell);
+        assert!(xset.len() <= x, "more than x processes point to {ell}");
+    }
+
+    #[test]
+    fn stabilizes_all_correct() {
+        for seed in 0..6 {
+            let n = 5;
+            let fp = FailurePattern::all_correct(n);
+            let (trace, fp) = run(n, 2, 2, fp, 300, seed);
+            check_theorem6(&trace, &fp, n, 2);
+        }
+    }
+
+    #[test]
+    fn stabilizes_with_crashes() {
+        for seed in 0..6 {
+            let n = 6;
+            let fp = FailurePattern::builder(n)
+                .crash(ProcessId(1), Time(100))
+                .crash(ProcessId(4), Time(400))
+                .build();
+            let (trace, fp) = run(n, 2, 3, fp, 500, seed);
+            check_theorem6(&trace, &fp, n, 3);
+        }
+    }
+
+    #[test]
+    fn quiescent_x_moves_stop() {
+        // Corollary 1: finitely many X_MOVE broadcasts. We verify the REPR
+        // histories stop changing well before the horizon.
+        let n = 5;
+        let fp = FailurePattern::all_correct(n);
+        let (trace, fp) = run(n, 2, 2, fp, 200, 3);
+        for i in fp.correct() {
+            let h = trace.history(i, slot::REPR);
+            let last = h.last_change().unwrap();
+            assert!(
+                trace.horizon() - last > 5_000,
+                "{i} still moving at {last} (horizon {})",
+                trace.horizon()
+            );
+        }
+    }
+
+    #[test]
+    fn fully_crashed_scope_leaves_outsiders_self_represented() {
+        // x = 2 and exactly the first ring subset {p1, p2} crashes early:
+        // the wheel may stall there with everyone else self-represented.
+        let n = 4;
+        let fp = FailurePattern::builder(n)
+            .crash(ProcessId(0), Time(5))
+            .crash(ProcessId(1), Time(5))
+            .build();
+        let (trace, fp) = run(n, 2, 2, fp, 100, 4);
+        for i in fp.correct() {
+            let h = trace.history(i, slot::REPR);
+            if let Some(last) = h.last() {
+                let r = last.as_proc();
+                assert!(
+                    r == i || fp.is_correct(r),
+                    "{i} ended pointing at faulty {r}"
+                );
+            }
+        }
+    }
+}

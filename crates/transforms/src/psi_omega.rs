@@ -1,0 +1,123 @@
+//! The simple construction `Ψ_y → Ω_z` — **paper Figure 8, Theorem 12**.
+//!
+//! Works whenever `y + z ≥ t + 1` (equivalently `z ≥ t − y + 1`, so the
+//! chain sets below are large enough for the query safety property to bite).
+//!
+//! A fixed chain of sets, known to all processes, is queried in order:
+//!
+//! ```text
+//! Y[0] = ∅ ⊂ Y[1] ⊂ Y[2] ⊂ … ⊂ Y[n−z+1] = Π,
+//! |Y[1]| = z,   |Y[i+1]| = |Y[i]| + 1.
+//! ```
+//!
+//! `trusted_i` is `Y[k] \ Y[k−1]` where `k = min { j : ¬query(Y[j]) }` —
+//! the first chain set that is *not* fully crashed. Eventually `k`
+//! stabilizes at the first chain set containing a correct process, so all
+//! correct processes output the same set of at most `z` identities
+//! containing a correct one. The chain satisfies `Ψ_y`'s containment
+//! contract by construction (which is exactly why `Ψ_y` suffices here).
+//!
+//! Run with `y + z = t` instead and the triviality property masks the
+//! first chain set, which lets a crashed process be elected forever — the
+//! tightness experiment E8 exhibits exactly that.
+
+use fd_sim::{slot, Automaton, Ctx, FdValue, PSet, ProcessId};
+
+/// One process of the Figure 8 transformation (communication-free: it only
+/// queries its local `Ψ_y` module and publishes `trusted_i`).
+#[derive(Clone, Debug)]
+pub struct PsiToOmega {
+    /// The chain `Y[0..=n−z+1]` (index 0 is `∅`).
+    chain: Vec<PSet>,
+}
+
+impl PsiToOmega {
+    /// Creates the transformation for a system of `n` processes targeting
+    /// `Ω_z`. The chain starts with the `z` lowest identities and adds the
+    /// remaining identities in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ z ≤ n`. (Feasibility `y + z ≥ t+1` is *not*
+    /// enforced: running infeasible parameters is how experiment E8 shows
+    /// tightness.)
+    pub fn new(n: usize, z: usize) -> Self {
+        assert!((1..=n).contains(&z), "need 1 <= z <= n");
+        let mut chain = vec![PSet::EMPTY];
+        let mut cur = PSet::from_bits((1u128 << z) - 1);
+        chain.push(cur);
+        for j in z..n {
+            cur.insert(ProcessId(j));
+            chain.push(cur);
+        }
+        PsiToOmega { chain }
+    }
+
+    /// The chain (exposed for tests; `chain()[0]` is `∅`, the last is `Π`).
+    pub fn chain(&self) -> &[PSet] {
+        &self.chain
+    }
+
+    /// One evaluation of the Figure 8 rule.
+    fn trusted(&self, ctx: &mut Ctx<'_, ()>) -> PSet {
+        for j in 1..self.chain.len() {
+            if !ctx.query(self.chain[j]) {
+                return self.chain[j] - self.chain[j - 1];
+            }
+        }
+        // query(Π) is false by triviality (|Π| = n > t), so we never fall
+        // through with a well-formed oracle; stay total regardless.
+        *self.chain.last().expect("non-empty chain")
+    }
+}
+
+impl Automaton for PsiToOmega {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let t = self.trusted(ctx);
+        ctx.publish(slot::TRUSTED, FdValue::Set(t));
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+
+    fn on_step(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let t = self.trusted(ctx);
+        ctx.publish(slot::TRUSTED, FdValue::Set(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let tr = PsiToOmega::new(6, 2);
+        let chain = tr.chain();
+        assert_eq!(chain.len(), 6); // ∅, |2|, |3|, |4|, |5|, |6|
+        assert_eq!(chain[0], PSet::EMPTY);
+        assert_eq!(chain[1].len(), 2);
+        assert_eq!(*chain.last().unwrap(), PSet::full(6));
+        for w in chain.windows(2) {
+            assert!(w[0].is_subset(w[1]));
+            assert!(w[1].len() == w[0].len() + 1 || (w[0].is_empty() && w[1].len() == 2));
+        }
+    }
+
+    #[test]
+    fn chain_satisfies_containment() {
+        let tr = PsiToOmega::new(8, 3);
+        for a in tr.chain() {
+            for b in tr.chain() {
+                assert!(a.comparable(*b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= z <= n")]
+    fn rejects_z_zero() {
+        let _ = PsiToOmega::new(4, 0);
+    }
+}

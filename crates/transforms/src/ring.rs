@@ -1,0 +1,321 @@
+//! Combinatorial rings over process subsets — **paper Figure 4**.
+//!
+//! The two-wheels construction has every process scan, in the same
+//! predefined order, an infinite cyclic sequence built from all
+//! fixed-size subsets of `Π`:
+//!
+//! * the **lower wheel** scans pairs `(ℓ, X)` where `X` ranges over the
+//!   `x`-subsets of `Π` and `ℓ` over the members of `X` in order
+//!   (`X[1]: ℓ¹_1 … ℓ¹_x, X[2]: ℓ²_1 …`, wrapping around);
+//! * the **upper wheel** scans pairs `(L, Y)` where `Y` ranges over the
+//!   `(t−y+1)`-subsets of `Π` and `L` over the `z`-subsets of each `Y`.
+//!
+//! The cyclic order itself is arbitrary as long as every process uses the
+//! same one; we use the canonical Gosper (colex) order on bitmasks, which
+//! enumerates all same-popcount masks without materializing `C(n, k)` sets.
+
+use fd_sim::{PSet, ProcessId};
+
+/// Binomial coefficient `C(n, k)` (exact, u128).
+///
+/// # Panics
+///
+/// Panics on overflow (does not occur for `n ≤ 128` subsets of interest).
+pub fn binom(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num
+            .checked_mul((n - i) as u128)
+            .expect("binomial overflow");
+        num /= (i + 1) as u128;
+    }
+    num
+}
+
+/// The first `k`-subset of `{0..n}` in Gosper order: the lowest `k` bits.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ n`.
+pub fn first_subset(n: usize, k: usize) -> PSet {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (k={k}, n={n})");
+    PSet::from_bits((1u128 << k) - 1)
+}
+
+/// The successor of `s` among `k`-subsets of `{0..n}`, wrapping around to
+/// the first subset after the last (Gosper's hack on `u128`).
+///
+/// # Panics
+///
+/// Panics if `s` is empty or not confined to `{0..n}`.
+pub fn next_subset(n: usize, s: PSet) -> PSet {
+    let v = s.bits();
+    assert!(v != 0, "empty subset has no successor");
+    assert!(
+        s.is_subset(PSet::full(n)),
+        "subset {s} not confined to n={n}"
+    );
+    let k = s.len();
+    // Gosper's hack; wrap to the first subset on overflow or escape from
+    // the n-bit universe.
+    let c = v & v.wrapping_neg();
+    match v.checked_add(c) {
+        None => first_subset(n, k),
+        Some(r) => {
+            let cand = PSet::from_bits(r | ((r ^ v) >> (2 + c.trailing_zeros())));
+            if cand.is_subset(PSet::full(n)) {
+                cand
+            } else {
+                first_subset(n, k)
+            }
+        }
+    }
+}
+
+/// The lower wheel's logical ring over pairs `(ℓ, X)` (Figure 4): the
+/// `Next` function advances to the next member of `X`, or to the first
+/// member of the next `x`-subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemberRing {
+    n: usize,
+    x: usize,
+}
+
+impl MemberRing {
+    /// Creates the ring of `(member, x-subset)` pairs over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ x ≤ n`.
+    pub fn new(n: usize, x: usize) -> Self {
+        assert!(x >= 1 && x <= n, "need 1 <= x <= n");
+        MemberRing { n, x }
+    }
+
+    /// The initial pair `(ℓ¹_1, X[1])`.
+    pub fn start(&self) -> (ProcessId, PSet) {
+        let x0 = first_subset(self.n, self.x);
+        (x0.min().expect("non-empty"), x0)
+    }
+
+    /// The paper's `Next((ℓ, X))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ℓ ∉ X` or `|X| ≠ x`.
+    pub fn next(&self, cur: (ProcessId, PSet)) -> (ProcessId, PSet) {
+        let (l, xs) = cur;
+        assert!(xs.contains(l), "{l} not in {xs}");
+        assert_eq!(xs.len(), self.x, "subset size mismatch");
+        // Next member of X after ℓ, in increasing id order.
+        if let Some(next_l) = xs.iter().find(|&m| m > l) {
+            (next_l, xs)
+        } else {
+            let nxt = next_subset(self.n, xs);
+            (nxt.min().expect("non-empty"), nxt)
+        }
+    }
+
+    /// Ring length: `x · C(n, x)` pairs.
+    pub fn len(&self) -> u128 {
+        self.x as u128 * binom(self.n, self.x)
+    }
+
+    /// Rings are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The upper wheel's nested ring over pairs `(L, Y)`: `Y` ranges over the
+/// `outer`-subsets of `Π` and `L` over the `inner`-subsets of `Y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NestedRing {
+    n: usize,
+    outer: usize,
+    inner: usize,
+}
+
+impl NestedRing {
+    /// Creates the ring (`outer = t−y+1`, `inner = z` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ inner ≤ outer ≤ n`.
+    pub fn new(n: usize, outer: usize, inner: usize) -> Self {
+        assert!(
+            inner >= 1 && inner <= outer && outer <= n,
+            "need 1 <= inner <= outer <= n (inner={inner}, outer={outer}, n={n})"
+        );
+        NestedRing { n, outer, inner }
+    }
+
+    /// Materializes the `i`-th inner subset of `y` from an index mask over
+    /// `y`'s members (sorted by id).
+    fn project(&self, y: PSet, index_mask: PSet) -> PSet {
+        let members: Vec<ProcessId> = y.iter().collect();
+        index_mask.iter().map(|i| members[i.0]).collect()
+    }
+
+    /// Recovers the index mask of `l` within `y`.
+    fn unproject(&self, y: PSet, l: PSet) -> PSet {
+        let members: Vec<ProcessId> = y.iter().collect();
+        members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| l.contains(**m))
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+
+    /// The initial pair `(L¹_1, Y[1])`.
+    pub fn start(&self) -> (PSet, PSet) {
+        let y0 = first_subset(self.n, self.outer);
+        let l0 = self.project(y0, first_subset(self.outer, self.inner));
+        (l0, y0)
+    }
+
+    /// The paper's `Next((L, Y))`: next inner subset of `Y`, or the first
+    /// inner subset of the next `Y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `L ⊄ Y` or the sizes mismatch.
+    pub fn next(&self, cur: (PSet, PSet)) -> (PSet, PSet) {
+        let (l, y) = cur;
+        assert!(l.is_subset(y), "{l} not a subset of {y}");
+        assert_eq!(y.len(), self.outer, "outer size mismatch");
+        assert_eq!(l.len(), self.inner, "inner size mismatch");
+        let idx = self.unproject(y, l);
+        let nxt_idx = next_subset(self.outer, idx);
+        if nxt_idx > idx {
+            (self.project(y, nxt_idx), y)
+        } else {
+            // Wrapped inside Y: move to the next Y.
+            let ny = next_subset(self.n, y);
+            let l0 = self.project(ny, first_subset(self.outer, self.inner));
+            (l0, ny)
+        }
+    }
+
+    /// Ring length: `C(n, outer) · C(outer, inner)` pairs.
+    pub fn len(&self) -> u128 {
+        binom(self.n, self.outer) * binom(self.outer, self.inner)
+    }
+
+    /// Rings are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn binom_values() {
+        assert_eq!(binom(5, 2), 10);
+        assert_eq!(binom(6, 3), 20);
+        assert_eq!(binom(4, 0), 1);
+        assert_eq!(binom(4, 4), 1);
+        assert_eq!(binom(3, 5), 0);
+        assert_eq!(binom(128, 2), 8128);
+        assert_eq!(binom(30, 15), 155_117_520);
+    }
+
+    #[test]
+    fn gosper_enumerates_all_subsets() {
+        let n = 6;
+        for k in 1..=n {
+            let mut seen = HashSet::new();
+            let mut cur = first_subset(n, k);
+            loop {
+                assert_eq!(cur.len(), k);
+                assert!(cur.is_subset(PSet::full(n)));
+                assert!(seen.insert(cur.bits()), "duplicate before wrap");
+                cur = next_subset(n, cur);
+                if cur == first_subset(n, k) {
+                    break;
+                }
+            }
+            assert_eq!(seen.len() as u128, binom(n, k));
+        }
+    }
+
+    #[test]
+    fn member_ring_visits_every_pair_once_per_lap() {
+        let ring = MemberRing::new(5, 3);
+        let mut seen = HashSet::new();
+        let mut cur = ring.start();
+        for _ in 0..ring.len() {
+            assert!(cur.1.contains(cur.0));
+            assert!(seen.insert((cur.0, cur.1.bits())), "duplicate {cur:?}");
+            cur = ring.next(cur);
+        }
+        assert_eq!(cur, ring.start(), "ring must close after len() steps");
+        assert_eq!(seen.len() as u128, ring.len());
+    }
+
+    #[test]
+    fn member_ring_member_order_within_subset() {
+        let ring = MemberRing::new(4, 2);
+        let (l0, x0) = ring.start();
+        assert_eq!(l0, ProcessId(0));
+        assert_eq!(x0, PSet::from_bits(0b11));
+        let (l1, x1) = ring.next((l0, x0));
+        assert_eq!(l1, ProcessId(1));
+        assert_eq!(x1, x0);
+        let (l2, x2) = ring.next((l1, x1));
+        assert_ne!(x2, x0, "after last member, move to next subset");
+        assert_eq!(l2, x2.min().unwrap());
+    }
+
+    #[test]
+    fn nested_ring_visits_every_pair_once_per_lap() {
+        let ring = NestedRing::new(5, 3, 2);
+        let mut seen = HashSet::new();
+        let mut cur = ring.start();
+        for _ in 0..ring.len() {
+            assert!(cur.0.is_subset(cur.1));
+            assert_eq!(cur.0.len(), 2);
+            assert_eq!(cur.1.len(), 3);
+            assert!(seen.insert((cur.0.bits(), cur.1.bits())), "dup {cur:?}");
+            cur = ring.next(cur);
+        }
+        assert_eq!(cur, ring.start());
+        assert_eq!(seen.len() as u128, ring.len());
+    }
+
+    #[test]
+    fn nested_ring_inner_before_outer() {
+        // With outer=2, inner=1: both members of Y[1] come before Y[2].
+        let ring = NestedRing::new(3, 2, 1);
+        let p0 = ring.start();
+        let p1 = ring.next(p0);
+        assert_eq!(p0.1, p1.1, "stay within Y for the second inner subset");
+        let p2 = ring.next(p1);
+        assert_ne!(p2.1, p1.1, "then advance Y");
+    }
+
+    #[test]
+    fn singleton_rings() {
+        let ring = MemberRing::new(3, 3);
+        assert_eq!(ring.len(), 3);
+        let ring = NestedRing::new(3, 3, 3);
+        assert_eq!(ring.len(), 1);
+        let cur = ring.start();
+        assert_eq!(ring.next(cur), cur, "single-element ring is a fixpoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= x <= n")]
+    fn member_ring_rejects_zero() {
+        let _ = MemberRing::new(3, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # fd-grid — reproduction of *"Irreducibility and Additivity of Set
+//! Agreement-oriented Failure Detector Classes"* (PODC 2006)
+//!
+//! This is the facade crate: it re-exports the whole workspace and adds the
+//! [`pipeline`] composition that stacks the paper's two headline results —
+//! the two-wheels transformation `◇S_x + ◇φ_y → Ω_z` (Figures 5+6) under
+//! the `Ω_k`-based `k`-set agreement algorithm (Figure 3) — into a single
+//! end-to-end system.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`fd_sim`] | deterministic asynchronous simulator: processes, crashes, reliable channels, reliable broadcast (axiomatic + echo), shared memory, traces |
+//! | [`fd_detectors`] | oracles for `S_x`/`◇S_x`, `Ω_z`, `φ_y`/`◇φ_y`/`Ψ_y`, `P`/`◇P`; property checkers for each class |
+//! | [`fd_core`] | the Figure 3 `Ω_k`-based `k`-set agreement algorithm, the `◇S` consensus baseline, spec checkers, Theorem 5 lower-bound witnesses |
+//! | [`fd_transforms`] | the two-wheels addition, `Ψ_y → Ω_z`, `φ_y + S_x → S`, the grid's structural adapters, irreducibility witnesses |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fd_grid::pipeline::run_pipeline;
+//! use fd_grid::{FailurePattern, Time};
+//!
+//! // Consensus (z = 1) among 5 processes from ◇S_2 + ◇φ_1 alone
+//! // (t = 2: x + y + z = 2 + 1 + 1 = t + 2, the paper's exact bound).
+//! let report = run_pipeline(
+//!     5, 2, 2, 1,
+//!     FailurePattern::all_correct(5),
+//!     Time(400), 42, Time(120_000),
+//! );
+//! assert!(report.spec.ok, "{}", report.spec);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pipeline;
+
+pub use fd_core;
+pub use fd_detectors;
+pub use fd_sim;
+pub use fd_transforms;
+
+pub use fd_sim::{
+    DelayModel, DelayRule, FailurePattern, PSet, ProcessId, SimConfig, Time, Trace,
+};
+
+pub use pipeline::{run_pipeline, PipeMsg, PipelineReport, WheelsPlusKset};

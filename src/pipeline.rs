@@ -1,0 +1,206 @@
+//! End-to-end pipeline: `◇S_x + ◇φ_y → Ω_z → z-set agreement`.
+//!
+//! This is the composition at the heart of the paper's Theorem 5 proof
+//! ("combining such a transformation T and the algorithm A …"): each
+//! process runs the two-wheels transformation (paper Figures 5+6) *and*
+//! the Figure 3 set-agreement algorithm side by side; the agreement
+//! algorithm reads its leader sets not from an oracle but from the live
+//! output of the local two-wheels component.
+//!
+//! The result solves `z`-set agreement, `z = t + 2 − x − y`, in a system
+//! equipped only with `◇S_x` and `◇φ_y` — no `Ω` oracle anywhere.
+
+use fd_core::kset_omega::{KsetMsg, KsetOmega};
+use fd_core::spec;
+use fd_detectors::{CheckOutcome, PhiOracle, Scope, SxOracle};
+use fd_sim::{
+    counter, forward_ops, Automaton, Ctx, FailurePattern, ProcessId, Sim, SimConfig,
+    SuspectPlusQuery, Time, Trace,
+};
+use fd_transforms::two_wheels::{TwMsg, TwParams, TwoWheels};
+
+/// Combined message alphabet of the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipeMsg {
+    /// A two-wheels message.
+    Wheels(TwMsg),
+    /// A set-agreement message.
+    Kset(KsetMsg),
+}
+
+/// One process running the transformation and the agreement algorithm
+/// stacked together.
+#[derive(Clone, Debug)]
+pub struct WheelsPlusKset {
+    wheels: TwoWheels,
+    kset: KsetOmega,
+}
+
+impl WheelsPlusKset {
+    /// Creates the stacked process with its proposal.
+    pub fn new(me: ProcessId, params: TwParams, proposal: u64) -> Self {
+        WheelsPlusKset {
+            wheels: TwoWheels::new(me, params),
+            kset: KsetOmega::new(proposal).with_external_leaders(),
+        }
+    }
+
+    /// Whether the agreement layer decided.
+    pub fn has_decided(&self) -> bool {
+        self.kset.has_decided()
+    }
+
+    fn run_wheels(
+        &mut self,
+        ctx: &mut Ctx<'_, PipeMsg>,
+        f: impl FnOnce(&mut TwoWheels, &mut Ctx<'_, TwMsg>),
+    ) {
+        let wheels = &mut self.wheels;
+        let ((), ops) = ctx.reborrow_inner(|ictx| f(wheels, ictx));
+        forward_ops(ctx, ops, PipeMsg::Wheels);
+        self.sync_leaders(ctx);
+    }
+
+    fn run_kset(
+        &mut self,
+        ctx: &mut Ctx<'_, PipeMsg>,
+        f: impl FnOnce(&mut KsetOmega, &mut Ctx<'_, KsetMsg>),
+    ) {
+        self.sync_leaders(ctx);
+        let kset = &mut self.kset;
+        let ((), ops) = ctx.reborrow_inner(|ictx| f(kset, ictx));
+        forward_ops(ctx, ops, PipeMsg::Kset);
+    }
+
+    /// Feeds the wheels' live `trusted_i` into the agreement layer.
+    fn sync_leaders(&mut self, ctx: &mut Ctx<'_, PipeMsg>) {
+        let wheels = &self.wheels;
+        let (l, ops) = ctx.reborrow_inner(|ictx| wheels.trusted(ictx));
+        debug_assert!(ops.is_empty());
+        self.kset.set_external_leaders(l);
+    }
+}
+
+impl Automaton for WheelsPlusKset {
+    type Msg = PipeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, PipeMsg>) {
+        self.run_wheels(ctx, |w, ictx| w.on_start(ictx));
+        self.run_kset(ctx, |k, ictx| k.on_start(ictx));
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: PipeMsg, ctx: &mut Ctx<'_, PipeMsg>) {
+        match msg {
+            PipeMsg::Wheels(m) => self.run_wheels(ctx, |w, ictx| w.on_message(from, m, ictx)),
+            PipeMsg::Kset(m) => self.run_kset(ctx, |k, ictx| k.on_message(from, m, ictx)),
+        }
+    }
+
+    fn on_rb_deliver(&mut self, from: ProcessId, msg: PipeMsg, ctx: &mut Ctx<'_, PipeMsg>) {
+        match msg {
+            PipeMsg::Wheels(m) => self.run_wheels(ctx, |w, ictx| w.on_rb_deliver(from, m, ictx)),
+            PipeMsg::Kset(m) => self.run_kset(ctx, |k, ictx| k.on_rb_deliver(from, m, ictx)),
+        }
+    }
+
+    fn on_step(&mut self, ctx: &mut Ctx<'_, PipeMsg>) {
+        self.run_wheels(ctx, |w, ictx| w.on_step(ictx));
+        self.run_kset(ctx, |k, ictx| k.on_step(ictx));
+    }
+}
+
+/// Report of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// The run's trace.
+    pub trace: Trace,
+    /// The run's failure pattern.
+    pub fp: FailurePattern,
+    /// The `z`-set agreement specification outcome.
+    pub spec: CheckOutcome,
+    /// The agreement degree `z = t + 2 − x − y` actually checked.
+    pub z: usize,
+    /// Distinct decided values.
+    pub decided_values: Vec<u64>,
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+}
+
+/// Runs the full pipeline: `z`-set agreement from `◇S_x + ◇φ_y` alone.
+///
+/// # Panics
+///
+/// Panics if `x + y > t + 1` (no `z ≥ 1`) or the pattern violates `t`.
+pub fn run_pipeline(
+    n: usize,
+    t: usize,
+    x: usize,
+    y: usize,
+    fp: FailurePattern,
+    gst: Time,
+    seed: u64,
+    max_time: Time,
+) -> PipelineReport {
+    let params = TwParams::optimal(n, t, x, y);
+    let proposals: Vec<u64> = (0..n).map(|i| 100 + i as u64).collect();
+    let oracle = SuspectPlusQuery {
+        suspect: SxOracle::new(fp.clone(), t, x, Scope::Eventual(gst), seed ^ 0xAA55),
+        query: PhiOracle::new(fp.clone(), t, y, Scope::Eventual(gst), seed ^ 0x55AA),
+    };
+    let cfg = SimConfig::new(n, t).seed(seed).max_time(max_time);
+    let mut sim = Sim::new(
+        cfg,
+        fp.clone(),
+        |p| WheelsPlusKset::new(p, params, proposals[p.0]),
+        oracle,
+    );
+    let correct = fp.correct();
+    let rep = sim.run_until(move |tr| tr.deciders().is_superset(correct));
+    let trace = rep.trace;
+    PipelineReport {
+        spec: spec::kset_spec(&trace, &fp, params.z, &proposals),
+        z: params.z,
+        decided_values: trace.decided_values(),
+        msgs_sent: trace.counter(counter::SENT),
+        fp,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_solves_consensus_from_sx_plus_phi() {
+        // n = 5, t = 2, x = 2, y = 1 ⇒ z = 1: consensus out of two
+        // detectors that each individually cannot solve it.
+        for seed in 0..3 {
+            let rep = run_pipeline(
+                5,
+                2,
+                2,
+                1,
+                FailurePattern::all_correct(5),
+                Time(400),
+                seed,
+                Time(120_000),
+            );
+            assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
+            assert_eq!(rep.z, 1);
+            assert_eq!(rep.decided_values.len(), 1);
+        }
+    }
+
+    #[test]
+    fn pipeline_with_crashes() {
+        let fp = FailurePattern::builder(5)
+            .crash(ProcessId(1), Time(200))
+            .crash(ProcessId(4), Time(800))
+            .build();
+        let rep = run_pipeline(5, 2, 1, 1, fp, Time(1_000), 7, Time(150_000));
+        // x = 1, y = 1 ⇒ z = 2: 2-set agreement.
+        assert!(rep.spec.ok, "{}", rep.spec);
+        assert!(rep.decided_values.len() <= 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Tightness of every bound in the paper, as an integration suite:
+//! constructions pass *at* their bound and fail *below* it.
+
+use fd_grid::fd_core::lower_bound;
+use fd_grid::fd_transforms::{
+    run_addition_mp, run_psi_omega, run_two_wheels, witness, AdditionFlavour, TwParams,
+};
+use fd_grid::{FailurePattern, ProcessId, Time};
+
+#[test]
+fn theorem7_two_wheels_exactly_at_bound() {
+    // Every (x, y) on the x + y + z = t + 2 line passes.
+    let (n, t) = (5, 2);
+    for x in 1..=3usize {
+        for y in 0..=2usize {
+            if x + y > t + 1 {
+                continue;
+            }
+            let params = TwParams::optimal(n, t, x, y);
+            if params.z > t - y + 1 {
+                continue;
+            }
+            for seed in 0..3 {
+                let rep = run_two_wheels(
+                    params,
+                    FailurePattern::all_correct(n),
+                    Time(400),
+                    seed,
+                    Time(40_000),
+                );
+                assert!(rep.check.ok, "x={x} y={y} seed {seed}: {}", rep.check);
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem7_below_bound_fails() {
+    let infeasible = TwParams {
+        n: 5,
+        t: 2,
+        x: 2,
+        y: 0,
+        z: 1, // x+y+z = 3 = t+1
+    };
+    let found = witness::find_two_wheels_failure(
+        infeasible,
+        FailurePattern::all_correct(5),
+        Time(400),
+        0..15,
+        Time(25_000),
+    );
+    assert!(found.is_some());
+}
+
+#[test]
+fn theorem12_psi_at_and_below_bound() {
+    let (n, t) = (5, 2);
+    // At the bound (y + z = t + 1): pass.
+    for &(y, z) in &[(1usize, 2usize), (2, 1)] {
+        for seed in 0..3 {
+            let fp = FailurePattern::builder(n).crash(ProcessId(0), Time(100)).build();
+            let rep = run_psi_omega(n, t, y, z, fp, Time(400), seed, Time(20_000));
+            assert!(rep.check.ok, "y={y} z={z} seed {seed}: {}", rep.check);
+        }
+    }
+    // Below (y + z = t): deterministic failure.
+    let rep = witness::psi_boundary_violation(n, t, 1, 9);
+    assert!(!rep.check.ok);
+}
+
+#[test]
+fn theorem13_addition_at_and_below_bound() {
+    let (n, t) = (5, 2);
+    // At the bound (x + y = t + 1).
+    for &(x, y) in &[(2usize, 1usize), (1, 2)] {
+        for seed in 0..3 {
+            let fp = FailurePattern::builder(n).crash(ProcessId(3), Time(250)).build();
+            let rep = run_addition_mp(
+                n,
+                t,
+                x,
+                y,
+                fp,
+                AdditionFlavour::Eventual(Time(600)),
+                seed,
+                Time(40_000),
+            );
+            assert!(rep.check.ok, "x={x} y={y} seed {seed}: {}", rep.check);
+        }
+    }
+    // Below (x + y = t).
+    let found = witness::find_addition_failure(n, t, 1, 1, 0..20, Time(30_000));
+    assert!(found.is_some());
+}
+
+#[test]
+fn theorem5_bounds() {
+    // z ≤ k is necessary.
+    assert!(lower_bound::find_z_violation(5, 2, 1, 0..60).is_some());
+    // t < n/2 is necessary.
+    let rep = lower_bound::partition_blocks(4, 2, 1);
+    assert!(rep.trace.decisions().is_empty());
+}
+
+#[test]
+fn theorem5_sufficiency_composition() {
+    // The other direction of Theorem 5's proof: ◇S_x → Ω_z → z-set
+    // agreement end to end (the paper's T ∘ A composition).
+    use fd_grid::pipeline::run_pipeline;
+    for seed in 0..2 {
+        // y = 0: the transformation input is ◇S_3 alone (φ_0 is trivial).
+        let rep = run_pipeline(
+            5,
+            2,
+            3,
+            0,
+            FailurePattern::all_correct(5),
+            Time(300),
+            seed,
+            Time(150_000),
+        );
+        assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
+        assert_eq!(rep.z, 1);
+    }
+}

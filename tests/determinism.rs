@@ -1,0 +1,100 @@
+//! Determinism is a correctness requirement here (DESIGN.md §4): every
+//! reported number must be reproducible bit-for-bit from the seed. These
+//! tests re-run identical configurations and compare full traces.
+
+use fd_grid::fd_core::harness::{run_kset_omega, CrashPlan, KsetConfig};
+use fd_grid::fd_transforms::{run_two_wheels, TwParams};
+use fd_grid::pipeline::run_pipeline;
+use fd_grid::{FailurePattern, Time, Trace};
+
+fn fingerprint(trace: &Trace) -> (Vec<(u64, usize, u64)>, Vec<String>) {
+    let decisions = trace
+        .decisions()
+        .iter()
+        .map(|d| (d.at.ticks(), d.by.0, d.value))
+        .collect();
+    let histories = trace
+        .histories()
+        .map(|((p, slot), h)| {
+            format!(
+                "{p}:{slot}:{}",
+                h.samples()
+                    .iter()
+                    .map(|s| format!("{}@{}", s.value, s.at))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        })
+        .collect();
+    (decisions, histories)
+}
+
+#[test]
+fn kset_runs_are_reproducible() {
+    let run = || {
+        let cfg = KsetConfig::new(6, 2, 2)
+            .seed(77)
+            .gst(Time(300))
+            .crashes(CrashPlan::Random {
+                f: 2,
+                by: Time(400),
+            });
+        run_kset_omega(&cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(fingerprint(&a.trace), fingerprint(&b.trace));
+    assert_eq!(a.msgs_sent, b.msgs_sent);
+    assert_eq!(a.fp, b.fp);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let cfg = KsetConfig::new(6, 2, 2).seed(seed).gst(Time(300));
+        run_kset_omega(&cfg)
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        (a.msgs_sent, a.last_decision),
+        (b.msgs_sent, b.last_decision),
+        "two seeds produced identical runs — suspicious"
+    );
+}
+
+#[test]
+fn two_wheels_runs_are_reproducible() {
+    let run = || {
+        run_two_wheels(
+            TwParams::optimal(5, 2, 2, 1),
+            FailurePattern::all_correct(5),
+            Time(400),
+            13,
+            Time(20_000),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(fingerprint(&a.trace), fingerprint(&b.trace));
+}
+
+#[test]
+fn pipeline_runs_are_reproducible() {
+    let run = || {
+        run_pipeline(
+            5,
+            2,
+            2,
+            1,
+            FailurePattern::all_correct(5),
+            Time(300),
+            5,
+            Time(120_000),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(fingerprint(&a.trace), fingerprint(&b.trace));
+    assert_eq!(a.decided_values, b.decided_values);
+}
