@@ -1,72 +1,58 @@
-//! Criterion bench for experiment E10: the Figure 3 algorithm at `k = 1`
-//! vs the MR `◇S` consensus baseline vs the full pipeline
-//! (`◇S_x + ◇φ_y → Ω_1 → consensus`).
+//! Bench for experiment E10: the Figure 3 algorithm at `k = 1` vs the MR
+//! `◇S` consensus baseline vs the full pipeline
+//! (`◇S_x + ◇φ_y → Ω_1 → consensus`), all through the scenario engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use fd_core::harness::{run_consensus_mr, run_kset_omega, CrashPlan, KsetConfig};
-use fd_grid::pipeline::run_pipeline;
-use fd_sim::{FailurePattern, Time};
+use fd_bench::Suite;
+use fd_core::harness::kset_config;
+use fd_core::{ConsensusScenario, KsetScenario};
+use fd_grid::pipeline::PipelineScenario;
+use fd_grid::scenario::{CrashPlan, Scenario};
+use fd_sim::Time;
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("baselines");
-    g.sample_size(10);
+fn main() {
+    let mut g = Suite::new("baselines");
     let n = 5;
     let t = 2;
 
-    g.bench_function("fig3_omega1", |b| {
+    let crashy = kset_config(n, t, 1)
+        .gst(Time(400))
+        .crashes(CrashPlan::Random {
+            f: 1,
+            by: Time(300),
+        });
+
+    g.bench("fig3_omega1", {
+        let spec = crashy.clone();
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let cfg = KsetConfig::new(n, t, 1)
-                .seed(seed)
-                .gst(Time(400))
-                .crashes(CrashPlan::Random {
-                    f: 1,
-                    by: Time(300),
-                });
-            let rep = run_kset_omega(&cfg);
-            assert!(rep.spec.ok);
-            rep.msgs_sent
-        })
+            let rep = KsetScenario.run(&spec.with_seed(seed));
+            assert!(rep.check.ok);
+            rep.metrics.msgs_sent
+        }
     });
 
-    g.bench_function("mr_diamond_s", |b| {
+    g.bench("mr_diamond_s", {
+        let spec = crashy.clone();
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let cfg = KsetConfig::new(n, t, 1)
-                .seed(seed)
-                .gst(Time(400))
-                .crashes(CrashPlan::Random {
-                    f: 1,
-                    by: Time(300),
-                });
-            let rep = run_consensus_mr(&cfg);
-            assert!(rep.spec.ok);
-            rep.msgs_sent
-        })
+            let rep = ConsensusScenario.run(&spec.with_seed(seed));
+            assert!(rep.check.ok);
+            rep.metrics.msgs_sent
+        }
     });
 
-    g.bench_function("pipeline_consensus", |b| {
+    g.bench("pipeline_consensus", {
+        let spec = PipelineScenario::spec(n, t, 2, 1)
+            .gst(Time(400))
+            .max_time(Time(150_000));
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let rep = run_pipeline(
-                n,
-                t,
-                2,
-                1,
-                FailurePattern::all_correct(n),
-                Time(400),
-                seed,
-                Time(150_000),
-            );
-            assert!(rep.spec.ok);
-            rep.msgs_sent
-        })
+            let rep = PipelineScenario.run(&spec.with_seed(seed));
+            assert!(rep.check.ok);
+            rep.metrics.msgs_sent
+        }
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

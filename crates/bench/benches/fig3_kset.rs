@@ -1,54 +1,57 @@
-//! Criterion bench for **paper Figure 3**: the `Ω_k`-based `k`-set
-//! agreement algorithm — time-to-completion of a full simulated run across
-//! `(n, k)` and crash scenarios (experiments E4/E5).
+//! Bench for **paper Figure 3**: the `Ω_k`-based `k`-set agreement
+//! algorithm — time-to-completion of a full simulated run across `(n, k)`
+//! and crash scenarios (experiments E4/E5), plus the throughput of a
+//! multi-seed *parallel* sweep through the runner.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_core::harness::{run_kset_omega, CrashPlan, KsetConfig};
+use fd_bench::Suite;
+use fd_core::harness::kset_config;
+use fd_core::KsetScenario;
+use fd_grid::scenario::{CrashPlan, Runner, Scenario, SweepSummary};
 use fd_sim::Time;
 
-fn bench_kset(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_kset");
-    g.sample_size(10);
+fn main() {
+    let mut g = Suite::new("fig3_kset");
     for &(n, t) in &[(5usize, 2usize), (7, 3), (9, 4)] {
         for k in [1usize, 2] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("n{n}_t{t}"), format!("k{k}")),
-                &(n, t, k),
-                |b, &(n, t, k)| {
-                    let mut seed = 0;
-                    b.iter(|| {
-                        seed += 1;
-                        let cfg = KsetConfig::new(n, t, k)
-                            .seed(seed)
-                            .gst(Time(400))
-                            .crashes(CrashPlan::Random {
-                                f: t,
-                                by: Time(500),
-                            });
-                        let rep = run_kset_omega(&cfg);
-                        assert!(rep.spec.ok, "{}", rep.spec);
-                        rep.msgs_sent
-                    })
-                },
-            );
+            let spec = kset_config(n, t, k)
+                .gst(Time(400))
+                .crashes(CrashPlan::Random {
+                    f: t,
+                    by: Time(500),
+                });
+            g.bench(&format!("n{n}_t{t}/k{k}"), {
+                let spec = spec.clone();
+                let mut seed = 0;
+                move || {
+                    seed += 1;
+                    let rep = KsetScenario.run(&spec.with_seed(seed));
+                    assert!(rep.check.ok, "{}", rep.check);
+                    rep.metrics.msgs_sent
+                }
+            });
         }
     }
     // Zero-degradation fast path: perfect oracle + initial crashes.
-    g.bench_function("zero_degradation_n6", |b| {
+    g.bench("zero_degradation_n6", {
+        let spec = kset_config(6, 2, 1)
+            .gst(Time::ZERO)
+            .crashes(CrashPlan::Initial { f: 2 });
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let cfg = KsetConfig::new(6, 2, 1)
-                .seed(seed)
-                .gst(Time::ZERO)
-                .crashes(CrashPlan::Initial { f: 2 });
-            let rep = run_kset_omega(&cfg);
-            assert_eq!(rep.max_round, 1);
-            rep.msgs_sent
-        })
+            let rep = KsetScenario.run(&spec.with_seed(seed));
+            assert_eq!(rep.metrics.max_round, 1);
+            rep.metrics.msgs_sent
+        }
     });
-    g.finish();
+    // A 64-seed sweep through the parallel runner (the scaling hot path).
+    g.bench("parallel_sweep_64seeds", {
+        let spec = kset_config(5, 2, 1).gst(Time(400));
+        move || {
+            let reports = Runner::parallel().sweep(&KsetScenario, &spec, 0..64);
+            let summary = SweepSummary::of(&reports);
+            assert!(summary.all_pass());
+            summary.total_msgs
+        }
+    });
 }
-
-criterion_group!(benches, bench_kset);
-criterion_main!(benches);

@@ -1,61 +1,48 @@
-//! Criterion bench for **paper Figures 5+6**: the two-wheels addition
+//! Bench for **paper Figures 5+6**: the two-wheels addition
 //! `◇S_x + ◇φ_y → Ω_z` — full-run cost across the `(x, y)` sweep of
-//! experiments E3/E7.
+//! experiments E3/E7, through the scenario engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_sim::{FailurePattern, Time};
-use fd_transforms::{run_two_wheels, run_two_wheels_opt, TwParams};
+use fd_bench::Suite;
+use fd_grid::scenario::Scenario;
+use fd_sim::Time;
+use fd_transforms::{TwParams, TwoWheelsScenario};
 
-fn bench_two_wheels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig56_two_wheels");
-    g.sample_size(10);
+fn main() {
+    let mut g = Suite::new("fig56_two_wheels");
     let n = 5;
     let t = 2;
     for &(x, y) in &[(1usize, 1usize), (2, 0), (2, 1), (3, 0)] {
         let params = TwParams::optimal(n, t, x, y);
-        g.bench_with_input(
-            BenchmarkId::new("xy", format!("x{x}_y{y}_z{}", params.z)),
-            &params,
-            |b, &params| {
-                let mut seed = 0;
-                b.iter(|| {
-                    seed += 1;
-                    let rep = run_two_wheels(
-                        params,
-                        FailurePattern::all_correct(n),
-                        Time(400),
-                        seed,
-                        Time(20_000),
-                    );
-                    assert!(rep.check.ok, "{}", rep.check);
-                    rep.trace.counter("upper.l_move")
-                })
-            },
-        );
+        let spec = TwoWheelsScenario::spec(params)
+            .gst(Time(400))
+            .max_time(Time(20_000));
+        g.bench(&format!("xy/x{x}_y{y}_z{}", params.z), {
+            let spec = spec.clone();
+            let mut seed = 0;
+            move || {
+                seed += 1;
+                let rep = TwoWheelsScenario::default().run(&spec.with_seed(seed));
+                assert!(rep.check.ok, "{}", rep.check);
+                rep.trace.counter("upper.l_move")
+            }
+        });
     }
     // Ablation (experiment E12): the one-broadcast-per-pair-instance
     // throttle vs the paper's literal re-broadcast-while-dissatisfied.
     for &(throttled, name) in &[(true, "throttled"), (false, "unthrottled")] {
         let params = TwParams::optimal(n, t, 2, 0);
-        g.bench_function(format!("ablation_{name}"), move |b| {
+        let spec = TwoWheelsScenario::spec(params)
+            .gst(Time(400))
+            .max_time(Time(20_000));
+        g.bench(&format!("ablation_{name}"), {
+            let spec = spec.clone();
             let mut seed = 0;
-            b.iter(|| {
+            move || {
                 seed += 1;
-                let rep = run_two_wheels_opt(
-                    params,
-                    FailurePattern::all_correct(n),
-                    Time(400),
-                    seed,
-                    Time(20_000),
-                    throttled,
-                );
+                let rep = TwoWheelsScenario { throttled }.run(&spec.with_seed(seed));
                 assert!(rep.check.ok, "{}", rep.check);
                 rep.trace.counter("lower.x_move") + rep.trace.counter("upper.l_move")
-            })
+            }
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_two_wheels);
-criterion_main!(benches);

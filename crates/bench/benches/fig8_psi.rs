@@ -1,32 +1,32 @@
-//! Criterion bench for **paper Figure 8**: `Ψ_y → Ω_z` (experiment E8).
+//! Bench for **paper Figure 8**: `Ψ_y → Ω_z` (experiment E8), through the
+//! scenario engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::Suite;
+use fd_grid::scenario::{CrashPlan, Scenario, ScenarioSpec};
 use fd_sim::{FailurePattern, ProcessId, Time};
-use fd_transforms::run_psi_omega;
+use fd_transforms::PsiOmegaScenario;
 
-fn bench_psi(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_psi");
-    g.sample_size(10);
+fn main() {
+    let mut g = Suite::new("fig8_psi");
     for &(n, t, y, z) in &[(5usize, 2usize, 1usize, 2usize), (5, 2, 2, 1), (7, 3, 2, 2)] {
-        g.bench_with_input(
-            BenchmarkId::new("nyz", format!("n{n}_y{y}_z{z}")),
-            &(n, t, y, z),
-            |b, &(n, t, y, z)| {
-                let mut seed = 0;
-                b.iter(|| {
-                    seed += 1;
-                    let fp = FailurePattern::builder(n)
-                        .crash(ProcessId(0), Time(100))
-                        .build();
-                    let rep = run_psi_omega(n, t, y, z, fp, Time(300), seed, Time(10_000));
-                    assert!(rep.check.ok, "{}", rep.check);
-                    rep.trace.horizon().ticks()
-                })
-            },
-        );
+        let fp = FailurePattern::builder(n)
+            .crash(ProcessId(0), Time(100))
+            .build();
+        let spec = ScenarioSpec::new(n, t)
+            .y(y)
+            .z(z)
+            .crashes(CrashPlan::Explicit(fp))
+            .gst(Time(300))
+            .max_time(Time(10_000));
+        g.bench(&format!("nyz/n{n}_y{y}_z{z}"), {
+            let spec = spec.clone();
+            let mut seed = 0;
+            move || {
+                seed += 1;
+                let rep = PsiOmegaScenario.run(&spec.with_seed(seed));
+                assert!(rep.check.ok, "{}", rep.check);
+                rep.trace.horizon().ticks()
+            }
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_psi);
-criterion_main!(benches);

@@ -1,51 +1,54 @@
-//! Criterion bench for **paper Figure 9**: the addition `φ_y + S_x → S`
-//! in both substrates (experiment E9).
+//! Bench for **paper Figure 9**: the addition `φ_y + S_x → S` in both
+//! substrates (experiment E9), through the scenario engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fd_bench::Suite;
+use fd_grid::scenario::{CrashPlan, Flavour, Scenario, ScenarioSpec};
 use fd_sim::{FailurePattern, ProcessId, Time};
-use fd_transforms::{run_addition_mp, run_addition_shm, AdditionFlavour};
+use fd_transforms::{AdditionScenario, Substrate};
 
-fn bench_addition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_addition");
-    g.sample_size(10);
-    let n = 5;
-    let t = 2;
-    g.bench_function("message_passing_eventual", |b| {
+fn main() {
+    let mut g = Suite::new("fig9_addition");
+    g.bench("message_passing_eventual", {
+        let fp = FailurePattern::builder(5)
+            .crash(ProcessId(2), Time(200))
+            .build();
+        let spec = ScenarioSpec::new(5, 2)
+            .x(2)
+            .y(1)
+            .crashes(CrashPlan::Explicit(fp))
+            .gst(Time(500))
+            .max_time(Time(30_000));
+        let sc = AdditionScenario {
+            substrate: Substrate::MessagePassing,
+            flavour: Flavour::Eventual,
+        };
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let fp = FailurePattern::builder(n)
-                .crash(ProcessId(2), Time(200))
-                .build();
-            let rep = run_addition_mp(
-                n,
-                t,
-                2,
-                1,
-                fp,
-                AdditionFlavour::Eventual(Time(500)),
-                seed,
-                Time(30_000),
-            );
+            let rep = sc.run(&spec.with_seed(seed));
             assert!(rep.check.ok, "{}", rep.check);
             rep.trace.counter("addition.scan")
-        })
+        }
     });
-    g.bench_function("shared_memory_perpetual", |b| {
+    g.bench("shared_memory_perpetual", {
+        let fp = FailurePattern::builder(4)
+            .crash(ProcessId(3), Time(500))
+            .build();
+        let spec = ScenarioSpec::new(4, 1)
+            .x(1)
+            .y(1)
+            .crashes(CrashPlan::Explicit(fp))
+            .max_steps(300_000);
+        let sc = AdditionScenario {
+            substrate: Substrate::SharedMemory,
+            flavour: Flavour::Perpetual,
+        };
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
-            let fp = FailurePattern::builder(4)
-                .crash(ProcessId(3), Time(500))
-                .build();
-            let rep =
-                run_addition_shm(4, 1, 1, 1, fp, AdditionFlavour::Perpetual, seed, 300_000);
+            let rep = sc.run(&spec.with_seed(seed));
             assert!(rep.check.ok, "{}", rep.check);
             rep.trace.counter("addition.scan")
-        })
+        }
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_addition);
-criterion_main!(benches);

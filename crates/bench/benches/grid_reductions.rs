@@ -1,55 +1,52 @@
-//! Criterion bench for **paper Figure 1**: the grid's structural
-//! reductions (adapter sampling + checking, experiment E1) and the
-//! Theorem 8 irreducibility witness (experiment E2).
+//! Bench for **paper Figure 1**: the grid's structural reductions
+//! (adapter sampling + checking, experiment E1) and the Theorem 8
+//! irreducibility witness (experiment E2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fd_bench::Suite;
 use fd_detectors::{check, OmegaOracle, PhiOracle, Scope};
 use fd_sim::{FailurePattern, ProcessId, Time};
 use fd_transforms::{sample_oracle, witness, OmegaToDiamondS, PhiToP, SampledSlot};
 
-fn bench_grid(c: &mut Criterion) {
-    let mut g = c.benchmark_group("grid_reductions");
-    g.sample_size(10);
+fn main() {
+    let mut g = Suite::new("grid_reductions");
     let n = 6;
     let t = 2;
     let fp = FailurePattern::builder(n)
         .crash(ProcessId(1), Time(300))
         .build();
 
-    g.bench_function("omega1_to_diamond_s", |b| {
+    g.bench("omega1_to_diamond_s", {
+        let fp = fp.clone();
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
             let inner = OmegaOracle::new(fp.clone(), 1, Time(500), seed);
             let mut ds = OmegaToDiamondS::new(inner, n);
             let tr = sample_oracle(&mut ds, &fp, Time(6_000), 13, SampledSlot::Suspected);
             let out = check::diamond_s_x(&tr, &fp, n, 500);
             assert!(out.ok, "{out}");
-        })
+        }
     });
 
-    g.bench_function("phi_t_to_p", |b| {
+    g.bench("phi_t_to_p", {
+        let fp = fp.clone();
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
             let inner = PhiOracle::new(fp.clone(), t, t, Scope::Perpetual, seed);
             let mut p = PhiToP::new(inner, n);
             let tr = sample_oracle(&mut p, &fp, Time(6_000), 13, SampledSlot::Suspected);
             let out = check::perfect_p(&tr, &fp, 500);
             assert!(out.ok, "{out}");
-        })
+        }
     });
 
-    g.bench_function("theorem8_witness", |b| {
+    g.bench("theorem8_witness", {
         let mut seed = 0;
-        b.iter(|| {
+        move || {
             seed += 1;
             let w = witness::theorem8(5, 2, 1, seed);
             assert!(w.safety_violated);
-        })
+        }
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_grid);
-criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Emits `BENCH_sweep.json`: throughput of a representative grid sweep
+//! (runs/sec, events/sec) through the parallel scenario runner.
+//!
+//! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N] [-- --out PATH]`
+
+use fd_detectors::scenario::Runner;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let seeds: u64 = arg_value("--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let report = fd_bench::representative_sweep(seeds, Runner::parallel());
+    println!(
+        "grid sweep: {} runs ({} passed) on {} threads in {} ms — {:.1} runs/s, {:.0} events/s",
+        report.total_runs,
+        report.total_passes,
+        report.threads,
+        report.wall_ms,
+        report.runs_per_sec,
+        report.events_per_sec,
+    );
+    let json = report.to_json();
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    println!("wrote {out}");
+    assert_eq!(
+        report.total_passes, report.total_runs,
+        "grid sweep had failing cells"
+    );
+}

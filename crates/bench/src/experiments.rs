@@ -3,20 +3,29 @@
 //! Every function is deterministic in its seed range and returns a
 //! [`Table`] whose rows are what EXPERIMENTS.md records. The `tables`
 //! binary prints them all.
+//!
+//! Every simulated experiment is driven by the unified scenario engine:
+//! a [`ScenarioSpec`] names the configuration, the [`Runner`] sweeps it
+//! (in parallel — results are identical to a sequential run), and a
+//! [`SweepSummary`] condenses the reports into table cells. The remaining
+//! bespoke loops (E1, E2, E6) audit oracles or search for witness runs,
+//! which is inherently scenario-free work.
 
 use crate::table::Table;
-use fd_core::harness::{run_consensus_mr, run_kset_omega, CrashPlan, KsetConfig};
+use fd_core::harness::kset_config;
 use fd_core::lower_bound;
 use fd_core::spec;
-use fd_detectors::{
-    check, OmegaOracle, PerfectOracle, PhiOracle, Scope, SxOracle,
+use fd_core::{ConsensusScenario, KsetScenario};
+use fd_detectors::scenario::{
+    default_proposals, CrashPlan, Flavour, Runner, Scenario, ScenarioSpec, SweepSummary,
 };
-use fd_grid::pipeline::run_pipeline;
+use fd_detectors::{check, OmegaOracle, PerfectOracle, PhiOracle, Scope, SxOracle};
+use fd_grid::pipeline::PipelineScenario;
 use fd_sim::{FailurePattern, SplitMix64, Time};
 use fd_transforms::witness;
 use fd_transforms::{
-    run_addition_mp, run_addition_shm, run_psi_omega, run_two_wheels, sample_oracle,
-    AdditionFlavour, OmegaToDiamondS, PToPhi, PhiToP, SampledSlot, TwParams, WeakenPhi,
+    sample_oracle, AdditionScenario, OmegaToDiamondS, PToPhi, PhiToP, SampledSlot, Substrate,
+    TwParams, TwoWheelsScenario, WeakenPhi,
 };
 
 /// How many seeds per configuration (trimmed in `quick` mode).
@@ -28,10 +37,13 @@ pub fn seeds(quick: bool) -> u64 {
     }
 }
 
+/// The runner every experiment sweeps with.
+fn runner() -> Runner {
+    Runner::parallel()
+}
+
 fn random_fp(n: usize, t: usize, seed: u64, horizon: Time) -> FailurePattern {
-    let mut rng = SplitMix64::new(seed).stream(0xFA11);
-    let f = rng.below(t as u64 + 1) as usize;
-    FailurePattern::random(n, f, horizon, &mut rng)
+    CrashPlan::Anarchic { by: horizon }.materialize(n, t, seed)
 }
 
 /// **E1 — Figure 1 grid, bold arrows.** Every structural reduction's output
@@ -234,6 +246,7 @@ pub fn e3_additivity_boundary(quick: bool) -> Table {
     let n = 5;
     let tt = 2;
     let runs = seeds(quick);
+    let r = runner();
     for x in 1..=3usize {
         for y in 0..=2usize {
             if x + y > tt + 1 {
@@ -243,12 +256,11 @@ pub fn e3_additivity_boundary(quick: bool) -> Table {
             if params.z > tt - y + 1 {
                 continue; // inner ring larger than outer: not constructible
             }
-            let mut pass = 0;
-            for seed in 0..runs {
-                let fp = random_fp(n, tt, seed ^ 0xE3, Time(1_500));
-                let rep = run_two_wheels(params, fp, Time(900), seed, Time(40_000));
-                pass += rep.check.ok as u64;
-            }
+            let base = TwoWheelsScenario::spec(params)
+                .crashes(CrashPlan::Anarchic { by: Time(1_500) })
+                .gst(Time(900))
+                .max_time(Time(40_000));
+            let summary = SweepSummary::of(&r.sweep(&TwoWheelsScenario::default(), &base, 0..runs));
             let below = if params.z >= 2 {
                 let infeasible = TwParams {
                     z: params.z - 1,
@@ -271,8 +283,8 @@ pub fn e3_additivity_boundary(quick: bool) -> Table {
                 tt.to_string(),
                 x.to_string(),
                 y.to_string(),
-                format!("{} (pass {pass}/{runs})", params.z),
-                format!("{pass}/{runs}"),
+                format!("{} (pass {})", params.z, summary.pass_cell()),
+                summary.pass_cell(),
                 below,
             ]);
         }
@@ -285,48 +297,40 @@ pub fn e3_additivity_boundary(quick: bool) -> Table {
 pub fn e4_kset(quick: bool) -> Table {
     let mut t = Table::new(
         "E4 — Ω_k-based k-set agreement (Figure 3): spec checks and costs",
-        &["n", "t", "k", "crashes", "runs", "spec pass", "max rounds", "avg msgs", "avg t_dec"],
+        &[
+            "n",
+            "t",
+            "k",
+            "crashes",
+            "runs",
+            "spec pass",
+            "max rounds",
+            "avg msgs",
+            "avg t_dec",
+        ],
     );
     let runs = seeds(quick);
+    let r = runner();
     for &(n, tt) in &[(5usize, 2usize), (7, 3), (9, 4)] {
         for k in 1..=tt {
             for &f in &[0usize, tt] {
-                let mut pass = 0;
-                let mut max_rounds = 0;
-                let mut msgs = 0u64;
-                let mut dec = 0u64;
-                let mut decided_runs = 0u64;
-                for seed in 0..runs {
-                    let cfg = KsetConfig::new(n, tt, k)
-                        .seed(seed)
-                        .crashes(CrashPlan::Random {
-                            f,
-                            by: Time(500),
-                        })
-                        .gst(Time(400));
-                    let rep = run_kset_omega(&cfg);
-                    pass += rep.spec.ok as u64;
-                    max_rounds = max_rounds.max(rep.max_round);
-                    msgs += rep.msgs_sent;
-                    if let Some(t) = rep.last_decision {
-                        dec += t.ticks();
-                        decided_runs += 1;
-                    }
-                }
+                let base = kset_config(n, tt, k)
+                    .crashes(CrashPlan::Random { f, by: Time(500) })
+                    .gst(Time(400));
+                let summary = SweepSummary::of(&r.sweep(&KsetScenario, &base, 0..runs));
                 t.row(vec![
                     n.to_string(),
                     tt.to_string(),
                     k.to_string(),
                     f.to_string(),
                     runs.to_string(),
-                    format!("{pass}/{runs}"),
-                    max_rounds.to_string(),
-                    (msgs / runs).to_string(),
-                    if decided_runs > 0 {
-                        (dec / decided_runs).to_string()
-                    } else {
-                        "-".into()
-                    },
+                    summary.pass_cell(),
+                    summary.max_round.to_string(),
+                    summary.avg_msgs().to_string(),
+                    summary
+                        .avg_decision_time()
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".into()),
                 ]);
             }
         }
@@ -342,48 +346,40 @@ pub fn e5_zero_degradation(quick: bool) -> Table {
         &["scenario", "runs", "decided in round 1"],
     );
     let runs = seeds(quick) * 2;
-    let mut one_round = 0;
-    for seed in 0..runs {
-        let cfg = KsetConfig::new(6, 2, 1).seed(seed).gst(Time::ZERO);
-        let rep = run_kset_omega(&cfg);
-        one_round += (rep.spec.ok && rep.max_round == 1) as u64;
+    let r = runner();
+    let rows: &[(&str, ScenarioSpec)] = &[
+        (
+            "perfect Ω_1, no crashes (oracle efficiency)",
+            kset_config(6, 2, 1).gst(Time::ZERO),
+        ),
+        (
+            "perfect Ω_1, 2 initial crashes (zero degradation)",
+            kset_config(6, 2, 1)
+                .gst(Time::ZERO)
+                .crashes(CrashPlan::Initial { f: 2 }),
+        ),
+        (
+            "adversarial ◇-oracle, mid-run crashes (contrast)",
+            kset_config(6, 2, 1)
+                .gst(Time(600))
+                .crashes(CrashPlan::Random {
+                    f: 2,
+                    by: Time(400),
+                }),
+        ),
+    ];
+    for (label, base) in rows {
+        let reports = r.sweep(&KsetScenario, base, 0..runs);
+        let one_round = reports
+            .iter()
+            .filter(|rep| rep.check.ok && rep.metrics.max_round == 1)
+            .count();
+        t.row(vec![
+            (*label).into(),
+            runs.to_string(),
+            format!("{one_round}/{runs}"),
+        ]);
     }
-    t.row(vec![
-        "perfect Ω_1, no crashes (oracle efficiency)".into(),
-        runs.to_string(),
-        format!("{one_round}/{runs}"),
-    ]);
-    let mut one_round = 0;
-    for seed in 0..runs {
-        let cfg = KsetConfig::new(6, 2, 1)
-            .seed(seed)
-            .gst(Time::ZERO)
-            .crashes(CrashPlan::Initial { f: 2 });
-        let rep = run_kset_omega(&cfg);
-        one_round += (rep.spec.ok && rep.max_round == 1) as u64;
-    }
-    t.row(vec![
-        "perfect Ω_1, 2 initial crashes (zero degradation)".into(),
-        runs.to_string(),
-        format!("{one_round}/{runs}"),
-    ]);
-    let mut one_round = 0;
-    for seed in 0..runs {
-        let cfg = KsetConfig::new(6, 2, 1)
-            .seed(seed)
-            .gst(Time(600))
-            .crashes(CrashPlan::Random {
-                f: 2,
-                by: Time(400),
-            });
-        let rep = run_kset_omega(&cfg);
-        one_round += (rep.spec.ok && rep.max_round == 1) as u64;
-    }
-    t.row(vec![
-        "adversarial ◇-oracle, mid-run crashes (contrast)".into(),
-        runs.to_string(),
-        format!("{one_round}/{runs}"),
-    ]);
     t.note("paper claim: with a perfect oracle the algorithm decides in one round (two steps), even with initial crashes; only anarchy/mid-run crashes cost extra rounds");
     t
 }
@@ -402,8 +398,12 @@ pub fn e6_lower_bounds(quick: bool) -> Table {
                 format!("Ω_2 feeding 1-set agreement, seed {seed}"),
                 format!(
                     "agreement broken: decided {:?} (validity still {})",
-                    rep.decided_values,
-                    if spec::validity(&rep.trace, &rep.proposals).ok { "holds" } else { "broken" }
+                    rep.metrics.decided_values,
+                    if spec::validity(&rep.trace, &default_proposals(rep.spec.n)).ok {
+                        "holds"
+                    } else {
+                        "broken"
+                    }
                 ),
             ]);
         }
@@ -422,7 +422,11 @@ pub fn e6_lower_bounds(quick: bool) -> Table {
         format!(
             "decisions: {} — termination {}",
             rep.trace.decisions().len(),
-            if rep.spec.ok { "held (unexpected)" } else { "starved, as predicted" }
+            if rep.check.ok {
+                "held (unexpected)"
+            } else {
+                "starved, as predicted"
+            }
         ),
     ]);
     t
@@ -432,11 +436,22 @@ pub fn e6_lower_bounds(quick: bool) -> Table {
 pub fn e7_wheels(quick: bool) -> Table {
     let mut t = Table::new(
         "E7 — two-wheels behaviour (Figures 4–7): convergence and quiescence",
-        &["x", "y", "z", "runs", "Ω_z pass", "avg stabilize t", "avg X_MOVE", "avg L_MOVE", "avg inquiries"],
+        &[
+            "x",
+            "y",
+            "z",
+            "runs",
+            "Ω_z pass",
+            "avg stabilize t",
+            "avg X_MOVE",
+            "avg L_MOVE",
+            "avg inquiries",
+        ],
     );
     let n = 5;
     let tt = 2;
     let runs = seeds(quick);
+    let r = runner();
     for &(x, y) in &[(1usize, 1usize), (2, 0), (2, 1), (3, 0), (1, 2), (3, 1)] {
         if x + y > tt + 1 {
             continue;
@@ -445,11 +460,14 @@ pub fn e7_wheels(quick: bool) -> Table {
         if params.z > tt - y + 1 {
             continue;
         }
-        let (mut pass, mut stab, mut xm, mut lm, mut inq) = (0u64, 0u64, 0u64, 0u64, 0u64);
-        for seed in 0..runs {
-            let fp = random_fp(n, tt, seed ^ 0xE7, Time(1_000));
-            let rep = run_two_wheels(params, fp, Time(800), seed, Time(40_000));
-            pass += rep.check.ok as u64;
+        let base = TwoWheelsScenario::spec(params)
+            .crashes(CrashPlan::Anarchic { by: Time(1_000) })
+            .gst(Time(800))
+            .max_time(Time(40_000));
+        let reports = r.sweep(&TwoWheelsScenario::default(), &base, 0..runs);
+        let summary = SweepSummary::of(&reports);
+        let (mut stab, mut xm, mut lm, mut inq) = (0u64, 0u64, 0u64, 0u64);
+        for rep in &reports {
             stab += rep.check.stabilized_at.unwrap_or(Time::ZERO).ticks();
             xm += rep.trace.counter("lower.x_move");
             lm += rep.trace.counter("upper.l_move");
@@ -460,7 +478,7 @@ pub fn e7_wheels(quick: bool) -> Table {
             y.to_string(),
             params.z.to_string(),
             runs.to_string(),
-            format!("{pass}/{runs}"),
+            summary.pass_cell(),
             (stab / runs).to_string(),
             (xm / runs).to_string(),
             (lm / runs).to_string(),
@@ -480,21 +498,26 @@ pub fn e8_psi(quick: bool) -> Table {
     let n = 5;
     let tt = 2;
     let runs = seeds(quick);
+    let r = runner();
     for &(y, z) in &[(1usize, 2usize), (2, 1), (1, 1), (2, 2)] {
-        let mut pass = 0;
-        for seed in 0..runs {
-            let fp = if y + z <= tt {
-                // Below the bound: use the witness pattern that elects a
-                // crashed process.
+        let crashes = if y + z <= tt {
+            // Below the bound: use the witness pattern that elects a
+            // crashed process.
+            CrashPlan::Explicit(
                 FailurePattern::builder(n)
                     .crash(fd_sim::ProcessId(z), Time(50))
-                    .build()
-            } else {
-                random_fp(n, tt, seed ^ 0xE8, Time(800))
-            };
-            let rep = run_psi_omega(n, tt, y, z, fp, Time(600), seed, Time(20_000));
-            pass += rep.check.ok as u64;
-        }
+                    .build(),
+            )
+        } else {
+            CrashPlan::Anarchic { by: Time(800) }
+        };
+        let base = ScenarioSpec::new(n, tt)
+            .y(y)
+            .z(z)
+            .crashes(crashes)
+            .gst(Time(600))
+            .max_time(Time(20_000));
+        let summary = SweepSummary::of(&r.sweep(&fd_transforms::PsiOmegaScenario, &base, 0..runs));
         t.row(vec![
             n.to_string(),
             tt.to_string(),
@@ -502,7 +525,7 @@ pub fn e8_psi(quick: bool) -> Table {
             z.to_string(),
             (y + z).to_string(),
             runs.to_string(),
-            format!("{pass}/{runs}"),
+            summary.pass_cell(),
         ]);
     }
     t.note("paper claim: pass = runs exactly when y + z ≥ t + 1 = 3; the y+z = 2 row must fail");
@@ -519,22 +542,19 @@ pub fn e9_addition(quick: bool) -> Table {
     let n = 5;
     let tt = 2;
     let runs = seeds(quick);
+    let r = runner();
     for &(x, y) in &[(2usize, 1usize), (1, 2), (2, 2)] {
-        let mut pass = 0;
-        for seed in 0..runs {
-            let fp = random_fp(n, tt, seed ^ 0xE9, Time(800));
-            let rep = run_addition_mp(
-                n,
-                tt,
-                x,
-                y,
-                fp,
-                AdditionFlavour::Eventual(Time(700)),
-                seed,
-                Time(40_000),
-            );
-            pass += rep.check.ok as u64;
-        }
+        let base = ScenarioSpec::new(n, tt)
+            .x(x)
+            .y(y)
+            .crashes(CrashPlan::Anarchic { by: Time(800) })
+            .gst(Time(700))
+            .max_time(Time(40_000));
+        let scenario = AdditionScenario {
+            substrate: Substrate::MessagePassing,
+            flavour: Flavour::Eventual,
+        };
+        let summary = SweepSummary::of(&r.sweep(&scenario, &base, 0..runs));
         t.row(vec![
             "message passing".into(),
             "◇ (eventual)".into(),
@@ -542,17 +562,25 @@ pub fn e9_addition(quick: bool) -> Table {
             y.to_string(),
             (x + y).to_string(),
             runs.to_string(),
-            format!("{pass}/{runs}"),
+            summary.pass_cell(),
         ]);
     }
     // Shared memory, perpetual flavour.
-    let mut pass = 0;
     let shm_runs = seeds(quick).min(8);
-    for seed in 0..shm_runs {
-        let fp = FailurePattern::builder(n).crash(fd_sim::ProcessId(4), Time(300)).build();
-        let rep = run_addition_shm(n, tt, 2, 1, fp, AdditionFlavour::Perpetual, seed, 400_000);
-        pass += rep.check.ok as u64;
-    }
+    let base = ScenarioSpec::new(n, tt)
+        .x(2)
+        .y(1)
+        .crashes(CrashPlan::Explicit(
+            FailurePattern::builder(n)
+                .crash(fd_sim::ProcessId(4), Time(300))
+                .build(),
+        ))
+        .max_steps(400_000);
+    let scenario = AdditionScenario {
+        substrate: Substrate::SharedMemory,
+        flavour: Flavour::Perpetual,
+    };
+    let summary = SweepSummary::of(&r.sweep(&scenario, &base, 0..shm_runs));
     t.row(vec![
         "shared memory (SWMR)".into(),
         "perpetual".into(),
@@ -560,7 +588,7 @@ pub fn e9_addition(quick: bool) -> Table {
         "1".into(),
         "3".into(),
         shm_runs.to_string(),
-        format!("{pass}/{shm_runs}"),
+        summary.pass_cell(),
     ]);
     // Boundary.
     let found = witness::find_addition_failure(n, tt, 1, 1, 0..runs * 4, Time(30_000));
@@ -584,89 +612,64 @@ pub fn e9_addition(quick: bool) -> Table {
 pub fn e10_baselines(quick: bool) -> Table {
     let mut t = Table::new(
         "E10 — consensus baselines: rounds / messages / decision time",
-        &["algorithm", "oracle", "runs", "pass", "avg rounds", "avg msgs", "avg t_dec"],
+        &[
+            "algorithm",
+            "oracle",
+            "runs",
+            "pass",
+            "avg rounds",
+            "avg msgs",
+            "avg t_dec",
+        ],
     );
     let n = 5;
     let tt = 2;
     let runs = seeds(quick);
-    // Figure 3 with Ω_1.
-    let (mut pass, mut rounds, mut msgs, mut dec) = (0u64, 0u64, 0u64, 0u64);
-    for seed in 0..runs {
-        let cfg = KsetConfig::new(n, tt, 1).seed(seed).gst(Time(400)).crashes(
-            CrashPlan::Random {
-                f: 1,
-                by: Time(300),
-            },
-        );
-        let rep = run_kset_omega(&cfg);
-        pass += rep.spec.ok as u64;
-        rounds += rep.max_round;
-        msgs += rep.msgs_sent;
-        dec += rep.last_decision.unwrap_or(Time::ZERO).ticks();
+    let r = runner();
+    let crashy = kset_config(n, tt, 1)
+        .gst(Time(400))
+        .crashes(CrashPlan::Random {
+            f: 1,
+            by: Time(300),
+        });
+    for (label, oracle, sc) in [
+        (
+            "Figure 3 (k = 1)",
+            "Ω_1 (gst 400)",
+            &KsetScenario as &dyn Scenario,
+        ),
+        ("MR quorum consensus", "◇S (gst 400)", &ConsensusScenario),
+    ] {
+        let summary = SweepSummary::of(&r.sweep(sc, &crashy, 0..runs));
+        t.row(vec![
+            label.into(),
+            oracle.into(),
+            runs.to_string(),
+            summary.pass_cell(),
+            summary.avg_rounds().to_string(),
+            summary.avg_msgs().to_string(),
+            summary
+                .avg_decision_time()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
     }
-    t.row(vec![
-        "Figure 3 (k = 1)".into(),
-        "Ω_1 (gst 400)".into(),
-        runs.to_string(),
-        format!("{pass}/{runs}"),
-        (rounds / runs).to_string(),
-        (msgs / runs).to_string(),
-        (dec / runs).to_string(),
-    ]);
-    // MR ◇S consensus.
-    let (mut pass, mut rounds, mut msgs, mut dec) = (0u64, 0u64, 0u64, 0u64);
-    for seed in 0..runs {
-        let cfg = KsetConfig::new(n, tt, 1).seed(seed).gst(Time(400)).crashes(
-            CrashPlan::Random {
-                f: 1,
-                by: Time(300),
-            },
-        );
-        let rep = run_consensus_mr(&cfg);
-        pass += rep.spec.ok as u64;
-        rounds += rep.max_round;
-        msgs += rep.msgs_sent;
-        dec += rep.last_decision.unwrap_or(Time::ZERO).ticks();
-    }
-    t.row(vec![
-        "MR quorum consensus".into(),
-        "◇S (gst 400)".into(),
-        runs.to_string(),
-        format!("{pass}/{runs}"),
-        (rounds / runs).to_string(),
-        (msgs / runs).to_string(),
-        (dec / runs).to_string(),
-    ]);
     // Full pipeline.
-    let (mut pass, mut msgs, mut dec) = (0u64, 0u64, 0u64);
-    for seed in 0..runs {
-        let rep = run_pipeline(
-            n,
-            tt,
-            2,
-            1,
-            FailurePattern::all_correct(n),
-            Time(400),
-            seed,
-            Time(150_000),
-        );
-        pass += rep.spec.ok as u64;
-        msgs += rep.msgs_sent;
-        dec += rep
-            .trace
-            .decisions()
-            .last()
-            .map(|d| d.at.ticks())
-            .unwrap_or(0);
-    }
+    let base = PipelineScenario::spec(n, tt, 2, 1)
+        .gst(Time(400))
+        .max_time(Time(150_000));
+    let summary = SweepSummary::of(&r.sweep(&PipelineScenario, &base, 0..runs));
     t.row(vec![
         "pipeline (wheels + Figure 3)".into(),
         "◇S_2 + ◇φ_1 only".into(),
         runs.to_string(),
-        format!("{pass}/{runs}"),
+        summary.pass_cell(),
         "-".into(),
-        (msgs / runs).to_string(),
-        (dec / runs).to_string(),
+        summary.avg_msgs().to_string(),
+        summary
+            .avg_decision_time()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "0".into()),
     ]);
     t.note("shape expected: the oracle-fed algorithms decide fast; the pipeline pays the wheels' message overhead (inquiry/response traffic) but needs no Ω oracle");
     t
@@ -699,18 +702,8 @@ pub fn e11_repeated(quick: bool) -> Table {
                 let mut rng = SplitMix64::new(seed).stream(0xE11);
                 FailurePattern::random(n, f, Time(80), &mut rng)
             };
-            let oracle =
-                fd_detectors::OmegaOracle::new(fp.clone(), 1, Time(gst), seed ^ 0xE11);
-            let rep = fd_core::repeated::run_repeated(
-                n,
-                tt,
-                1,
-                m,
-                fp,
-                oracle,
-                seed,
-                Time(600_000),
-            );
+            let oracle = fd_detectors::OmegaOracle::new(fp.clone(), 1, Time(gst), seed ^ 0xE11);
+            let rep = fd_core::repeated::run_repeated(n, tt, 1, m, fp, oracle, seed, Time(600_000));
             pass += rep.spec.ok as u64;
             let mut prev = Time::ZERO;
             for (i, s) in rep.per_instance.iter().enumerate() {
@@ -741,27 +734,29 @@ pub fn e12_throttle_ablation(quick: bool) -> Table {
     );
     let params = TwParams::optimal(5, 2, 2, 0); // z = 2, ◇S_2 alone
     let runs = seeds(quick).min(8);
-    for &(throttled, label) in &[(true, "throttled (default)"), (false, "paper-literal re-broadcast")] {
-        let (mut pass, mut xm, mut lm) = (0u64, 0u64, 0u64);
-        for seed in 0..runs {
-            let mut rng = SplitMix64::new(seed).stream(0xE12);
-            let fp = FailurePattern::random(5, 1, Time(600), &mut rng);
-            let rep = fd_transforms::run_two_wheels_opt(
-                params,
-                fp,
-                Time(700),
-                seed,
-                Time(30_000),
-                throttled,
-            );
-            pass += rep.check.ok as u64;
+    let r = runner();
+    for &(throttled, label) in &[
+        (true, "throttled (default)"),
+        (false, "paper-literal re-broadcast"),
+    ] {
+        let base = TwoWheelsScenario::spec(params)
+            .crashes(CrashPlan::Random {
+                f: 1,
+                by: Time(600),
+            })
+            .gst(Time(700))
+            .max_time(Time(30_000));
+        let reports = r.sweep(&TwoWheelsScenario { throttled }, &base, 0..runs);
+        let summary = SweepSummary::of(&reports);
+        let (mut xm, mut lm) = (0u64, 0u64);
+        for rep in &reports {
             xm += rep.trace.counter("lower.x_move");
             lm += rep.trace.counter("upper.l_move");
         }
         t.row(vec![
             label.into(),
             runs.to_string(),
-            format!("{pass}/{runs}"),
+            summary.pass_cell(),
             (xm / runs).to_string(),
             (lm / runs).to_string(),
         ]);

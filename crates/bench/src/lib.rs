@@ -1,16 +1,22 @@
 //! # fd-bench — experiment harness regenerating every paper artifact
 //!
 //! One experiment per figure/theorem of the paper (see DESIGN.md §3 for the
-//! index). The [`experiments`] module computes the tables; the `tables`
-//! binary prints them (`cargo run -p fd-bench --bin tables --release`);
-//! the criterion benches (`cargo bench -p fd-bench`) time the same
-//! workloads.
+//! index), all driven by the unified scenario engine. The [`experiments`]
+//! module computes the tables; the `tables` binary prints them
+//! (`cargo run -p fd-bench --bin tables --release`); the `sweep` binary
+//! emits the machine-readable `BENCH_sweep.json` throughput report; the
+//! bench targets (`cargo bench -p fd-bench`) time the same workloads on
+//! the dependency-free [`micro`] harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod micro;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::all;
+pub use micro::{BenchResult, Suite};
+pub use sweep::{representative_sweep, SweepBenchReport};
 pub use table::Table;

@@ -1,0 +1,165 @@
+//! A representative grid sweep with machine-readable throughput output.
+//!
+//! [`representative_sweep`] drives the Figure 3 scenario over a grid of
+//! `(n, t, k)` cells × crash plans × seeds through the parallel
+//! [`Runner`], measures wall-clock throughput (runs/sec and simulator
+//! events/sec), and renders everything as JSON (`BENCH_sweep.json`) for
+//! tracking across commits. No external JSON crate is available offline,
+//! so the (flat, fully-controlled) document is rendered by hand.
+
+use fd_core::harness::kset_config;
+use fd_core::KsetScenario;
+use fd_detectors::scenario::{CrashPlan, Runner, ScenarioSpec, SweepSummary};
+use fd_sim::Time;
+use std::time::Instant;
+
+/// One grid cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Cell label (`n5_t2_k1_f2`-style).
+    pub label: String,
+    /// Seeds run in this cell.
+    pub runs: u64,
+    /// Runs whose spec check passed.
+    pub passes: u64,
+    /// Simulator events processed in this cell.
+    pub events: u64,
+    /// Messages sent in this cell.
+    pub msgs: u64,
+}
+
+/// The whole sweep: cells plus throughput.
+#[derive(Clone, Debug)]
+pub struct SweepBenchReport {
+    /// Worker threads the runner used.
+    pub threads: usize,
+    /// Total runs across all cells.
+    pub total_runs: u64,
+    /// Total runs that passed.
+    pub total_passes: u64,
+    /// Total simulator events processed.
+    pub total_events: u64,
+    /// Wall-clock duration, milliseconds.
+    pub wall_ms: u64,
+    /// Completed scenario runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Simulator events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Per-cell results.
+    pub cells: Vec<CellResult>,
+}
+
+/// The grid the sweep covers: `(n, t)` scales × `k` × crash count.
+fn grid(seeds_per_cell: u64) -> Vec<(String, ScenarioSpec, u64)> {
+    let mut cells = Vec::new();
+    for &(n, t) in &[(5usize, 2usize), (7, 3), (9, 4)] {
+        for k in [1usize, 2] {
+            for &f in &[0usize, t] {
+                let label = format!("n{n}_t{t}_k{k}_f{f}");
+                let spec = kset_config(n, t, k)
+                    .gst(Time(400))
+                    .crashes(CrashPlan::Random { f, by: Time(500) });
+                cells.push((label, spec, seeds_per_cell));
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the representative grid sweep and measures throughput.
+pub fn representative_sweep(seeds_per_cell: u64, runner: Runner) -> SweepBenchReport {
+    let cells = grid(seeds_per_cell);
+    let t0 = Instant::now();
+    let mut out = Vec::with_capacity(cells.len());
+    for (label, spec, seeds) in cells {
+        let reports = runner.sweep(&KsetScenario, &spec, 0..seeds);
+        let summary = SweepSummary::of(&reports);
+        out.push(CellResult {
+            label,
+            runs: summary.runs,
+            passes: summary.passes,
+            events: summary.total_events,
+            msgs: summary.total_msgs,
+        });
+    }
+    let wall = t0.elapsed();
+    let total_runs: u64 = out.iter().map(|c| c.runs).sum();
+    let total_passes: u64 = out.iter().map(|c| c.passes).sum();
+    let total_events: u64 = out.iter().map(|c| c.events).sum();
+    let secs = wall.as_secs_f64().max(1e-9);
+    SweepBenchReport {
+        threads: runner.threads(),
+        total_runs,
+        total_passes,
+        total_events,
+        wall_ms: wall.as_millis() as u64,
+        runs_per_sec: total_runs as f64 / secs,
+        events_per_sec: total_events as f64 / secs,
+        cells: out,
+    }
+}
+
+impl SweepBenchReport {
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"grid_sweep\",\n");
+        s.push_str("  \"scenario\": \"kset_omega\",\n");
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
+        s.push_str(&format!("  \"total_passes\": {},\n", self.total_passes));
+        s.push_str(&format!("  \"total_events\": {},\n", self.total_events));
+        s.push_str(&format!("  \"wall_ms\": {},\n", self.wall_ms));
+        s.push_str(&format!("  \"runs_per_sec\": {:.2},\n", self.runs_per_sec));
+        s.push_str(&format!(
+            "  \"events_per_sec\": {:.2},\n",
+            self.events_per_sec
+        ));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"runs\": {}, \"passes\": {}, \"events\": {}, \"msgs\": {}}}{}\n",
+                c.label,
+                c.runs,
+                c.passes,
+                c.events,
+                c.msgs,
+                if i + 1 == self.cells.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_passes_and_serializes() {
+        let rep = representative_sweep(2, Runner::parallel());
+        assert_eq!(rep.total_runs, rep.cells.len() as u64 * 2);
+        assert_eq!(
+            rep.total_passes, rep.total_runs,
+            "grid cell failed its spec"
+        );
+        assert!(rep.total_events > 0);
+        let json = rep.to_json();
+        assert!(json.contains("\"runs_per_sec\""));
+        assert!(json.contains("n5_t2_k1_f0"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let a = representative_sweep(2, Runner::sequential());
+        let b = representative_sweep(2, Runner::parallel());
+        assert_eq!(a.total_events, b.total_events);
+        assert_eq!(a.total_passes, b.total_passes);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.msgs, cb.msgs, "cell {} diverged", ca.label);
+        }
+    }
+}

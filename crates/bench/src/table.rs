@@ -66,7 +66,15 @@ impl fmt::Display for Table {
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
         let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        writeln!(f, "|{}|", dashes.iter().map(|d| format!("-{d}-")).collect::<Vec<_>>().join("|"))?;
+        writeln!(
+            f,
+            "|{}|",
+            dashes
+                .iter()
+                .map(|d| format!("-{d}-"))
+                .collect::<Vec<_>>()
+                .join("|")
+        )?;
         for r in &self.rows {
             writeln!(f, "{}", fmt_row(r))?;
         }

@@ -1,138 +1,18 @@
-//! Assembled experiments: configure, run, and check a set-agreement
-//! execution in one call.
+//! Thin one-call adapters over the scenario engine.
+//!
+//! All sim setup, crash materialization, oracle assembly, and report
+//! assembly live in `fd_detectors::scenario` and [`crate::scenario`]; this
+//! module only provides the historical entry-point names.
 
-use crate::consensus_mr::ConsensusMr;
-use crate::kset_omega::KsetOmega;
-use crate::spec;
-use fd_detectors::{CheckOutcome, OmegaOracle, Scope, SxOracle};
-use fd_sim::{
-    counter, DelayModel, FailurePattern, PSet, Sim, SimConfig, SplitMix64, Time, Trace,
-};
+use crate::scenario::{run_kset_with, ConsensusScenario, KsetScenario};
+pub use fd_detectors::scenario::{CrashPlan, ScenarioReport, ScenarioSpec};
+use fd_detectors::Scenario;
+use fd_sim::{FailurePattern, PSet};
 
-/// How crashes are injected into a run.
-#[derive(Clone, Debug)]
-pub enum CrashPlan {
-    /// Failure-free run.
-    None,
-    /// `f` random processes crash at random times up to `by`.
-    Random {
-        /// Number of crashes.
-        f: usize,
-        /// Latest crash time.
-        by: Time,
-    },
-    /// `f` random processes crash before the run starts (the premise of the
-    /// paper's zero-degradation property).
-    Initial {
-        /// Number of crashes.
-        f: usize,
-    },
-    /// An explicit pattern.
-    Explicit(FailurePattern),
-}
-
-impl CrashPlan {
-    /// Materializes the plan into a pattern for `n` processes.
-    pub fn materialize(&self, n: usize, seed: u64) -> FailurePattern {
-        let mut rng = SplitMix64::new(seed).stream(0xC4A5);
-        match self {
-            CrashPlan::None => FailurePattern::all_correct(n),
-            CrashPlan::Random { f, by } => FailurePattern::random(n, *f, *by, &mut rng),
-            CrashPlan::Initial { f } => FailurePattern::random_initial(n, *f, &mut rng),
-            CrashPlan::Explicit(fp) => fp.clone(),
-        }
-    }
-}
-
-/// Configuration of one `k`-set agreement experiment.
-#[derive(Clone, Debug)]
-pub struct KsetConfig {
-    /// System size.
-    pub n: usize,
-    /// Resilience bound (`t < n/2` required by the algorithm).
-    pub t: usize,
-    /// Agreement degree `k`.
-    pub k: usize,
-    /// Oracle parameter `z` of the underlying `Ω_z` (`z ≤ k` for
-    /// correctness; set `z > k` to reproduce the Theorem 5 violation).
-    pub z: usize,
-    /// Root seed.
-    pub seed: u64,
-    /// Oracle stabilization time.
-    pub gst: Time,
-    /// Crash injection.
-    pub crashes: CrashPlan,
-    /// Simulation horizon.
-    pub max_time: Time,
-    /// Message delay model.
-    pub delay: DelayModel,
-}
-
-impl KsetConfig {
-    /// A sensible default experiment: `n` processes, resilience `t`,
-    /// `k = z`, random GST at 300, no crashes.
-    pub fn new(n: usize, t: usize, k: usize) -> Self {
-        KsetConfig {
-            n,
-            t,
-            k,
-            z: k,
-            seed: 0,
-            gst: Time(300),
-            crashes: CrashPlan::None,
-            max_time: Time(100_000),
-            delay: DelayModel::default(),
-        }
-    }
-
-    /// Sets the seed (builder style).
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the oracle parameter `z` (builder style).
-    pub fn z(mut self, z: usize) -> Self {
-        self.z = z;
-        self
-    }
-
-    /// Sets the crash plan (builder style).
-    pub fn crashes(mut self, crashes: CrashPlan) -> Self {
-        self.crashes = crashes;
-        self
-    }
-
-    /// Sets the oracle stabilization time (builder style).
-    pub fn gst(mut self, gst: Time) -> Self {
-        self.gst = gst;
-        self
-    }
-}
-
-/// Everything measured in one experiment run.
-#[derive(Clone, Debug)]
-pub struct KsetReport {
-    /// The run's trace.
-    pub trace: Trace,
-    /// The run's failure pattern.
-    pub fp: FailurePattern,
-    /// The proposals used (process `p_i` proposes `100 + i`).
-    pub proposals: Vec<u64>,
-    /// Outcome of the full `k`-set agreement specification check.
-    pub spec: CheckOutcome,
-    /// Largest round reached by a correct process.
-    pub max_round: u64,
-    /// Point-to-point messages sent.
-    pub msgs_sent: u64,
-    /// Distinct decided values.
-    pub decided_values: Vec<u64>,
-    /// Time of the last decision (if all correct decided).
-    pub last_decision: Option<Time>,
-}
-
-fn proposals_for(n: usize) -> Vec<u64> {
-    (0..n).map(|i| 100 + i as u64).collect()
+/// The conventional `k`-set agreement spec: `n` processes, resilience `t`,
+/// `k = z`, `Ω_z` oracle with GST 300, no crashes.
+pub fn kset_config(n: usize, t: usize, k: usize) -> ScenarioSpec {
+    KsetScenario::spec(n, t, k)
 }
 
 /// Runs the Figure 3 algorithm under an (adversarial) `Ω_z` oracle and
@@ -141,141 +21,73 @@ fn proposals_for(n: usize) -> Vec<u64> {
 /// # Panics
 ///
 /// Panics if the configuration violates the model (`t ≥ n`, `z > n`).
-pub fn run_kset_omega(cfg: &KsetConfig) -> KsetReport {
-    let fp = cfg.crashes.materialize(cfg.n, cfg.seed);
-    let oracle = OmegaOracle::new(fp.clone(), cfg.z, cfg.gst, cfg.seed ^ 0x0A11);
-    run_kset_with_oracle(cfg, fp, oracle)
+pub fn run_kset_omega(spec: &ScenarioSpec) -> ScenarioReport {
+    KsetScenario.run(spec)
 }
 
 /// As [`run_kset_omega`] with a caller-supplied oracle (used by the
 /// lower-bound experiments that need hand-crafted adversarial oracles).
 pub fn run_kset_with_oracle(
-    cfg: &KsetConfig,
+    spec: &ScenarioSpec,
     fp: FailurePattern,
     oracle: impl fd_sim::OracleSuite,
-) -> KsetReport {
-    let proposals = proposals_for(cfg.n);
-    let sim_cfg = SimConfig {
-        seed: cfg.seed,
-        max_time: cfg.max_time,
-        delay: cfg.delay.clone(),
-        ..SimConfig::new(cfg.n, cfg.t)
-    };
-    let mut sim = Sim::new(
-        sim_cfg,
-        fp.clone(),
-        |p| KsetOmega::new(proposals_for(cfg.n)[p.0]),
-        oracle,
-    );
-    let correct = fp.correct();
-    let rep = sim.run_until(move |tr| tr.deciders().is_superset(correct));
-    let trace = rep.trace;
-    KsetReport {
-        spec: spec::kset_spec(&trace, &fp, cfg.k, &proposals),
-        max_round: spec::max_round(&trace, &fp),
-        msgs_sent: trace.counter(counter::SENT),
-        decided_values: trace.decided_values(),
-        last_decision: spec::decision_span(&trace).map(|(_, last)| last),
-        proposals,
-        fp,
-        trace,
-    }
+) -> ScenarioReport {
+    run_kset_with(spec, fp, oracle)
 }
 
 /// Runs the MR `◇S` consensus baseline and checks the consensus (`k = 1`)
 /// specification.
-pub fn run_consensus_mr(cfg: &KsetConfig) -> KsetReport {
-    let fp = cfg.crashes.materialize(cfg.n, cfg.seed);
-    let proposals = proposals_for(cfg.n);
-    // ◇S = ◇S_n.
-    let oracle = SxOracle::new(
-        fp.clone(),
-        cfg.t,
-        cfg.n,
-        Scope::Eventual(cfg.gst),
-        cfg.seed ^ 0x0511,
-    );
-    let sim_cfg = SimConfig {
-        seed: cfg.seed,
-        max_time: cfg.max_time,
-        delay: cfg.delay.clone(),
-        ..SimConfig::new(cfg.n, cfg.t)
-    };
-    let mut sim = Sim::new(
-        sim_cfg,
-        fp.clone(),
-        |p| ConsensusMr::new(proposals_for(cfg.n)[p.0]),
-        oracle,
-    );
-    let correct = fp.correct();
-    let rep = sim.run_until(move |tr| tr.deciders().is_superset(correct));
-    let trace = rep.trace;
-    KsetReport {
-        spec: spec::kset_spec(&trace, &fp, 1, &proposals),
-        max_round: spec::max_round(&trace, &fp),
-        msgs_sent: trace.counter(counter::SENT),
-        decided_values: trace.decided_values(),
-        last_decision: spec::decision_span(&trace).map(|(_, last)| last),
-        proposals,
-        fp,
-        trace,
-    }
+pub fn run_consensus_mr(spec: &ScenarioSpec) -> ScenarioReport {
+    ConsensusScenario.run(spec)
 }
 
 /// Convenience: the set of processes that decided.
-pub fn deciders(report: &KsetReport) -> PSet {
+pub fn deciders(report: &ScenarioReport) -> PSet {
     report.trace.deciders()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fd_sim::Time;
 
     #[test]
     fn kset_harness_end_to_end() {
         for seed in 0..4 {
-            let cfg = KsetConfig::new(5, 2, 2).seed(seed).crashes(CrashPlan::Random {
+            let cfg = kset_config(5, 2, 2).seed(seed).crashes(CrashPlan::Random {
                 f: 2,
                 by: Time(500),
             });
             let rep = run_kset_omega(&cfg);
-            assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
-            assert!(rep.max_round >= 1);
-            assert!(rep.msgs_sent > 0);
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert!(rep.metrics.max_round >= 1);
+            assert!(rep.metrics.msgs_sent > 0);
         }
     }
 
     #[test]
     fn consensus_harness_end_to_end() {
-        let cfg = KsetConfig::new(5, 2, 1).seed(3);
+        let cfg = kset_config(5, 2, 1).seed(3);
         let rep = run_consensus_mr(&cfg);
-        assert!(rep.spec.ok, "{}", rep.spec);
-        assert_eq!(rep.decided_values.len(), 1);
+        assert!(rep.check.ok, "{}", rep.check);
+        assert_eq!(rep.metrics.decided_values.len(), 1);
     }
 
     #[test]
     fn zero_degradation_single_round() {
         // Perfect oracle (gst = 0) + only initial crashes ⇒ round 1.
         for seed in 0..4 {
-            let cfg = KsetConfig::new(6, 2, 1)
+            let cfg = kset_config(6, 2, 1)
                 .seed(seed)
                 .gst(Time::ZERO)
                 .crashes(CrashPlan::Initial { f: 2 });
             let rep = run_kset_omega(&cfg);
-            assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
-            assert_eq!(rep.max_round, 1, "seed {seed} took {} rounds", rep.max_round);
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert_eq!(
+                rep.metrics.max_round, 1,
+                "seed {seed} took {} rounds",
+                rep.metrics.max_round
+            );
         }
-    }
-
-    #[test]
-    fn crash_plans_materialize() {
-        assert_eq!(CrashPlan::None.materialize(4, 0).num_faulty(), 0);
-        assert_eq!(
-            CrashPlan::Random { f: 2, by: Time(10) }.materialize(5, 1).num_faulty(),
-            2
-        );
-        let ini = CrashPlan::Initial { f: 3 }.materialize(7, 2);
-        assert_eq!(ini.num_faulty(), 3);
-        assert_eq!(ini.last_crash(), Time::ZERO);
     }
 }

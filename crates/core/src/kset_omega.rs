@@ -274,9 +274,15 @@ mod tests {
         let fp = FailurePattern::all_correct(n);
         let oracle = OmegaOracle::new(fp.clone(), z, Time(gst), seed);
         let cfg = SimConfig::new(n, t).seed(seed).max_time(Time(60_000));
-        let mut sim = Sim::new(cfg, fp.clone(), |p| KsetOmega::new(100 + p.0 as u64), oracle);
+        let mut sim = Sim::new(
+            cfg,
+            fp.clone(),
+            |p| KsetOmega::new(100 + p.0 as u64),
+            oracle,
+        );
         let correct = fp.correct();
-        sim.run_until(move |tr| tr.deciders().is_superset(correct)).trace
+        sim.run_until(move |tr| tr.deciders().is_superset(correct))
+            .trace
     }
 
     #[test]
@@ -291,7 +297,11 @@ mod tests {
         for seed in 0..5 {
             let tr = run(5, 2, 2, 300, seed);
             assert_eq!(tr.deciders().len(), 5);
-            assert!(tr.decided_values().len() <= 2, "decided {:?}", tr.decided_values());
+            assert!(
+                tr.decided_values().len() <= 2,
+                "decided {:?}",
+                tr.decided_values()
+            );
         }
     }
 

@@ -11,30 +11,34 @@
 //! * [`ConsensusMr`] — the Mostéfaoui–Raynal `◇S` quorum-based consensus
 //!   (the paper's reference [18]), used as a baseline;
 //! * [`spec`] — validity / k-agreement / termination checkers;
-//! * [`harness`] — one-call experiment runners.
+//! * [`scenario`] — the [`Scenario`](fd_detectors::Scenario)
+//!   implementations driving the algorithms through the unified engine;
+//! * [`harness`] — thin one-call adapters over the engine.
 //!
 //! ## Example
 //!
 //! ```
-//! use fd_core::harness::{run_kset_omega, KsetConfig};
+//! use fd_core::harness::{kset_config, run_kset_omega};
 //!
 //! // 2-set agreement among 5 processes with an adversarial Ω_2.
-//! let report = run_kset_omega(&KsetConfig::new(5, 2, 2).seed(42));
-//! assert!(report.spec.ok, "{}", report.spec);
-//! assert!(report.decided_values.len() <= 2);
+//! let report = run_kset_omega(&kset_config(5, 2, 2).seed(42));
+//! assert!(report.check.ok, "{}", report.check);
+//! assert!(report.metrics.decided_values.len() <= 2);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod consensus_mr;
-pub mod lower_bound;
-pub mod repeated;
 pub mod harness;
 pub mod kset_omega;
+pub mod lower_bound;
+pub mod repeated;
+pub mod scenario;
 pub mod spec;
 
 pub use consensus_mr::{ConsensusMr, MrMsg};
-pub use harness::{run_consensus_mr, run_kset_omega, CrashPlan, KsetConfig, KsetReport};
+pub use harness::{kset_config, run_consensus_mr, run_kset_omega, CrashPlan};
 pub use kset_omega::{KsetMsg, KsetOmega, LeaderInput};
-pub use repeated::{run_repeated, RepMsg, RepeatedKset, RepeatedReport};
+pub use repeated::{run_repeated, run_repeated_spec, RepMsg, RepeatedKset, RepeatedReport};
+pub use scenario::{run_kset_with, ConsensusScenario, KsetScenario, RepeatedScenario};

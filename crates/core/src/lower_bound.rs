@@ -18,9 +18,10 @@
 //! is the proof's run construction made machine-checkable against this
 //! repository's implementation.
 
-use crate::harness::{KsetConfig, KsetReport};
+use crate::scenario::{run_kset_with, KsetScenario};
+use fd_detectors::scenario::ScenarioReport;
 use fd_detectors::OmegaOracle;
-use fd_sim::{DelayRule, FailurePattern, PSet, ProcessId, Time};
+use fd_sim::{DelayModel, DelayRule, FailurePattern, PSet, ProcessId, Time};
 
 /// Searches `seeds` for a run in which the Figure 3 algorithm, fed an
 /// `Ω_{k+1}` detector (legal but one line below `Ω_k` in the grid),
@@ -33,9 +34,9 @@ pub fn find_z_violation(
     t: usize,
     k: usize,
     seeds: std::ops::Range<u64>,
-) -> Option<(u64, KsetReport)> {
+) -> Option<(u64, ScenarioReport)> {
     assert!(t < n / 2 + n % 2, "keep t < n/2 so only z is at fault");
-    assert!(k + 1 <= n, "need z = k+1 <= n");
+    assert!(k < n, "need z = k+1 <= n");
     let fp = FailurePattern::all_correct(n);
     // Eventual leader set: k+1 correct processes (distinct proposals).
     let leaders: PSet = (0..k + 1).map(ProcessId).collect();
@@ -44,59 +45,24 @@ pub fn find_z_violation(
     let lowest = ProcessId(0);
     let others = leaders.complement(n);
     for seed in seeds {
-        let mut cfg = KsetConfig {
-            z: k + 1,
-            gst: Time::ZERO,
-            max_time: Time(60_000),
-            ..KsetConfig::new(n, t, k)
-        }
-        .seed(seed);
-        cfg.delay = fd_sim::DelayModel::Uniform { lo: 1, hi: 12 };
-        let oracle =
-            OmegaOracle::with_final_set(fp.clone(), k + 1, Time::ZERO, seed, leaders);
-        let rule = DelayRule::silence_until(PSet::singleton(lowest), others, Time(2_000));
-        let report = run_kset_with_oracle_with_rules(&cfg, fp.clone(), oracle, vec![rule]);
-        if report.decided_values.len() > k {
+        let spec = KsetScenario::spec(n, t, k)
+            .z(k + 1)
+            .gst(Time::ZERO)
+            .max_time(Time(60_000))
+            .seed(seed)
+            .delay(DelayModel::Uniform { lo: 1, hi: 12 })
+            .rule(DelayRule::silence_until(
+                PSet::singleton(lowest),
+                others,
+                Time(2_000),
+            ));
+        let oracle = OmegaOracle::with_final_set(fp.clone(), k + 1, Time::ZERO, seed, leaders);
+        let report = run_kset_with(&spec, fp.clone(), oracle);
+        if report.metrics.decided_values.len() > k {
             return Some((seed, report));
         }
     }
     None
-}
-
-/// Variant of the harness runner that injects targeted-delay rules.
-fn run_kset_with_oracle_with_rules(
-    cfg: &KsetConfig,
-    fp: FailurePattern,
-    oracle: impl fd_sim::OracleSuite,
-    rules: Vec<DelayRule>,
-) -> KsetReport {
-    let proposals: Vec<u64> = (0..cfg.n).map(|i| 100 + i as u64).collect();
-    let sim_cfg = fd_sim::SimConfig {
-        seed: cfg.seed,
-        max_time: cfg.max_time,
-        delay: cfg.delay.clone(),
-        rules,
-        ..fd_sim::SimConfig::new(cfg.n, cfg.t)
-    };
-    let mut sim = fd_sim::Sim::new(
-        sim_cfg,
-        fp.clone(),
-        |p| crate::kset_omega::KsetOmega::new(proposals[p.0]),
-        oracle,
-    );
-    let correct = fp.correct();
-    let rep = sim.run_until(move |tr| tr.deciders().is_superset(correct));
-    let trace = rep.trace;
-    KsetReport {
-        spec: crate::spec::kset_spec(&trace, &fp, cfg.k, &proposals),
-        max_round: crate::spec::max_round(&trace, &fp),
-        msgs_sent: trace.counter(fd_sim::counter::SENT),
-        decided_values: trace.decided_values(),
-        last_decision: crate::spec::decision_span(&trace).map(|(_, l)| l),
-        proposals,
-        fp,
-        trace,
-    }
 }
 
 /// The `t ≥ n/2` partition schedule: two halves of the system never hear
@@ -104,23 +70,18 @@ fn run_kset_with_oracle_with_rules(
 /// `n − t ≤ n/2`, each half clears the `n − t` quorums locally but no
 /// process ever assembles a *majority* certificate for a leader set, so no
 /// decision is ever reached — termination fails exactly as the bound says.
-pub fn partition_blocks(n: usize, t: usize, seed: u64) -> KsetReport {
+pub fn partition_blocks(n: usize, t: usize, seed: u64) -> ScenarioReport {
     assert!(2 * t >= n, "need t >= n/2 for this witness");
     let fp = FailurePattern::all_correct(n);
     let half_a: PSet = (0..n / 2).map(ProcessId).collect();
     let half_b = half_a.complement(n);
     let horizon = Time(30_000);
-    let rules = vec![
-        DelayRule::silence_until(half_a, half_b, horizon + 1),
-        DelayRule::silence_until(half_b, half_a, horizon + 1),
-    ];
-    let cfg = KsetConfig {
-        z: 1,
-        gst: Time::ZERO,
-        max_time: horizon,
-        ..KsetConfig::new(n, t, 1)
-    }
-    .seed(seed);
+    let spec = KsetScenario::spec(n, t, 1)
+        .gst(Time::ZERO)
+        .max_time(horizon)
+        .seed(seed)
+        .rule(DelayRule::silence_until(half_a, half_b, horizon + 1))
+        .rule(DelayRule::silence_until(half_b, half_a, horizon + 1));
     let oracle = OmegaOracle::with_final_set(
         fp.clone(),
         1,
@@ -128,24 +89,25 @@ pub fn partition_blocks(n: usize, t: usize, seed: u64) -> KsetReport {
         seed,
         PSet::singleton(ProcessId(0)),
     );
-    run_kset_with_oracle_with_rules(&cfg, fp, oracle, rules)
+    run_kset_with(&spec, fp, oracle)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fd_detectors::scenario::default_proposals;
 
     #[test]
     fn z_above_k_breaks_agreement() {
         let found = find_z_violation(5, 2, 1, 0..60);
         let (seed, report) = found.expect("no agreement violation found in 60 seeds");
         assert!(
-            report.decided_values.len() > 1,
+            report.metrics.decided_values.len() > 1,
             "seed {seed} decided {:?}",
-            report.decided_values
+            report.metrics.decided_values
         );
         // Validity still holds — only agreement degrades.
-        assert!(crate::spec::validity(&report.trace, &report.proposals).ok);
+        assert!(crate::spec::validity(&report.trace, &default_proposals(report.spec.n)).ok);
     }
 
     #[test]
@@ -155,9 +117,9 @@ mod tests {
             assert!(
                 report.trace.decisions().is_empty(),
                 "seed {seed}: partition run decided {:?}",
-                report.decided_values
+                report.metrics.decided_values
             );
-            assert!(!report.spec.ok, "termination should have failed");
+            assert!(!report.check.ok, "termination should have failed");
         }
     }
 }

@@ -14,10 +14,9 @@
 //! longitudinal.
 
 use crate::kset_omega::{KsetMsg, KsetOmega};
+use fd_detectors::scenario::ScenarioSpec;
 use fd_detectors::CheckOutcome;
-use fd_sim::{
-    counter, forward_ops, Automaton, Ctx, FailurePattern, Op, ProcessId, Time, Trace,
-};
+use fd_sim::{counter, forward_ops, Automaton, Ctx, FailurePattern, Op, ProcessId, Time, Trace};
 
 /// Message of the repeated protocol: an inner Figure 3 message tagged with
 /// its instance.
@@ -216,6 +215,7 @@ pub struct RepeatedReport {
 ///
 /// A process's `i`-th decision (in its own decision order) is its
 /// instance-`i` decision; validity is checked against [`proposal`].
+#[allow(clippy::too_many_arguments)]
 pub fn run_repeated(
     n: usize,
     t: usize,
@@ -226,19 +226,35 @@ pub fn run_repeated(
     seed: u64,
     max_time: Time,
 ) -> RepeatedReport {
-    let cfg = fd_sim::SimConfig::new(n, t).seed(seed).max_time(max_time);
-    let mut sim = fd_sim::Sim::new(
-        cfg,
-        fp.clone(),
-        |p| RepeatedKset::new(p, instances),
-        oracle,
-    );
+    let spec = ScenarioSpec::new(n, t).kz(k).seed(seed).max_time(max_time);
+    run_repeated_spec(&spec, instances, fp, oracle)
+}
+
+/// As [`run_repeated`], driven by a [`ScenarioSpec`] (the engine-native
+/// entry point; `spec.k` is the per-instance agreement degree).
+pub fn run_repeated_spec(
+    spec: &ScenarioSpec,
+    instances: u32,
+    fp: FailurePattern,
+    oracle: impl fd_sim::OracleSuite,
+) -> RepeatedReport {
+    let n = spec.n;
+    let k = spec.k;
     let correct = fp.correct();
     let want = instances as usize * correct.len();
-    let rep = sim.run_until(move |tr| {
-        tr.decisions().iter().filter(|d| correct.contains(d.by)).count() >= want
-    });
-    let trace = rep.trace;
+    let trace = fd_detectors::scenario::run_scenario_until(
+        spec,
+        &fp,
+        |p| RepeatedKset::new(p, instances),
+        oracle,
+        move |tr| {
+            tr.decisions()
+                .iter()
+                .filter(|d| correct.contains(d.by))
+                .count()
+                >= want
+        },
+    );
 
     // Group decisions: process p's i-th decision belongs to instance i.
     let mut spec = CheckOutcome::pass(None, format!("{instances} instances"));

@@ -1,0 +1,140 @@
+//! [`Scenario`] implementations for the core algorithms: Figure 3 `k`-set
+//! agreement, the MR `◇S` consensus baseline, and repeated instances.
+//!
+//! These are the *only* places in the crate that assemble a simulation for
+//! their algorithm; every other entry point (the [`crate::harness`]
+//! adapters, the bench experiments, the examples) goes through them.
+
+use crate::consensus_mr::ConsensusMr;
+use crate::kset_omega::KsetOmega;
+use crate::repeated::{run_repeated_spec, RepeatedReport};
+use crate::spec;
+use fd_detectors::scenario::{
+    default_proposals, run_to_decision, salt, Flavour, Scenario, ScenarioReport, ScenarioSpec,
+};
+use fd_sim::{FailurePattern, OracleSuite};
+
+/// The Figure 3 `Ω_z`-based `k`-set agreement algorithm, run under the
+/// spec's oracle choice (an adversarial `Ω_z` by default; set `z > k` to
+/// reproduce the Theorem 5 violation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KsetScenario;
+
+impl KsetScenario {
+    /// The conventional spec for `k`-set agreement: `k = z`, `Ω_z` oracle.
+    pub fn spec(n: usize, t: usize, k: usize) -> ScenarioSpec {
+        ScenarioSpec::new(n, t).kz(k)
+    }
+}
+
+impl Scenario for KsetScenario {
+    fn name(&self) -> &'static str {
+        "kset_omega"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let fp = spec.materialize();
+        let oracle = spec.build_oracle(&fp);
+        run_kset_with(spec, fp, oracle)
+    }
+}
+
+/// Runs the Figure 3 algorithm under a caller-supplied oracle — the hook
+/// the lower-bound witnesses use to inject hand-crafted adversarial
+/// detectors (and delay rules, via `spec.rules`).
+pub fn run_kset_with(
+    spec: &ScenarioSpec,
+    fp: FailurePattern,
+    oracle: impl OracleSuite,
+) -> ScenarioReport {
+    let proposals = default_proposals(spec.n);
+    let trace = run_to_decision(spec, &fp, |p| KsetOmega::new(proposals[p.0]), oracle);
+    let check = spec::kset_spec(&trace, &fp, spec.k, &proposals);
+    ScenarioReport::new("kset_omega", spec, fp, trace, check)
+}
+
+/// The Mostéfaoui–Raynal `◇S` quorum-based consensus baseline. Ignores the
+/// spec's oracle choice: the algorithm is defined for `◇S = ◇S_n` only.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConsensusScenario;
+
+impl Scenario for ConsensusScenario {
+    fn name(&self) -> &'static str {
+        "consensus_mr"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let fp = spec.materialize();
+        let proposals = default_proposals(spec.n);
+        let oracle = spec.sx_oracle(&fp, spec.n, Flavour::Eventual, salt::DIAMOND_S);
+        let trace = run_to_decision(spec, &fp, |p| ConsensusMr::new(proposals[p.0]), oracle);
+        let check = spec::kset_spec(&trace, &fp, 1, &proposals);
+        ScenarioReport::new(self.name(), spec, fp, trace, check)
+    }
+}
+
+/// `m` successive `k`-set agreement instances (the zero-degradation
+/// experiment made longitudinal). The combined per-instance specification
+/// becomes the report's check; use [`run_repeated_spec`] directly when the
+/// per-instance statistics are needed.
+#[derive(Clone, Copy, Debug)]
+pub struct RepeatedScenario {
+    /// Number of successive instances.
+    pub instances: u32,
+}
+
+impl Scenario for RepeatedScenario {
+    fn name(&self) -> &'static str {
+        "repeated_kset"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let fp = spec.materialize();
+        let oracle = spec.build_oracle(&fp);
+        let rep: RepeatedReport = run_repeated_spec(spec, self.instances, fp, oracle);
+        ScenarioReport::new(self.name(), spec, rep.fp, rep.trace, rep.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_detectors::scenario::{CrashPlan, Runner};
+    use fd_sim::Time;
+
+    #[test]
+    fn kset_scenario_passes_grid_corner() {
+        let spec = KsetScenario::spec(5, 2, 2)
+            .seed(3)
+            .crashes(CrashPlan::Random {
+                f: 2,
+                by: Time(500),
+            });
+        let rep = KsetScenario.run(&spec);
+        assert!(rep.check.ok, "{}", rep.check);
+        assert!(rep.metrics.decided_values.len() <= 2);
+        assert!(rep.metrics.msgs_sent > 0);
+    }
+
+    #[test]
+    fn runner_sweep_drives_all_three_scenarios() {
+        let spec = KsetScenario::spec(5, 2, 1).gst(Time(400));
+        let runner = Runner::sequential();
+        for sc in [
+            &KsetScenario as &dyn Scenario,
+            &ConsensusScenario,
+            &RepeatedScenario { instances: 2 },
+        ] {
+            let reports = runner.sweep(sc, &spec, 0..3);
+            assert!(
+                reports.iter().all(|r| r.check.ok),
+                "{} failed: {:?}",
+                sc.name(),
+                reports
+                    .iter()
+                    .map(|r| r.check.to_string())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! proposed value (validity). `k = 1` is consensus.
 
 use fd_detectors::CheckOutcome;
-use fd_sim::{slot, FailurePattern, ProcessId, Time, Trace};
+use fd_sim::{FailurePattern, Trace};
 
 /// **Validity**: every decided value was proposed.
 pub fn validity(trace: &Trace, proposals: &[u64]) -> CheckOutcome {
@@ -30,7 +30,10 @@ pub fn k_agreement(trace: &Trace, k: usize) -> CheckOutcome {
             distinct.len()
         ))
     } else {
-        CheckOutcome::pass(None, format!("{} distinct decisions ≤ k = {k}", distinct.len()))
+        CheckOutcome::pass(
+            None,
+            format!("{} distinct decisions ≤ k = {k}", distinct.len()),
+        )
     }
 }
 
@@ -56,50 +59,22 @@ pub fn decide_once(trace: &Trace) -> CheckOutcome {
 }
 
 /// The full `k`-set agreement specification.
-pub fn kset_spec(
-    trace: &Trace,
-    fp: &FailurePattern,
-    k: usize,
-    proposals: &[u64],
-) -> CheckOutcome {
+pub fn kset_spec(trace: &Trace, fp: &FailurePattern, k: usize, proposals: &[u64]) -> CheckOutcome {
     validity(trace, proposals)
         .and(k_agreement(trace, k))
         .and(termination(trace, fp))
         .and(decide_once(trace))
 }
 
-/// The largest round reached by any correct process (1 if the algorithm
-/// decided immediately; 0 if no round was ever published).
-pub fn max_round(trace: &Trace, fp: &FailurePattern) -> u64 {
-    fp.correct()
-        .iter()
-        .filter_map(|p| trace.history(p, slot::ROUND).last())
-        .map(|v| match v {
-            fd_sim::FdValue::Num(r) => r,
-            _ => 0,
-        })
-        .max()
-        .unwrap_or(0)
-}
-
-/// Times of the first and last decisions, if any were made.
-pub fn decision_span(trace: &Trace) -> Option<(Time, Time)> {
-    let ds = trace.decisions();
-    Some((ds.first()?.at, ds.last()?.at))
-}
-
-/// Decision latency of a given process.
-pub fn decision_time(trace: &Trace, p: ProcessId) -> Option<Time> {
-    trace.decision_of(p).map(|d| d.at)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_sim::FdValue;
+    use fd_sim::{ProcessId, Time};
 
     fn fp() -> FailurePattern {
-        FailurePattern::builder(3).crash(ProcessId(2), Time(10)).build()
+        FailurePattern::builder(3)
+            .crash(ProcessId(2), Time(10))
+            .build()
     }
 
     #[test]
@@ -145,19 +120,5 @@ mod tests {
         let out = kset_spec(&tr, &fp(), 2, &[5, 6]);
         assert!(out.ok, "{out}");
         assert!(!kset_spec(&tr, &fp(), 1, &[5, 6]).ok);
-    }
-
-    #[test]
-    fn metrics() {
-        let mut tr = Trace::new();
-        tr.publish(ProcessId(0), slot::ROUND, Time(1), FdValue::Num(1));
-        tr.publish(ProcessId(0), slot::ROUND, Time(5), FdValue::Num(3));
-        tr.publish(ProcessId(1), slot::ROUND, Time(5), FdValue::Num(2));
-        assert_eq!(max_round(&tr, &fp()), 3);
-        tr.decide(Time(7), ProcessId(0), 4);
-        tr.decide(Time(9), ProcessId(1), 4);
-        assert_eq!(decision_span(&tr), Some((Time(7), Time(9))));
-        assert_eq!(decision_time(&tr, ProcessId(1)), Some(Time(9)));
-        assert_eq!(decision_time(&tr, ProcessId(2)), None);
     }
 }

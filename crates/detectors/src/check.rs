@@ -239,7 +239,9 @@ pub fn eventual_leadership(
     for i in fp.correct() {
         let h = trace.history(i, slot::TRUSTED);
         let Some(last) = h.last() else {
-            return CheckOutcome::fail(format!("leadership: correct {i} never published trusted_i"));
+            return CheckOutcome::fail(format!(
+                "leadership: correct {i} never published trusted_i"
+            ));
         };
         let set = last.as_set();
         match common {
@@ -297,9 +299,8 @@ pub fn never_slanders(trace: &Trace, fp: &FailurePattern) -> CheckOutcome {
 
 /// Full `◇S_x` check: strong completeness ∧ eventual limited-scope accuracy.
 pub fn diamond_s_x(trace: &Trace, fp: &FailurePattern, x: usize, margin: u64) -> CheckOutcome {
-    strong_completeness(trace, fp, margin).and(limited_scope_accuracy(
-        trace, fp, x, false, margin, 0,
-    ))
+    strong_completeness(trace, fp, margin)
+        .and(limited_scope_accuracy(trace, fp, x, false, margin, 0))
 }
 
 /// Full `S_x` check: strong completeness ∧ perpetual limited-scope accuracy
@@ -418,7 +419,9 @@ mod tests {
 
     /// n=4; p4 crashes at 50.
     fn fp() -> FailurePattern {
-        FailurePattern::builder(4).crash(ProcessId(3), Time(50)).build()
+        FailurePattern::builder(4)
+            .crash(ProcessId(3), Time(50))
+            .build()
     }
 
     fn base_trace(horizon: u64) -> Trace {
@@ -440,7 +443,12 @@ mod tests {
 
         // p1 later unsuspects the crashed process: must fail.
         let mut bad = tr.clone();
-        bad.publish(ProcessId(0), slot::SUSPECTED, Time(900), FdValue::Set(PSet::EMPTY));
+        bad.publish(
+            ProcessId(0),
+            slot::SUSPECTED,
+            Time(900),
+            FdValue::Set(PSet::EMPTY),
+        );
         assert!(!strong_completeness(&bad, &fp, 10).ok);
     }
 
@@ -468,9 +476,24 @@ mod tests {
     /// size 4 can protect anyone.
     fn cycle_trace() -> Trace {
         let mut tr = base_trace(1000);
-        tr.publish(ProcessId(0), slot::SUSPECTED, Time(1), FdValue::Set(ps(&[1, 3])));
-        tr.publish(ProcessId(1), slot::SUSPECTED, Time(1), FdValue::Set(ps(&[2, 3])));
-        tr.publish(ProcessId(2), slot::SUSPECTED, Time(1), FdValue::Set(ps(&[0, 3])));
+        tr.publish(
+            ProcessId(0),
+            slot::SUSPECTED,
+            Time(1),
+            FdValue::Set(ps(&[1, 3])),
+        );
+        tr.publish(
+            ProcessId(1),
+            slot::SUSPECTED,
+            Time(1),
+            FdValue::Set(ps(&[2, 3])),
+        );
+        tr.publish(
+            ProcessId(2),
+            slot::SUSPECTED,
+            Time(1),
+            FdValue::Set(ps(&[0, 3])),
+        );
         tr
     }
 
@@ -497,11 +520,36 @@ mod tests {
         // Now everyone (including the faulty p4, until its crash at 50)
         // suspects every other process; p2 releases p1 only at time 400.
         let mut late = base_trace(1000);
-        late.publish(ProcessId(0), slot::SUSPECTED, Time(1), FdValue::Set(ps(&[1, 2, 3])));
-        late.publish(ProcessId(1), slot::SUSPECTED, Time(1), FdValue::Set(ps(&[0, 2, 3])));
-        late.publish(ProcessId(1), slot::SUSPECTED, Time(400), FdValue::Set(ps(&[2, 3])));
-        late.publish(ProcessId(2), slot::SUSPECTED, Time(1), FdValue::Set(ps(&[0, 1, 3])));
-        late.publish(ProcessId(3), slot::SUSPECTED, Time(1), FdValue::Set(ps(&[0, 1, 2])));
+        late.publish(
+            ProcessId(0),
+            slot::SUSPECTED,
+            Time(1),
+            FdValue::Set(ps(&[1, 2, 3])),
+        );
+        late.publish(
+            ProcessId(1),
+            slot::SUSPECTED,
+            Time(1),
+            FdValue::Set(ps(&[0, 2, 3])),
+        );
+        late.publish(
+            ProcessId(1),
+            slot::SUSPECTED,
+            Time(400),
+            FdValue::Set(ps(&[2, 3])),
+        );
+        late.publish(
+            ProcessId(2),
+            slot::SUSPECTED,
+            Time(1),
+            FdValue::Set(ps(&[0, 1, 3])),
+        );
+        late.publish(
+            ProcessId(3),
+            slot::SUSPECTED,
+            Time(1),
+            FdValue::Set(ps(&[0, 1, 2])),
+        );
         assert!(!limited_scope_accuracy(&late, &fp, 2, true, 100, 5).ok);
         assert!(limited_scope_accuracy(&late, &fp, 2, false, 100, 5).ok);
     }
@@ -572,7 +620,12 @@ mod tests {
         // Size too big for z = 1.
         let mut tr = base_trace(1000);
         for i in 0..3 {
-            tr.publish(ProcessId(i), slot::TRUSTED, Time(1), FdValue::Set(ps(&[0, 1])));
+            tr.publish(
+                ProcessId(i),
+                slot::TRUSTED,
+                Time(1),
+                FdValue::Set(ps(&[0, 1])),
+            );
         }
         assert!(!eventual_leadership(&tr, &fp, 1, 10).ok);
         assert!(eventual_leadership(&tr, &fp, 2, 10).ok);
@@ -598,11 +651,21 @@ mod tests {
     fn never_slanders_checks_every_sample() {
         let fp = fp();
         let mut tr = base_trace(1000);
-        tr.publish(ProcessId(0), slot::SUSPECTED, Time(60), FdValue::Set(ps(&[3])));
+        tr.publish(
+            ProcessId(0),
+            slot::SUSPECTED,
+            Time(60),
+            FdValue::Set(ps(&[3])),
+        );
         assert!(never_slanders(&tr, &fp).ok);
         // Suspecting p4 before its crash at 50 is slander.
         let mut bad = base_trace(1000);
-        bad.publish(ProcessId(0), slot::SUSPECTED, Time(10), FdValue::Set(ps(&[3])));
+        bad.publish(
+            ProcessId(0),
+            slot::SUSPECTED,
+            Time(10),
+            FdValue::Set(ps(&[3])),
+        );
         assert!(!never_slanders(&bad, &fp).ok);
     }
 

@@ -37,6 +37,16 @@
 //! [`check`] verifies recorded traces against class definitions
 //! (completeness, limited-scope accuracy, eventual leadership, perfection),
 //! suffix-style with explicit stabilization margins.
+//!
+//! ## The scenario engine
+//!
+//! [`scenario`] is the workspace's unified execution layer: a
+//! [`ScenarioSpec`] names a configuration, every algorithm and
+//! transformation implements [`Scenario`], and the [`Runner`] executes
+//! single runs, multi-seed sweeps, and grid matrices (in parallel, with
+//! results identical to a sequential run), producing one
+//! [`ScenarioReport`] type consumed uniformly by checkers, tables, and
+//! benches.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -47,6 +57,7 @@ pub mod omega;
 pub mod omega_s;
 pub mod perfect;
 pub mod phi;
+pub mod scenario;
 pub mod scripted;
 pub mod sx;
 
@@ -55,29 +66,21 @@ pub use omega::{OmegaAdversary, OmegaOracle};
 pub use omega_s::{check_omega_scoped, OmegaScopedOracle, PairsToOmega};
 pub use perfect::PerfectOracle;
 pub use phi::{PhiAdversary, PhiOracle, PsiOracle};
+pub use scenario::{
+    default_proposals, sample_oracle, BoxedOracle, CrashPlan, Flavour, Metrics, OracleChoice,
+    Runner, SampledSlot, Scenario, ScenarioReport, ScenarioSpec, SweepSummary,
+};
 pub use scripted::{ScriptedOracle, SetSchedule};
 pub use sx::{Scope, SxAdversary, SxOracle};
 
 /// Samples an oracle's `trusted_i` outputs over a time grid into a trace
-/// (a minimal in-crate twin of `fd_transforms::sample_oracle`, needed by
-/// the `Ω^S` tests without a dependency cycle).
+/// (kept as a shorthand for [`scenario::sample_oracle`] with
+/// [`SampledSlot::Trusted`]).
 pub fn scripted_sample(
     oracle: &mut dyn fd_sim::OracleSuite,
     fp: &fd_sim::FailurePattern,
     horizon: fd_sim::Time,
     step: u64,
 ) -> fd_sim::Trace {
-    let mut trace = fd_sim::Trace::new();
-    let mut now = fd_sim::Time::ZERO;
-    while now <= horizon {
-        for i in (0..fp.n()).map(fd_sim::ProcessId) {
-            if fp.is_alive_at(i, now) {
-                let s = oracle.trusted(i, now);
-                trace.publish(i, fd_sim::slot::TRUSTED, now, fd_sim::FdValue::Set(s));
-            }
-        }
-        now += step.max(1);
-    }
-    trace.set_horizon(horizon);
-    trace
+    scenario::sample_oracle(oracle, fp, horizon, step, SampledSlot::Trusted)
 }

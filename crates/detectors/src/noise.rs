@@ -26,7 +26,7 @@ pub fn window(now: Time, period: u64) -> u64 {
 ///
 /// Each other process is included with probability 1/2.
 pub fn arbitrary_set(seed: u64, me: ProcessId, now: Time, period: u64, n: usize) -> PSet {
-    let mut rng = stream(seed, me.0 as u64, window(now, period), 0x0bad_5e7);
+    let mut rng = stream(seed, me.0 as u64, window(now, period), 0x00ba_d5e7);
     let mut s = PSet::new();
     for i in 0..n {
         if i != me.0 && rng.chance(1, 2) {
@@ -46,9 +46,12 @@ pub fn arbitrary_leader_set(
     n: usize,
     max_size: usize,
 ) -> PSet {
-    let mut rng = stream(seed, me.0 as u64, window(now, period), 0x1ead_e2);
+    let mut rng = stream(seed, me.0 as u64, window(now, period), 0x001e_ade2);
     let k = rng.range(1, max_size.max(1) as u64) as usize;
-    rng.sample_indices(n, k.min(n)).into_iter().map(ProcessId).collect()
+    rng.sample_indices(n, k.min(n))
+        .into_iter()
+        .map(ProcessId)
+        .collect()
 }
 
 /// An arbitrary boolean, stable within one window, keyed by a query set.

@@ -112,13 +112,7 @@ impl OmegaOracle {
     /// # Panics
     ///
     /// Panics unless `1 ≤ |set| ≤ z` and `set` contains a correct process.
-    pub fn with_final_set(
-        fp: FailurePattern,
-        z: usize,
-        gst: Time,
-        seed: u64,
-        set: PSet,
-    ) -> Self {
+    pub fn with_final_set(fp: FailurePattern, z: usize, gst: Time, seed: u64, set: PSet) -> Self {
         assert!((1..=z).contains(&set.len()), "need 1 <= |set| <= z");
         assert!(
             !(set & fp.correct()).is_empty(),

@@ -144,7 +144,15 @@ impl PairsToOmega {
                 // The pair detector's *scope* is the pair, but every
                 // process may read it; non-members read noise until the
                 // adapter ignores them (see trusted()).
-                pairs.push((s, OmegaScopedOracle::new(fp.clone(), PSet::full(n), gst, seed ^ ((i as u64) << 8) ^ j as u64)));
+                pairs.push((
+                    s,
+                    OmegaScopedOracle::new(
+                        fp.clone(),
+                        PSet::full(n),
+                        gst,
+                        seed ^ ((i as u64) << 8) ^ j as u64,
+                    ),
+                ));
             }
         }
         PairsToOmega { pairs }
@@ -178,7 +186,9 @@ mod tests {
 
     #[test]
     fn scoped_oracle_agrees_within_scope() {
-        let scope: PSet = [ProcessId(0), ProcessId(1), ProcessId(3)].into_iter().collect();
+        let scope: PSet = [ProcessId(0), ProcessId(1), ProcessId(3)]
+            .into_iter()
+            .collect();
         let mut o = OmegaScopedOracle::new(fp(), scope, Time(100), 3);
         let l = o.leader();
         assert!(fp().is_correct(l));
@@ -219,11 +229,21 @@ mod tests {
         let mut tr = Trace::new();
         tr.set_horizon(Time(5_000));
         for p in scope {
-            tr.publish(p, slot::TRUSTED, Time(10), fd_sim::FdValue::Set(PSet::singleton(ProcessId(3))));
+            tr.publish(
+                p,
+                slot::TRUSTED,
+                Time(10),
+                fd_sim::FdValue::Set(PSet::singleton(ProcessId(3))),
+            );
         }
         assert!(check_omega_scoped(&tr, &fp, scope, 500).ok);
         // Disagreement inside the scope: reject.
-        tr.publish(ProcessId(1), slot::TRUSTED, Time(20), fd_sim::FdValue::Set(PSet::singleton(ProcessId(0))));
+        tr.publish(
+            ProcessId(1),
+            slot::TRUSTED,
+            Time(20),
+            fd_sim::FdValue::Set(PSet::singleton(ProcessId(0))),
+        );
         assert!(!check_omega_scoped(&tr, &fp, scope, 500).ok);
     }
 

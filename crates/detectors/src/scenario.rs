@@ -1,0 +1,896 @@
+//! The unified scenario engine: one spec, one trait, one runner, one report.
+//!
+//! Every algorithm and transformation in the workspace — the Figure 3
+//! `k`-set agreement, the MR `◇S` consensus baseline, repeated instances,
+//! the two-wheels addition, `Ψ_y → Ω_z`, the Figure 9 addition, and the
+//! full pipeline — is exposed as a [`Scenario`]: a named object that turns
+//! a [`ScenarioSpec`] into a [`ScenarioReport`]. The [`Runner`] executes
+//! single runs, multi-seed sweeps, and full grid matrices, sequentially or
+//! in parallel, with bit-identical results either way.
+//!
+//! The engine owns the three pieces that used to be copy-pasted across
+//! `fd_core::harness`, `fd_transforms::harness`, the facade pipeline, and
+//! the bench experiments:
+//!
+//! * **crash materialization** — [`CrashPlan::materialize`];
+//! * **sim setup** — [`ScenarioSpec::sim_config`] / [`ScenarioSpec::shm_config`]
+//!   and the [`run_to_decision`] / [`run_to_horizon`] drivers;
+//! * **report assembly** — [`ScenarioReport::new`] and [`Metrics::from_trace`].
+//!
+//! ```
+//! use fd_detectors::scenario::{Runner, Scenario, ScenarioReport, ScenarioSpec};
+//! use fd_detectors::CheckOutcome;
+//!
+//! /// A toy scenario: "passes" iff the materialized pattern respects `t`.
+//! struct CountCrashes;
+//! impl Scenario for CountCrashes {
+//!     fn name(&self) -> &'static str {
+//!         "count_crashes"
+//!     }
+//!     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
+//!         let fp = spec.materialize();
+//!         let ok = fp.num_faulty() <= spec.t;
+//!         let check = if ok {
+//!             CheckOutcome::pass(None, "within t")
+//!         } else {
+//!             CheckOutcome::fail("too many crashes")
+//!         };
+//!         ScenarioReport::new(self.name(), spec, fp, fd_sim::Trace::new(), check)
+//!     }
+//! }
+//!
+//! let spec = ScenarioSpec::new(5, 2);
+//! let reports = Runner::parallel().sweep(&CountCrashes, &spec, 0..32);
+//! assert!(reports.iter().all(|r| r.check.ok));
+//! ```
+
+use crate::check::CheckOutcome;
+use crate::{OmegaOracle, PerfectOracle, PhiOracle, PsiOracle, Scope, SxOracle};
+use fd_sim::{
+    counter, slot, Automaton, DelayModel, DelayRule, FailurePattern, FdValue, OracleSuite,
+    ProcessId, ShmConfig, Sim, SimConfig, SplitMix64, SuspectPlusQuery, Time, Trace,
+};
+use std::ops::Range;
+
+/// Seed-mixing constants, one per oracle role, so that the detectors of a
+/// bundle draw from independent streams of the run's root seed. The values
+/// are part of the reproducibility contract: changing one changes every
+/// recorded number of the affected scenarios.
+pub mod salt {
+    /// `Ω_z` oracle of the Figure 3 algorithm.
+    pub const OMEGA: u64 = 0x0A11;
+    /// `◇S` oracle of the MR consensus baseline.
+    pub const DIAMOND_S: u64 = 0x0511;
+    /// Standalone `S_x` bundle built via `OracleChoice::Sx`.
+    pub const SX: u64 = 0x5c0e;
+    /// Standalone `φ_y` bundle built via `OracleChoice::Phi`.
+    pub const PHI: u64 = 0x0f1e;
+    /// `◇S_x` component of the two-wheels bundle.
+    pub const WHEELS_SX: u64 = 0x5e5e;
+    /// `◇φ_y` component of the two-wheels bundle.
+    pub const WHEELS_PHI: u64 = 0x9191;
+    /// `φ_y` inside the `Ψ_y` oracle.
+    pub const PSI_PHI: u64 = 0x8888;
+    /// `S_x` component of the Figure 9 addition bundle.
+    pub const ADDITION_SX: u64 = 0x1f1f;
+    /// `φ_y` component of the Figure 9 addition bundle.
+    pub const ADDITION_PHI: u64 = 0x2e2e;
+    /// `◇S_x` component of the end-to-end pipeline bundle.
+    pub const PIPELINE_SX: u64 = 0xAA55;
+    /// `◇φ_y` component of the end-to-end pipeline bundle.
+    pub const PIPELINE_PHI: u64 = 0x55AA;
+    /// Perfect-detector oracle.
+    pub const PERFECT: u64 = 0x9e37;
+    /// Crash-plan materialization stream.
+    pub const CRASHES: u64 = 0xC4A5;
+    /// Anarchic crash-plan stream (random crash count).
+    pub const ANARCHY: u64 = 0xFA11;
+}
+
+/// How crashes are injected into a run.
+#[derive(Clone, Debug)]
+pub enum CrashPlan {
+    /// Failure-free run.
+    None,
+    /// `f` random processes crash at random times up to `by`.
+    Random {
+        /// Number of crashes.
+        f: usize,
+        /// Latest crash time.
+        by: Time,
+    },
+    /// `f` random processes crash before the run starts (the premise of the
+    /// paper's zero-degradation property).
+    Initial {
+        /// Number of crashes.
+        f: usize,
+    },
+    /// A random number of crashes in `0..=t` at random times up to `by` —
+    /// the "anything the model permits" plan used by grid sweeps.
+    Anarchic {
+        /// Latest crash time.
+        by: Time,
+    },
+    /// An explicit pattern.
+    Explicit(FailurePattern),
+}
+
+impl CrashPlan {
+    /// Materializes the plan into a pattern for `n` processes under
+    /// resilience bound `t`, deterministically in `seed`.
+    pub fn materialize(&self, n: usize, t: usize, seed: u64) -> FailurePattern {
+        match self {
+            CrashPlan::None => FailurePattern::all_correct(n),
+            CrashPlan::Random { f, by } => {
+                let mut rng = SplitMix64::new(seed).stream(salt::CRASHES);
+                FailurePattern::random(n, *f, *by, &mut rng)
+            }
+            CrashPlan::Initial { f } => {
+                let mut rng = SplitMix64::new(seed).stream(salt::CRASHES);
+                FailurePattern::random_initial(n, *f, &mut rng)
+            }
+            CrashPlan::Anarchic { by } => {
+                let mut rng = SplitMix64::new(seed).stream(salt::ANARCHY);
+                let f = rng.below(t as u64 + 1) as usize;
+                FailurePattern::random(n, f, *by, &mut rng)
+            }
+            CrashPlan::Explicit(fp) => fp.clone(),
+        }
+    }
+}
+
+/// Whether a detector's properties hold from the start or only eventually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flavour {
+    /// Properties hold over the whole run.
+    Perpetual,
+    /// Properties hold from the spec's `gst` on.
+    Eventual,
+}
+
+impl Flavour {
+    /// The corresponding oracle scope for stabilization time `gst`.
+    pub fn scope(self, gst: Time) -> Scope {
+        match self {
+            Flavour::Perpetual => Scope::Perpetual,
+            Flavour::Eventual => Scope::Eventual(gst),
+        }
+    }
+}
+
+/// Which failure-detector bundle a scenario consults, built from the grid
+/// parameters of the spec (`x` for `S_x`, `y` for `φ_y`, `z` for `Ω_z`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleChoice {
+    /// No detector: the pure asynchronous model `AS_{n,t}[∅]`.
+    None,
+    /// `Ω_z` (eventual multiple leadership), stabilizing at `gst`.
+    Omega,
+    /// `S_x` / `◇S_x` (limited-scope accuracy).
+    Sx(Flavour),
+    /// `φ_y` / `◇φ_y` (query detectors).
+    Phi(Flavour),
+    /// `Ψ_y` (strict query detector), eventual at `gst`.
+    Psi,
+    /// The `S_x` + `φ_y` bundle used by the additions.
+    SxPlusPhi(Flavour),
+    /// `P` / `◇P` (the perfect detector).
+    Perfect(Flavour),
+}
+
+/// A boxed oracle bundle, the common currency of [`ScenarioSpec::build_oracle`].
+pub type BoxedOracle = Box<dyn OracleSuite>;
+
+/// Full description of one run (or of a family of runs differing only in
+/// seed): system size, grid parameters, oracle choice, crash plan, delay
+/// adversary, stabilization time, seed, and horizons.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// System size.
+    pub n: usize,
+    /// Resilience bound.
+    pub t: usize,
+    /// Scope parameter `x` of `S_x` / `◇S_x`.
+    pub x: usize,
+    /// Query parameter `y` of `φ_y` / `Ψ_y`.
+    pub y: usize,
+    /// Leader parameter `z` of `Ω_z`.
+    pub z: usize,
+    /// Agreement degree `k` checked against the run.
+    pub k: usize,
+    /// The failure-detector bundle consulted by the scenario.
+    pub oracle: OracleChoice,
+    /// Crash injection.
+    pub crashes: CrashPlan,
+    /// Base message-delay distribution.
+    pub delay: DelayModel,
+    /// Targeted delay-adversary rules.
+    pub rules: Vec<DelayRule>,
+    /// Oracle stabilization time.
+    pub gst: Time,
+    /// Root seed; every random choice of the run derives from it.
+    pub seed: u64,
+    /// Message-passing horizon.
+    pub max_time: Time,
+    /// Shared-memory horizon (scheduler steps).
+    pub max_steps: u64,
+}
+
+impl ScenarioSpec {
+    /// A sensible default spec: `k = x = y = z = 1`, an `Ω_z` oracle
+    /// stabilizing at 300, no crashes, default delays.
+    pub fn new(n: usize, t: usize) -> Self {
+        ScenarioSpec {
+            n,
+            t,
+            x: 1,
+            y: 1,
+            z: 1,
+            k: 1,
+            oracle: OracleChoice::Omega,
+            crashes: CrashPlan::None,
+            delay: DelayModel::default(),
+            rules: Vec::new(),
+            gst: Time(300),
+            seed: 0,
+            max_time: Time(100_000),
+            max_steps: 200_000,
+        }
+    }
+
+    /// Sets `x` (builder style).
+    pub fn x(mut self, x: usize) -> Self {
+        self.x = x;
+        self
+    }
+
+    /// Sets `y` (builder style).
+    pub fn y(mut self, y: usize) -> Self {
+        self.y = y;
+        self
+    }
+
+    /// Sets `z` (builder style).
+    pub fn z(mut self, z: usize) -> Self {
+        self.z = z;
+        self
+    }
+
+    /// Sets `k` (builder style).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets `k` and `z` together (the common `k = z` case).
+    pub fn kz(mut self, kz: usize) -> Self {
+        self.k = kz;
+        self.z = kz;
+        self
+    }
+
+    /// Sets the oracle choice (builder style).
+    pub fn oracle(mut self, oracle: OracleChoice) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Sets the crash plan (builder style).
+    pub fn crashes(mut self, crashes: CrashPlan) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// Sets the delay model (builder style).
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Adds a targeted delay-adversary rule (builder style).
+    pub fn rule(mut self, rule: DelayRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Sets the oracle stabilization time (builder style).
+    pub fn gst(mut self, gst: Time) -> Self {
+        self.gst = gst;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the message-passing horizon (builder style).
+    pub fn max_time(mut self, max_time: Time) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Sets the shared-memory horizon (builder style).
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// A copy of this spec with a different seed (the sweep primitive).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut s = self.clone();
+        s.seed = seed;
+        s
+    }
+
+    /// Materializes the crash plan for this spec.
+    pub fn materialize(&self) -> FailurePattern {
+        self.crashes.materialize(self.n, self.t, self.seed)
+    }
+
+    /// The message-passing simulator configuration for this spec.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            max_time: self.max_time,
+            delay: self.delay.clone(),
+            rules: self.rules.clone(),
+            ..SimConfig::new(self.n, self.t)
+        }
+    }
+
+    /// The shared-memory scheduler configuration for this spec.
+    pub fn shm_config(&self) -> ShmConfig {
+        ShmConfig {
+            max_steps: self.max_steps,
+            ..ShmConfig::new(self.n, self.t).seed(self.seed)
+        }
+    }
+
+    /// An `Ω_z` oracle over `fp`, seeded from this spec's seed and `salt`.
+    pub fn omega_oracle(&self, fp: &FailurePattern, salt: u64) -> OmegaOracle {
+        OmegaOracle::new(fp.clone(), self.z, self.gst, self.seed ^ salt)
+    }
+
+    /// An `S_x`-style oracle over `fp` with scope parameter `scope_x`.
+    pub fn sx_oracle(
+        &self,
+        fp: &FailurePattern,
+        scope_x: usize,
+        flavour: Flavour,
+        salt: u64,
+    ) -> SxOracle {
+        SxOracle::new(
+            fp.clone(),
+            self.t,
+            scope_x,
+            flavour.scope(self.gst),
+            self.seed ^ salt,
+        )
+    }
+
+    /// A `φ_y`-style oracle over `fp`.
+    pub fn phi_oracle(&self, fp: &FailurePattern, flavour: Flavour, salt: u64) -> PhiOracle {
+        PhiOracle::new(
+            fp.clone(),
+            self.t,
+            self.y,
+            flavour.scope(self.gst),
+            self.seed ^ salt,
+        )
+    }
+
+    /// The `S_x + φ_y` bundle used by the two-wheels, the Figure 9
+    /// addition, and the pipeline (each with its own salts).
+    pub fn sx_plus_phi(
+        &self,
+        fp: &FailurePattern,
+        flavour: Flavour,
+        sx_salt: u64,
+        phi_salt: u64,
+    ) -> SuspectPlusQuery<SxOracle, PhiOracle> {
+        SuspectPlusQuery {
+            suspect: self.sx_oracle(fp, self.x, flavour, sx_salt),
+            query: self.phi_oracle(fp, flavour, phi_salt),
+        }
+    }
+
+    /// Builds the oracle bundle named by [`ScenarioSpec::oracle`], with the
+    /// canonical salt for each choice.
+    ///
+    /// [`OracleChoice::None`] yields the empty bundle
+    /// ([`fd_sim::NoOracle`]): building it succeeds, but any detector
+    /// access during the run panics — an algorithm for the pure
+    /// asynchronous model must never consult a detector.
+    pub fn build_oracle(&self, fp: &FailurePattern) -> BoxedOracle {
+        match self.oracle {
+            OracleChoice::None => Box::new(fd_sim::NoOracle),
+            OracleChoice::Omega => Box::new(self.omega_oracle(fp, salt::OMEGA)),
+            OracleChoice::Sx(f) => Box::new(self.sx_oracle(fp, self.x, f, salt::SX)),
+            OracleChoice::Phi(f) => Box::new(self.phi_oracle(fp, f, salt::PHI)),
+            OracleChoice::Psi => Box::new(PsiOracle::new(self.phi_oracle(
+                fp,
+                Flavour::Eventual,
+                salt::PSI_PHI,
+            ))),
+            OracleChoice::SxPlusPhi(f) => {
+                Box::new(self.sx_plus_phi(fp, f, salt::ADDITION_SX, salt::ADDITION_PHI))
+            }
+            OracleChoice::Perfect(f) => Box::new(PerfectOracle::new(
+                fp.clone(),
+                f.scope(self.gst),
+                self.seed ^ salt::PERFECT,
+            )),
+        }
+    }
+}
+
+/// The canonical proposal vector: process `p_i` proposes `100 + i`.
+pub fn default_proposals(n: usize) -> Vec<u64> {
+    (0..n).map(|i| 100 + i as u64).collect()
+}
+
+/// Runs an automaton under this spec until `stop` fires (or the horizon /
+/// event cap is reached) and returns the recorded trace.
+pub fn run_scenario_until<A: Automaton, O: OracleSuite>(
+    spec: &ScenarioSpec,
+    fp: &FailurePattern,
+    make: impl FnMut(ProcessId) -> A,
+    oracle: O,
+    stop: impl FnMut(&Trace) -> bool,
+) -> Trace {
+    let mut sim = Sim::new(spec.sim_config(), fp.clone(), make, oracle);
+    sim.run_until(stop).trace
+}
+
+/// Runs an automaton until every correct process has decided.
+pub fn run_to_decision<A: Automaton, O: OracleSuite>(
+    spec: &ScenarioSpec,
+    fp: &FailurePattern,
+    make: impl FnMut(ProcessId) -> A,
+    oracle: O,
+) -> Trace {
+    let correct = fp.correct();
+    run_scenario_until(spec, fp, make, oracle, move |tr| {
+        tr.deciders().is_superset(correct)
+    })
+}
+
+/// Runs an automaton to the configured horizon (transformations have no
+/// decision event; their output is judged over the whole window).
+pub fn run_to_horizon<A: Automaton, O: OracleSuite>(
+    spec: &ScenarioSpec,
+    fp: &FailurePattern,
+    make: impl FnMut(ProcessId) -> A,
+    oracle: O,
+) -> Trace {
+    run_scenario_until(spec, fp, make, oracle, |_| false)
+}
+
+/// Which oracle output [`sample_oracle`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampledSlot {
+    /// Record `suspected_i`.
+    Suspected,
+    /// Record `trusted_i`.
+    Trusted,
+}
+
+/// Samples a (possibly adapted) oracle's outputs over a time grid into a
+/// trace, so the class checkers can audit the oracle itself — the engine
+/// of the grid-reduction experiments.
+pub fn sample_oracle(
+    oracle: &mut dyn OracleSuite,
+    fp: &FailurePattern,
+    horizon: Time,
+    step: u64,
+    which: SampledSlot,
+) -> Trace {
+    let mut trace = Trace::new();
+    let mut now = Time::ZERO;
+    while now <= horizon {
+        for i in (0..fp.n()).map(ProcessId) {
+            if !fp.is_alive_at(i, now) {
+                continue;
+            }
+            match which {
+                SampledSlot::Suspected => {
+                    let s = oracle.suspected(i, now);
+                    trace.publish(i, slot::SUSPECTED, now, FdValue::Set(s));
+                }
+                SampledSlot::Trusted => {
+                    let s = oracle.trusted(i, now);
+                    trace.publish(i, slot::TRUSTED, now, FdValue::Set(s));
+                }
+            }
+        }
+        now += step.max(1);
+    }
+    trace.set_horizon(horizon);
+    trace
+}
+
+/// Uniform run statistics, extracted from the trace once, consumed by
+/// tables, benches, and tests alike.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Reliable-broadcast invocations.
+    pub rb_sent: u64,
+    /// Deliveries handed to live processes.
+    pub delivered: u64,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Largest round reached by a correct process (0 if none published).
+    pub max_round: u64,
+    /// Distinct decided values.
+    pub decided_values: Vec<u64>,
+    /// Time of the first decision.
+    pub first_decision: Option<Time>,
+    /// Time of the last decision.
+    pub last_decision: Option<Time>,
+}
+
+impl Metrics {
+    /// Extracts the metrics of a recorded run.
+    pub fn from_trace(trace: &Trace, fp: &FailurePattern) -> Self {
+        let max_round = fp
+            .correct()
+            .iter()
+            .filter_map(|p| trace.history(p, slot::ROUND).last())
+            .map(|v| match v {
+                FdValue::Num(r) => r,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let ds = trace.decisions();
+        Metrics {
+            msgs_sent: trace.counter(counter::SENT),
+            rb_sent: trace.counter(counter::RB_SENT),
+            delivered: trace.counter(counter::DELIVERED),
+            events: trace.counter(counter::EVENTS),
+            max_round,
+            decided_values: trace.decided_values(),
+            first_decision: ds.first().map(|d| d.at),
+            last_decision: ds.last().map(|d| d.at),
+        }
+    }
+}
+
+/// The one report type every scenario produces: the spec that ran, the
+/// materialized pattern, the trace, the verdict, and the metrics.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Name of the scenario that ran.
+    pub scenario: &'static str,
+    /// The spec that ran (seed included).
+    pub spec: ScenarioSpec,
+    /// The run's failure pattern.
+    pub fp: FailurePattern,
+    /// Everything observed during the run.
+    pub trace: Trace,
+    /// The scenario's verdict: the problem spec for algorithms, the target
+    /// class definition for transformations.
+    pub check: CheckOutcome,
+    /// Uniform run statistics.
+    pub metrics: Metrics,
+}
+
+impl ScenarioReport {
+    /// Assembles a report, extracting the metrics from the trace.
+    pub fn new(
+        scenario: &'static str,
+        spec: &ScenarioSpec,
+        fp: FailurePattern,
+        trace: Trace,
+        check: CheckOutcome,
+    ) -> Self {
+        ScenarioReport {
+            scenario,
+            spec: spec.clone(),
+            metrics: Metrics::from_trace(&trace, &fp),
+            fp,
+            trace,
+            check,
+        }
+    }
+
+    /// The seed this report was produced from.
+    pub fn seed(&self) -> u64 {
+        self.spec.seed
+    }
+}
+
+/// One algorithm or transformation, exposed to the engine.
+///
+/// Implementations must be deterministic in `spec.seed` and must not keep
+/// mutable state across runs ([`Runner`] may call [`Scenario::run`] from
+/// several threads at once).
+pub trait Scenario: Sync {
+    /// Stable name, used in reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Executes one run of the scenario under `spec`.
+    fn run(&self, spec: &ScenarioSpec) -> ScenarioReport;
+}
+
+/// Executes scenarios: single runs, multi-seed sweeps, grid matrices —
+/// sequentially or on a thread pool, with identical results either way.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A strictly sequential runner.
+    pub fn sequential() -> Self {
+        Runner { threads: 1 }
+    }
+
+    /// A runner using all available cores.
+    pub fn parallel() -> Self {
+        Runner {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+
+    /// A runner with an explicit thread count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count this runner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes one run.
+    pub fn run(&self, scenario: &dyn Scenario, spec: &ScenarioSpec) -> ScenarioReport {
+        scenario.run(spec)
+    }
+
+    /// Executes one run per seed in `seeds`, all other parameters fixed.
+    /// Reports come back in seed order regardless of thread interleaving.
+    pub fn sweep(
+        &self,
+        scenario: &dyn Scenario,
+        base: &ScenarioSpec,
+        seeds: Range<u64>,
+    ) -> Vec<ScenarioReport> {
+        let specs: Vec<ScenarioSpec> = seeds.map(|s| base.with_seed(s)).collect();
+        self.grid(scenario, &specs)
+    }
+
+    /// Executes one run per spec (a full grid matrix), in spec order.
+    pub fn grid(&self, scenario: &dyn Scenario, specs: &[ScenarioSpec]) -> Vec<ScenarioReport> {
+        par_map(specs.len(), self.threads, |i| scenario.run(&specs[i]))
+    }
+}
+
+/// Deterministic fork-join map: `f(i)` for `i in 0..n`, results in index
+/// order. Each index is computed exactly once on exactly one thread, so the
+/// output is independent of the thread count.
+fn par_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if threads == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(ci * chunk + j));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|o| o.expect("par_map slot filled"))
+        .collect()
+}
+
+/// Aggregate view of a sweep, for tables and benches.
+#[derive(Clone, Debug, Default)]
+pub struct SweepSummary {
+    /// Number of runs.
+    pub runs: u64,
+    /// Runs whose check passed.
+    pub passes: u64,
+    /// Sum of point-to-point messages across runs.
+    pub total_msgs: u64,
+    /// Sum of processed events across runs.
+    pub total_events: u64,
+    /// Sum of per-run max rounds.
+    pub total_rounds: u64,
+    /// Largest round seen in any run.
+    pub max_round: u64,
+    /// Sum of last-decision times over the runs that decided.
+    pub total_decision_time: u64,
+    /// Runs in which at least one decision was made.
+    pub decided_runs: u64,
+}
+
+impl SweepSummary {
+    /// Summarizes a batch of reports.
+    pub fn of(reports: &[ScenarioReport]) -> Self {
+        let mut s = SweepSummary {
+            runs: reports.len() as u64,
+            ..SweepSummary::default()
+        };
+        for r in reports {
+            s.passes += r.check.ok as u64;
+            s.total_msgs += r.metrics.msgs_sent;
+            s.total_events += r.metrics.events;
+            s.total_rounds += r.metrics.max_round;
+            s.max_round = s.max_round.max(r.metrics.max_round);
+            if let Some(t) = r.metrics.last_decision {
+                s.total_decision_time += t.ticks();
+                s.decided_runs += 1;
+            }
+        }
+        s
+    }
+
+    /// Whether every run passed.
+    pub fn all_pass(&self) -> bool {
+        self.passes == self.runs
+    }
+
+    /// `"passes/runs"`, the tables' favourite cell.
+    pub fn pass_cell(&self) -> String {
+        format!("{}/{}", self.passes, self.runs)
+    }
+
+    /// Mean messages per run (0 if empty).
+    pub fn avg_msgs(&self) -> u64 {
+        self.total_msgs.checked_div(self.runs).unwrap_or(0)
+    }
+
+    /// Mean max-round per run (0 if empty).
+    pub fn avg_rounds(&self) -> u64 {
+        self.total_rounds.checked_div(self.runs).unwrap_or(0)
+    }
+
+    /// Mean last-decision time over the runs that decided.
+    pub fn avg_decision_time(&self) -> Option<u64> {
+        self.total_decision_time.checked_div(self.decided_runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_plans_materialize() {
+        assert_eq!(CrashPlan::None.materialize(4, 1, 0).num_faulty(), 0);
+        assert_eq!(
+            CrashPlan::Random { f: 2, by: Time(10) }
+                .materialize(5, 2, 1)
+                .num_faulty(),
+            2
+        );
+        let ini = CrashPlan::Initial { f: 3 }.materialize(7, 3, 2);
+        assert_eq!(ini.num_faulty(), 3);
+        assert_eq!(ini.last_crash(), Time::ZERO);
+        let an = CrashPlan::Anarchic { by: Time(100) }.materialize(6, 2, 3);
+        assert!(an.num_faulty() <= 2);
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let plan = CrashPlan::Anarchic { by: Time(500) };
+        for seed in 0..16 {
+            assert_eq!(plan.materialize(7, 3, seed), plan.materialize(7, 3, seed));
+        }
+    }
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = ScenarioSpec::new(7, 3)
+            .kz(2)
+            .x(2)
+            .y(1)
+            .gst(Time(400))
+            .seed(9)
+            .max_time(Time(60_000));
+        assert_eq!((spec.n, spec.t, spec.k, spec.z), (7, 3, 2, 2));
+        assert_eq!(spec.sim_config().seed, 9);
+        assert_eq!(spec.sim_config().max_time, Time(60_000));
+        assert_eq!(spec.with_seed(11).seed, 11);
+        assert_eq!(spec.with_seed(11).n, 7);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let seq = par_map(37, 1, |i| i * i);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(par_map(37, threads, |i| i * i), seq);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_oversized() {
+        assert!(par_map(0, 8, |i| i).is_empty());
+        assert_eq!(par_map(3, 100, |i| i), vec![0, 1, 2]);
+    }
+
+    struct Probe;
+    impl Scenario for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
+            let fp = spec.materialize();
+            let mut trace = Trace::new();
+            trace.decide(Time(spec.seed + 1), ProcessId(0), spec.seed);
+            ScenarioReport::new(
+                self.name(),
+                spec,
+                fp,
+                trace,
+                CheckOutcome::pass(None, "probe"),
+            )
+        }
+    }
+
+    #[test]
+    fn sweep_orders_by_seed_in_parallel() {
+        let base = ScenarioSpec::new(5, 2).crashes(CrashPlan::Anarchic { by: Time(50) });
+        let seq = Runner::sequential().sweep(&Probe, &base, 0..64);
+        let par = Runner::with_threads(8).sweep(&Probe, &base, 0..64);
+        assert_eq!(seq.len(), 64);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.seed(), b.seed());
+            assert_eq!(a.fp, b.fp);
+            assert_eq!(a.metrics.decided_values, b.metrics.decided_values);
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let base = ScenarioSpec::new(5, 2);
+        let reports = Runner::sequential().sweep(&Probe, &base, 0..10);
+        let s = SweepSummary::of(&reports);
+        assert_eq!(s.runs, 10);
+        assert!(s.all_pass());
+        assert_eq!(s.decided_runs, 10);
+        assert_eq!(s.pass_cell(), "10/10");
+    }
+
+    #[test]
+    fn build_oracle_honours_choice() {
+        let fp = FailurePattern::all_correct(5);
+        let spec = ScenarioSpec::new(5, 2).z(2);
+        let mut omega = spec.clone().oracle(OracleChoice::Omega).build_oracle(&fp);
+        let leaders = omega.trusted(ProcessId(0), Time(10_000));
+        assert!(!leaders.is_empty());
+        let mut sx = spec
+            .clone()
+            .x(3)
+            .oracle(OracleChoice::Sx(Flavour::Perpetual))
+            .build_oracle(&fp);
+        let _ = sx.suspected(ProcessId(0), Time(10));
+        let mut phi = spec
+            .clone()
+            .oracle(OracleChoice::Phi(Flavour::Perpetual))
+            .build_oracle(&fp);
+        let _ = phi.query(ProcessId(0), fd_sim::PSet::full(5), Time(10));
+    }
+}

@@ -166,6 +166,7 @@ impl SxOracle {
     /// # Panics
     ///
     /// Panics unless `|q| = x`, `ℓ ∈ q`, and `ℓ` is correct.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_scope(
         fp: FailurePattern,
         t: usize,

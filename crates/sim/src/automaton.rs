@@ -246,8 +246,7 @@ mod tests {
     fn ctx_buffers_ops() {
         let mut oracle = NoOracle;
         let mut trace = Trace::new();
-        let mut ctx: Ctx<'_, u8> =
-            Ctx::new(ProcessId(0), 3, 1, Time(5), &mut oracle, &mut trace);
+        let mut ctx: Ctx<'_, u8> = Ctx::new(ProcessId(0), 3, 1, Time(5), &mut oracle, &mut trace);
         ctx.send(ProcessId(1), 7);
         ctx.broadcast(8);
         ctx.rb_broadcast(9);
@@ -255,7 +254,13 @@ mod tests {
         ctx.halt();
         let ops = ctx.take_ops();
         assert_eq!(ops.len(), 5);
-        assert!(matches!(ops[0], Op::Send { to: ProcessId(1), msg: 7 }));
+        assert!(matches!(
+            ops[0],
+            Op::Send {
+                to: ProcessId(1),
+                msg: 7
+            }
+        ));
         assert!(matches!(ops[3], Op::Timer { delay: 1 })); // clamped to >= 1
         assert!(matches!(ops[4], Op::Halt));
         assert!(ctx.take_ops().is_empty());

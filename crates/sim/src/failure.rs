@@ -144,7 +144,12 @@ impl FailurePattern {
 
     /// The last crash instant of the run (`Time::ZERO` if failure-free).
     pub fn last_crash(&self) -> Time {
-        self.crash_at.iter().flatten().copied().max().unwrap_or(Time::ZERO)
+        self.crash_at
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 }
 
@@ -194,7 +199,9 @@ mod tests {
 
     #[test]
     fn crash_semantics() {
-        let fp = FailurePattern::builder(3).crash(ProcessId(1), Time(5)).build();
+        let fp = FailurePattern::builder(3)
+            .crash(ProcessId(1), Time(5))
+            .build();
         assert!(fp.is_alive_at(ProcessId(1), Time(4)));
         assert!(!fp.is_alive_at(ProcessId(1), Time(5)));
         assert_eq!(fp.crashed_at(Time(5)), PSet::singleton(ProcessId(1)));

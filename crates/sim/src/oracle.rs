@@ -54,6 +54,34 @@ pub trait OracleSuite {
     }
 }
 
+impl OracleSuite for Box<dyn OracleSuite + '_> {
+    fn suspected(&mut self, p: ProcessId, now: Time) -> PSet {
+        (**self).suspected(p, now)
+    }
+
+    fn trusted(&mut self, p: ProcessId, now: Time) -> PSet {
+        (**self).trusted(p, now)
+    }
+
+    fn query(&mut self, p: ProcessId, x: PSet, now: Time) -> bool {
+        (**self).query(p, x, now)
+    }
+}
+
+impl<O: OracleSuite + ?Sized> OracleSuite for &mut O {
+    fn suspected(&mut self, p: ProcessId, now: Time) -> PSet {
+        (**self).suspected(p, now)
+    }
+
+    fn trusted(&mut self, p: ProcessId, now: Time) -> PSet {
+        (**self).trusted(p, now)
+    }
+
+    fn query(&mut self, p: ProcessId, x: PSet, now: Time) -> bool {
+        (**self).query(p, x, now)
+    }
+}
+
 /// The empty bundle: a pure asynchronous system `AS_{n,t}[∅]`.
 ///
 /// Any failure-detector access panics, which is exactly the contract: an

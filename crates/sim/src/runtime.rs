@@ -250,13 +250,27 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                 EventKind::Deliver { from, msg } => {
                     if self.fp.is_alive_at(to, self.now) {
                         self.trace.bump(counter::DELIVERED, 1);
-                        self.activate(to, Activation::Message { from, msg, rb: false });
+                        self.activate(
+                            to,
+                            Activation::Message {
+                                from,
+                                msg,
+                                rb: false,
+                            },
+                        );
                     }
                 }
                 EventKind::RbDeliver { from, msg } => {
                     if self.fp.is_alive_at(to, self.now) {
                         self.trace.bump(counter::DELIVERED, 1);
-                        self.activate(to, Activation::Message { from, msg, rb: true });
+                        self.activate(
+                            to,
+                            Activation::Message {
+                                from,
+                                msg,
+                                rb: true,
+                            },
+                        );
                     }
                 }
                 EventKind::Step => {
@@ -280,8 +294,11 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         // If the run stopped early the observation window ends at the last
         // event; otherwise (horizon reached or queue drained — after which
         // nothing can change) it extends to the configured horizon.
-        self.trace
-            .set_horizon(if stopped_early { end } else { self.cfg.max_time });
+        self.trace.set_horizon(if stopped_early {
+            end
+        } else {
+            self.cfg.max_time
+        });
         RunReport {
             trace: self.trace.clone(),
             end,
@@ -318,8 +335,16 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             );
             match what {
                 Activation::Start => proc.on_start(&mut ctx),
-                Activation::Message { from, msg, rb: false } => proc.on_message(from, msg, &mut ctx),
-                Activation::Message { from, msg, rb: true } => proc.on_rb_deliver(from, msg, &mut ctx),
+                Activation::Message {
+                    from,
+                    msg,
+                    rb: false,
+                } => proc.on_message(from, msg, &mut ctx),
+                Activation::Message {
+                    from,
+                    msg,
+                    rb: true,
+                } => proc.on_rb_deliver(from, msg, &mut ctx),
                 Activation::Step => proc.on_step(&mut ctx),
             }
             ctx.take_ops()
@@ -340,7 +365,14 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                         self.trace.bump(counter::SENT, 1);
                         let to = ProcessId(i);
                         let at = self.net.delivery_time(from, to, self.now);
-                        self.queue.push(at, to, EventKind::Deliver { from, msg: msg.clone() });
+                        self.queue.push(
+                            at,
+                            to,
+                            EventKind::Deliver {
+                                from,
+                                msg: msg.clone(),
+                            },
+                        );
                     }
                 }
                 Op::RBroadcast { msg } => {
@@ -380,8 +412,14 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         };
         for to in receivers {
             let at = self.net.delivery_time(from, to, self.now);
-            self.queue
-                .push(at, to, EventKind::RbDeliver { from, msg: msg.clone() });
+            self.queue.push(
+                at,
+                to,
+                EventKind::RbDeliver {
+                    from,
+                    msg: msg.clone(),
+                },
+            );
         }
     }
 }
@@ -443,7 +481,9 @@ mod tests {
     #[test]
     fn crashed_process_does_not_decide() {
         let cfg = SimConfig::new(5, 1).seed(4);
-        let fp = FailurePattern::builder(5).crash(ProcessId(2), Time::ZERO).build();
+        let fp = FailurePattern::builder(5)
+            .crash(ProcessId(2), Time::ZERO)
+            .build();
         let mut sim = Sim::new(cfg, fp, counter, NoOracle);
         let rep = sim.run();
         assert!(!rep.trace.deciders().contains(ProcessId(2)));
@@ -454,7 +494,9 @@ mod tests {
     fn determinism() {
         let run = |seed| {
             let cfg = SimConfig::new(6, 2).seed(seed);
-            let fp = FailurePattern::builder(6).crash(ProcessId(0), Time(7)).build();
+            let fp = FailurePattern::builder(6)
+                .crash(ProcessId(0), Time(7))
+                .build();
             let mut sim = Sim::new(cfg, fp, counter, NoOracle);
             let rep = sim.run();
             (
@@ -529,7 +571,9 @@ mod tests {
             fn on_step(&mut self, _ctx: &mut Ctx<'_, u8>) {}
         }
         let cfg = SimConfig::new(3, 1).seed(8);
-        let fp = FailurePattern::builder(3).crash(ProcessId(0), Time(1)).build();
+        let fp = FailurePattern::builder(3)
+            .crash(ProcessId(0), Time(1))
+            .build();
         let mut sim = Sim::new(cfg, fp, |_| Once, NoOracle);
         let rep = sim.run();
         assert!(rep.trace.deciders().contains(ProcessId(1)));

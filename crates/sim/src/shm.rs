@@ -293,7 +293,9 @@ mod tests {
     #[test]
     fn crashed_process_stops_stepping() {
         let cfg = ShmConfig::new(3, 1).seed(43);
-        let fp = FailurePattern::builder(3).crash(ProcessId(0), Time(50)).build();
+        let fp = FailurePattern::builder(3)
+            .crash(ProcessId(0), Time(50))
+            .build();
         let mut oracle = NoOracle;
         let trace = run_shm(&cfg, &fp, mk, &mut oracle);
         // The writer stops early, so readers plateau at a small value.

@@ -177,7 +177,9 @@ impl Trace {
 
     /// The history of `(p, slot)` (empty if never published).
     pub fn history(&self, p: ProcessId, slot: u32) -> &History {
-        static EMPTY: History = History { samples: Vec::new() };
+        static EMPTY: History = History {
+            samples: Vec::new(),
+        };
         self.histories.get(&(p, slot)).unwrap_or(&EMPTY)
     }
 
@@ -267,7 +269,10 @@ mod tests {
     #[test]
     fn empty_history_is_shared() {
         let t = Trace::new();
-        assert!(t.history(ProcessId(3), slot::SUSPECTED).samples().is_empty());
+        assert!(t
+            .history(ProcessId(3), slot::SUSPECTED)
+            .samples()
+            .is_empty());
     }
 
     #[test]

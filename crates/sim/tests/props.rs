@@ -1,16 +1,25 @@
-//! Property-based tests of the simulator substrate.
+//! Property-based tests of the simulator substrate — hand-rolled seeded
+//! cases (the build environment has no `proptest`); every case derives
+//! from a `SplitMix64` stream of a fixed root seed, so failures reproduce
+//! exactly.
 
 use fd_sim::{
     DelayModel, DelayRule, EventKind, EventQueue, FailurePattern, Network, PSet, ProcessId,
     SplitMix64, Time,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn event_queue_pops_in_nondecreasing_time(times in prop::collection::vec(0u64..1000, 1..60)) {
+fn rng_for(case: u64, stream: u64) -> SplitMix64 {
+    SplitMix64::new(0x51D_0000 + case).stream(stream)
+}
+
+#[test]
+fn event_queue_pops_in_nondecreasing_time() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 0);
+        let len = 1 + rng.below(59) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
         let mut q: EventQueue<()> = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Time(t), ProcessId(i % 4), EventKind::Step);
@@ -18,76 +27,91 @@ proptest! {
         let mut prev = Time::ZERO;
         let mut n = 0;
         while let Some(e) = q.pop() {
-            prop_assert!(e.at >= prev);
+            assert!(e.at >= prev);
             prev = e.at;
             n += 1;
         }
-        prop_assert_eq!(n, times.len());
+        assert_eq!(n, times.len());
     }
+}
 
-    #[test]
-    fn event_queue_fifo_among_ties(k in 2usize..20) {
+#[test]
+fn event_queue_fifo_among_ties() {
+    for k in 2usize..20 {
         let mut q: EventQueue<()> = EventQueue::new();
         for i in 0..k {
             q.push(Time(7), ProcessId(i), EventKind::Step);
         }
         for i in 0..k {
-            prop_assert_eq!(q.pop().unwrap().to, ProcessId(i));
+            assert_eq!(q.pop().unwrap().to, ProcessId(i));
         }
     }
+}
 
-    #[test]
-    fn network_delivery_always_after_send(
-        seed in 0u64..1000,
-        sends in prop::collection::vec((0usize..6, 0usize..6, 0u64..5000), 1..50),
-    ) {
+#[test]
+fn network_delivery_always_after_send() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 1);
         let mut net = Network::new(
             DelayModel::Uniform { lo: 0, hi: 20 },
             vec![],
-            SplitMix64::new(seed),
+            SplitMix64::new(case),
         );
-        for (from, to, at) in sends {
+        let sends = 1 + rng.below(49);
+        for _ in 0..sends {
+            let from = rng.below(6) as usize;
+            let to = rng.below(6) as usize;
+            let at = rng.below(5000);
             let d = net.delivery_time(ProcessId(from), ProcessId(to), Time(at));
-            prop_assert!(d > Time(at), "delivery not strictly after send");
+            assert!(d > Time(at), "delivery not strictly after send");
         }
     }
+}
 
-    #[test]
-    fn delay_rule_release_respected(seed in 0u64..500, send_at in 0u64..99) {
+#[test]
+fn delay_rule_release_respected() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 2);
+        let send_at = rng.below(99);
         let rule = DelayRule::silence_until(PSet::full(4), PSet::full(4), Time(100));
-        let mut net = Network::new(DelayModel::Fixed(2), vec![rule], SplitMix64::new(seed));
+        let mut net = Network::new(DelayModel::Fixed(2), vec![rule], SplitMix64::new(case));
         let d = net.delivery_time(ProcessId(0), ProcessId(1), Time(send_at));
-        prop_assert!(d >= Time(100));
+        assert!(d >= Time(100));
         // After the window, delays return to normal.
         let d = net.delivery_time(ProcessId(0), ProcessId(1), Time(150));
-        prop_assert_eq!(d, Time(152));
+        assert_eq!(d, Time(152));
     }
+}
 
-    #[test]
-    fn failure_pattern_crash_monotone(n in 2usize..10, seed in 0u64..500) {
-        let mut rng = SplitMix64::new(seed);
-        let f = (seed as usize) % n;
+#[test]
+fn failure_pattern_crash_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 3);
+        let n = 2 + rng.below(8) as usize; // 2..10
+        let f = (case as usize) % n;
         let fp = FailurePattern::random(n, f, Time(300), &mut rng);
         // crashed_at is monotone non-decreasing.
         let mut prev = PSet::EMPTY;
         for t in (0..600).step_by(37) {
             let cur = fp.crashed_at(Time(t));
-            prop_assert!(prev.is_subset(cur));
+            assert!(prev.is_subset(cur));
             prev = cur;
         }
         // And converges to the faulty set.
-        prop_assert_eq!(fp.crashed_at(Time(10_000)), fp.faulty());
+        assert_eq!(fp.crashed_at(Time(10_000)), fp.faulty());
     }
+}
 
-    #[test]
-    fn splitmix_streams_are_independent_of_order(seed in 0u64..1000) {
+#[test]
+fn splitmix_streams_are_independent_of_order() {
+    for case in 0..CASES {
         // Drawing from stream A must not affect stream B.
-        let root = SplitMix64::new(seed);
+        let root = SplitMix64::new(case);
         let mut a1 = root.stream(1);
         let mut b1 = root.stream(2);
         let _ = a1.next_u64();
         let x = b1.next_u64();
         let mut b2 = root.stream(2);
-        prop_assert_eq!(b2.next_u64(), x);
+        assert_eq!(b2.next_u64(), x);
     }
 }

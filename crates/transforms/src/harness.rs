@@ -1,28 +1,14 @@
-//! One-call runners for every transformation, returning the recorded trace
-//! together with the target-class check outcome.
+//! Thin one-call adapters over the scenario engine, one per
+//! transformation. All sim setup, oracle assembly, and report assembly
+//! live in `fd_detectors::scenario` and [`crate::scenario`].
 
-use crate::addition_s::{AdditionMp, AdditionShm};
-use crate::psi_omega::PsiToOmega;
-use crate::two_wheels::{TwParams, TwoWheels};
-use fd_detectors::{check, CheckOutcome, PhiOracle, PsiOracle, Scope, SxOracle};
-use fd_sim::{
-    run_shm, FailurePattern, OracleSuite, ProcessId, ShmConfig, Sim, SimConfig, SuspectPlusQuery,
-    Time, Trace,
-};
-
-/// Margin (ticks before the horizon) an eventual property must hold for.
-pub const DEFAULT_MARGIN: u64 = 3_000;
-
-/// Outcome of one transformation run.
-#[derive(Clone, Debug)]
-pub struct TransformReport {
-    /// The run's trace (the built detector's output histories).
-    pub trace: Trace,
-    /// The run's failure pattern.
-    pub fp: FailurePattern,
-    /// The target-class property check.
-    pub check: CheckOutcome,
-}
+pub use crate::scenario::DEFAULT_MARGIN;
+use crate::scenario::{AdditionScenario, PsiOmegaScenario, Substrate, TwoWheelsScenario};
+use crate::two_wheels::TwParams;
+pub use fd_detectors::scenario::{sample_oracle, SampledSlot};
+use fd_detectors::scenario::{CrashPlan, Flavour, ScenarioReport, ScenarioSpec};
+use fd_detectors::{Scenario, Scope};
+use fd_sim::{FailurePattern, Time};
 
 /// Runs the two-wheels transformation `◇S_x + ◇φ_y → Ω_z` (Figures 5+6)
 /// under adversarial oracles stabilizing at `gst`, and checks the built
@@ -33,7 +19,7 @@ pub fn run_two_wheels(
     gst: Time,
     seed: u64,
     max_time: Time,
-) -> TransformReport {
+) -> ScenarioReport {
     run_two_wheels_opt(params, fp, gst, seed, max_time, true)
 }
 
@@ -47,50 +33,20 @@ pub fn run_two_wheels_opt(
     seed: u64,
     max_time: Time,
     throttled: bool,
-) -> TransformReport {
-    let sx = SxOracle::new(
-        fp.clone(),
-        params.t,
-        params.x,
-        Scope::Eventual(gst),
-        seed ^ 0x5e5e,
-    );
-    let phi = PhiOracle::new(
-        fp.clone(),
-        params.t,
-        params.y,
-        Scope::Eventual(gst),
-        seed ^ 0x9191,
-    );
-    let oracle = SuspectPlusQuery {
-        suspect: sx,
-        query: phi,
-    };
-    let cfg = SimConfig::new(params.n, params.t)
+) -> ScenarioReport {
+    let spec = TwoWheelsScenario::spec(params)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(gst)
         .seed(seed)
         .max_time(max_time);
-    let mut sim = Sim::new(
-        cfg,
-        fp.clone(),
-        |p| {
-            let w = TwoWheels::new(p, params);
-            if throttled {
-                w
-            } else {
-                w.unthrottled()
-            }
-        },
-        oracle,
-    );
-    let trace = sim.run().trace;
-    let check = check::omega_z(&trace, &fp, params.z, DEFAULT_MARGIN);
-    TransformReport { trace, fp, check }
+    TwoWheelsScenario { throttled }.run(&spec)
 }
 
 /// Runs the `Ψ_y → Ω_z` transformation (Figure 8) and checks `Ω_z`.
 ///
 /// The `Ψ_y` oracle is strict: any containment violation by the
 /// transformation would panic the run.
+#[allow(clippy::too_many_arguments)]
 pub fn run_psi_omega(
     n: usize,
     t: usize,
@@ -100,14 +56,15 @@ pub fn run_psi_omega(
     gst: Time,
     seed: u64,
     max_time: Time,
-) -> TransformReport {
-    let phi = PhiOracle::new(fp.clone(), t, y, Scope::Eventual(gst), seed ^ 0x8888);
-    let oracle = PsiOracle::new(phi);
-    let cfg = SimConfig::new(n, t).seed(seed).max_time(max_time);
-    let mut sim = Sim::new(cfg, fp.clone(), |_| PsiToOmega::new(n, z), oracle);
-    let trace = sim.run().trace;
-    let check = check::omega_z(&trace, &fp, z, DEFAULT_MARGIN);
-    TransformReport { trace, fp, check }
+) -> ScenarioReport {
+    let spec = ScenarioSpec::new(n, t)
+        .y(y)
+        .z(z)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(gst)
+        .seed(seed)
+        .max_time(max_time);
+    PsiOmegaScenario.run(&spec)
 }
 
 /// Which flavour of the Figure 9 addition to run.
@@ -121,45 +78,25 @@ pub enum AdditionFlavour {
 }
 
 impl AdditionFlavour {
-    fn scope(self) -> Scope {
+    /// The corresponding oracle scope.
+    pub fn scope(self) -> Scope {
         match self {
             AdditionFlavour::Perpetual => Scope::Perpetual,
             AdditionFlavour::Eventual(gst) => Scope::Eventual(gst),
         }
     }
-}
 
-fn addition_oracle(
-    fp: &FailurePattern,
-    t: usize,
-    x: usize,
-    y: usize,
-    flavour: AdditionFlavour,
-    seed: u64,
-) -> SuspectPlusQuery<SxOracle, PhiOracle> {
-    SuspectPlusQuery {
-        suspect: SxOracle::new(fp.clone(), t, x, flavour.scope(), seed ^ 0x1f1f),
-        query: PhiOracle::new(fp.clone(), t, y, flavour.scope(), seed ^ 0x2e2e),
-    }
-}
-
-fn addition_check(
-    trace: &Trace,
-    fp: &FailurePattern,
-    n: usize,
-    flavour: AdditionFlavour,
-    start_slack: u64,
-) -> CheckOutcome {
-    match flavour {
-        // Output class S = S_n: completeness + perpetual full-scope accuracy.
-        AdditionFlavour::Perpetual => check::s_x(trace, fp, n, DEFAULT_MARGIN, start_slack),
-        // Output class ◇S = ◇S_n.
-        AdditionFlavour::Eventual(_) => check::diamond_s_x(trace, fp, n, DEFAULT_MARGIN),
+    fn split(self) -> (Flavour, Time) {
+        match self {
+            AdditionFlavour::Perpetual => (Flavour::Perpetual, Time::ZERO),
+            AdditionFlavour::Eventual(gst) => (Flavour::Eventual, gst),
+        }
     }
 }
 
 /// Runs the shared-memory Figure 9 addition `φ_y + S_x → S` and checks the
 /// output against the (`◇`)`S` definition.
+#[allow(clippy::too_many_arguments)]
 pub fn run_addition_shm(
     n: usize,
     t: usize,
@@ -169,25 +106,24 @@ pub fn run_addition_shm(
     flavour: AdditionFlavour,
     seed: u64,
     max_steps: u64,
-) -> TransformReport {
-    let mut oracle = addition_oracle(&fp, t, x, y, flavour, seed);
-    let cfg = ShmConfig {
-        max_steps,
-        ..ShmConfig::new(n, t).seed(seed)
-    };
-    let trace = run_shm(&cfg, &fp, |_| AdditionShm::new(n), &mut oracle);
-    // The shm scheduler's first publications happen after a few scans.
-    let slack = trace
-        .histories()
-        .filter(|((_, s), _)| *s == fd_sim::slot::SUSPECTED)
-        .filter_map(|(_, h)| h.samples().first().map(|s| s.at.ticks()))
-        .max()
-        .unwrap_or(0);
-    let check = addition_check(&trace, &fp, n, flavour, slack + 1);
-    TransformReport { trace, fp, check }
+) -> ScenarioReport {
+    let (fl, gst) = flavour.split();
+    let spec = ScenarioSpec::new(n, t)
+        .x(x)
+        .y(y)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(gst)
+        .seed(seed)
+        .max_steps(max_steps);
+    AdditionScenario {
+        substrate: Substrate::SharedMemory,
+        flavour: fl,
+    }
+    .run(&spec)
 }
 
 /// Runs the message-passing port of the Figure 9 addition.
+#[allow(clippy::too_many_arguments)]
 pub fn run_addition_mp(
     n: usize,
     t: usize,
@@ -197,77 +133,32 @@ pub fn run_addition_mp(
     flavour: AdditionFlavour,
     seed: u64,
     max_time: Time,
-) -> TransformReport {
-    let oracle = addition_oracle(&fp, t, x, y, flavour, seed);
-    let cfg = SimConfig::new(n, t).seed(seed).max_time(max_time);
-    let mut sim = Sim::new(cfg, fp.clone(), |_| AdditionMp::new(n), oracle);
-    let trace = sim.run().trace;
-    let slack = trace
-        .histories()
-        .filter(|((_, s), _)| *s == fd_sim::slot::SUSPECTED)
-        .filter_map(|(_, h)| {
-            // First non-empty publication (the initial ∅ is a placeholder).
-            h.samples().iter().find(|s| s.at > Time::ZERO).map(|s| s.at.ticks())
-        })
-        .max()
-        .unwrap_or(0);
-    let check = addition_check(&trace, &fp, n, flavour, slack + 1);
-    TransformReport { trace, fp, check }
-}
-
-/// Samples a (possibly adapted) oracle's outputs over a time grid into a
-/// trace, so the class checkers can audit the oracle itself — the engine of
-/// the grid experiment E1.
-pub fn sample_oracle(
-    oracle: &mut dyn OracleSuite,
-    fp: &FailurePattern,
-    horizon: Time,
-    step: u64,
-    which: SampledSlot,
-) -> Trace {
-    let mut trace = Trace::new();
-    let mut now = Time::ZERO;
-    while now <= horizon {
-        for i in (0..fp.n()).map(ProcessId) {
-            if !fp.is_alive_at(i, now) {
-                continue;
-            }
-            match which {
-                SampledSlot::Suspected => {
-                    let s = oracle.suspected(i, now);
-                    trace.publish(i, fd_sim::slot::SUSPECTED, now, fd_sim::FdValue::Set(s));
-                }
-                SampledSlot::Trusted => {
-                    let s = oracle.trusted(i, now);
-                    trace.publish(i, fd_sim::slot::TRUSTED, now, fd_sim::FdValue::Set(s));
-                }
-            }
-        }
-        now += step.max(1);
+) -> ScenarioReport {
+    let (fl, gst) = flavour.split();
+    let spec = ScenarioSpec::new(n, t)
+        .x(x)
+        .y(y)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(gst)
+        .seed(seed)
+        .max_time(max_time);
+    AdditionScenario {
+        substrate: Substrate::MessagePassing,
+        flavour: fl,
     }
-    trace.set_horizon(horizon);
-    trace
-}
-
-/// Which output [`sample_oracle`] records.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SampledSlot {
-    /// Record `suspected_i`.
-    Suspected,
-    /// Record `trusted_i`.
-    Trusted,
+    .run(&spec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fd_sim::ProcessId;
 
     #[test]
     fn two_wheels_builds_omega_all_correct() {
         let n = 5;
         let t = 2;
-        // x + y + z = 2 + 1 + 1 = 5 = t + 2  (wait: t+2 = 4; use x=2,y=1 ⇒
-        // z = t+2−x−y = 1).
+        // x = 2, y = 1 ⇒ z = t+2−x−y = 1.
         let params = TwParams::optimal(n, t, 2, 1);
         assert_eq!(params.z, 1);
         for seed in 0..3 {
@@ -319,7 +210,9 @@ mod tests {
         let t = 2;
         // y + z = 1 + 2 = 3 ≥ t + 1.
         for seed in 0..3 {
-            let fp = FailurePattern::builder(n).crash(ProcessId(0), Time(100)).build();
+            let fp = FailurePattern::builder(n)
+                .crash(ProcessId(0), Time(100))
+                .build();
             let rep = run_psi_omega(n, t, 1, 2, fp, Time(300), seed, Time(20_000));
             assert!(rep.check.ok, "seed {seed}: {}", rep.check);
         }
@@ -330,7 +223,9 @@ mod tests {
         let n = 5;
         let t = 2;
         // x + y = 2 + 1 = 3 > t.
-        let fp = FailurePattern::builder(n).crash(ProcessId(2), Time(200)).build();
+        let fp = FailurePattern::builder(n)
+            .crash(ProcessId(2), Time(200))
+            .build();
         let rep = run_addition_mp(
             n,
             t,
@@ -349,7 +244,9 @@ mod tests {
         let n = 4;
         let t = 1;
         // x + y = 1 + 1 = 2 > t = 1.
-        let fp = FailurePattern::builder(n).crash(ProcessId(3), Time(500)).build();
+        let fp = FailurePattern::builder(n)
+            .crash(ProcessId(3), Time(500))
+            .build();
         let rep = run_addition_shm(n, t, 1, 1, fp, AdditionFlavour::Perpetual, 6, 300_000);
         assert!(rep.check.ok, "{}", rep.check);
     }

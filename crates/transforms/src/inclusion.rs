@@ -33,11 +33,7 @@ impl<O: OracleSuite> WeakenPhi<O> {
     /// Wraps `inner` (a `φ_y` oracle) as a `φ_{y_target}` oracle.
     pub fn new(inner: O, t: usize, y_target: usize) -> Self {
         assert!(y_target <= t, "need y' <= t");
-        WeakenPhi {
-            inner,
-            t,
-            y_target,
-        }
+        WeakenPhi { inner, t, y_target }
     }
 }
 
@@ -162,7 +158,11 @@ mod tests {
         let mixed = PSet::from_iter([ProcessId(0), ProcessId(4)]);
         assert!(!weak.query(ProcessId(1), mixed, Time(5000)));
         // |X| > t stays false.
-        assert!(!weak.query(ProcessId(1), PSet::full(5) - PSet::singleton(ProcessId(1)), Time(0)));
+        assert!(!weak.query(
+            ProcessId(1),
+            PSet::full(5) - PSet::singleton(ProcessId(1)),
+            Time(0)
+        ));
     }
 
     #[test]

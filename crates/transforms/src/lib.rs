@@ -14,7 +14,10 @@
 //! * [`witness`] — *executable* renderings of the irreducibility proofs
 //!   (indistinguishable-run adversaries, boundary violations, and the
 //!   Theorem 5 lower bounds);
-//! * [`harness`] — one-call run-and-check entry points.
+//! * [`scenario`] — the [`Scenario`](fd_detectors::Scenario)
+//!   implementations driving the transformations through the unified
+//!   engine;
+//! * [`harness`] — thin one-call adapters over the engine.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +28,7 @@ pub mod inclusion;
 pub mod lower_wheel;
 pub mod psi_omega;
 pub mod ring;
+pub mod scenario;
 pub mod two_wheels;
 pub mod upper_wheel;
 pub mod witness;
@@ -32,12 +36,12 @@ pub mod witness;
 pub use addition_s::{AdditionMp, AdditionShm, Heartbeat};
 pub use harness::{
     run_addition_mp, run_addition_shm, run_psi_omega, run_two_wheels, run_two_wheels_opt,
-    sample_oracle,
-    AdditionFlavour, SampledSlot, TransformReport, DEFAULT_MARGIN,
+    sample_oracle, AdditionFlavour, SampledSlot, DEFAULT_MARGIN,
 };
 pub use inclusion::{OmegaToDiamondS, PToPhi, PhiToP, WeakenPhi};
 pub use lower_wheel::{LowerMsg, LowerWheel};
 pub use psi_omega::PsiToOmega;
 pub use ring::{binom, first_subset, next_subset, MemberRing, NestedRing};
+pub use scenario::{AdditionScenario, PsiOmegaScenario, Substrate, TwoWheelsScenario};
 pub use two_wheels::{TwMsg, TwParams, TwoWheels};
 pub use upper_wheel::{UpperMsg, UpperWheel};

@@ -119,7 +119,11 @@ impl LowerWheel {
     /// Updates and publishes `repr_i` (task T1, first line).
     fn refresh_repr(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
         let me = ctx.me();
-        self.repr = if self.cur.1.contains(me) { self.cur.0 } else { me };
+        self.repr = if self.cur.1.contains(me) {
+            self.cur.0
+        } else {
+            me
+        };
         ctx.publish(slot::REPR, FdValue::Proc(self.repr));
     }
 

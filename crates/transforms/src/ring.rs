@@ -28,9 +28,7 @@ pub fn binom(n: usize, k: usize) -> u128 {
     let k = k.min(n - k);
     let mut num: u128 = 1;
     for i in 0..k {
-        num = num
-            .checked_mul((n - i) as u128)
-            .expect("binomial overflow");
+        num = num.checked_mul((n - i) as u128).expect("binomial overflow");
         num /= (i + 1) as u128;
     }
     num

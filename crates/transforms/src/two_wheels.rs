@@ -122,7 +122,11 @@ impl TwoWheels {
         self.upper.trusted(ctx)
     }
 
-    fn run_lower(&mut self, ctx: &mut Ctx<'_, TwMsg>, f: impl FnOnce(&mut LowerWheel, &mut Ctx<'_, LowerMsg>)) {
+    fn run_lower(
+        &mut self,
+        ctx: &mut Ctx<'_, TwMsg>,
+        f: impl FnOnce(&mut LowerWheel, &mut Ctx<'_, LowerMsg>),
+    ) {
         let lower = &mut self.lower;
         let ((), ops) = ctx.reborrow_inner(|ictx| f(lower, ictx));
         forward_ops(ctx, ops, TwMsg::Lower);
@@ -130,7 +134,11 @@ impl TwoWheels {
         self.upper.set_repr(self.lower.repr());
     }
 
-    fn run_upper(&mut self, ctx: &mut Ctx<'_, TwMsg>, f: impl FnOnce(&mut UpperWheel, &mut Ctx<'_, UpperMsg>)) {
+    fn run_upper(
+        &mut self,
+        ctx: &mut Ctx<'_, TwMsg>,
+        f: impl FnOnce(&mut UpperWheel, &mut Ctx<'_, UpperMsg>),
+    ) {
         let upper = &mut self.upper;
         let ((), ops) = ctx.reborrow_inner(|ictx| f(upper, ictx));
         forward_ops(ctx, ops, TwMsg::Upper);

@@ -211,10 +211,13 @@ impl UpperWheel {
         match msg {
             UpperMsg::Inquiry { seq } => {
                 // Task T5: answer with the lower wheel's current repr.
-                ctx.send(from, UpperMsg::Response {
-                    seq,
-                    repr: self.repr,
-                });
+                ctx.send(
+                    from,
+                    UpperMsg::Response {
+                        seq,
+                        repr: self.repr,
+                    },
+                );
             }
             UpperMsg::Response { seq, repr } => {
                 if seq == self.inquiry_seq && self.awaiting {
@@ -303,7 +306,10 @@ mod tests {
         let ops = ctx.take_ops();
         assert_eq!(ops.len(), 1);
         match &ops[0] {
-            fd_sim::Op::Send { to, msg: UpperMsg::Response { seq, repr } } => {
+            fd_sim::Op::Send {
+                to,
+                msg: UpperMsg::Response { seq, repr },
+            } => {
                 assert_eq!(*to, ProcessId(1));
                 assert_eq!(*seq, 9);
                 assert_eq!(*repr, ProcessId(2));
@@ -328,7 +334,10 @@ mod tests {
         // A move for a *different* pair stays buffered.
         w.deliver(
             ProcessId(1),
-            UpperMsg::LMove { l: next.0, y: next.1 },
+            UpperMsg::LMove {
+                l: next.0,
+                y: next.1,
+            },
             &mut ctx,
         );
         assert_eq!(w.current(), start);
@@ -336,7 +345,10 @@ mod tests {
         // A matching move advances — and then the buffered one matches too.
         w.deliver(
             ProcessId(1),
-            UpperMsg::LMove { l: start.0, y: start.1 },
+            UpperMsg::LMove {
+                l: start.0,
+                y: start.1,
+            },
             &mut ctx,
         );
         assert_eq!(w.advances(), 2, "matching + previously-buffered move");
@@ -353,7 +365,10 @@ mod tests {
         // but awaiting = false must be dropped.
         w.deliver(
             ProcessId(1),
-            UpperMsg::Response { seq: 0, repr: ProcessId(1) },
+            UpperMsg::Response {
+                seq: 0,
+                repr: ProcessId(1),
+            },
             &mut ctx,
         );
         assert!(w.responses.is_empty());

@@ -20,17 +20,16 @@
 //!   (below `x+y+z = t+2`, Theorem 7) and the Figure 9 addition (below
 //!   `x+y = t+1`, Theorem 13) violate their target class.
 
-use crate::addition_s::AdditionMp;
-use crate::harness::{run_two_wheels, TransformReport, DEFAULT_MARGIN};
-use crate::psi_omega::PsiToOmega;
+use crate::harness::{run_two_wheels, DEFAULT_MARGIN};
+use crate::scenario::PsiOmegaScenario;
 use crate::two_wheels::TwParams;
+use fd_detectors::scenario::{run_to_horizon, CrashPlan, Scenario, ScenarioReport, ScenarioSpec};
 use fd_detectors::{
-    check, CheckOutcome, PhiOracle, PsiOracle, Scope, ScriptedOracle, SetSchedule, SxAdversary,
-    SxOracle,
+    check, CheckOutcome, PhiOracle, Scope, ScriptedOracle, SetSchedule, SxAdversary, SxOracle,
 };
 use fd_sim::{
-    Automaton, Ctx, DelayModel, DelayRule, FailurePattern, FdValue, PSet, ProcessId, Sim,
-    SimConfig, SuspectPlusQuery, Time, Trace,
+    Automaton, Ctx, DelayModel, DelayRule, FailurePattern, FdValue, PSet, ProcessId,
+    SuspectPlusQuery, Time, Trace,
 };
 
 /// Output slot used by the strawman query-builder.
@@ -104,13 +103,7 @@ pub struct Theorem8Witness {
 
 /// Compares two traces' histories of `(p, slot)` truncated at `tau`
 /// (inclusive of changes strictly before `tau`).
-pub fn histories_agree_until(
-    a: &Trace,
-    b: &Trace,
-    p: ProcessId,
-    slot: u32,
-    tau: Time,
-) -> bool {
+pub fn histories_agree_until(a: &Trace, b: &Trace, p: ProcessId, slot: u32, tau: Time) -> bool {
     let cut = |t: &Trace| -> Vec<(Time, FdValue)> {
         t.history(p, slot)
             .samples()
@@ -145,11 +138,11 @@ pub fn theorem8(n: usize, t: usize, y: usize, seed: u64) -> Theorem8Witness {
 
     // Run R: E crashes initially.
     let fp_r = FailurePattern::builder(n).crash_all(e, Time::ZERO).build();
-    let cfg = SimConfig::new(n, t)
+    let spec = ScenarioSpec::new(n, t)
         .seed(seed)
         .max_time(horizon)
         .delay(DelayModel::Fixed(3));
-    let trace_r = Sim::new(cfg.clone(), fp_r, mk, scripted()).run().trace;
+    let trace_r = run_to_horizon(&spec, &fp_r, mk, scripted());
 
     // τ1: first `true` answer by a process outside E in R.
     let outside = e.complement(n);
@@ -168,8 +161,8 @@ pub fn theorem8(n: usize, t: usize, y: usize, seed: u64) -> Theorem8Witness {
     // Run R″: E is correct but silent until after τ1 (targeted delays).
     let silence_until = tau1.map(|t1| t1 + 1_000).unwrap_or(horizon);
     let fp_r2 = FailurePattern::all_correct(n);
-    let cfg2 = cfg.rule(DelayRule::silence_until(e, PSet::full(n), silence_until));
-    let trace_r2 = Sim::new(cfg2, fp_r2, mk, scripted()).run().trace;
+    let spec2 = spec.rule(DelayRule::silence_until(e, PSet::full(n), silence_until));
+    let trace_r2 = run_to_horizon(&spec2, &fp_r2, mk, scripted());
 
     let prefix_identical = match tau1 {
         None => false,
@@ -179,9 +172,9 @@ pub fn theorem8(n: usize, t: usize, y: usize, seed: u64) -> Theorem8Witness {
     };
     let safety_violated = match tau1 {
         None => false,
-        Some(t1) => outside.iter().any(|p| {
-            trace_r2.history(p, QUERY_SLOT).value_at(t1) == Some(FdValue::Flag(true))
-        }),
+        Some(t1) => outside
+            .iter()
+            .any(|p| trace_r2.history(p, QUERY_SLOT).value_at(t1) == Some(FdValue::Flag(true))),
     };
     Theorem8Witness {
         e,
@@ -195,19 +188,20 @@ pub fn theorem8(n: usize, t: usize, y: usize, seed: u64) -> Theorem8Witness {
 /// bound): crash the `(z+1)`-th chain process. The first chain set (size
 /// `z = t − y`) is masked by triviality, so every process forever elects
 /// the crashed `p_{z+1}` — the returned check must fail.
-pub fn psi_boundary_violation(n: usize, t: usize, y: usize, seed: u64) -> TransformReport {
+pub fn psi_boundary_violation(n: usize, t: usize, y: usize, seed: u64) -> ScenarioReport {
     let z = t - y;
     assert!(z >= 1, "need y < t at the boundary");
     // The (z+1)-th identity is the one Figure 8's rule will elect.
     let victim = ProcessId(z);
     let fp = FailurePattern::builder(n).crash(victim, Time(50)).build();
-    let phi = PhiOracle::new(fp.clone(), t, y, Scope::Eventual(Time(200)), seed);
-    let oracle = PsiOracle::new(phi);
-    let cfg = SimConfig::new(n, t).seed(seed).max_time(Time(20_000));
-    let mut sim = Sim::new(cfg, fp.clone(), |_| PsiToOmega::new(n, z), oracle);
-    let trace = sim.run().trace;
-    let check = check::omega_z(&trace, &fp, z, DEFAULT_MARGIN);
-    TransformReport { trace, fp, check }
+    let spec = ScenarioSpec::new(n, t)
+        .y(y)
+        .z(z)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(Time(200))
+        .seed(seed)
+        .max_time(Time(20_000));
+    PsiOmegaScenario.run(&spec)
 }
 
 /// Searches seeds for a run where the two-wheels construction with
@@ -219,7 +213,7 @@ pub fn find_two_wheels_failure(
     gst: Time,
     seeds: std::ops::Range<u64>,
     max_time: Time,
-) -> Option<(u64, TransformReport)> {
+) -> Option<(u64, ScenarioReport)> {
     assert!(
         !params.feasible(),
         "parameters are feasible; no failure is promised"
@@ -247,8 +241,11 @@ pub fn find_addition_failure(
     y: usize,
     seeds: std::ops::Range<u64>,
     max_time: Time,
-) -> Option<(u64, TransformReport)> {
-    assert!(x + y <= t, "parameters are feasible; no failure is promised");
+) -> Option<(u64, ScenarioReport)> {
+    assert!(
+        x + y <= t,
+        "parameters are feasible; no failure is promised"
+    );
     assert!(x >= 1 && y < t);
     let pivot = ProcessId(0);
     let q: PSet = (0..x).map(ProcessId).collect();
@@ -267,34 +264,30 @@ pub fn find_addition_failure(
             slander_pct: 100,
             ..SxAdversary::default()
         };
-        let sx = SxOracle::with_scope(
-            fp.clone(),
-            t,
-            x,
-            Scope::Perpetual,
-            seed,
-            q,
-            pivot,
-            adv,
-        );
+        let sx = SxOracle::with_scope(fp.clone(), t, x, Scope::Perpetual, seed, q, pivot, adv);
         let phi = PhiOracle::new(fp.clone(), t, y, Scope::Perpetual, seed ^ 0x77);
         let oracle = SuspectPlusQuery {
             suspect: sx,
             query: phi,
         };
-        let cfg = SimConfig::new(n, t).seed(seed).max_time(max_time);
-        let mut sim = Sim::new(cfg, fp.clone(), |_| AdditionMp::new(n), oracle);
-        let trace = sim.run().trace;
+        let spec = ScenarioSpec::new(n, t)
+            .x(x)
+            .y(y)
+            .crashes(CrashPlan::Explicit(fp.clone()))
+            .seed(seed)
+            .max_time(max_time);
+        let trace = run_to_horizon(
+            &spec,
+            &fp,
+            |_| crate::addition_s::AdditionMp::new(n),
+            oracle,
+        );
         // The output claims class S (= S_n): full-scope accuracy.
         let check = check::limited_scope_accuracy(&trace, &fp, n, false, DEFAULT_MARGIN, 0);
         if !check.ok {
             return Some((
                 seed,
-                TransformReport {
-                    trace,
-                    fp: fp.clone(),
-                    check,
-                },
+                ScenarioReport::new("witness_addition_boundary", &spec, fp.clone(), trace, check),
             ));
         }
     }
@@ -304,7 +297,7 @@ pub fn find_addition_failure(
 /// Sanity check used by tests: the trusted histories in a failed `Ω_z`
 /// report really do misbehave (either disagree at the horizon, keep a
 /// faulty-only set, or keep changing).
-pub fn describe_omega_failure(rep: &TransformReport, z: usize) -> String {
+pub fn describe_omega_failure(rep: &ScenarioReport, z: usize) -> String {
     let out: CheckOutcome = check::omega_z(&rep.trace, &rep.fp, z, DEFAULT_MARGIN);
     format!("{out}")
 }
@@ -334,7 +327,11 @@ mod tests {
     fn psi_boundary_fails_deterministically() {
         // n = 5, t = 2, y = 1 ⇒ z = 1 and y + z = t: below the bound.
         let rep = psi_boundary_violation(5, 2, 1, 3);
-        assert!(!rep.check.ok, "boundary run unexpectedly passed: {}", rep.check);
+        assert!(
+            !rep.check.ok,
+            "boundary run unexpectedly passed: {}",
+            rep.check
+        );
         // The elected set is exactly the crashed victim.
         let last = rep
             .trace

@@ -1,24 +1,44 @@
 //! The paper's appendix B addition (`φ_y + S_x → S`, Figure 9), in both
 //! computation models: the literal shared-memory algorithm on SWMR atomic
 //! registers, and its message-passing port — both verified against the
-//! `S` / `◇S` class definitions.
+//! `S` / `◇S` class definitions through the unified scenario engine.
 //!
 //! Run with: `cargo run --example addition_demo`
 
-use fd_grid::fd_transforms::{run_addition_mp, run_addition_shm, AdditionFlavour};
+use fd_grid::fd_transforms::{AdditionScenario, Substrate};
+use fd_grid::scenario::{CrashPlan, Flavour, Runner, ScenarioSpec};
 use fd_grid::{FailurePattern, ProcessId, Time};
 
 fn main() {
     let (n, t, x, y) = (5, 2, 2, 1);
-    println!("Figure 9 addition: φ_{y} + S_{x} → S  (x + y = {} > t = {t})\n", x + y);
+    println!(
+        "Figure 9 addition: φ_{y} + S_{x} → S  (x + y = {} > t = {t})\n",
+        x + y
+    );
+    let runner = Runner::sequential();
 
     // Shared memory, perpetual inputs → perpetual output class S.
     let fp = FailurePattern::builder(n)
         .crash(ProcessId(4), Time(400))
         .build();
-    let rep = run_addition_shm(n, t, x, y, fp, AdditionFlavour::Perpetual, 3, 400_000);
+    let spec = ScenarioSpec::new(n, t)
+        .x(x)
+        .y(y)
+        .crashes(CrashPlan::Explicit(fp))
+        .seed(3)
+        .max_steps(400_000);
+    let rep = runner.run(
+        &AdditionScenario {
+            substrate: Substrate::SharedMemory,
+            flavour: Flavour::Perpetual,
+        },
+        &spec,
+    );
     println!("shared memory  (S) : {}", rep.check);
-    println!("   scans completed : {}", rep.trace.counter("addition.scan"));
+    println!(
+        "   scans completed : {}",
+        rep.trace.counter("addition.scan")
+    );
     assert!(rep.check.ok);
 
     // Message passing, eventual inputs → ◇S.
@@ -26,18 +46,25 @@ fn main() {
         .crash(ProcessId(0), Time(200))
         .crash(ProcessId(2), Time(700))
         .build();
-    let rep = run_addition_mp(
-        n,
-        t,
-        x,
-        y,
-        fp,
-        AdditionFlavour::Eventual(Time(900)),
-        4,
-        Time(40_000),
+    let spec = ScenarioSpec::new(n, t)
+        .x(x)
+        .y(y)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(Time(900))
+        .seed(4)
+        .max_time(Time(40_000));
+    let rep = runner.run(
+        &AdditionScenario {
+            substrate: Substrate::MessagePassing,
+            flavour: Flavour::Eventual,
+        },
+        &spec,
     );
     println!("\nmessage passing (◇S): {}", rep.check);
-    println!("   scans completed : {}", rep.trace.counter("addition.scan"));
+    println!(
+        "   scans completed : {}",
+        rep.trace.counter("addition.scan")
+    );
     assert!(rep.check.ok);
 
     println!("\nboth substrates upgrade scope-{x} accuracy to full-scope accuracy");

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --example grid_tour`
 
 use fd_grid::fd_detectors::{check, OmegaOracle, PerfectOracle, PhiOracle, Scope, SxOracle};
-use fd_grid::fd_transforms::{sample_oracle, OmegaToDiamondS, PToPhi, PhiToP, SampledSlot, WeakenPhi};
+use fd_grid::fd_transforms::{
+    sample_oracle, OmegaToDiamondS, PToPhi, PhiToP, SampledSlot, WeakenPhi,
+};
 use fd_grid::{FailurePattern, ProcessId, Time};
 
 fn main() {
@@ -23,11 +25,17 @@ fn main() {
     // Line z = 1 of the grid: S_{t+1}, ◇S_{t+1}, Ω_1, φ_t ≡ P.
     let mut s3 = SxOracle::new(fp.clone(), t, t + 1, Scope::Perpetual, 1);
     let tr = sample_oracle(&mut s3, &fp, horizon, 11, SampledSlot::Suspected);
-    println!("S_3  (perpetual)  : {}", check::s_x(&tr, &fp, t + 1, 500, 0));
+    println!(
+        "S_3  (perpetual)  : {}",
+        check::s_x(&tr, &fp, t + 1, 500, 0)
+    );
 
     let mut ds3 = SxOracle::new(fp.clone(), t, t + 1, Scope::Eventual(gst), 2);
     let tr = sample_oracle(&mut ds3, &fp, horizon, 11, SampledSlot::Suspected);
-    println!("◇S_3 (eventual)   : {}", check::diamond_s_x(&tr, &fp, t + 1, 500));
+    println!(
+        "◇S_3 (eventual)   : {}",
+        check::diamond_s_x(&tr, &fp, t + 1, 500)
+    );
 
     let mut om1 = OmegaOracle::new(fp.clone(), 1, gst, 3);
     let tr = sample_oracle(&mut om1, &fp, horizon, 11, SampledSlot::Trusted);
@@ -36,7 +44,10 @@ fn main() {
     // Bold arrow: Ω_1 → ◇S (complement adapter).
     let mut ds = OmegaToDiamondS::new(OmegaOracle::new(fp.clone(), 1, gst, 4), n);
     let tr = sample_oracle(&mut ds, &fp, horizon, 11, SampledSlot::Suspected);
-    println!("Ω_1 → ◇S          : {}", check::diamond_s_x(&tr, &fp, n, 500));
+    println!(
+        "Ω_1 → ◇S          : {}",
+        check::diamond_s_x(&tr, &fp, n, 500)
+    );
 
     // Bold arrow: φ_t → P (singleton queries), and back.
     let mut p = PhiToP::new(PhiOracle::new(fp.clone(), t, t, Scope::Perpetual, 5), n);

@@ -38,9 +38,9 @@ fn main() {
         Some((seed, rep)) => {
             println!(
                 "   seed {seed}: decided {:?} — more than one value!",
-                rep.decided_values
+                rep.metrics.decided_values
             );
-            assert!(rep.decided_values.len() > 1);
+            assert!(rep.metrics.decided_values.len() > 1);
         }
         None => panic!("no violation found (unexpected)"),
     }
@@ -50,7 +50,7 @@ fn main() {
     println!(
         "   partition run: {} decisions by the horizon — {}",
         rep.trace.decisions().len(),
-        rep.spec
+        rep.check
     );
     assert!(rep.trace.decisions().is_empty());
 

@@ -1,14 +1,16 @@
 //! Quickstart: solve 2-set agreement among 5 processes with an
 //! (adversarial) `Ω_2` failure detector — the paper's Figure 3 algorithm —
-//! and verify the specification mechanically.
+//! and verify the specification mechanically, all through the unified
+//! scenario engine.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use fd_grid::fd_core::harness::{run_kset_omega, CrashPlan, KsetConfig};
+use fd_grid::fd_core::KsetScenario;
+use fd_grid::scenario::{CrashPlan, Runner};
 use fd_grid::Time;
 
 fn main() {
-    let cfg = KsetConfig::new(5, 2, 2)
+    let spec = KsetScenario::spec(5, 2, 2)
         .seed(42)
         .gst(Time(400)) // the Ω_2 oracle misbehaves before t=400
         .crashes(CrashPlan::Random {
@@ -17,18 +19,21 @@ fn main() {
         });
 
     println!("Ω_k-based k-set agreement (paper Figure 3)");
-    println!("n = {}, t = {}, k = {}, z = {}\n", cfg.n, cfg.t, cfg.k, cfg.z);
+    println!(
+        "n = {}, t = {}, k = {}, z = {}\n",
+        spec.n, spec.t, spec.k, spec.z
+    );
 
-    let report = run_kset_omega(&cfg);
+    let report = Runner::sequential().run(&KsetScenario, &spec);
 
     println!("failure pattern : {} crashed", report.fp.faulty());
-    println!("proposals       : {:?}", report.proposals);
-    println!("decided values  : {:?}", report.decided_values);
-    println!("max round       : {}", report.max_round);
-    println!("messages sent   : {}", report.msgs_sent);
-    if let Some(t) = report.last_decision {
+    println!("decided values  : {:?}", report.metrics.decided_values);
+    println!("max round       : {}", report.metrics.max_round);
+    println!("messages sent   : {}", report.metrics.msgs_sent);
+    println!("events          : {}", report.metrics.events);
+    if let Some(t) = report.metrics.last_decision {
         println!("last decision   : {t}");
     }
-    println!("\nspecification   : {}", report.spec);
-    assert!(report.spec.ok, "k-set agreement specification violated");
+    println!("\nspecification   : {}", report.check);
+    assert!(report.check.ok, "k-set agreement specification violated");
 }

@@ -5,47 +5,62 @@
 //!
 //! Stage 1 runs the two-wheels transformation (Figures 5+6) in isolation
 //! and checks its output against the `Ω_1` definition; stage 2 runs the
-//! full pipeline (wheels feeding the Figure 3 algorithm live).
+//! full pipeline (wheels feeding the Figure 3 algorithm live). Both are
+//! scenarios on the unified engine.
 //!
 //! Run with: `cargo run --example two_wheels_demo`
 
-use fd_grid::fd_transforms::{run_two_wheels, TwParams};
-use fd_grid::pipeline::run_pipeline;
+use fd_grid::fd_transforms::{TwParams, TwoWheelsScenario};
+use fd_grid::pipeline::PipelineScenario;
+use fd_grid::scenario::{CrashPlan, Runner};
 use fd_grid::{FailurePattern, ProcessId, Time};
 
 fn main() {
     let (n, t, x, y) = (5, 2, 2, 1);
     let params = TwParams::optimal(n, t, x, y);
     println!("two-wheels addition: ◇S_{x} + ◇φ_{y} → Ω_{}", params.z);
-    println!("(x + y + z = {} = t + 2, the paper's exact bound)\n", x + y + params.z);
+    println!(
+        "(x + y + z = {} = t + 2, the paper's exact bound)\n",
+        x + y + params.z
+    );
+    let runner = Runner::sequential();
 
     // Stage 1: the transformation alone, with a mid-run crash.
     let fp = FailurePattern::builder(n)
         .crash(ProcessId(3), Time(250))
         .build();
-    let rep = run_two_wheels(params, fp, Time(600), 7, Time(40_000));
+    let spec = TwoWheelsScenario::spec(params)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(Time(600))
+        .seed(7)
+        .max_time(Time(40_000));
+    let rep = runner.run(&TwoWheelsScenario::default(), &spec);
     println!("stage 1 — transformation only:");
-    println!("  X_MOVE broadcasts : {}", rep.trace.counter("lower.x_move"));
-    println!("  L_MOVE broadcasts : {}", rep.trace.counter("upper.l_move"));
-    println!("  inquiries         : {}", rep.trace.counter("upper.inquiry"));
+    println!(
+        "  X_MOVE broadcasts : {}",
+        rep.trace.counter("lower.x_move")
+    );
+    println!(
+        "  L_MOVE broadcasts : {}",
+        rep.trace.counter("upper.l_move")
+    );
+    println!(
+        "  inquiries         : {}",
+        rep.trace.counter("upper.inquiry")
+    );
     println!("  Ω_{} check        : {}\n", params.z, rep.check);
     assert!(rep.check.ok);
 
     // Stage 2: wheels + Figure 3 stacked → consensus with no Ω oracle.
-    let rep = run_pipeline(
-        n,
-        t,
-        x,
-        y,
-        FailurePattern::all_correct(n),
-        Time(400),
-        11,
-        Time(150_000),
-    );
+    let spec = PipelineScenario::spec(n, t, x, y)
+        .gst(Time(400))
+        .seed(11)
+        .max_time(Time(150_000));
+    let rep = runner.run(&PipelineScenario, &spec);
     println!("stage 2 — full pipeline (wheels feeding k-set agreement):");
-    println!("  decided values : {:?}", rep.decided_values);
-    println!("  messages sent  : {}", rep.msgs_sent);
-    println!("  spec           : {}", rep.spec);
-    assert!(rep.spec.ok);
-    assert_eq!(rep.decided_values.len(), 1, "consensus reached");
+    println!("  decided values : {:?}", rep.metrics.decided_values);
+    println!("  messages sent  : {}", rep.metrics.msgs_sent);
+    println!("  spec           : {}", rep.check);
+    assert!(rep.check.ok);
+    assert_eq!(rep.metrics.decided_values.len(), 1, "consensus reached");
 }

@@ -1,18 +1,18 @@
 //! # fd-grid — reproduction of *"Irreducibility and Additivity of Set
 //! Agreement-oriented Failure Detector Classes"* (PODC 2006)
 //!
-//! This is the facade crate: it re-exports the whole workspace and adds the
-//! [`pipeline`] composition that stacks the paper's two headline results —
-//! the two-wheels transformation `◇S_x + ◇φ_y → Ω_z` (Figures 5+6) under
-//! the `Ω_k`-based `k`-set agreement algorithm (Figure 3) — into a single
-//! end-to-end system.
+//! This is the facade crate: it re-exports the whole workspace, the
+//! unified [`scenario`] engine, and the [`pipeline`] composition that
+//! stacks the paper's two headline results — the two-wheels transformation
+//! `◇S_x + ◇φ_y → Ω_z` (Figures 5+6) under the `Ω_k`-based `k`-set
+//! agreement algorithm (Figure 3) — into a single end-to-end system.
 //!
 //! ## Crate map
 //!
 //! | crate | contents |
 //! |---|---|
 //! | [`fd_sim`] | deterministic asynchronous simulator: processes, crashes, reliable channels, reliable broadcast (axiomatic + echo), shared memory, traces |
-//! | [`fd_detectors`] | oracles for `S_x`/`◇S_x`, `Ω_z`, `φ_y`/`◇φ_y`/`Ψ_y`, `P`/`◇P`; property checkers for each class |
+//! | [`fd_detectors`] | oracles for `S_x`/`◇S_x`, `Ω_z`, `φ_y`/`◇φ_y`/`Ψ_y`, `P`/`◇P`; property checkers; the scenario engine |
 //! | [`fd_core`] | the Figure 3 `Ω_k`-based `k`-set agreement algorithm, the `◇S` consensus baseline, spec checkers, Theorem 5 lower-bound witnesses |
 //! | [`fd_transforms`] | the two-wheels addition, `Ψ_y → Ω_z`, `φ_y + S_x → S`, the grid's structural adapters, irreducibility witnesses |
 //!
@@ -29,7 +29,24 @@
 //!     FailurePattern::all_correct(5),
 //!     Time(400), 42, Time(120_000),
 //! );
-//! assert!(report.spec.ok, "{}", report.spec);
+//! assert!(report.check.ok, "{}", report.check);
+//! ```
+//!
+//! ## Scenario sweeps
+//!
+//! Every algorithm and transformation implements
+//! [`Scenario`](fd_detectors::Scenario); the [`Runner`] executes seed
+//! sweeps and grid matrices in parallel with results identical to a
+//! sequential run:
+//!
+//! ```
+//! use fd_grid::scenario::{Runner, SweepSummary};
+//! use fd_grid::fd_core::KsetScenario;
+//! use fd_grid::Time;
+//!
+//! let spec = KsetScenario::spec(5, 2, 2).gst(Time(400));
+//! let reports = Runner::parallel().sweep(&KsetScenario, &spec, 0..16);
+//! assert!(SweepSummary::of(&reports).all_pass());
 //! ```
 
 #![warn(missing_docs)]
@@ -42,8 +59,14 @@ pub use fd_detectors;
 pub use fd_sim;
 pub use fd_transforms;
 
-pub use fd_sim::{
-    DelayModel, DelayRule, FailurePattern, PSet, ProcessId, SimConfig, Time, Trace,
+/// The unified scenario engine (re-exported from [`fd_detectors`]).
+pub use fd_detectors::scenario;
+
+pub use fd_detectors::scenario::{
+    CrashPlan, Flavour, Metrics, OracleChoice, Runner, Scenario, ScenarioReport, ScenarioSpec,
+    SweepSummary,
 };
 
-pub use pipeline::{run_pipeline, PipeMsg, PipelineReport, WheelsPlusKset};
+pub use fd_sim::{DelayModel, DelayRule, FailurePattern, PSet, ProcessId, SimConfig, Time, Trace};
+
+pub use pipeline::{run_pipeline, PipeMsg, PipelineScenario, WheelsPlusKset};

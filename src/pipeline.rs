@@ -12,11 +12,11 @@
 
 use fd_core::kset_omega::{KsetMsg, KsetOmega};
 use fd_core::spec;
-use fd_detectors::{CheckOutcome, PhiOracle, Scope, SxOracle};
-use fd_sim::{
-    counter, forward_ops, Automaton, Ctx, FailurePattern, ProcessId, Sim, SimConfig,
-    SuspectPlusQuery, Time, Trace,
+use fd_detectors::scenario::{
+    default_proposals, run_to_decision, salt, CrashPlan, Flavour, Scenario, ScenarioReport,
+    ScenarioSpec,
 };
+use fd_sim::{forward_ops, Automaton, Ctx, FailurePattern, ProcessId, Time};
 use fd_transforms::two_wheels::{TwMsg, TwParams, TwoWheels};
 
 /// Combined message alphabet of the pipeline.
@@ -109,28 +109,65 @@ impl Automaton for WheelsPlusKset {
     }
 }
 
-/// Report of one pipeline run.
-#[derive(Clone, Debug)]
-pub struct PipelineReport {
-    /// The run's trace.
-    pub trace: Trace,
-    /// The run's failure pattern.
-    pub fp: FailurePattern,
-    /// The `z`-set agreement specification outcome.
-    pub spec: CheckOutcome,
-    /// The agreement degree `z = t + 2 − x − y` actually checked.
-    pub z: usize,
-    /// Distinct decided values.
-    pub decided_values: Vec<u64>,
-    /// Point-to-point messages sent.
-    pub msgs_sent: u64,
+/// The end-to-end pipeline as a [`Scenario`]: the two-wheels
+/// transformation feeding the Figure 3 algorithm live, solving `z`-set
+/// agreement (`z = t + 2 − x − y`, read from the spec) from `◇S_x + ◇φ_y`
+/// alone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineScenario;
+
+impl PipelineScenario {
+    /// The spec for a pipeline over `◇S_x + ◇φ_y`, with `z` (and the
+    /// checked degree `k`) set to the optimal `t + 2 − x − y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x + y > t + 1` (no `z ≥ 1`).
+    pub fn spec(n: usize, t: usize, x: usize, y: usize) -> ScenarioSpec {
+        let params = TwParams::optimal(n, t, x, y);
+        ScenarioSpec::new(n, t).x(x).y(y).kz(params.z)
+    }
 }
 
-/// Runs the full pipeline: `z`-set agreement from `◇S_x + ◇φ_y` alone.
+impl Scenario for PipelineScenario {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
+        let fp = spec.materialize();
+        let params = TwParams {
+            n: spec.n,
+            t: spec.t,
+            x: spec.x,
+            y: spec.y,
+            z: spec.z,
+        };
+        let proposals = default_proposals(spec.n);
+        let oracle = spec.sx_plus_phi(
+            &fp,
+            Flavour::Eventual,
+            salt::PIPELINE_SX,
+            salt::PIPELINE_PHI,
+        );
+        let trace = run_to_decision(
+            spec,
+            &fp,
+            |p| WheelsPlusKset::new(p, params, proposals[p.0]),
+            oracle,
+        );
+        let check = spec::kset_spec(&trace, &fp, spec.z, &proposals);
+        ScenarioReport::new(self.name(), spec, fp, trace, check)
+    }
+}
+
+/// Runs the full pipeline: `z`-set agreement from `◇S_x + ◇φ_y` alone
+/// (a thin adapter over [`PipelineScenario`]).
 ///
 /// # Panics
 ///
 /// Panics if `x + y > t + 1` (no `z ≥ 1`) or the pattern violates `t`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_pipeline(
     n: usize,
     t: usize,
@@ -140,31 +177,13 @@ pub fn run_pipeline(
     gst: Time,
     seed: u64,
     max_time: Time,
-) -> PipelineReport {
-    let params = TwParams::optimal(n, t, x, y);
-    let proposals: Vec<u64> = (0..n).map(|i| 100 + i as u64).collect();
-    let oracle = SuspectPlusQuery {
-        suspect: SxOracle::new(fp.clone(), t, x, Scope::Eventual(gst), seed ^ 0xAA55),
-        query: PhiOracle::new(fp.clone(), t, y, Scope::Eventual(gst), seed ^ 0x55AA),
-    };
-    let cfg = SimConfig::new(n, t).seed(seed).max_time(max_time);
-    let mut sim = Sim::new(
-        cfg,
-        fp.clone(),
-        |p| WheelsPlusKset::new(p, params, proposals[p.0]),
-        oracle,
-    );
-    let correct = fp.correct();
-    let rep = sim.run_until(move |tr| tr.deciders().is_superset(correct));
-    let trace = rep.trace;
-    PipelineReport {
-        spec: spec::kset_spec(&trace, &fp, params.z, &proposals),
-        z: params.z,
-        decided_values: trace.decided_values(),
-        msgs_sent: trace.counter(counter::SENT),
-        fp,
-        trace,
-    }
+) -> ScenarioReport {
+    let spec = PipelineScenario::spec(n, t, x, y)
+        .crashes(CrashPlan::Explicit(fp))
+        .gst(gst)
+        .seed(seed)
+        .max_time(max_time);
+    PipelineScenario.run(&spec)
 }
 
 #[cfg(test)]
@@ -186,9 +205,9 @@ mod tests {
                 seed,
                 Time(120_000),
             );
-            assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
-            assert_eq!(rep.z, 1);
-            assert_eq!(rep.decided_values.len(), 1);
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert_eq!(rep.spec.z, 1);
+            assert_eq!(rep.metrics.decided_values.len(), 1);
         }
     }
 
@@ -200,7 +219,7 @@ mod tests {
             .build();
         let rep = run_pipeline(5, 2, 1, 1, fp, Time(1_000), 7, Time(150_000));
         // x = 1, y = 1 ⇒ z = 2: 2-set agreement.
-        assert!(rep.spec.ok, "{}", rep.spec);
-        assert!(rep.decided_values.len() <= 2);
+        assert!(rep.check.ok, "{}", rep.check);
+        assert!(rep.metrics.decided_values.len() <= 2);
     }
 }

@@ -2,9 +2,10 @@
 //! reported number must be reproducible bit-for-bit from the seed. These
 //! tests re-run identical configurations and compare full traces.
 
-use fd_grid::fd_core::harness::{run_kset_omega, CrashPlan, KsetConfig};
+use fd_grid::fd_core::KsetScenario;
 use fd_grid::fd_transforms::{run_two_wheels, TwParams};
 use fd_grid::pipeline::run_pipeline;
+use fd_grid::scenario::{CrashPlan, Runner};
 use fd_grid::{FailurePattern, Time, Trace};
 
 fn fingerprint(trace: &Trace) -> (Vec<(u64, usize, u64)>, Vec<String>) {
@@ -32,33 +33,33 @@ fn fingerprint(trace: &Trace) -> (Vec<(u64, usize, u64)>, Vec<String>) {
 #[test]
 fn kset_runs_are_reproducible() {
     let run = || {
-        let cfg = KsetConfig::new(6, 2, 2)
+        let spec = KsetScenario::spec(6, 2, 2)
             .seed(77)
             .gst(Time(300))
             .crashes(CrashPlan::Random {
                 f: 2,
                 by: Time(400),
             });
-        run_kset_omega(&cfg)
+        Runner::sequential().run(&KsetScenario, &spec)
     };
     let a = run();
     let b = run();
     assert_eq!(fingerprint(&a.trace), fingerprint(&b.trace));
-    assert_eq!(a.msgs_sent, b.msgs_sent);
+    assert_eq!(a.metrics.msgs_sent, b.metrics.msgs_sent);
     assert_eq!(a.fp, b.fp);
 }
 
 #[test]
 fn different_seeds_differ() {
     let run = |seed| {
-        let cfg = KsetConfig::new(6, 2, 2).seed(seed).gst(Time(300));
-        run_kset_omega(&cfg)
+        let spec = KsetScenario::spec(6, 2, 2).seed(seed).gst(Time(300));
+        Runner::sequential().run(&KsetScenario, &spec)
     };
     let a = run(1);
     let b = run(2);
     assert_ne!(
-        (a.msgs_sent, a.last_decision),
-        (b.msgs_sent, b.last_decision),
+        (a.metrics.msgs_sent, a.metrics.last_decision),
+        (b.metrics.msgs_sent, b.metrics.last_decision),
         "two seeds produced identical runs — suspicious"
     );
 }
@@ -96,5 +97,5 @@ fn pipeline_runs_are_reproducible() {
     let a = run();
     let b = run();
     assert_eq!(fingerprint(&a.trace), fingerprint(&b.trace));
-    assert_eq!(a.decided_values, b.decided_values);
+    assert_eq!(a.metrics.decided_values, b.metrics.decided_values);
 }

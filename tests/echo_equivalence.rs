@@ -13,7 +13,9 @@ use fd_grid::ProcessId;
 fn fp(n: usize, seed: u64) -> FailurePattern {
     match seed % 3 {
         0 => FailurePattern::all_correct(n),
-        1 => FailurePattern::builder(n).crash(ProcessId(0), Time(50)).build(),
+        1 => FailurePattern::builder(n)
+            .crash(ProcessId(0), Time(50))
+            .build(),
         _ => FailurePattern::builder(n)
             .crash(ProcessId(2), Time(150))
             .crash(ProcessId(4), Time(400))
@@ -30,7 +32,9 @@ fn axiomatic_rb_satisfies_spec() {
         let cfg = SimConfig::new(n, 2).seed(seed).max_time(Time(80_000));
         let mut sim = Sim::new(cfg, fp.clone(), |p| KsetOmega::new(p.0 as u64), oracle);
         let correct = fp.correct();
-        let trace = sim.run_until(move |tr| tr.deciders().is_superset(correct)).trace;
+        let trace = sim
+            .run_until(move |tr| tr.deciders().is_superset(correct))
+            .trace;
         let proposals: Vec<u64> = (0..n as u64).collect();
         let out = spec::kset_spec(&trace, &fp, 1, &proposals);
         assert!(out.ok, "seed {seed}: {out}");
@@ -51,7 +55,9 @@ fn echo_rb_satisfies_same_spec() {
             oracle,
         );
         let correct = fp.correct();
-        let trace = sim.run_until(move |tr| tr.deciders().is_superset(correct)).trace;
+        let trace = sim
+            .run_until(move |tr| tr.deciders().is_superset(correct))
+            .trace;
         let proposals: Vec<u64> = (0..n as u64).collect();
         let out = spec::kset_spec(&trace, &fp, 1, &proposals);
         assert!(out.ok, "seed {seed} (echo): {out}");
@@ -62,7 +68,9 @@ fn echo_rb_satisfies_same_spec() {
 fn echo_rb_works_for_two_set_agreement() {
     for seed in 0..4 {
         let n = 6;
-        let fp = FailurePattern::builder(n).crash(ProcessId(1), Time(100)).build();
+        let fp = FailurePattern::builder(n)
+            .crash(ProcessId(1), Time(100))
+            .build();
         let oracle = OmegaOracle::new(fp.clone(), 2, Time(300), seed);
         let cfg = SimConfig::new(n, 2).seed(seed).max_time(Time(80_000));
         let mut sim = Sim::new(
@@ -72,7 +80,9 @@ fn echo_rb_works_for_two_set_agreement() {
             oracle,
         );
         let correct = fp.correct();
-        let trace = sim.run_until(move |tr| tr.deciders().is_superset(correct)).trace;
+        let trace = sim
+            .run_until(move |tr| tr.deciders().is_superset(correct))
+            .trace;
         let proposals: Vec<u64> = (0..n as u64).collect();
         let out = spec::kset_spec(&trace, &fp, 2, &proposals);
         assert!(out.ok, "seed {seed}: {out}");

@@ -3,23 +3,26 @@
 //! the horizon, crashes at awkward instants, partial reliable broadcasts
 //! by faulty senders, and maximal crash counts.
 
-use fd_grid::fd_core::harness::{run_kset_omega, CrashPlan, KsetConfig};
+use fd_grid::fd_core::{run_kset_with, KsetScenario};
 use fd_grid::fd_transforms::{run_two_wheels, TwParams};
+use fd_grid::scenario::{CrashPlan, Runner};
 use fd_grid::{DelayModel, DelayRule, FailurePattern, PSet, ProcessId, Time};
 
 #[test]
 fn kset_survives_heavy_tailed_delays() {
     for seed in 0..5 {
-        let mut cfg = KsetConfig::new(5, 2, 1).seed(seed).gst(Time(500));
-        cfg.delay = DelayModel::Spiky {
-            lo: 1,
-            hi: 8,
-            spike_pct: 10,
-            factor: 40,
-        };
-        cfg.max_time = Time(200_000);
-        let rep = run_kset_omega(&cfg);
-        assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
+        let spec = KsetScenario::spec(5, 2, 1)
+            .seed(seed)
+            .gst(Time(500))
+            .delay(DelayModel::Spiky {
+                lo: 1,
+                hi: 8,
+                spike_pct: 10,
+                factor: 40,
+            })
+            .max_time(Time(200_000));
+        let rep = Runner::sequential().run(&KsetScenario, &spec);
+        assert!(rep.check.ok, "seed {seed}: {}", rep.check);
     }
 }
 
@@ -30,47 +33,64 @@ fn kset_survives_transient_partition() {
     for seed in 0..5 {
         let half: PSet = [ProcessId(0), ProcessId(1)].into_iter().collect();
         let other = half.complement(5);
-        let mut cfg = KsetConfig::new(5, 2, 1).seed(seed).gst(Time(200));
-        cfg.delay = DelayModel::Uniform { lo: 1, hi: 6 };
-        cfg.max_time = Time(200_000);
         let fp = FailurePattern::all_correct(5);
+        let spec = KsetScenario::spec(5, 2, 1)
+            .seed(seed)
+            .gst(Time(200))
+            .delay(DelayModel::Uniform { lo: 1, hi: 6 })
+            .max_time(Time(200_000))
+            .rule(DelayRule::silence_until(half, other, Time(3_000)))
+            .rule(DelayRule::silence_until(other, half, Time(3_000)));
         let oracle = fd_grid::fd_detectors::OmegaOracle::new(fp.clone(), 1, Time(200), seed);
-        let sim_cfg = fd_grid::SimConfig {
-            seed,
-            max_time: cfg.max_time,
-            delay: cfg.delay.clone(),
-            rules: vec![
-                DelayRule::silence_until(half, other, Time(3_000)),
-                DelayRule::silence_until(other, half, Time(3_000)),
-            ],
-            ..fd_grid::SimConfig::new(5, 2)
-        };
-        let mut sim = fd_grid::fd_sim::Sim::new(
-            sim_cfg,
-            fp.clone(),
-            |p| fd_grid::fd_core::KsetOmega::new(100 + p.0 as u64),
-            oracle,
-        );
-        let correct = fp.correct();
-        let trace = sim.run_until(move |tr| tr.deciders().is_superset(correct)).trace;
-        assert_eq!(trace.deciders(), fp.correct(), "seed {seed}");
-        assert_eq!(trace.decided_values().len(), 1, "seed {seed}");
+        let rep = run_kset_with(&spec, fp.clone(), oracle);
+        assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+        assert_eq!(rep.trace.deciders(), fp.correct(), "seed {seed}");
+        assert_eq!(rep.metrics.decided_values.len(), 1, "seed {seed}");
     }
 }
 
 #[test]
-fn kset_survives_maximal_crashes() {
-    // f = t crashes, spread over the run.
+fn kset_survives_maximal_crashes_at_awkward_times() {
+    // t crashes, all just before the oracle stabilizes.
     for seed in 0..6 {
-        let cfg = KsetConfig::new(7, 3, 2)
+        let spec = KsetScenario::spec(7, 3, 2)
             .seed(seed)
             .gst(Time(600))
             .crashes(CrashPlan::Random {
                 f: 3,
-                by: Time(1_500),
-            });
-        let rep = run_kset_omega(&cfg);
-        assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
+                by: Time(590),
+            })
+            .max_time(Time(200_000));
+        let rep = Runner::sequential().run(&KsetScenario, &spec);
+        assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+    }
+}
+
+#[test]
+fn kset_survives_initial_wipeout() {
+    // All t crashes at time zero.
+    for seed in 0..5 {
+        let spec = KsetScenario::spec(5, 2, 1)
+            .seed(seed)
+            .gst(Time(400))
+            .crashes(CrashPlan::Initial { f: 2 })
+            .max_time(Time(150_000));
+        let rep = Runner::sequential().run(&KsetScenario, &spec);
+        assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+    }
+}
+
+#[test]
+fn wheels_survive_staggered_crashes() {
+    // Crash one process per "era" of the run.
+    let params = TwParams::optimal(6, 2, 1, 1); // z = 2
+    for seed in 0..4 {
+        let fp = FailurePattern::builder(6)
+            .crash(ProcessId(1), Time(100))
+            .crash(ProcessId(4), Time(2_000))
+            .build();
+        let rep = run_two_wheels(params, fp, Time(2_500), seed, Time(50_000));
+        assert!(rep.check.ok, "seed {seed}: {}", rep.check);
     }
 }
 
@@ -83,24 +103,11 @@ fn kset_survives_decider_crash() {
         let fp = FailurePattern::builder(5)
             .crash(ProcessId(0), Time(450))
             .build();
-        let cfg = KsetConfig::new(5, 2, 1)
+        let spec = KsetScenario::spec(5, 2, 1)
             .seed(seed)
             .gst(Time(400))
             .crashes(CrashPlan::Explicit(fp));
-        let rep = run_kset_omega(&cfg);
-        assert!(rep.spec.ok, "seed {seed}: {}", rep.spec);
-    }
-}
-
-#[test]
-fn two_wheels_survive_staggered_crashes() {
-    let params = TwParams::optimal(6, 2, 2, 0); // z = 2
-    for seed in 0..4 {
-        let fp = FailurePattern::builder(6)
-            .crash(ProcessId(0), Time(100))
-            .crash(ProcessId(5), Time(2_000))
-            .build();
-        let rep = run_two_wheels(params, fp, Time(2_500), seed, Time(60_000));
+        let rep = Runner::sequential().run(&KsetScenario, &spec);
         assert!(rep.check.ok, "seed {seed}: {}", rep.check);
     }
 }
@@ -116,5 +123,17 @@ fn two_wheels_survive_crash_of_scope_members() {
             .build();
         let rep = run_two_wheels(params, fp, Time(700), seed, Time(60_000));
         assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+    }
+}
+
+#[test]
+fn anarchic_crash_plan_respects_t() {
+    for seed in 0..32 {
+        let fp = CrashPlan::Anarchic { by: Time(1_000) }.materialize(7, 3, seed);
+        assert!(
+            fp.num_faulty() <= 3,
+            "seed {seed}: {} crashes",
+            fp.num_faulty()
+        );
     }
 }

@@ -1,13 +1,11 @@
 //! Integration sweep of the Figure 1 grid: every reduction arrow holds
 //! across random adversarial runs; every irreducibility witness fires.
 
-use fd_grid::fd_detectors::{
-    check, OmegaOracle, PerfectOracle, PhiOracle, Scope, SxOracle,
-};
+use fd_grid::fd_detectors::{check, OmegaOracle, PerfectOracle, PhiOracle, Scope, SxOracle};
+use fd_grid::fd_sim::SplitMix64;
 use fd_grid::fd_transforms::{
     sample_oracle, witness, OmegaToDiamondS, PToPhi, PhiToP, SampledSlot, TwParams, WeakenPhi,
 };
-use fd_grid::fd_sim::SplitMix64;
 use fd_grid::{FailurePattern, Time};
 
 const N: usize = 6;
@@ -29,7 +27,10 @@ fn sx_downward_and_diamond_arrows() {
         let tr = sample_oracle(&mut o, &fp, HORIZON, 11, SampledSlot::Suspected);
         for x in 1..=3 {
             assert!(check::s_x(&tr, &fp, x, 500, 0).ok, "S_3→S_{x} seed {seed}");
-            assert!(check::diamond_s_x(&tr, &fp, x, 500).ok, "S_3→◇S_{x} seed {seed}");
+            assert!(
+                check::diamond_s_x(&tr, &fp, x, 500).ok,
+                "S_3→◇S_{x} seed {seed}"
+            );
         }
     }
 }
@@ -46,7 +47,10 @@ fn omega_widening_arrow() {
         // And the converse direction must fail here: the adversarial Ω_2
         // set has 2 members whenever a faulty filler exists.
         if fp.num_faulty() > 0 {
-            assert!(!check::omega_z(&tr, &fp, 1, 500).ok, "Ω_2 ⊄ Ω_1 seed {seed}");
+            assert!(
+                !check::omega_z(&tr, &fp, 1, 500).ok,
+                "Ω_2 ⊄ Ω_1 seed {seed}"
+            );
         }
     }
 }

@@ -1,189 +1,246 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants, spanning the workspace.
+//! Property-based tests on the core data structures and invariants,
+//! spanning the workspace.
+//!
+//! The build environment has no network access, so instead of `proptest`
+//! these are hand-rolled randomized properties: every case derives from a
+//! `SplitMix64` stream of a fixed root seed, so failures reproduce
+//! exactly. `CASES` mirrors the old `ProptestConfig::with_cases(128)`.
 
 use fd_grid::fd_detectors::{check, OmegaOracle, PhiOracle, Scope, SxOracle};
 use fd_grid::fd_sim::{slot, FdValue, OracleSuite, SplitMix64, Trace};
 use fd_grid::fd_transforms::{binom, first_subset, next_subset, MemberRing, NestedRing};
 use fd_grid::{FailurePattern, PSet, ProcessId, Time};
-use proptest::prelude::*;
 
-fn pset_strategy(n: usize) -> impl Strategy<Value = PSet> {
-    prop::bits::u64::between(0, n).prop_map(|b| PSet::from_bits(b as u128))
+const CASES: u64 = 128;
+
+fn rng_for(case: u64, stream: u64) -> SplitMix64 {
+    SplitMix64::new(0xB10C_0000 + case).stream(stream)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_pset(rng: &mut SplitMix64, n: usize) -> PSet {
+    PSet::from_bits((rng.next_u64() as u128) & ((1u128 << n) - 1))
+}
 
-    // ---------- PSet algebra laws ----------
+// ---------- PSet algebra laws ----------
 
-    #[test]
-    fn pset_union_commutes(a in pset_strategy(16), b in pset_strategy(16)) {
-        prop_assert_eq!(a | b, b | a);
+#[test]
+fn pset_union_commutes() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 0);
+        let (a, b) = (random_pset(&mut rng, 16), random_pset(&mut rng, 16));
+        assert_eq!(a | b, b | a);
     }
+}
 
-    #[test]
-    fn pset_de_morgan(a in pset_strategy(12), b in pset_strategy(12)) {
-        let n = 12;
-        prop_assert_eq!((a | b).complement(n), a.complement(n) & b.complement(n));
-        prop_assert_eq!((a & b).complement(n), a.complement(n) | b.complement(n));
+#[test]
+fn pset_de_morgan() {
+    let n = 12;
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 1);
+        let (a, b) = (random_pset(&mut rng, n), random_pset(&mut rng, n));
+        assert_eq!((a | b).complement(n), a.complement(n) & b.complement(n));
+        assert_eq!((a & b).complement(n), a.complement(n) | b.complement(n));
     }
+}
 
-    #[test]
-    fn pset_difference_is_intersection_with_complement(
-        a in pset_strategy(12),
-        b in pset_strategy(12),
-    ) {
-        prop_assert_eq!(a - b, a & b.complement(12) & PSet::full(12) | (a - PSet::full(12)));
+#[test]
+fn pset_difference_is_intersection_with_complement() {
+    let n = 12;
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 2);
+        let (a, b) = (random_pset(&mut rng, n), random_pset(&mut rng, n));
+        assert_eq!(a - b, a & b.complement(n));
     }
+}
 
-    #[test]
-    fn pset_len_inclusion_exclusion(a in pset_strategy(16), b in pset_strategy(16)) {
-        prop_assert_eq!((a | b).len() + (a & b).len(), a.len() + b.len());
+#[test]
+fn pset_len_inclusion_exclusion() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 3);
+        let (a, b) = (random_pset(&mut rng, 16), random_pset(&mut rng, 16));
+        assert_eq!((a | b).len() + (a & b).len(), a.len() + b.len());
     }
+}
 
-    #[test]
-    fn pset_iter_round_trips(a in pset_strategy(16)) {
+#[test]
+fn pset_iter_round_trips() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 4);
+        let a = random_pset(&mut rng, 16);
         let rebuilt: PSet = a.iter().collect();
-        prop_assert_eq!(rebuilt, a);
-        prop_assert_eq!(a.iter().count(), a.len());
+        assert_eq!(rebuilt, a);
+        assert_eq!(a.iter().count(), a.len());
     }
+}
 
-    #[test]
-    fn pset_subset_antisymmetric(a in pset_strategy(10), b in pset_strategy(10)) {
+#[test]
+fn pset_subset_antisymmetric() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 5);
+        let (a, b) = (random_pset(&mut rng, 10), random_pset(&mut rng, 10));
         if a.is_subset(b) && b.is_subset(a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    // ---------- subset-ring laws (paper Figure 4) ----------
+// ---------- subset-ring laws (paper Figure 4) ----------
 
-    #[test]
-    fn gosper_preserves_size_and_universe(n in 2usize..9, k_seed in 1usize..8, steps in 1usize..30) {
-        let k = 1 + k_seed % n;
+#[test]
+fn gosper_preserves_size_and_universe() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 6);
+        let n = 2 + (rng.below(7) as usize); // 2..9
+        let k = 1 + (rng.below(8) as usize) % n;
+        let steps = 1 + rng.below(29) as usize;
         let mut cur = first_subset(n, k);
         for _ in 0..steps {
             cur = next_subset(n, cur);
-            prop_assert_eq!(cur.len(), k);
-            prop_assert!(cur.is_subset(PSet::full(n)));
+            assert_eq!(cur.len(), k);
+            assert!(cur.is_subset(PSet::full(n)));
         }
     }
+}
 
-    #[test]
-    fn member_ring_closes_exactly(n in 2usize..7, x_seed in 1usize..6) {
-        let x = 1 + x_seed % n;
+#[test]
+fn member_ring_closes_exactly() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 7);
+        let n = 2 + (rng.below(5) as usize); // 2..7
+        let x = 1 + (rng.below(6) as usize) % n;
         let ring = MemberRing::new(n, x);
         let mut cur = ring.start();
         for _ in 0..ring.len() {
             cur = ring.next(cur);
         }
-        prop_assert_eq!(cur, ring.start());
+        assert_eq!(cur, ring.start());
     }
+}
 
-    #[test]
-    fn nested_ring_closes_exactly(n in 2usize..6, seeds in (1usize..5, 1usize..5)) {
-        let outer = 1 + seeds.0 % n;
-        let inner = 1 + seeds.1 % outer;
+#[test]
+fn nested_ring_closes_exactly() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 8);
+        let n = 2 + (rng.below(4) as usize); // 2..6
+        let outer = 1 + (rng.below(4) as usize) % n;
+        let inner = 1 + (rng.below(4) as usize) % outer;
         let ring = NestedRing::new(n, outer, inner);
         let mut cur = ring.start();
         let len = ring.len();
-        prop_assume!(len < 500);
+        if len >= 500 {
+            continue;
+        }
         for _ in 0..len {
-            prop_assert!(cur.0.is_subset(cur.1));
+            assert!(cur.0.is_subset(cur.1));
             cur = ring.next(cur);
         }
-        prop_assert_eq!(cur, ring.start());
+        assert_eq!(cur, ring.start());
     }
+}
 
-    #[test]
-    fn binom_pascal_identity(n in 1usize..25, k_seed in 0usize..25) {
-        let k = k_seed % n;
-        prop_assert_eq!(binom(n, k) + binom(n, k + 1), binom(n + 1, k + 1));
+#[test]
+fn binom_pascal_identity() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 9);
+        let n = 1 + (rng.below(24) as usize); // 1..25
+        let k = (rng.below(25) as usize) % n;
+        assert_eq!(binom(n, k) + binom(n, k + 1), binom(n + 1, k + 1));
     }
+}
 
-    // ---------- failure patterns ----------
+// ---------- failure patterns ----------
 
-    #[test]
-    fn failure_pattern_partitions(n in 2usize..12, seed in 0u64..500) {
-        let mut rng = SplitMix64::new(seed);
-        let f = (seed % n as u64) as usize;
+#[test]
+fn failure_pattern_partitions() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 10);
+        let n = 2 + (rng.below(10) as usize); // 2..12
+        let f = (rng.below(n as u64)) as usize;
         let fp = FailurePattern::random(n, f, Time(1000), &mut rng);
-        prop_assert_eq!(fp.correct() | fp.faulty(), PSet::full(n));
-        prop_assert!(fp.correct().is_disjoint(fp.faulty()));
-        prop_assert_eq!(fp.num_faulty(), f);
+        assert_eq!(fp.correct() | fp.faulty(), PSet::full(n));
+        assert!(fp.correct().is_disjoint(fp.faulty()));
+        assert_eq!(fp.num_faulty(), f);
         // alive_at is monotone (non-increasing) in time.
         let early = fp.alive_at(Time(10));
         let late = fp.alive_at(Time(10_000));
-        prop_assert!(late.is_subset(early));
+        assert!(late.is_subset(early));
     }
+}
 
-    // ---------- oracle class envelopes ----------
+// ---------- oracle class envelopes ----------
 
-    #[test]
-    fn sx_oracle_never_violates_its_promises(seed in 0u64..200, x_seed in 1usize..6) {
-        let n = 6;
-        let t = 2;
-        let x = 1 + x_seed % n;
-        let mut rng = SplitMix64::new(seed).stream(1);
-        let fp = FailurePattern::random(n, (seed % (t as u64 + 1)) as usize, Time(500), &mut rng);
-        let mut o = SxOracle::new(fp.clone(), t, x, Scope::Perpetual, seed);
+#[test]
+fn sx_oracle_never_violates_its_promises() {
+    let n = 6;
+    let t = 2;
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 11);
+        let x = 1 + (rng.below(6) as usize) % n;
+        let f = (case % (t as u64 + 1)) as usize;
+        let fp = FailurePattern::random(n, f, Time(500), &mut rng);
+        let mut o = SxOracle::new(fp.clone(), t, x, Scope::Perpetual, case);
         let (q, l) = (o.scope(), o.pivot());
-        prop_assert_eq!(q.len(), x);
-        prop_assert!(fp.is_correct(l));
+        assert_eq!(q.len(), x);
+        assert!(fp.is_correct(l));
         for now in [0u64, 100, 1000, 10_000] {
             for j in q {
                 if fp.is_alive_at(j, Time(now)) {
-                    prop_assert!(!o.suspected(j, Time(now)).contains(l));
+                    assert!(!o.suspected(j, Time(now)).contains(l));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn omega_oracle_respects_size_and_correctness(seed in 0u64..200, z_seed in 1usize..6) {
-        let n = 6;
-        let z = 1 + z_seed % n;
-        let mut rng = SplitMix64::new(seed).stream(2);
-        let fp = FailurePattern::random(n, (seed % 3) as usize, Time(500), &mut rng);
-        let mut o = OmegaOracle::new(fp.clone(), z, Time(500), seed);
+#[test]
+fn omega_oracle_respects_size_and_correctness() {
+    let n = 6;
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 12);
+        let z = 1 + (rng.below(6) as usize) % n;
+        let fp = FailurePattern::random(n, (case % 3) as usize, Time(500), &mut rng);
+        let mut o = OmegaOracle::new(fp.clone(), z, Time(500), case);
         for now in [0u64, 200, 600, 5_000] {
             for i in 0..n {
                 let s = o.trusted(ProcessId(i), Time(now));
-                prop_assert!(!s.is_empty() && s.len() <= z);
+                assert!(!s.is_empty() && s.len() <= z);
             }
         }
         let fin = o.final_set();
-        prop_assert!(!(fin & fp.correct()).is_empty());
+        assert!(!(fin & fp.correct()).is_empty());
     }
+}
 
-    #[test]
-    fn phi_oracle_triviality_always(seed in 0u64..200, y_seed in 0usize..3) {
-        let n = 6;
-        let t = 2;
-        let y = y_seed % (t + 1);
-        let mut rng = SplitMix64::new(seed).stream(3);
-        let fp = FailurePattern::random(n, (seed % 3) as usize, Time(500), &mut rng);
-        let mut o = PhiOracle::new(fp, t, y, Scope::Eventual(Time(300)), seed);
+#[test]
+fn phi_oracle_triviality_always() {
+    let n = 6;
+    let t = 2;
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 13);
+        let y = (rng.below(3) as usize) % (t + 1);
+        let fp = FailurePattern::random(n, (case % 3) as usize, Time(500), &mut rng);
+        let mut o = PhiOracle::new(fp, t, y, Scope::Eventual(Time(300)), case);
         let small: PSet = (0..t.saturating_sub(y)).map(ProcessId).collect();
-        let big: PSet = (0..=t).map(ProcessId).collect::<PSet>() | PSet::singleton(ProcessId(t + 1));
+        let big: PSet =
+            (0..=t).map(ProcessId).collect::<PSet>() | PSet::singleton(ProcessId(t + 1));
         for now in [0u64, 100, 1_000] {
             if !small.is_empty() {
-                prop_assert!(o.query(ProcessId(0), small, Time(now)));
+                assert!(o.query(ProcessId(0), small, Time(now)));
             }
-            prop_assert!(!o.query(ProcessId(0), big, Time(now)));
+            assert!(!o.query(ProcessId(0), big, Time(now)));
         }
     }
+}
 
-    // ---------- checker soundness on synthetic histories ----------
+// ---------- checker soundness on synthetic histories ----------
 
-    #[test]
-    fn leadership_checker_accepts_constant_agreement(
-        seed in 0u64..200,
-        z_seed in 1usize..4,
-    ) {
-        let n = 5;
-        let z = 1 + z_seed % 3;
-        let mut rng = SplitMix64::new(seed).stream(4);
-        let fp = FailurePattern::random(n, (seed % 2) as usize, Time(100), &mut rng);
+#[test]
+fn leadership_checker_accepts_constant_agreement() {
+    let n = 5;
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 14);
+        let z = 1 + (rng.below(3) as usize) % 3;
+        let fp = FailurePattern::random(n, (case % 2) as usize, Time(100), &mut rng);
         // All correct processes publish the same legal set from t=1.
         let mut l = PSet::singleton(fp.correct().min().unwrap());
         for p in fp.faulty() {
@@ -197,34 +254,48 @@ proptest! {
         for i in fp.correct() {
             tr.publish(i, slot::TRUSTED, Time(1), FdValue::Set(l));
         }
-        prop_assert!(check::omega_z(&tr, &fp, z, 500).ok);
+        assert!(check::omega_z(&tr, &fp, z, 500).ok);
         // And rejects it when one correct process diverges forever.
         if fp.correct().len() >= 2 {
             let rebel = fp.correct().max().unwrap();
             let mut bad = tr.clone();
-            bad.publish(rebel, slot::TRUSTED, Time(50), FdValue::Set(PSet::singleton(rebel)));
+            bad.publish(
+                rebel,
+                slot::TRUSTED,
+                Time(50),
+                FdValue::Set(PSet::singleton(rebel)),
+            );
             if PSet::singleton(rebel) != l {
-                prop_assert!(!check::omega_z(&bad, &fp, z, 500).ok);
+                assert!(!check::omega_z(&bad, &fp, z, 500).ok);
             }
         }
     }
+}
 
-    #[test]
-    fn completeness_checker_rejects_forgetting(seed in 0u64..100) {
-        let n = 4;
-        let mut rng = SplitMix64::new(seed).stream(5);
+#[test]
+fn completeness_checker_rejects_forgetting() {
+    let n = 4;
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 15);
         let fp = FailurePattern::random(n, 1, Time(100), &mut rng);
         let faulty = fp.faulty();
-        prop_assume!(!faulty.is_empty());
+        if faulty.is_empty() {
+            continue;
+        }
         let mut tr = Trace::new();
         tr.set_horizon(Time(10_000));
         for i in fp.correct() {
             tr.publish(i, slot::SUSPECTED, Time(200), FdValue::Set(faulty));
         }
-        prop_assert!(check::strong_completeness(&tr, &fp, 500).ok);
+        assert!(check::strong_completeness(&tr, &fp, 500).ok);
         // One process drops its suspicion near the end: reject.
         let victim = fp.correct().min().unwrap();
-        tr.publish(victim, slot::SUSPECTED, Time(9_900), FdValue::Set(PSet::EMPTY));
-        prop_assert!(!check::strong_completeness(&tr, &fp, 50).ok);
+        tr.publish(
+            victim,
+            slot::SUSPECTED,
+            Time(9_900),
+            FdValue::Set(PSet::EMPTY),
+        );
+        assert!(!check::strong_completeness(&tr, &fp, 50).ok);
     }
 }

@@ -1,0 +1,134 @@
+//! Scenario-engine smoke matrix (the acceptance suite of the unified
+//! engine): the whole `(n, k = z)` × crash-plan grid satisfies the k-set
+//! agreement specification, and parallel multi-seed sweeps are
+//! bit-identical to sequential ones (determinism under threading).
+
+use fd_grid::fd_core::spec;
+use fd_grid::fd_core::KsetScenario;
+use fd_grid::scenario::{CrashPlan, Runner, ScenarioReport, SweepSummary};
+use fd_grid::{FailurePattern, ProcessId, Time, Trace};
+
+/// Every `(n, t)` scale of the matrix keeps `t < n/2`.
+const SCALES: &[(usize, usize)] = &[(4, 1), (5, 2), (7, 3)];
+
+fn crash_plans(n: usize, t: usize) -> Vec<(&'static str, CrashPlan)> {
+    vec![
+        ("none", CrashPlan::None),
+        (
+            "random",
+            CrashPlan::Random {
+                f: t,
+                by: Time(500),
+            },
+        ),
+        ("initial", CrashPlan::Initial { f: t }),
+        (
+            "explicit",
+            CrashPlan::Explicit(
+                FailurePattern::builder(n)
+                    .crash(ProcessId(n - 1), Time(250))
+                    .build(),
+            ),
+        ),
+        ("anarchic", CrashPlan::Anarchic { by: Time(400) }),
+    ]
+}
+
+#[test]
+fn smoke_matrix_satisfies_kset_spec() {
+    let runner = Runner::parallel();
+    for &(n, t) in SCALES {
+        for k in [1usize, 2, 3] {
+            for (label, plan) in crash_plans(n, t) {
+                let base = KsetScenario::spec(n, t, k)
+                    .gst(Time(400))
+                    .max_time(Time(200_000))
+                    .crashes(plan);
+                let reports = runner.sweep(&KsetScenario, &base, 0..2);
+                for rep in &reports {
+                    // The spec check bundles validity, k-agreement,
+                    // termination, and decide-once; assert the pieces
+                    // individually too so a failure names the culprit.
+                    let proposals = fd_grid::scenario::default_proposals(n);
+                    assert!(
+                        spec::validity(&rep.trace, &proposals).ok,
+                        "validity n={n} k={k} plan={label} seed={}",
+                        rep.seed()
+                    );
+                    assert!(
+                        spec::k_agreement(&rep.trace, k).ok,
+                        "k-agreement n={n} k={k} plan={label} seed={}",
+                        rep.seed()
+                    );
+                    assert!(
+                        spec::termination(&rep.trace, &rep.fp).ok,
+                        "termination n={n} k={k} plan={label} seed={}",
+                        rep.seed()
+                    );
+                    assert!(
+                        rep.check.ok,
+                        "spec n={n} k={k} plan={label} seed={}: {}",
+                        rep.seed(),
+                        rep.check
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fingerprint(rep: &ScenarioReport) -> String {
+    let tr: &Trace = &rep.trace;
+    let mut s = format!(
+        "seed={};fp={:?};events={};sent={};",
+        rep.seed(),
+        rep.fp,
+        rep.metrics.events,
+        rep.metrics.msgs_sent
+    );
+    for d in tr.decisions() {
+        s.push_str(&format!("d{}@{}={};", d.by.0, d.at, d.value));
+    }
+    for ((p, slot), h) in tr.histories() {
+        s.push_str(&format!("h{p}:{slot}:"));
+        for sample in h.samples() {
+            s.push_str(&format!("{}@{},", sample.value, sample.at));
+        }
+        s.push(';');
+    }
+    s
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    // ≥ 100 seeds, full trace fingerprints, several thread counts.
+    let base = KsetScenario::spec(5, 2, 2)
+        .gst(Time(400))
+        .crashes(CrashPlan::Random {
+            f: 2,
+            by: Time(500),
+        });
+    let seq = Runner::sequential().sweep(&KsetScenario, &base, 0..112);
+    assert_eq!(seq.len(), 112);
+    let seq_prints: Vec<String> = seq.iter().map(fingerprint).collect();
+    assert!(SweepSummary::of(&seq).all_pass());
+    for threads in [2, 5, 16] {
+        let par = Runner::with_threads(threads).sweep(&KsetScenario, &base, 0..112);
+        let par_prints: Vec<String> = par.iter().map(fingerprint).collect();
+        assert_eq!(seq_prints, par_prints, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn grid_matrix_runs_in_spec_order() {
+    let specs: Vec<_> = SCALES
+        .iter()
+        .map(|&(n, t)| KsetScenario::spec(n, t, 1).gst(Time(300)).seed(9))
+        .collect();
+    let reports = Runner::parallel().grid(&KsetScenario, &specs);
+    assert_eq!(reports.len(), SCALES.len());
+    for (rep, &(n, _)) in reports.iter().zip(SCALES) {
+        assert_eq!(rep.spec.n, n, "grid order scrambled");
+        assert!(rep.check.ok, "n={n}: {}", rep.check);
+    }
+}
