@@ -1,7 +1,13 @@
 //! Emits `BENCH_sweep.json`: throughput of a representative grid sweep
-//! (runs/sec, events/sec) through the parallel scenario runner.
+//! (runs/sec, events/sec) through the work-stealing scenario runner, plus
+//! a large single-cell streaming sweep that holds only `O(threads)` full
+//! reports in memory.
 //!
-//! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N] [-- --out PATH]`
+//! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N]
+//! [-- --threads N] [-- --stream N] [-- --out PATH]`
+//!
+//! `--threads 0` (the default) uses all available cores; `--stream 0`
+//! skips the streaming demonstration.
 
 use fd_detectors::scenario::Runner;
 
@@ -16,17 +22,40 @@ fn main() {
     let seeds: u64 = arg_value("--seeds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(25);
+    let threads: usize = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let stream_seeds: u64 = arg_value("--stream")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
-    let report = fd_bench::representative_sweep(seeds, Runner::parallel());
+    let runner = if threads == 0 {
+        Runner::parallel()
+    } else {
+        Runner::with_threads(threads)
+    };
+    let mut report = fd_bench::representative_sweep(seeds, runner);
     println!(
-        "grid sweep: {} runs ({} passed) on {} threads in {} ms — {:.1} runs/s, {:.0} events/s",
+        "grid sweep: {} runs ({} passed) on {} threads in {} us — {:.1} runs/s, {:.0} events/s",
         report.total_runs,
         report.total_passes,
         report.threads,
-        report.wall_ms,
+        report.wall_us,
         report.runs_per_sec,
         report.events_per_sec,
     );
+    if stream_seeds > 0 {
+        let stream = fd_bench::streaming_sweep(stream_seeds, runner);
+        println!(
+            "streaming sweep: {} runs ({} passed) in {} us — {:.1} runs/s, O(threads) reports held",
+            stream.runs, stream.passes, stream.wall_us, stream.runs_per_sec,
+        );
+        assert_eq!(
+            stream.passes, stream.runs,
+            "streaming sweep had failing runs"
+        );
+        report = report.with_stream(stream);
+    }
     let json = report.to_json();
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
     println!("wrote {out}");

@@ -5,11 +5,13 @@
 //! binary prints them all.
 //!
 //! Every simulated experiment is driven by the unified scenario engine:
-//! a [`ScenarioSpec`] names the configuration, the [`Runner`] sweeps it
-//! (in parallel — results are identical to a sequential run), and a
-//! [`SweepSummary`] condenses the reports into table cells. The remaining
-//! bespoke loops (E1, E2, E6) audit oracles or search for witness runs,
-//! which is inherently scenario-free work.
+//! a [`ScenarioSpec`] names the configuration, the work-stealing [`Runner`]
+//! streams it seed by seed (in parallel — results are identical to a
+//! sequential run), and `Runner::sweep_summary` / `Runner::sweep_fold`
+//! condense each run into a [`SweepSummary`] cell the moment it finishes,
+//! so no experiment retains per-run traces. The remaining bespoke loops
+//! (E1, E2, E6) audit oracles or search for witness runs, which is
+//! inherently scenario-free work.
 
 use crate::table::Table;
 use fd_core::harness::kset_config;
@@ -260,7 +262,7 @@ pub fn e3_additivity_boundary(quick: bool) -> Table {
                 .crashes(CrashPlan::Anarchic { by: Time(1_500) })
                 .gst(Time(900))
                 .max_time(Time(40_000));
-            let summary = SweepSummary::of(&r.sweep(&TwoWheelsScenario::default(), &base, 0..runs));
+            let summary = r.sweep_summary(&TwoWheelsScenario::default(), &base, 0..runs);
             let below = if params.z >= 2 {
                 let infeasible = TwParams {
                     z: params.z - 1,
@@ -317,7 +319,7 @@ pub fn e4_kset(quick: bool) -> Table {
                 let base = kset_config(n, tt, k)
                     .crashes(CrashPlan::Random { f, by: Time(500) })
                     .gst(Time(400));
-                let summary = SweepSummary::of(&r.sweep(&KsetScenario, &base, 0..runs));
+                let summary = r.sweep_summary(&KsetScenario, &base, 0..runs);
                 t.row(vec![
                     n.to_string(),
                     tt.to_string(),
@@ -369,11 +371,9 @@ pub fn e5_zero_degradation(quick: bool) -> Table {
         ),
     ];
     for (label, base) in rows {
-        let reports = r.sweep(&KsetScenario, base, 0..runs);
-        let one_round = reports
-            .iter()
-            .filter(|rep| rep.check.ok && rep.metrics.max_round == 1)
-            .count();
+        let one_round = r.sweep_fold(&KsetScenario, base, 0..runs, 0u64, |acc, slim| {
+            *acc += (slim.check.ok && slim.metrics.max_round == 1) as u64;
+        });
         t.row(vec![
             (*label).into(),
             runs.to_string(),
@@ -464,15 +464,21 @@ pub fn e7_wheels(quick: bool) -> Table {
             .crashes(CrashPlan::Anarchic { by: Time(1_000) })
             .gst(Time(800))
             .max_time(Time(40_000));
-        let reports = r.sweep(&TwoWheelsScenario::default(), &base, 0..runs);
-        let summary = SweepSummary::of(&reports);
-        let (mut stab, mut xm, mut lm, mut inq) = (0u64, 0u64, 0u64, 0u64);
-        for rep in &reports {
-            stab += rep.check.stabilized_at.unwrap_or(Time::ZERO).ticks();
-            xm += rep.trace.counter("lower.x_move");
-            lm += rep.trace.counter("upper.l_move");
-            inq += rep.trace.counter("upper.inquiry");
-        }
+        // One streamed pass: summary, stabilization, and wheel counters
+        // fold together, so no report (or its trace) is retained.
+        let (summary, stab, xm, lm, inq) = r.sweep_fold(
+            &TwoWheelsScenario::default(),
+            &base,
+            0..runs,
+            (SweepSummary::default(), 0u64, 0u64, 0u64, 0u64),
+            |(summary, stab, xm, lm, inq), slim| {
+                *stab += slim.check.stabilized_at.unwrap_or(Time::ZERO).ticks();
+                *xm += slim.counter("lower.x_move");
+                *lm += slim.counter("upper.l_move");
+                *inq += slim.counter("upper.inquiry");
+                summary.absorb(&slim);
+            },
+        );
         t.row(vec![
             x.to_string(),
             y.to_string(),
@@ -517,7 +523,7 @@ pub fn e8_psi(quick: bool) -> Table {
             .crashes(crashes)
             .gst(Time(600))
             .max_time(Time(20_000));
-        let summary = SweepSummary::of(&r.sweep(&fd_transforms::PsiOmegaScenario, &base, 0..runs));
+        let summary = r.sweep_summary(&fd_transforms::PsiOmegaScenario, &base, 0..runs);
         t.row(vec![
             n.to_string(),
             tt.to_string(),
@@ -554,7 +560,7 @@ pub fn e9_addition(quick: bool) -> Table {
             substrate: Substrate::MessagePassing,
             flavour: Flavour::Eventual,
         };
-        let summary = SweepSummary::of(&r.sweep(&scenario, &base, 0..runs));
+        let summary = r.sweep_summary(&scenario, &base, 0..runs);
         t.row(vec![
             "message passing".into(),
             "◇ (eventual)".into(),
@@ -580,7 +586,7 @@ pub fn e9_addition(quick: bool) -> Table {
         substrate: Substrate::SharedMemory,
         flavour: Flavour::Perpetual,
     };
-    let summary = SweepSummary::of(&r.sweep(&scenario, &base, 0..shm_runs));
+    let summary = r.sweep_summary(&scenario, &base, 0..shm_runs);
     t.row(vec![
         "shared memory (SWMR)".into(),
         "perpetual".into(),
@@ -640,7 +646,7 @@ pub fn e10_baselines(quick: bool) -> Table {
         ),
         ("MR quorum consensus", "◇S (gst 400)", &ConsensusScenario),
     ] {
-        let summary = SweepSummary::of(&r.sweep(sc, &crashy, 0..runs));
+        let summary = r.sweep_summary(sc, &crashy, 0..runs);
         t.row(vec![
             label.into(),
             oracle.into(),
@@ -658,7 +664,7 @@ pub fn e10_baselines(quick: bool) -> Table {
     let base = PipelineScenario::spec(n, tt, 2, 1)
         .gst(Time(400))
         .max_time(Time(150_000));
-    let summary = SweepSummary::of(&r.sweep(&PipelineScenario, &base, 0..runs));
+    let summary = r.sweep_summary(&PipelineScenario, &base, 0..runs);
     t.row(vec![
         "pipeline (wheels + Figure 3)".into(),
         "◇S_2 + ◇φ_1 only".into(),
@@ -746,13 +752,17 @@ pub fn e12_throttle_ablation(quick: bool) -> Table {
             })
             .gst(Time(700))
             .max_time(Time(30_000));
-        let reports = r.sweep(&TwoWheelsScenario { throttled }, &base, 0..runs);
-        let summary = SweepSummary::of(&reports);
-        let (mut xm, mut lm) = (0u64, 0u64);
-        for rep in &reports {
-            xm += rep.trace.counter("lower.x_move");
-            lm += rep.trace.counter("upper.l_move");
-        }
+        let (summary, xm, lm) = r.sweep_fold(
+            &TwoWheelsScenario { throttled },
+            &base,
+            0..runs,
+            (SweepSummary::default(), 0u64, 0u64),
+            |(summary, xm, lm), slim| {
+                *xm += slim.counter("lower.x_move");
+                *lm += slim.counter("upper.l_move");
+                summary.absorb(&slim);
+            },
+        );
         t.row(vec![
             label.into(),
             runs.to_string(),

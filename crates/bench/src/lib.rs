@@ -18,5 +18,5 @@ pub mod table;
 
 pub use experiments::all;
 pub use micro::{BenchResult, Suite};
-pub use sweep::{representative_sweep, SweepBenchReport};
+pub use sweep::{representative_sweep, streaming_sweep, StreamResult, SweepBenchReport};
 pub use table::Table;

@@ -1,15 +1,24 @@
 //! A representative grid sweep with machine-readable throughput output.
 //!
 //! [`representative_sweep`] drives the Figure 3 scenario over a grid of
-//! `(n, t, k)` cells × crash plans × seeds through the parallel
+//! `(n, t, k)` cells × crash plans × seeds through the work-stealing
 //! [`Runner`], measures wall-clock throughput (runs/sec and simulator
 //! events/sec), and renders everything as JSON (`BENCH_sweep.json`) for
-//! tracking across commits. No external JSON crate is available offline,
+//! tracking across commits. Cells are summarized via the streaming
+//! [`Runner::sweep_summary`], so the sweep's memory footprint is
+//! `O(threads)` full reports no matter how many seeds run;
+//! [`streaming_sweep`] pushes that to ≥100k seeds on a single cell as an
+//! explicit demonstration. No external JSON crate is available offline,
 //! so the (flat, fully-controlled) document is rendered by hand.
+//!
+//! Timing is recorded in microseconds (`wall_us`, clamped to ≥ 1) and both
+//! rates are derived from that same duration, so the JSON stays internally
+//! consistent even on sub-millisecond CI smoke runs (where the old
+//! `wall_ms` rounded to 0 while `runs_per_sec` was finite).
 
 use fd_core::harness::kset_config;
 use fd_core::KsetScenario;
-use fd_detectors::scenario::{CrashPlan, Runner, ScenarioSpec, SweepSummary};
+use fd_detectors::scenario::{CrashPlan, Runner, ScenarioSpec};
 use fd_sim::Time;
 use std::time::Instant;
 
@@ -28,6 +37,23 @@ pub struct CellResult {
     pub msgs: u64,
 }
 
+/// Throughput of the ≥100k-seed single-cell streaming sweep.
+#[derive(Clone, Debug)]
+pub struct StreamResult {
+    /// Label of the cell the stream ran (`n5_t2_k2_f2`-style).
+    pub cell: String,
+    /// Seeds streamed.
+    pub runs: u64,
+    /// Runs whose spec check passed.
+    pub passes: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Wall-clock duration, microseconds (≥ 1).
+    pub wall_us: u64,
+    /// Completed scenario runs per wall-clock second.
+    pub runs_per_sec: f64,
+}
+
 /// The whole sweep: cells plus throughput.
 #[derive(Clone, Debug)]
 pub struct SweepBenchReport {
@@ -39,7 +65,11 @@ pub struct SweepBenchReport {
     pub total_passes: u64,
     /// Total simulator events processed.
     pub total_events: u64,
-    /// Wall-clock duration, milliseconds.
+    /// Wall-clock duration, microseconds (≥ 1; the source of truth both
+    /// rates are derived from).
+    pub wall_us: u64,
+    /// Wall-clock duration, milliseconds (derived from `wall_us`, rounded
+    /// up so it never reads 0 while the rates are finite).
     pub wall_ms: u64,
     /// Completed scenario runs per wall-clock second.
     pub runs_per_sec: f64,
@@ -47,6 +77,8 @@ pub struct SweepBenchReport {
     pub events_per_sec: f64,
     /// Per-cell results.
     pub cells: Vec<CellResult>,
+    /// The streaming demonstration, when one was run.
+    pub stream: Option<StreamResult>,
 }
 
 /// The grid the sweep covers: `(n, t)` scales × `k` × crash count.
@@ -66,14 +98,15 @@ fn grid(seeds_per_cell: u64) -> Vec<(String, ScenarioSpec, u64)> {
     cells
 }
 
-/// Runs the representative grid sweep and measures throughput.
+/// Runs the representative grid sweep and measures throughput. Each cell is
+/// folded into a [`SweepSummary`] as its runs finish — no per-run report
+/// outlives its cell's fold frontier.
 pub fn representative_sweep(seeds_per_cell: u64, runner: Runner) -> SweepBenchReport {
     let cells = grid(seeds_per_cell);
     let t0 = Instant::now();
     let mut out = Vec::with_capacity(cells.len());
     for (label, spec, seeds) in cells {
-        let reports = runner.sweep(&KsetScenario, &spec, 0..seeds);
-        let summary = SweepSummary::of(&reports);
+        let summary = runner.sweep_summary(&KsetScenario, &spec, 0..seeds);
         out.push(CellResult {
             label,
             runs: summary.runs,
@@ -82,24 +115,54 @@ pub fn representative_sweep(seeds_per_cell: u64, runner: Runner) -> SweepBenchRe
             msgs: summary.total_msgs,
         });
     }
-    let wall = t0.elapsed();
+    let wall_us = (t0.elapsed().as_micros() as u64).max(1);
     let total_runs: u64 = out.iter().map(|c| c.runs).sum();
     let total_passes: u64 = out.iter().map(|c| c.passes).sum();
     let total_events: u64 = out.iter().map(|c| c.events).sum();
-    let secs = wall.as_secs_f64().max(1e-9);
+    let secs = wall_us as f64 / 1e6;
     SweepBenchReport {
         threads: runner.threads(),
         total_runs,
         total_passes,
         total_events,
-        wall_ms: wall.as_millis() as u64,
+        wall_us,
+        wall_ms: wall_us.div_ceil(1000),
         runs_per_sec: total_runs as f64 / secs,
         events_per_sec: total_events as f64 / secs,
         cells: out,
+        stream: None,
+    }
+}
+
+/// Streams `seeds` runs of one representative crashy cell (`n5_t2_k2_f2`)
+/// through [`Runner::sweep_fold`]. Memory stays `O(threads)` full reports
+/// regardless of `seeds`, which is the point: this is the million-seed mode
+/// the eager sweep cannot afford.
+pub fn streaming_sweep(seeds: u64, runner: Runner) -> StreamResult {
+    let (n, t, k, f) = (5, 2, 2, 2);
+    let spec = kset_config(n, t, k)
+        .gst(Time(400))
+        .crashes(CrashPlan::Random { f, by: Time(500) });
+    let t0 = Instant::now();
+    let summary = runner.sweep_summary(&KsetScenario, &spec, 0..seeds);
+    let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+    StreamResult {
+        cell: format!("n{n}_t{t}_k{k}_f{f}"),
+        runs: summary.runs,
+        passes: summary.passes,
+        events: summary.total_events,
+        wall_us,
+        runs_per_sec: summary.runs as f64 / (wall_us as f64 / 1e6),
     }
 }
 
 impl SweepBenchReport {
+    /// Attaches a streaming demonstration to the report (builder style).
+    pub fn with_stream(mut self, stream: StreamResult) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -110,12 +173,19 @@ impl SweepBenchReport {
         s.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
         s.push_str(&format!("  \"total_passes\": {},\n", self.total_passes));
         s.push_str(&format!("  \"total_events\": {},\n", self.total_events));
+        s.push_str(&format!("  \"wall_us\": {},\n", self.wall_us));
         s.push_str(&format!("  \"wall_ms\": {},\n", self.wall_ms));
         s.push_str(&format!("  \"runs_per_sec\": {:.2},\n", self.runs_per_sec));
         s.push_str(&format!(
             "  \"events_per_sec\": {:.2},\n",
             self.events_per_sec
         ));
+        if let Some(st) = &self.stream {
+            s.push_str(&format!(
+                "  \"stream\": {{\"cell\": \"{}\", \"runs\": {}, \"passes\": {}, \"events\": {}, \"wall_us\": {}, \"runs_per_sec\": {:.2}}},\n",
+                st.cell, st.runs, st.passes, st.events, st.wall_us, st.runs_per_sec
+            ));
+        }
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             s.push_str(&format!(
@@ -136,30 +206,59 @@ impl SweepBenchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fd_detectors::scenario::SweepSummary;
 
     #[test]
     fn sweep_passes_and_serializes() {
-        let rep = representative_sweep(2, Runner::parallel());
+        let rep = representative_sweep(2, Runner::parallel())
+            .with_stream(streaming_sweep(32, Runner::parallel()));
         assert_eq!(rep.total_runs, rep.cells.len() as u64 * 2);
         assert_eq!(
             rep.total_passes, rep.total_runs,
             "grid cell failed its spec"
         );
         assert!(rep.total_events > 0);
+        assert!(rep.wall_us >= 1);
+        assert!(rep.wall_ms >= 1);
         let json = rep.to_json();
         assert!(json.contains("\"runs_per_sec\""));
+        assert!(json.contains("\"wall_us\""));
+        assert!(json.contains("\"stream\""));
         assert!(json.contains("n5_t2_k1_f0"));
         assert!(json.trim_end().ends_with('}'));
     }
 
     #[test]
+    fn rates_derive_from_the_recorded_duration() {
+        let rep = representative_sweep(1, Runner::sequential());
+        let secs = rep.wall_us as f64 / 1e6;
+        assert!((rep.runs_per_sec - rep.total_runs as f64 / secs).abs() < 1e-6);
+        assert!((rep.events_per_sec - rep.total_events as f64 / secs).abs() < 1e-3);
+    }
+
+    #[test]
     fn parallel_sweep_matches_sequential() {
         let a = representative_sweep(2, Runner::sequential());
-        let b = representative_sweep(2, Runner::parallel());
+        let b = representative_sweep(2, Runner::with_threads(4));
         assert_eq!(a.total_events, b.total_events);
         assert_eq!(a.total_passes, b.total_passes);
         for (ca, cb) in a.cells.iter().zip(&b.cells) {
             assert_eq!(ca.msgs, cb.msgs, "cell {} diverged", ca.label);
         }
+    }
+
+    #[test]
+    fn streaming_matches_eager_cell() {
+        let spec = kset_config(5, 2, 2)
+            .gst(Time(400))
+            .crashes(CrashPlan::Random {
+                f: 2,
+                by: Time(500),
+            });
+        let eager = SweepSummary::of(&Runner::sequential().sweep(&KsetScenario, &spec, 0..24));
+        let st = streaming_sweep(24, Runner::with_threads(4));
+        assert_eq!(st.runs, eager.runs);
+        assert_eq!(st.passes, eager.passes);
+        assert_eq!(st.events, eager.total_events);
     }
 }

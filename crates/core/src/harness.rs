@@ -6,8 +6,10 @@
 
 use crate::scenario::{run_kset_with, ConsensusScenario, KsetScenario};
 pub use fd_detectors::scenario::{CrashPlan, ScenarioReport, ScenarioSpec};
+use fd_detectors::scenario::{Runner, SweepSummary};
 use fd_detectors::Scenario;
 use fd_sim::{FailurePattern, PSet};
+use std::ops::Range;
 
 /// The conventional `k`-set agreement spec: `n` processes, resilience `t`,
 /// `k = z`, `Ω_z` oracle with GST 300, no crashes.
@@ -41,6 +43,22 @@ pub fn run_consensus_mr(spec: &ScenarioSpec) -> ScenarioReport {
     ConsensusScenario.run(spec)
 }
 
+/// Streams a multi-seed sweep of the Figure 3 algorithm into a
+/// [`SweepSummary`] without retaining per-run traces — the entry point for
+/// million-seed envelope checks (memory stays `O(threads)` full reports).
+pub fn sweep_kset_summary(base: &ScenarioSpec, seeds: Range<u64>, runner: Runner) -> SweepSummary {
+    runner.sweep_summary(&KsetScenario, base, seeds)
+}
+
+/// As [`sweep_kset_summary`] for the MR `◇S` consensus baseline.
+pub fn sweep_consensus_summary(
+    base: &ScenarioSpec,
+    seeds: Range<u64>,
+    runner: Runner,
+) -> SweepSummary {
+    runner.sweep_summary(&ConsensusScenario, base, seeds)
+}
+
 /// Convenience: the set of processes that decided.
 pub fn deciders(report: &ScenarioReport) -> PSet {
     report.trace.deciders()
@@ -71,6 +89,29 @@ mod tests {
         let rep = run_consensus_mr(&cfg);
         assert!(rep.check.ok, "{}", rep.check);
         assert_eq!(rep.metrics.decided_values.len(), 1);
+    }
+
+    #[test]
+    fn streamed_sweep_matches_eager_reports() {
+        let cfg = kset_config(5, 2, 2)
+            .gst(Time(400))
+            .crashes(CrashPlan::Random {
+                f: 2,
+                by: Time(500),
+            });
+        let eager: Vec<ScenarioReport> = (0..16)
+            .map(|seed| run_kset_omega(&cfg.with_seed(seed)))
+            .collect();
+        let streamed = sweep_kset_summary(&cfg, 0..16, fd_detectors::scenario::Runner::parallel());
+        assert_eq!(streamed.runs, 16);
+        assert_eq!(
+            streamed.passes,
+            eager.iter().filter(|r| r.check.ok).count() as u64
+        );
+        assert_eq!(
+            streamed.total_msgs,
+            eager.iter().map(|r| r.metrics.msgs_sent).sum::<u64>()
+        );
     }
 
     #[test]

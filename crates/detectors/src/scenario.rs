@@ -50,12 +50,31 @@ use fd_sim::{
     counter, slot, Automaton, DelayModel, DelayRule, FailurePattern, FdValue, OracleSuite,
     ProcessId, ShmConfig, Sim, SimConfig, SplitMix64, SuspectPlusQuery, Time, Trace,
 };
+use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Seed-mixing constants, one per oracle role, so that the detectors of a
-/// bundle draw from independent streams of the run's root seed. The values
-/// are part of the reproducibility contract: changing one changes every
-/// recorded number of the affected scenarios.
+/// bundle draw from independent streams of the run's root seed.
+///
+/// # The reproducibility contract
+///
+/// Every recorded number in this repository (tables, `BENCH_sweep.json`,
+/// witness seeds cited in EXPERIMENTS.md) is a function of `(spec, seed)`
+/// alone. That holds only because each consumer of randomness derives its
+/// stream as `root_seed` mixed with a fixed salt below, and draws from it
+/// in a fixed order. Consequently:
+///
+/// * **changing a salt value** re-keys that consumer's stream and silently
+///   changes every recorded number of the affected scenarios;
+/// * **changing the number or order of RNG draws** (e.g. sampling the crash
+///   time before the crash victim, or adding a draw in a loop) shifts all
+///   subsequent draws of that stream and has the same effect.
+///
+/// Neither is ever a compatible change: treat salts and draw order as part
+/// of the on-disk format, and regenerate all recorded artifacts when one
+/// must move.
 pub mod salt {
     /// `Ω_z` oracle of the Figure 3 algorithm.
     pub const OMEGA: u64 = 0x0A11;
@@ -118,24 +137,49 @@ pub enum CrashPlan {
 impl CrashPlan {
     /// Materializes the plan into a pattern for `n` processes under
     /// resilience bound `t`, deterministically in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan steps outside the model's envelope: a
+    /// [`CrashPlan::Random`] or [`CrashPlan::Initial`] with `f > t`, or any
+    /// randomized plan with `t ≥ n`. [`CrashPlan::Explicit`] patterns are
+    /// exempt — witness and negative scenarios deliberately hand-craft
+    /// patterns at (or past) the boundary.
     pub fn materialize(&self, n: usize, t: usize, seed: u64) -> FailurePattern {
         match self {
             CrashPlan::None => FailurePattern::all_correct(n),
             CrashPlan::Random { f, by } => {
+                self.validate(n, t, *f);
                 let mut rng = SplitMix64::new(seed).stream(salt::CRASHES);
                 FailurePattern::random(n, *f, *by, &mut rng)
             }
             CrashPlan::Initial { f } => {
+                self.validate(n, t, *f);
                 let mut rng = SplitMix64::new(seed).stream(salt::CRASHES);
                 FailurePattern::random_initial(n, *f, &mut rng)
             }
             CrashPlan::Anarchic { by } => {
+                self.validate(n, t, 0);
                 let mut rng = SplitMix64::new(seed).stream(salt::ANARCHY);
                 let f = rng.below(t as u64 + 1) as usize;
                 FailurePattern::random(n, f, *by, &mut rng)
             }
             CrashPlan::Explicit(fp) => fp.clone(),
         }
+    }
+
+    /// Rejects specs whose crash count can exceed what the model promises,
+    /// *before* the failure would surface as an opaque panic deep inside
+    /// index sampling.
+    fn validate(&self, n: usize, t: usize, f: usize) {
+        assert!(
+            t < n,
+            "crash plan {self:?} invalid for n={n}, t={t}: resilience bound must satisfy t < n"
+        );
+        assert!(
+            f <= t,
+            "crash plan {self:?} invalid for n={n}, t={t}: f={f} crashes exceed the bound t"
+        );
     }
 }
 
@@ -440,8 +484,8 @@ pub fn run_scenario_until<A: Automaton, O: OracleSuite>(
     oracle: O,
     stop: impl FnMut(&Trace) -> bool,
 ) -> Trace {
-    let mut sim = Sim::new(spec.sim_config(), fp.clone(), make, oracle);
-    sim.run_until(stop).trace
+    let sim = Sim::new(spec.sim_config(), fp.clone(), make, oracle);
+    sim.run_into_trace(stop)
 }
 
 /// Runs an automaton until every correct process has decided.
@@ -602,6 +646,51 @@ impl ScenarioReport {
     pub fn seed(&self) -> u64 {
         self.spec.seed
     }
+
+    /// The slim view of this report: everything a summary needs, nothing a
+    /// million-seed sweep can't afford to hold.
+    pub fn slim(&self) -> SlimReport {
+        SlimReport {
+            scenario: self.scenario,
+            seed: self.spec.seed,
+            num_faulty: self.fp.num_faulty(),
+            check: self.check.clone(),
+            metrics: self.metrics.clone(),
+            counters: self.trace.counters(),
+        }
+    }
+}
+
+/// The streaming-sweep currency: metrics, verdict, and counters of one run
+/// *without* the [`Trace`]. A [`SlimReport`] is a few hundred bytes where a
+/// full [`ScenarioReport`] holds every published history of the run, which
+/// is what lets [`Runner::sweep_fold`] push millions of seeds while keeping
+/// only `O(threads)` full reports alive at any instant.
+#[derive(Clone, Debug)]
+pub struct SlimReport {
+    /// Name of the scenario that ran.
+    pub scenario: &'static str,
+    /// The seed of the run.
+    pub seed: u64,
+    /// Number of faulty processes in the materialized pattern.
+    pub num_faulty: usize,
+    /// The scenario's verdict.
+    pub check: CheckOutcome,
+    /// Uniform run statistics.
+    pub metrics: Metrics,
+    /// The run's named counters, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl SlimReport {
+    /// A named counter's value (0 if the run never bumped it).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
 }
 
 /// One algorithm or transformation, exposed to the engine.
@@ -672,41 +761,152 @@ impl Runner {
     pub fn grid(&self, scenario: &dyn Scenario, specs: &[ScenarioSpec]) -> Vec<ScenarioReport> {
         par_map(specs.len(), self.threads, |i| scenario.run(&specs[i]))
     }
+
+    /// Streams one run per seed through `fold`, in seed order, without ever
+    /// holding more than `O(threads)` reports: each run is slimmed to a
+    /// [`SlimReport`] the moment it finishes and its [`Trace`] is dropped.
+    ///
+    /// The fold is applied in strict seed order regardless of thread
+    /// interleaving, so the result is bit-identical to a sequential fold.
+    /// Workers that race ahead of the fold frontier park until the window
+    /// (a small multiple of the thread count) reopens, which bounds the
+    /// reorder buffer on skewed workloads.
+    pub fn sweep_fold<A: Send>(
+        &self,
+        scenario: &dyn Scenario,
+        base: &ScenarioSpec,
+        seeds: Range<u64>,
+        init: A,
+        fold: impl Fn(&mut A, SlimReport) + Sync,
+    ) -> A {
+        let lo = seeds.start;
+        let n = usize::try_from(seeds.end.saturating_sub(lo)).expect("seed range too large");
+        if n == 0 {
+            return init;
+        }
+        let threads = self.threads.clamp(1, n);
+        if threads == 1 {
+            let mut acc = init;
+            for i in 0..n {
+                fold(
+                    &mut acc,
+                    scenario.run(&base.with_seed(lo + i as u64)).slim(),
+                );
+            }
+            return acc;
+        }
+        struct FoldState<A> {
+            /// Finished runs waiting for the fold frontier, keyed by index.
+            pending: BTreeMap<usize, SlimReport>,
+            /// Next index the in-order fold expects.
+            next: usize,
+            acc: A,
+        }
+        let state = Mutex::new(FoldState {
+            pending: BTreeMap::new(),
+            next: 0,
+            acc: init,
+        });
+        let frontier_moved = Condvar::new();
+        let claim = AtomicUsize::new(0);
+        let window = threads * 4;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = claim.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    {
+                        // Park while too far ahead of the fold frontier. The
+                        // worker holding the frontier index is never gated
+                        // (window ≥ 1), so the frontier always advances.
+                        let mut st = state.lock().unwrap();
+                        while i >= st.next + window {
+                            st = frontier_moved.wait(st).unwrap();
+                        }
+                    }
+                    let slim = scenario.run(&base.with_seed(lo + i as u64)).slim();
+                    let mut guard = state.lock().unwrap();
+                    let st = &mut *guard;
+                    st.pending.insert(i, slim);
+                    loop {
+                        let frontier = st.next;
+                        match st.pending.remove(&frontier) {
+                            Some(s) => {
+                                fold(&mut st.acc, s);
+                                st.next += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    drop(guard);
+                    frontier_moved.notify_all();
+                });
+            }
+        });
+        state.into_inner().unwrap().acc
+    }
+
+    /// Streams a sweep directly into a [`SweepSummary`] — the constant-memory
+    /// replacement for `SweepSummary::of(&runner.sweep(..))`.
+    pub fn sweep_summary(
+        &self,
+        scenario: &dyn Scenario,
+        base: &ScenarioSpec,
+        seeds: Range<u64>,
+    ) -> SweepSummary {
+        self.sweep_fold(
+            scenario,
+            base,
+            seeds,
+            SweepSummary::default(),
+            |acc, slim| acc.absorb(&slim),
+        )
+    }
 }
 
-/// Deterministic fork-join map: `f(i)` for `i in 0..n`, results in index
-/// order. Each index is computed exactly once on exactly one thread, so the
-/// output is independent of the thread count.
+/// Deterministic work-stealing map: `f(i)` for `i in 0..n`, results in index
+/// order. Indices are claimed one at a time from a shared atomic counter, so
+/// a thread that draws a long run (a big-`n` cell, an anarchic schedule)
+/// simply claims fewer indices while the others drain the rest — skewed
+/// grids keep every core busy, unlike the old one-chunk-per-thread split.
+/// Each index is computed exactly once on exactly one thread and lands in
+/// its own slot, so the output is independent of the thread count.
 fn par_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     if n == 0 {
         return Vec::new();
     }
     let threads = threads.clamp(1, n);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     if threads == 1 {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = Some(f(i));
-        }
-    } else {
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (ci, slice) in out.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    for (j, slot) in slice.iter_mut().enumerate() {
-                        *slot = Some(f(ci * chunk + j));
-                    }
-                });
-            }
-        });
+        return (0..n).map(f).collect();
     }
-    out.into_iter()
-        .map(|o| o.expect("par_map slot filled"))
+    // A Mutex per slot rather than OnceLock: it only needs `T: Send`, and
+    // the lock is always uncontended (each index is claimed exactly once).
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // One index per claim: scenario runs are ~ms-scale, so the
+                // fetch_add is noise and the finest granularity wins on skew.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().unwrap() = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("par_map slot filled"))
         .collect()
 }
 
 /// Aggregate view of a sweep, for tables and benches.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SweepSummary {
     /// Number of runs.
     pub runs: u64,
@@ -729,22 +929,30 @@ pub struct SweepSummary {
 impl SweepSummary {
     /// Summarizes a batch of reports.
     pub fn of(reports: &[ScenarioReport]) -> Self {
-        let mut s = SweepSummary {
-            runs: reports.len() as u64,
-            ..SweepSummary::default()
-        };
+        let mut s = SweepSummary::default();
         for r in reports {
-            s.passes += r.check.ok as u64;
-            s.total_msgs += r.metrics.msgs_sent;
-            s.total_events += r.metrics.events;
-            s.total_rounds += r.metrics.max_round;
-            s.max_round = s.max_round.max(r.metrics.max_round);
-            if let Some(t) = r.metrics.last_decision {
-                s.total_decision_time += t.ticks();
-                s.decided_runs += 1;
-            }
+            s.absorb_parts(r.check.ok, &r.metrics);
         }
         s
+    }
+
+    /// Folds one slim report into the summary (the streaming counterpart of
+    /// [`SweepSummary::of`], fed by [`Runner::sweep_fold`]).
+    pub fn absorb(&mut self, slim: &SlimReport) {
+        self.absorb_parts(slim.check.ok, &slim.metrics);
+    }
+
+    fn absorb_parts(&mut self, ok: bool, m: &Metrics) {
+        self.runs += 1;
+        self.passes += ok as u64;
+        self.total_msgs += m.msgs_sent;
+        self.total_events += m.events;
+        self.total_rounds += m.max_round;
+        self.max_round = self.max_round.max(m.max_round);
+        if let Some(t) = m.last_decision {
+            self.total_decision_time += t.ticks();
+            self.decided_runs += 1;
+        }
     }
 
     /// Whether every run passed.
@@ -794,6 +1002,48 @@ mod tests {
     }
 
     #[test]
+    fn random_plan_respects_promised_bound_for_all_seeds() {
+        // Regression for the crash-plan off-by-one: `by` is an inclusive
+        // upper bound, including the degenerate `by = Time(0)`.
+        for by in [0u64, 1, 10] {
+            let plan = CrashPlan::Random { f: 2, by: Time(by) };
+            for seed in 0..256 {
+                let fp = plan.materialize(6, 2, seed);
+                for p in fp.faulty() {
+                    let at = fp.crash_time(p).unwrap();
+                    assert!(at <= Time(by), "seed {seed}: crash at {at} > by {by}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "f=3 crashes exceed the bound")]
+    fn random_plan_rejects_f_above_t() {
+        let _ = CrashPlan::Random { f: 3, by: Time(5) }.materialize(7, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "f=9 crashes exceed the bound")]
+    fn random_plan_rejects_f_above_n() {
+        // f > n used to die deep inside sample_indices; now the panic names
+        // the offending plan at materialization.
+        let _ = CrashPlan::Random { f: 9, by: Time(5) }.materialize(5, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must satisfy t < n")]
+    fn initial_plan_rejects_t_at_n() {
+        let _ = CrashPlan::Initial { f: 1 }.materialize(4, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must satisfy t < n")]
+    fn anarchic_plan_rejects_t_at_n() {
+        let _ = CrashPlan::Anarchic { by: Time(10) }.materialize(3, 3, 0);
+    }
+
+    #[test]
     fn materialization_is_deterministic() {
         let plan = CrashPlan::Anarchic { by: Time(500) };
         for seed in 0..16 {
@@ -840,6 +1090,7 @@ mod tests {
             let fp = spec.materialize();
             let mut trace = Trace::new();
             trace.decide(Time(spec.seed + 1), ProcessId(0), spec.seed);
+            trace.bump("probe.runs", 1);
             ScenarioReport::new(
                 self.name(),
                 spec,
@@ -861,6 +1112,66 @@ mod tests {
             assert_eq!(a.fp, b.fp);
             assert_eq!(a.metrics.decided_values, b.metrics.decided_values);
         }
+    }
+
+    #[test]
+    fn par_map_balances_skewed_workloads() {
+        // Indices with wildly different costs: the atomic-claim scheduler
+        // must still produce index-ordered, thread-count-independent output.
+        let cost = |i: usize| {
+            let mut acc = i as u64;
+            let spins = if i.is_multiple_of(7) { 50_000 } else { 10 };
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        };
+        let seq = par_map(129, 1, cost);
+        for threads in [2, 4, 8, 64] {
+            assert_eq!(par_map(129, threads, cost), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_fold_matches_eager_summary_over_10k_seeds() {
+        let base = ScenarioSpec::new(5, 2).crashes(CrashPlan::Anarchic { by: Time(50) });
+        let eager = SweepSummary::of(&Runner::sequential().sweep(&Probe, &base, 0..10_000));
+        for threads in [1usize, 3, 8] {
+            let streamed = Runner::with_threads(threads).sweep_summary(&Probe, &base, 0..10_000);
+            assert_eq!(streamed, eager, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_fold_folds_in_seed_order() {
+        let base = ScenarioSpec::new(5, 2);
+        for threads in [2usize, 8] {
+            let seeds = Runner::with_threads(threads).sweep_fold(
+                &Probe,
+                &base,
+                0..2_000,
+                Vec::new(),
+                |v, slim| v.push(slim.seed),
+            );
+            assert_eq!(seeds, (0..2_000).collect::<Vec<u64>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_fold_empty_range() {
+        let base = ScenarioSpec::new(5, 2);
+        let s = Runner::with_threads(4).sweep_summary(&Probe, &base, 7..7);
+        assert_eq!(s, SweepSummary::default());
+    }
+
+    #[test]
+    fn slim_report_carries_counters_and_verdict() {
+        let rep = Probe.run(&ScenarioSpec::new(5, 2).seed(3));
+        let slim = rep.slim();
+        assert_eq!(slim.seed, 3);
+        assert!(slim.check.ok);
+        assert_eq!(slim.metrics.decided_values, rep.metrics.decided_values);
+        assert_eq!(slim.counter("probe.runs"), rep.trace.counter("probe.runs"));
     }
 
     #[test]

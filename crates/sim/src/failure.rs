@@ -47,7 +47,8 @@ impl FailurePattern {
     }
 
     /// Random pattern: `f` uniformly-chosen processes crash at uniform times
-    /// in `[0, horizon]`.
+    /// in `[0, horizon]` — never after `horizon`, including `horizon = 0`
+    /// (all crashes initial).
     ///
     /// # Panics
     ///
@@ -55,7 +56,7 @@ impl FailurePattern {
     pub fn random(n: usize, f: usize, horizon: Time, rng: &mut SplitMix64) -> Self {
         let mut b = FailurePattern::builder(n);
         for i in rng.sample_indices(n, f) {
-            let at = Time(rng.range(0, horizon.ticks().max(1)));
+            let at = Time(rng.range(0, horizon.ticks()));
             b = b.crash(ProcessId(i), at);
         }
         b.build()
@@ -233,6 +234,37 @@ mod tests {
         assert_eq!(fp0.num_faulty(), 4);
         for p in fp0.faulty() {
             assert_eq!(fp0.crash_time(p), Some(Time::ZERO));
+        }
+    }
+
+    #[test]
+    fn random_crash_times_never_exceed_horizon() {
+        // Regression: `random` used `range(0, horizon.max(1))`, so a
+        // horizon of 0 could crash a process at time 1 — after the bound.
+        for seed in 0..200 {
+            for by in [0u64, 1, 2, 7, 100] {
+                let mut rng = SplitMix64::new(seed);
+                let fp = FailurePattern::random(8, 3, Time(by), &mut rng);
+                assert_eq!(fp.num_faulty(), 3);
+                for p in fp.faulty() {
+                    let at = fp.crash_time(p).unwrap();
+                    assert!(
+                        at <= Time(by),
+                        "seed {seed}: crash at {at} breaks promised bound {by}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_horizon_zero_is_all_initial() {
+        for seed in 0..64 {
+            let mut rng = SplitMix64::new(seed);
+            let fp = FailurePattern::random(6, 2, Time::ZERO, &mut rng);
+            for p in fp.faulty() {
+                assert_eq!(fp.crash_time(p), Some(Time::ZERO));
+            }
         }
     }
 

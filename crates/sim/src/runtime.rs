@@ -233,7 +233,25 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
 
     /// Runs until `stop(&trace)` returns true (checked after each event),
     /// the horizon, the event cap, or queue exhaustion.
-    pub fn run_until(&mut self, mut stop: impl FnMut(&Trace) -> bool) -> RunReport {
+    pub fn run_until(&mut self, stop: impl FnMut(&Trace) -> bool) -> RunReport {
+        let stopped_early = self.run_core(stop);
+        RunReport {
+            trace: self.trace.clone(),
+            end: self.now,
+            events: self.events,
+            stopped_early,
+        }
+    }
+
+    /// As [`Sim::run_until`], but consumes the simulator and moves the
+    /// trace out instead of cloning it — the scenario engine's hot path,
+    /// where the trace is the only thing the caller keeps.
+    pub fn run_into_trace(mut self, stop: impl FnMut(&Trace) -> bool) -> Trace {
+        self.run_core(stop);
+        self.trace
+    }
+
+    fn run_core(&mut self, mut stop: impl FnMut(&Trace) -> bool) -> bool {
         let mut stopped_early = false;
         while let Some(ev) = self.queue.pop() {
             if ev.at > self.cfg.max_time {
@@ -290,21 +308,15 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                 break;
             }
         }
-        let end = self.now;
         // If the run stopped early the observation window ends at the last
         // event; otherwise (horizon reached or queue drained — after which
         // nothing can change) it extends to the configured horizon.
         self.trace.set_horizon(if stopped_early {
-            end
+            self.now
         } else {
             self.cfg.max_time
         });
-        RunReport {
-            trace: self.trace.clone(),
-            end,
-            events: self.events,
-            stopped_early,
-        }
+        stopped_early
     }
 
     /// The recorded trace so far.

@@ -8,7 +8,6 @@
 
 use crate::id::{PSet, ProcessId};
 use crate::time::Time;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Well-known output slots. A *slot* identifies one published variable of a
@@ -135,11 +134,19 @@ impl History {
 }
 
 /// Everything recorded during one run.
+///
+/// Storage is dense and publish-optimized: histories are indexed by
+/// process id into a `Vec`, each holding a short slot-sorted vector
+/// (a run publishes into at most a handful of slots), and counters are
+/// an interned `(&'static str, u64)` vector scanned linearly. Both
+/// replace `BTreeMap`s that dominated the `publish`/`bump` hot path of
+/// large sweeps; the observable API (and iteration order) is unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    histories: BTreeMap<(ProcessId, u32), History>,
+    /// `histories[p]` holds `(slot, history)` pairs sorted by slot.
+    histories: Vec<Vec<(u32, History)>>,
     decisions: Vec<Decision>,
-    counters: BTreeMap<&'static str, u64>,
+    counters: Vec<(&'static str, u64)>,
     horizon: Time,
 }
 
@@ -152,7 +159,17 @@ impl Trace {
     /// Records that `(p, slot)` holds `value` from time `at` on.
     /// Consecutive duplicates are elided.
     pub fn publish(&mut self, p: ProcessId, slot: u32, at: Time, value: FdValue) {
-        self.histories.entry((p, slot)).or_default().push(at, value);
+        if self.histories.len() <= p.0 {
+            self.histories.resize_with(p.0 + 1, Vec::new);
+        }
+        let slots = &mut self.histories[p.0];
+        match slots.binary_search_by_key(&slot, |(s, _)| *s) {
+            Ok(i) => slots[i].1.push(at, value),
+            Err(i) => {
+                slots.insert(i, (slot, History::default()));
+                slots[i].1.push(at, value);
+            }
+        }
     }
 
     /// Records a decision.
@@ -162,7 +179,13 @@ impl Trace {
 
     /// Increments a named counter.
     pub fn bump(&mut self, name: &'static str, by: u64) {
-        *self.counters.entry(name).or_insert(0) += by;
+        for (k, v) in self.counters.iter_mut() {
+            if *k == name {
+                *v += by;
+                return;
+            }
+        }
+        self.counters.push((name, by));
     }
 
     /// Sets the horizon (the end time of the observation window).
@@ -180,12 +203,25 @@ impl Trace {
         static EMPTY: History = History {
             samples: Vec::new(),
         };
-        self.histories.get(&(p, slot)).unwrap_or(&EMPTY)
+        self.histories
+            .get(p.0)
+            .and_then(|slots| {
+                slots
+                    .binary_search_by_key(&slot, |(s, _)| *s)
+                    .ok()
+                    .map(|i| &slots[i].1)
+            })
+            .unwrap_or(&EMPTY)
     }
 
-    /// Iterates over all `(process, slot)` histories.
-    pub fn histories(&self) -> impl Iterator<Item = (&(ProcessId, u32), &History)> {
-        self.histories.iter()
+    /// Iterates over all `(process, slot)` histories, ordered by process,
+    /// then slot (the order the old `BTreeMap` storage produced).
+    pub fn histories(&self) -> impl Iterator<Item = ((ProcessId, u32), &History)> {
+        self.histories.iter().enumerate().flat_map(|(p, slots)| {
+            slots
+                .iter()
+                .map(move |(slot, h)| ((ProcessId(p), *slot), h))
+        })
     }
 
     /// All decisions in time order.
@@ -213,12 +249,18 @@ impl Trace {
 
     /// A named counter's value (0 if never bumped).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
     }
 
-    /// All counters.
-    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
-        &self.counters
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut v = self.counters.clone();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
     }
 }
 
@@ -273,6 +315,43 @@ mod tests {
             .history(ProcessId(3), slot::SUSPECTED)
             .samples()
             .is_empty());
+    }
+
+    #[test]
+    fn histories_iterate_in_process_then_slot_order() {
+        // Publishes arrive in scrambled (process, slot) order; iteration
+        // must still be sorted, like the old BTreeMap storage.
+        let mut t = Trace::new();
+        t.publish(ProcessId(2), slot::USER, Time(1), FdValue::Num(1));
+        t.publish(ProcessId(0), slot::ROUND, Time(1), FdValue::Num(2));
+        t.publish(ProcessId(2), slot::SUSPECTED, Time(1), FdValue::Num(3));
+        t.publish(ProcessId(0), slot::TRUSTED, Time(1), FdValue::Num(4));
+        t.publish(ProcessId(1), slot::REPR, Time(1), FdValue::Num(5));
+        let keys: Vec<(usize, u32)> = t.histories().map(|((p, s), _)| (p.0, s)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (0, slot::TRUSTED),
+                (0, slot::ROUND),
+                (1, slot::REPR),
+                (2, slot::SUSPECTED),
+                (2, slot::USER),
+            ]
+        );
+        // A process that never published contributes nothing, even when a
+        // higher id forced the dense vector to cover its index.
+        let mut sparse = Trace::new();
+        sparse.publish(ProcessId(3), slot::ROUND, Time(1), FdValue::Num(0));
+        assert_eq!(sparse.histories().count(), 1);
+    }
+
+    #[test]
+    fn counters_sorted_and_interned() {
+        let mut t = Trace::new();
+        t.bump("z.last", 1);
+        t.bump("a.first", 2);
+        t.bump("z.last", 3);
+        assert_eq!(t.counters(), vec![("a.first", 2), ("z.last", 4)]);
     }
 
     #[test]

@@ -6,9 +6,12 @@ pub use crate::scenario::DEFAULT_MARGIN;
 use crate::scenario::{AdditionScenario, PsiOmegaScenario, Substrate, TwoWheelsScenario};
 use crate::two_wheels::TwParams;
 pub use fd_detectors::scenario::{sample_oracle, SampledSlot};
-use fd_detectors::scenario::{CrashPlan, Flavour, ScenarioReport, ScenarioSpec};
+use fd_detectors::scenario::{
+    CrashPlan, Flavour, Runner, ScenarioReport, ScenarioSpec, SweepSummary,
+};
 use fd_detectors::{Scenario, Scope};
 use fd_sim::{FailurePattern, Time};
+use std::ops::Range;
 
 /// Runs the two-wheels transformation `◇S_x + ◇φ_y → Ω_z` (Figures 5+6)
 /// under adversarial oracles stabilizing at `gst`, and checks the built
@@ -40,6 +43,24 @@ pub fn run_two_wheels_opt(
         .seed(seed)
         .max_time(max_time);
     TwoWheelsScenario { throttled }.run(&spec)
+}
+
+/// Streams a multi-seed sweep of the two-wheels transformation into a
+/// [`SweepSummary`] without retaining per-run traces (memory stays
+/// `O(threads)` full reports however many seeds run).
+pub fn sweep_two_wheels_summary(
+    params: TwParams,
+    crashes: CrashPlan,
+    gst: Time,
+    seeds: Range<u64>,
+    max_time: Time,
+    runner: Runner,
+) -> SweepSummary {
+    let spec = TwoWheelsScenario::spec(params)
+        .crashes(crashes)
+        .gst(gst)
+        .max_time(max_time);
+    runner.sweep_summary(&TwoWheelsScenario::default(), &spec, seeds)
 }
 
 /// Runs the `Ψ_y → Ω_z` transformation (Figure 8) and checks `Ω_z`.
@@ -202,6 +223,27 @@ mod tests {
             Time(40_000),
         );
         assert!(rep.check.ok, "{}", rep.check);
+    }
+
+    #[test]
+    fn streamed_two_wheels_sweep_matches_eager_runs() {
+        let params = TwParams::optimal(5, 2, 2, 1);
+        let summary = sweep_two_wheels_summary(
+            params,
+            CrashPlan::Anarchic { by: Time(300) },
+            Time(400),
+            0..6,
+            Time(40_000),
+            Runner::with_threads(3),
+        );
+        assert_eq!(summary.runs, 6);
+        let mut eager_passes = 0;
+        for seed in 0..6 {
+            let fp = CrashPlan::Anarchic { by: Time(300) }.materialize(5, 2, seed);
+            let rep = run_two_wheels(params, fp, Time(400), seed, Time(40_000));
+            eager_passes += rep.check.ok as u64;
+        }
+        assert_eq!(summary.passes, eager_passes);
     }
 
     #[test]

@@ -36,8 +36,8 @@
 //!
 //! Every algorithm and transformation implements
 //! [`Scenario`](fd_detectors::Scenario); the [`Runner`] executes seed
-//! sweeps and grid matrices in parallel with results identical to a
-//! sequential run:
+//! sweeps and grid matrices on a work-stealing thread pool with results
+//! identical to a sequential run:
 //!
 //! ```
 //! use fd_grid::scenario::{Runner, SweepSummary};
@@ -47,6 +47,21 @@
 //! let spec = KsetScenario::spec(5, 2, 2).gst(Time(400));
 //! let reports = Runner::parallel().sweep(&KsetScenario, &spec, 0..16);
 //! assert!(SweepSummary::of(&reports).all_pass());
+//! ```
+//!
+//! For sweeps too large to hold every report (each carries a full
+//! [`Trace`]), `Runner::sweep_fold` streams [`SlimReport`]s — metrics +
+//! verdict, no trace — into an accumulator in strict seed order while
+//! keeping only `O(threads)` full reports alive:
+//!
+//! ```
+//! use fd_grid::scenario::Runner;
+//! use fd_grid::fd_core::KsetScenario;
+//! use fd_grid::Time;
+//!
+//! let spec = KsetScenario::spec(5, 2, 2).gst(Time(400));
+//! let summary = Runner::parallel().sweep_summary(&KsetScenario, &spec, 0..64);
+//! assert!(summary.all_pass());
 //! ```
 
 #![warn(missing_docs)]
@@ -64,7 +79,7 @@ pub use fd_detectors::scenario;
 
 pub use fd_detectors::scenario::{
     CrashPlan, Flavour, Metrics, OracleChoice, Runner, Scenario, ScenarioReport, ScenarioSpec,
-    SweepSummary,
+    SlimReport, SweepSummary,
 };
 
 pub use fd_sim::{DelayModel, DelayRule, FailurePattern, PSet, ProcessId, SimConfig, Time, Trace};

@@ -120,6 +120,46 @@ fn parallel_sweep_is_bit_identical_to_sequential() {
 }
 
 #[test]
+fn skewed_grid_is_trace_identical_across_thread_counts() {
+    // Cells with wildly different run lengths — small n failure-free next
+    // to n=13 anarchic — are exactly where the old one-chunk-per-thread
+    // split idled cores. The work-stealing runner must still produce
+    // trace-fingerprint-identical reports at every thread count.
+    let mut specs = Vec::new();
+    for &(n, t) in &[(5usize, 2usize), (9, 4), (13, 6)] {
+        for seed in 0..4 {
+            specs.push(
+                KsetScenario::spec(n, t, 2)
+                    .gst(Time(400))
+                    .seed(seed)
+                    .crashes(CrashPlan::Anarchic { by: Time(400) }),
+            );
+            specs.push(KsetScenario::spec(n, t, 1).gst(Time(300)).seed(seed));
+        }
+    }
+    let seq = Runner::sequential().grid(&KsetScenario, &specs);
+    assert_eq!(seq.len(), specs.len());
+    let seq_prints: Vec<String> = seq.iter().map(fingerprint).collect();
+    for threads in [2usize, 4, 8, 64] {
+        let par = Runner::with_threads(threads).grid(&KsetScenario, &specs);
+        let par_prints: Vec<String> = par.iter().map(fingerprint).collect();
+        assert_eq!(seq_prints, par_prints, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn streaming_sweep_matches_eager_summary() {
+    let base = KsetScenario::spec(5, 2, 2)
+        .gst(Time(400))
+        .crashes(CrashPlan::Anarchic { by: Time(400) });
+    let eager = SweepSummary::of(&Runner::sequential().sweep(&KsetScenario, &base, 0..96));
+    for threads in [1usize, 4, 16] {
+        let streamed = Runner::with_threads(threads).sweep_summary(&KsetScenario, &base, 0..96);
+        assert_eq!(streamed, eager, "threads={threads} diverged");
+    }
+}
+
+#[test]
 fn grid_matrix_runs_in_spec_order() {
     let specs: Vec<_> = SCALES
         .iter()
