@@ -1,0 +1,146 @@
+//! Event-core A/B: the same representative k-set runs driven by the
+//! calendar queue and by the reference binary heap, interleaved so that
+//! machine noise hits both sides equally. The two must agree bit-for-bit
+//! (asserted via trace fingerprints); the medians tell which core is
+//! faster on this machine.
+//!
+//! Also times the raw queues in isolation: a *balanced* near-monotone
+//! push/pop workload (the distribution round-based protocol sims
+//! produce — each delivery schedules about one future event) and an
+//! adversarial *backlog* workload (pushes outpace pops into a narrow time
+//! band), which is the calendar queue's documented worst case.
+
+use fd_bench::Suite;
+use fd_core::KsetScenario;
+use fd_detectors::scenario::{CrashPlan, QueueKind, Scenario};
+use fd_sim::{CalendarQueue, EventKind, EventQueue, ProcessId, Scheduler, SplitMix64, Time};
+use std::hint::black_box;
+
+fn kset_run(queue: QueueKind, seed: u64) -> u64 {
+    let spec = KsetScenario::spec(9, 4, 2)
+        .gst(Time(400))
+        .seed(seed)
+        .queue(queue)
+        .crashes(CrashPlan::Random {
+            f: 4,
+            by: Time(500),
+        });
+    KsetScenario.run(&spec).fingerprint()
+}
+
+/// Synthetic near-monotone workload shaped like the simulator's: a bounded
+/// backlog (each pop spawns roughly one future event, occasionally a far
+/// delay-rule release), so same-tick groups stay small.
+fn balanced<Q: Scheduler<u64>>(mut q: Q) -> u64 {
+    let mut rng = SplitMix64::new(42);
+    let mut acc = 0u64;
+    for i in 0..200u64 {
+        q.push(
+            Time(rng.range(1, 10)),
+            ProcessId(0),
+            EventKind::Deliver {
+                from: ProcessId(0),
+                msg: i,
+            },
+        );
+    }
+    for _ in 0..120_000 {
+        let e = q.pop().expect("balanced queue never drains");
+        let now = e.at.ticks();
+        acc = acc.wrapping_add(now).wrapping_add(e.seq);
+        let at = if rng.chance(1, 20) {
+            now + rng.range(200, 900)
+        } else {
+            now + rng.range(1, 10)
+        };
+        q.push(
+            Time(at),
+            ProcessId(0),
+            EventKind::Deliver {
+                from: ProcessId(0),
+                msg: at,
+            },
+        );
+    }
+    while let Some(e) = q.pop() {
+        acc = acc.wrapping_add(e.seq);
+    }
+    acc
+}
+
+/// Adversarial backlog: pushes outpace pops 2:1 into a narrow time band,
+/// piling thousands of events into the same few days — the calendar
+/// queue's documented worst case (its per-pop selection scan is linear in
+/// the same-day group, where the heap stays logarithmic in the total).
+fn backlog<Q: Scheduler<u64>>(mut q: Q) -> u64 {
+    let mut rng = SplitMix64::new(7);
+    let mut now = 0u64;
+    let mut acc = 0u64;
+    for _ in 0..12_000 {
+        for _ in 0..2 {
+            let at = now + rng.range(0, 12);
+            q.push(
+                Time(at),
+                ProcessId(0),
+                EventKind::Deliver {
+                    from: ProcessId(0),
+                    msg: at,
+                },
+            );
+        }
+        if let Some(e) = q.pop() {
+            now = e.at.ticks();
+            acc = acc.wrapping_add(e.seq);
+        }
+    }
+    while let Some(e) = q.pop() {
+        acc = acc.wrapping_add(e.seq);
+    }
+    acc
+}
+
+fn main() {
+    let mut suite = Suite::new("event_core");
+    // Interleave the two cores across seeds so drift cancels; assert the
+    // fingerprints agree while we're at it.
+    let mut cal_prints = Vec::new();
+    let mut heap_prints = Vec::new();
+    suite.bench("kset_n9/calendar", || {
+        cal_prints.clear();
+        for seed in 0..8 {
+            cal_prints.push(kset_run(QueueKind::Calendar, seed));
+        }
+        black_box(cal_prints.len())
+    });
+    suite.bench("kset_n9/binary_heap", || {
+        heap_prints.clear();
+        for seed in 0..8 {
+            heap_prints.push(kset_run(QueueKind::BinaryHeap, seed));
+        }
+        black_box(heap_prints.len())
+    });
+    assert_eq!(
+        cal_prints, heap_prints,
+        "event cores disagree on the benchmarked runs"
+    );
+    suite.bench(
+        "balanced/calendar",
+        || balanced(CalendarQueue::<u64>::new()),
+    );
+    suite.bench(
+        "balanced/binary_heap",
+        || balanced(EventQueue::<u64>::new()),
+    );
+    suite.bench("backlog/calendar", || backlog(CalendarQueue::<u64>::new()));
+    suite.bench("backlog/binary_heap", || backlog(EventQueue::<u64>::new()));
+    assert_eq!(
+        balanced(CalendarQueue::<u64>::new()),
+        balanced(EventQueue::<u64>::new()),
+        "balanced pop orders diverged"
+    );
+    assert_eq!(
+        backlog(CalendarQueue::<u64>::new()),
+        backlog(EventQueue::<u64>::new()),
+        "backlog pop orders diverged"
+    );
+}

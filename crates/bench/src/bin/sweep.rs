@@ -1,15 +1,21 @@
 //! Emits `BENCH_sweep.json`: throughput of a representative grid sweep
-//! (runs/sec, events/sec) through the work-stealing scenario runner, plus
-//! a large single-cell streaming sweep that holds only `O(threads)` full
-//! reports in memory.
+//! (runs/sec, events/sec) through the work-stealing scenario runner, a
+//! large single-cell streaming sweep that holds only `O(threads)` full
+//! reports in memory, and a queue cross-check that drives the grid on both
+//! event-core implementations and asserts their trace fingerprints match.
 //!
 //! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N]
-//! [-- --threads N] [-- --stream N] [-- --out PATH]`
+//! [-- --threads N] [-- --stream N] [-- --queue calendar|binary_heap]
+//! [-- --compare N] [-- --baseline PATH] [-- --out PATH]`
 //!
 //! `--threads 0` (the default) uses all available cores; `--stream 0`
-//! skips the streaming demonstration.
+//! skips the streaming demonstration; `--compare 0` skips the queue
+//! cross-check (default: 4 seeds per cell on both impls, fingerprint
+//! mismatch aborts). `--baseline PATH` compares per-thread `runs_per_sec`
+//! against a committed report and exits non-zero on a >30% regression.
 
-use fd_detectors::scenario::Runner;
+use fd_bench::BaselineVerdict;
+use fd_detectors::scenario::{QueueKind, Runner};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -28,15 +34,25 @@ fn main() {
     let stream_seeds: u64 = arg_value("--stream")
         .and_then(|v| v.parse().ok())
         .unwrap_or(100_000);
+    let compare_seeds: u64 = arg_value("--compare")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let queue = match arg_value("--queue").as_deref() {
+        None | Some("calendar") => QueueKind::Calendar,
+        Some("binary_heap") => QueueKind::BinaryHeap,
+        Some(other) => panic!("unknown --queue {other} (calendar | binary_heap)"),
+    };
+    let baseline = arg_value("--baseline");
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
     let runner = if threads == 0 {
         Runner::parallel()
     } else {
         Runner::with_threads(threads)
     };
-    let mut report = fd_bench::representative_sweep(seeds, runner);
+    let mut report = fd_bench::representative_sweep_on(seeds, runner, queue);
     println!(
-        "grid sweep: {} runs ({} passed) on {} threads in {} us — {:.1} runs/s, {:.0} events/s",
+        "grid sweep ({}): {} runs ({} passed) on {} threads in {} us — {:.1} runs/s, {:.0} events/s",
+        report.queue,
         report.total_runs,
         report.total_passes,
         report.threads,
@@ -45,7 +61,7 @@ fn main() {
         report.events_per_sec,
     );
     if stream_seeds > 0 {
-        let stream = fd_bench::streaming_sweep(stream_seeds, runner);
+        let stream = fd_bench::streaming_sweep_on(stream_seeds, runner, queue);
         println!(
             "streaming sweep: {} runs ({} passed) in {} us — {:.1} runs/s, O(threads) reports held",
             stream.runs, stream.passes, stream.wall_us, stream.runs_per_sec,
@@ -56,6 +72,20 @@ fn main() {
         );
         report = report.with_stream(stream);
     }
+    if compare_seeds > 0 {
+        let cmp = fd_bench::queue_comparison(compare_seeds, runner);
+        for r in &cmp.rates {
+            println!(
+                "queue cross-check ({}): {} runs — {:.1} runs/s, {:.0} events/s",
+                r.queue, cmp.runs, r.runs_per_sec, r.events_per_sec,
+            );
+        }
+        assert!(
+            cmp.fingerprints_equal,
+            "queue implementations produced different trace fingerprints"
+        );
+        report = report.with_compare(cmp);
+    }
     let json = report.to_json();
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
     println!("wrote {out}");
@@ -63,4 +93,15 @@ fn main() {
         report.total_passes, report.total_runs,
         "grid sweep had failing cells"
     );
+    if let Some(path) = baseline {
+        let base =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        match fd_bench::check_baseline(&report, &base, 30) {
+            BaselineVerdict::Ok(msg) => println!("baseline check ok: {msg}"),
+            BaselineVerdict::Regressed(msg) => {
+                eprintln!("baseline check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

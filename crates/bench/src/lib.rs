@@ -18,5 +18,9 @@ pub mod table;
 
 pub use experiments::all;
 pub use micro::{BenchResult, Suite};
-pub use sweep::{representative_sweep, streaming_sweep, StreamResult, SweepBenchReport};
+pub use sweep::{
+    check_baseline, queue_comparison, representative_sweep, representative_sweep_on,
+    streaming_sweep, streaming_sweep_on, BaselineVerdict, QueueCompare, QueueRate, StreamResult,
+    SweepBenchReport,
+};
 pub use table::Table;

@@ -11,6 +11,13 @@
 //! explicit demonstration. No external JSON crate is available offline,
 //! so the (flat, fully-controlled) document is rendered by hand.
 //!
+//! The report records which event-queue implementation drove the grid, and
+//! [`queue_comparison`] runs both cores over the same cells — rates for
+//! each plus a trace-fingerprint cross-check — so `BENCH_sweep.json`
+//! tracks the calendar/heap throughput gap alongside the determinism
+//! guarantee. [`check_baseline`] gates CI on per-thread `runs_per_sec`
+//! against the committed report.
+//!
 //! Timing is recorded in microseconds (`wall_us`, clamped to ≥ 1) and both
 //! rates are derived from that same duration, so the JSON stays internally
 //! consistent even on sub-millisecond CI smoke runs (where the old
@@ -18,7 +25,7 @@
 
 use fd_core::harness::kset_config;
 use fd_core::KsetScenario;
-use fd_detectors::scenario::{CrashPlan, Runner, ScenarioSpec};
+use fd_detectors::scenario::{CrashPlan, QueueKind, Runner, ScenarioSpec};
 use fd_sim::Time;
 use std::time::Instant;
 
@@ -54,11 +61,36 @@ pub struct StreamResult {
     pub runs_per_sec: f64,
 }
 
+/// Throughput of one event-queue implementation over the cross-check grid.
+#[derive(Clone, Debug)]
+pub struct QueueRate {
+    /// Queue implementation name (`"calendar"` / `"binary_heap"`).
+    pub queue: &'static str,
+    /// Completed scenario runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Simulator events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The queue cross-check: both implementations driven over the same grid,
+/// rates for each, and whether every run's trace fingerprint matched.
+#[derive(Clone, Debug)]
+pub struct QueueCompare {
+    /// Runs executed per implementation.
+    pub runs: u64,
+    /// One entry per implementation.
+    pub rates: Vec<QueueRate>,
+    /// Whether the two implementations produced bit-identical runs.
+    pub fingerprints_equal: bool,
+}
+
 /// The whole sweep: cells plus throughput.
 #[derive(Clone, Debug)]
 pub struct SweepBenchReport {
     /// Worker threads the runner used.
     pub threads: usize,
+    /// Which event-queue implementation drove the main grid.
+    pub queue: &'static str,
     /// Total runs across all cells.
     pub total_runs: u64,
     /// Total runs that passed.
@@ -79,10 +111,12 @@ pub struct SweepBenchReport {
     pub cells: Vec<CellResult>,
     /// The streaming demonstration, when one was run.
     pub stream: Option<StreamResult>,
+    /// The queue cross-check, when one was run.
+    pub compare: Option<QueueCompare>,
 }
 
 /// The grid the sweep covers: `(n, t)` scales × `k` × crash count.
-fn grid(seeds_per_cell: u64) -> Vec<(String, ScenarioSpec, u64)> {
+fn grid(seeds_per_cell: u64, queue: QueueKind) -> Vec<(String, ScenarioSpec, u64)> {
     let mut cells = Vec::new();
     for &(n, t) in &[(5usize, 2usize), (7, 3), (9, 4)] {
         for k in [1usize, 2] {
@@ -90,6 +124,7 @@ fn grid(seeds_per_cell: u64) -> Vec<(String, ScenarioSpec, u64)> {
                 let label = format!("n{n}_t{t}_k{k}_f{f}");
                 let spec = kset_config(n, t, k)
                     .gst(Time(400))
+                    .queue(queue)
                     .crashes(CrashPlan::Random { f, by: Time(500) });
                 cells.push((label, spec, seeds_per_cell));
             }
@@ -100,9 +135,19 @@ fn grid(seeds_per_cell: u64) -> Vec<(String, ScenarioSpec, u64)> {
 
 /// Runs the representative grid sweep and measures throughput. Each cell is
 /// folded into a [`SweepSummary`] as its runs finish — no per-run report
-/// outlives its cell's fold frontier.
+/// outlives its cell's fold frontier. The grid runs on the default
+/// (calendar) event core; see [`representative_sweep_on`] to pick one.
 pub fn representative_sweep(seeds_per_cell: u64, runner: Runner) -> SweepBenchReport {
-    let cells = grid(seeds_per_cell);
+    representative_sweep_on(seeds_per_cell, runner, QueueKind::default())
+}
+
+/// As [`representative_sweep`] on an explicit event-queue implementation.
+pub fn representative_sweep_on(
+    seeds_per_cell: u64,
+    runner: Runner,
+    queue: QueueKind,
+) -> SweepBenchReport {
+    let cells = grid(seeds_per_cell, queue);
     let t0 = Instant::now();
     let mut out = Vec::with_capacity(cells.len());
     for (label, spec, seeds) in cells {
@@ -122,6 +167,7 @@ pub fn representative_sweep(seeds_per_cell: u64, runner: Runner) -> SweepBenchRe
     let secs = wall_us as f64 / 1e6;
     SweepBenchReport {
         threads: runner.threads(),
+        queue: queue.name(),
         total_runs,
         total_passes,
         total_events,
@@ -131,17 +177,122 @@ pub fn representative_sweep(seeds_per_cell: u64, runner: Runner) -> SweepBenchRe
         events_per_sec: total_events as f64 / secs,
         cells: out,
         stream: None,
+        compare: None,
     }
+}
+
+/// Drives the whole grid once per event-queue implementation, measuring
+/// each one's throughput and cross-checking that every run's trace
+/// fingerprint is identical between them — the bench-smoke leg of the
+/// scheduler determinism contract.
+pub fn queue_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
+    let mut rates = Vec::new();
+    let mut prints: Vec<Vec<u64>> = Vec::new();
+    let mut runs = 0;
+    for queue in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+        let cells = grid(seeds_per_cell, queue);
+        let t0 = Instant::now();
+        let mut fp = Vec::new();
+        let mut events = 0u64;
+        for (_, spec, seeds) in cells {
+            for rep in runner.sweep(&KsetScenario, &spec, 0..seeds) {
+                events += rep.metrics.events;
+                fp.push(rep.fingerprint());
+            }
+        }
+        let secs = (t0.elapsed().as_micros() as u64).max(1) as f64 / 1e6;
+        runs = fp.len() as u64;
+        rates.push(QueueRate {
+            queue: queue.name(),
+            runs_per_sec: runs as f64 / secs,
+            events_per_sec: events as f64 / secs,
+        });
+        prints.push(fp);
+    }
+    QueueCompare {
+        runs,
+        rates,
+        fingerprints_equal: prints.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
+/// Verdict of [`check_baseline`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaselineVerdict {
+    /// Throughput is within the allowed envelope of the baseline, or the
+    /// comparison was skipped as not like-for-like (the message says
+    /// which).
+    Ok(String),
+    /// Throughput regressed beyond the allowed envelope.
+    Regressed(String),
+}
+
+/// Compares this report's `runs_per_sec` against a committed
+/// `BENCH_sweep.json` baseline. Only like-for-like runs are gated: if the
+/// thread counts differ, the comparison is skipped (thread scaling is
+/// nowhere near linear on SMT CI runners, so normalizing per thread would
+/// manufacture spurious failures). Returns
+/// [`BaselineVerdict::Regressed`] when the current rate falls more than
+/// `max_regression_pct` percent below the baseline's.
+pub fn check_baseline(
+    report: &SweepBenchReport,
+    baseline_json: &str,
+    max_regression_pct: u64,
+) -> BaselineVerdict {
+    let Some(base_rate) = json_number(baseline_json, "runs_per_sec") else {
+        return BaselineVerdict::Ok("baseline has no runs_per_sec field; skipping".into());
+    };
+    let base_threads = json_number(baseline_json, "threads")
+        .unwrap_or(1.0)
+        .max(1.0);
+    if base_threads as usize != report.threads {
+        return BaselineVerdict::Ok(format!(
+            "baseline ran on {} thread(s), this report on {}; not like-for-like, skipping",
+            base_threads, report.threads
+        ));
+    }
+    let floor = base_rate * (100 - max_regression_pct.min(100)) as f64 / 100.0;
+    let msg = format!(
+        "current {:.1} runs/s vs baseline {:.1} on {} thread(s) (floor {:.1}, allowed regression {}%)",
+        report.runs_per_sec, base_rate, report.threads, floor, max_regression_pct
+    );
+    if report.runs_per_sec < floor {
+        BaselineVerdict::Regressed(msg)
+    } else {
+        BaselineVerdict::Ok(msg)
+    }
+}
+
+/// Extracts the first top-level `"key": <number>` from the (flat,
+/// fully-controlled) JSON this module itself writes. Not a JSON parser —
+/// just enough for the regression gate, with no external crates available.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Streams `seeds` runs of one representative crashy cell (`n5_t2_k2_f2`)
 /// through [`Runner::sweep_fold`]. Memory stays `O(threads)` full reports
 /// regardless of `seeds`, which is the point: this is the million-seed mode
-/// the eager sweep cannot afford.
+/// the eager sweep cannot afford. Runs on the default (calendar) event
+/// core; see [`streaming_sweep_on`] to pick one.
 pub fn streaming_sweep(seeds: u64, runner: Runner) -> StreamResult {
+    streaming_sweep_on(seeds, runner, QueueKind::default())
+}
+
+/// As [`streaming_sweep`] on an explicit event-queue implementation (so a
+/// `--queue binary_heap` report's stream numbers are actually measured on
+/// the heap).
+pub fn streaming_sweep_on(seeds: u64, runner: Runner, queue: QueueKind) -> StreamResult {
     let (n, t, k, f) = (5, 2, 2, 2);
     let spec = kset_config(n, t, k)
         .gst(Time(400))
+        .queue(queue)
         .crashes(CrashPlan::Random { f, by: Time(500) });
     let t0 = Instant::now();
     let summary = runner.sweep_summary(&KsetScenario, &spec, 0..seeds);
@@ -163,12 +314,19 @@ impl SweepBenchReport {
         self
     }
 
+    /// Attaches a queue cross-check to the report (builder style).
+    pub fn with_compare(mut self, compare: QueueCompare) -> Self {
+        self.compare = Some(compare);
+        self
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str("  \"bench\": \"grid_sweep\",\n");
         s.push_str("  \"scenario\": \"kset_omega\",\n");
+        s.push_str(&format!("  \"queue\": \"{}\",\n", self.queue));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
         s.push_str(&format!("  \"total_passes\": {},\n", self.total_passes));
@@ -185,6 +343,24 @@ impl SweepBenchReport {
                 "  \"stream\": {{\"cell\": \"{}\", \"runs\": {}, \"passes\": {}, \"events\": {}, \"wall_us\": {}, \"runs_per_sec\": {:.2}}},\n",
                 st.cell, st.runs, st.passes, st.events, st.wall_us, st.runs_per_sec
             ));
+        }
+        if let Some(cmp) = &self.compare {
+            s.push_str(&format!(
+                "  \"queue_fingerprints_equal\": {},\n",
+                cmp.fingerprints_equal
+            ));
+            s.push_str("  \"queues\": [\n");
+            for (i, r) in cmp.rates.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"impl\": \"{}\", \"runs\": {}, \"runs_per_sec\": {:.2}, \"events_per_sec\": {:.2}}}{}\n",
+                    r.queue,
+                    cmp.runs,
+                    r.runs_per_sec,
+                    r.events_per_sec,
+                    if i + 1 == cmp.rates.len() { "" } else { "," }
+                ));
+            }
+            s.push_str("  ],\n");
         }
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
@@ -211,7 +387,8 @@ mod tests {
     #[test]
     fn sweep_passes_and_serializes() {
         let rep = representative_sweep(2, Runner::parallel())
-            .with_stream(streaming_sweep(32, Runner::parallel()));
+            .with_stream(streaming_sweep(32, Runner::parallel()))
+            .with_compare(queue_comparison(1, Runner::parallel()));
         assert_eq!(rep.total_runs, rep.cells.len() as u64 * 2);
         assert_eq!(
             rep.total_passes, rep.total_runs,
@@ -220,12 +397,70 @@ mod tests {
         assert!(rep.total_events > 0);
         assert!(rep.wall_us >= 1);
         assert!(rep.wall_ms >= 1);
+        assert_eq!(rep.queue, "calendar");
         let json = rep.to_json();
         assert!(json.contains("\"runs_per_sec\""));
         assert!(json.contains("\"wall_us\""));
         assert!(json.contains("\"stream\""));
+        assert!(json.contains("\"queue\": \"calendar\""));
+        assert!(json.contains("\"queue_fingerprints_equal\": true"));
+        assert!(json.contains("\"impl\": \"binary_heap\""));
         assert!(json.contains("n5_t2_k1_f0"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn queue_comparison_fingerprints_match() {
+        let cmp = queue_comparison(2, Runner::parallel());
+        assert!(cmp.fingerprints_equal, "queue impls diverged");
+        assert_eq!(cmp.rates.len(), 2);
+        assert_eq!(cmp.runs, 24);
+        assert!(cmp.rates.iter().all(|r| r.runs_per_sec > 0.0));
+    }
+
+    #[test]
+    fn heap_grid_matches_calendar_grid() {
+        let cal = representative_sweep_on(2, Runner::sequential(), QueueKind::Calendar);
+        let heap = representative_sweep_on(2, Runner::sequential(), QueueKind::BinaryHeap);
+        assert_eq!(cal.total_events, heap.total_events);
+        assert_eq!(cal.total_passes, heap.total_passes);
+        for (a, b) in cal.cells.iter().zip(&heap.cells) {
+            assert_eq!(a.msgs, b.msgs, "cell {} diverged across queues", a.label);
+        }
+    }
+
+    #[test]
+    fn baseline_gate_accepts_and_rejects() {
+        let rep = representative_sweep(1, Runner::sequential());
+        // Against itself: always within the envelope.
+        match check_baseline(&rep, &rep.to_json(), 30) {
+            BaselineVerdict::Ok(_) => {}
+            BaselineVerdict::Regressed(msg) => panic!("self-comparison regressed: {msg}"),
+        }
+        // Against an impossibly fast baseline: must reject.
+        let fast = format!(
+            "{{\n  \"threads\": 1,\n  \"runs_per_sec\": {:.2},\n  \"events_per_sec\": 1.0\n}}\n",
+            rep.runs_per_sec * 1e6
+        );
+        assert!(matches!(
+            check_baseline(&rep, &fast, 30),
+            BaselineVerdict::Regressed(_)
+        ));
+        // A baseline without the field is skipped, not failed.
+        assert!(matches!(
+            check_baseline(&rep, "{}", 30),
+            BaselineVerdict::Ok(_)
+        ));
+        // A baseline from a different thread count is not like-for-like:
+        // skipped (thread scaling is not linear), never failed.
+        let other_threads = format!(
+            "{{\n  \"threads\": 4,\n  \"runs_per_sec\": {:.2}\n}}\n",
+            rep.runs_per_sec * 1e6
+        );
+        match check_baseline(&rep, &other_threads, 30) {
+            BaselineVerdict::Ok(msg) => assert!(msg.contains("skipping"), "{msg}"),
+            BaselineVerdict::Regressed(msg) => panic!("thread mismatch must skip: {msg}"),
+        }
     }
 
     #[test]

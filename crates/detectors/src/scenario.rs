@@ -51,9 +51,14 @@ use fd_sim::{
     ProcessId, ShmConfig, Sim, SimConfig, SplitMix64, SuspectPlusQuery, Time, Trace,
 };
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+// Spec authors pick their event core through the spec's `queue` knob;
+// re-export the kind so they need not depend on `fd_sim` directly.
+pub use fd_sim::QueueKind;
 
 /// Seed-mixing constants, one per oracle role, so that the detectors of a
 /// bundle draw from independent streams of the run's root seed.
@@ -104,6 +109,8 @@ pub mod salt {
     pub const CRASHES: u64 = 0xC4A5;
     /// Anarchic crash-plan stream (random crash count).
     pub const ANARCHY: u64 = 0xFA11;
+    /// Churn crash-plan stream (crash + fresh-id rejoin).
+    pub const CHURN: u64 = 0x0C4B;
 }
 
 /// How crashes are injected into a run.
@@ -129,6 +136,17 @@ pub enum CrashPlan {
     Anarchic {
         /// Latest crash time.
         by: Time,
+    },
+    /// Churn: `t` processes crash at random times up to `crash_by`, and
+    /// for each crash a distinct fresh process id joins the run
+    /// `rejoin_after` ticks later — crash followed by simulated recovery
+    /// under a new identity (the crash-stop model has no true recovery).
+    /// Requires `2t ≤ n` so every crasher has a fresh id to hand over to.
+    Churn {
+        /// Latest crash time.
+        crash_by: Time,
+        /// Ticks between each crash and its fresh id joining.
+        rejoin_after: u64,
     },
     /// An explicit pattern.
     Explicit(FailurePattern),
@@ -163,6 +181,19 @@ impl CrashPlan {
                 let mut rng = SplitMix64::new(seed).stream(salt::ANARCHY);
                 let f = rng.below(t as u64 + 1) as usize;
                 FailurePattern::random(n, f, *by, &mut rng)
+            }
+            CrashPlan::Churn {
+                crash_by,
+                rejoin_after,
+            } => {
+                self.validate(n, t, t);
+                assert!(
+                    2 * t <= n,
+                    "crash plan {self:?} invalid for n={n}, t={t}: churn needs 2t ≤ n \
+                     (t crashers + t fresh joiners)"
+                );
+                let mut rng = SplitMix64::new(seed).stream(salt::CHURN);
+                FailurePattern::churn(n, t, *crash_by, *rejoin_after, &mut rng)
             }
             CrashPlan::Explicit(fp) => fp.clone(),
         }
@@ -258,6 +289,10 @@ pub struct ScenarioSpec {
     pub max_time: Time,
     /// Shared-memory horizon (scheduler steps).
     pub max_steps: u64,
+    /// Which event-queue implementation drives the simulator. Both pop in
+    /// the same `(at, seq)` order, so this knob never changes a trace —
+    /// only how fast the run goes (calendar is the default).
+    pub queue: QueueKind,
 }
 
 impl ScenarioSpec {
@@ -279,6 +314,7 @@ impl ScenarioSpec {
             seed: 0,
             max_time: Time(100_000),
             max_steps: 200_000,
+            queue: QueueKind::default(),
         }
     }
 
@@ -361,6 +397,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the event-queue implementation (builder style).
+    pub fn queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// A copy of this spec with a different seed (the sweep primitive).
     pub fn with_seed(&self, seed: u64) -> Self {
         let mut s = self.clone();
@@ -380,6 +422,7 @@ impl ScenarioSpec {
             max_time: self.max_time,
             delay: self.delay.clone(),
             rules: self.rules.clone(),
+            queue: self.queue,
             ..SimConfig::new(self.n, self.t)
         }
     }
@@ -647,6 +690,44 @@ impl ScenarioReport {
         self.spec.seed
     }
 
+    /// A stable 64-bit digest of everything observable about the run: the
+    /// seed, the failure pattern (crash and start times), the event and
+    /// message counts, every decision, every published history sample, and
+    /// the counters. Two runs are *the same run* iff their fingerprints
+    /// match — the currency of the determinism tests (parallel vs
+    /// sequential, calendar queue vs binary heap) and of the bench smoke's
+    /// queue cross-check.
+    ///
+    /// Uses [`std::collections::hash_map::DefaultHasher`], which hashes
+    /// with fixed keys — the digest is stable across runs and builds of
+    /// the same toolchain, but is not an on-disk format.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.spec.seed.hash(&mut h);
+        self.fp.n().hash(&mut h);
+        for p in (0..self.fp.n()).map(ProcessId) {
+            self.fp.crash_time(p).map(|t| t.ticks()).hash(&mut h);
+            self.fp.start_time(p).ticks().hash(&mut h);
+        }
+        self.metrics.events.hash(&mut h);
+        self.metrics.msgs_sent.hash(&mut h);
+        self.check.ok.hash(&mut h);
+        for d in self.trace.decisions() {
+            (d.at.ticks(), d.by.0, d.value).hash(&mut h);
+        }
+        for ((p, slot), hist) in self.trace.histories() {
+            (p.0, slot).hash(&mut h);
+            for s in hist.samples() {
+                s.at.ticks().hash(&mut h);
+                hash_fd_value(s.value, &mut h);
+            }
+        }
+        for (name, v) in self.trace.counters() {
+            (name, v).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// The slim view of this report: everything a summary needs, nothing a
     /// million-seed sweep can't afford to hold.
     pub fn slim(&self) -> SlimReport {
@@ -657,6 +738,27 @@ impl ScenarioReport {
             check: self.check.clone(),
             metrics: self.metrics.clone(),
             counters: self.trace.counters(),
+        }
+    }
+}
+
+fn hash_fd_value(v: FdValue, h: &mut impl Hasher) {
+    match v {
+        FdValue::Set(s) => {
+            0u8.hash(h);
+            s.bits().hash(h);
+        }
+        FdValue::Proc(p) => {
+            1u8.hash(h);
+            p.0.hash(h);
+        }
+        FdValue::Flag(b) => {
+            2u8.hash(h);
+            b.hash(h);
+        }
+        FdValue::Num(n) => {
+            3u8.hash(h);
+            n.hash(h);
         }
     }
 }
@@ -1049,6 +1151,67 @@ mod tests {
         for seed in 0..16 {
             assert_eq!(plan.materialize(7, 3, seed), plan.materialize(7, 3, seed));
         }
+        let churn = CrashPlan::Churn {
+            crash_by: Time(200),
+            rejoin_after: 40,
+        };
+        for seed in 0..16 {
+            assert_eq!(churn.materialize(7, 3, seed), churn.materialize(7, 3, seed));
+        }
+    }
+
+    #[test]
+    fn churn_plan_materializes_pairs() {
+        let plan = CrashPlan::Churn {
+            crash_by: Time(300),
+            rejoin_after: 25,
+        };
+        for seed in 0..64 {
+            let fp = plan.materialize(9, 4, seed);
+            assert_eq!(fp.num_faulty(), 4);
+            let joiners = (0..9).map(ProcessId).filter(|&p| fp.joins_late(p)).count();
+            assert!(joiners <= 4);
+            for v in fp.faulty() {
+                assert!(fp.crash_time(v).unwrap() <= Time(300), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_plan_edge_cases() {
+        // crash_by = 0: every crash is initial, every joiner starts at
+        // exactly rejoin_after.
+        let plan = CrashPlan::Churn {
+            crash_by: Time::ZERO,
+            rejoin_after: 10,
+        };
+        for seed in 0..32 {
+            let fp = plan.materialize(6, 2, seed);
+            for v in fp.faulty() {
+                assert_eq!(fp.crash_time(v), Some(Time::ZERO));
+            }
+            for p in (0..6).map(ProcessId).filter(|&p| fp.joins_late(p)) {
+                assert_eq!(fp.start_time(p), Time(10), "seed {seed}");
+            }
+        }
+        // rejoin_after = 0 at crash_by = 0 collapses to all-initial
+        // crashes with every id live from time zero.
+        let fp = CrashPlan::Churn {
+            crash_by: Time::ZERO,
+            rejoin_after: 0,
+        }
+        .materialize(6, 2, 3);
+        assert!(!fp.has_late_joiners());
+    }
+
+    #[test]
+    #[should_panic(expected = "churn needs 2t ≤ n")]
+    fn churn_plan_rejects_crowded_system() {
+        let _ = CrashPlan::Churn {
+            crash_by: Time(10),
+            rejoin_after: 5,
+        }
+        .materialize(5, 3, 0);
     }
 
     #[test]
@@ -1065,6 +1228,25 @@ mod tests {
         assert_eq!(spec.sim_config().max_time, Time(60_000));
         assert_eq!(spec.with_seed(11).seed, 11);
         assert_eq!(spec.with_seed(11).n, 7);
+    }
+
+    #[test]
+    fn spec_queue_knob_reaches_sim_config() {
+        let spec = ScenarioSpec::new(5, 2);
+        assert_eq!(spec.queue, QueueKind::Calendar);
+        assert_eq!(spec.sim_config().queue, QueueKind::Calendar);
+        let heap = spec.queue(QueueKind::BinaryHeap);
+        assert_eq!(heap.sim_config().queue, QueueKind::BinaryHeap);
+    }
+
+    #[test]
+    fn fingerprint_separates_runs_and_matches_reruns() {
+        let base = ScenarioSpec::new(5, 2).crashes(CrashPlan::Anarchic { by: Time(50) });
+        let a = Probe.run(&base.with_seed(1)).fingerprint();
+        let b = Probe.run(&base.with_seed(1)).fingerprint();
+        let c = Probe.run(&base.with_seed(2)).fingerprint();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -76,6 +76,23 @@ impl<'a, M> Ctx<'a, M> {
         oracle: &'a mut dyn OracleSuite,
         trace: &'a mut Trace,
     ) -> Self {
+        Self::with_buffer(me, n, t, now, oracle, trace, Vec::new())
+    }
+
+    /// As [`Ctx::new`], but buffering operations into a caller-recycled
+    /// vector. The runtime pools these buffers across activations so the
+    /// hot loop stops allocating one `Vec<Op>` per event; the buffer must
+    /// arrive empty.
+    pub fn with_buffer(
+        me: ProcessId,
+        n: usize,
+        t: usize,
+        now: Time,
+        oracle: &'a mut dyn OracleSuite,
+        trace: &'a mut Trace,
+        ops: Vec<Op<M>>,
+    ) -> Self {
+        debug_assert!(ops.is_empty(), "recycled op buffer must arrive empty");
         Ctx {
             me,
             n,
@@ -83,7 +100,7 @@ impl<'a, M> Ctx<'a, M> {
             now,
             oracle,
             trace,
-            ops: Vec::new(),
+            ops,
         }
     }
 

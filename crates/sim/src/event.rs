@@ -1,4 +1,15 @@
-//! The discrete-event queue.
+//! The discrete-event core: a [`Scheduler`] abstraction with two
+//! deterministically-equivalent implementations.
+//!
+//! The simulator's hot loop is `pop → activate → push*`. Both schedulers —
+//! the reference [`EventQueue`] (a binary heap) and the [`CalendarQueue`]
+//! (a bucketed calendar, O(1) amortized for the near-monotone timestamp
+//! distributions of round-based protocols) — pop events in exactly the same
+//! order: ascending `(at, seq)`, where `seq` is the insertion sequence
+//! number. That total order is part of the repository's reproducibility
+//! contract (see `fd_detectors::scenario::salt`): swapping the queue
+//! implementation must never change a trace, and the differential tests in
+//! `tests/scenario_engine.rs` enforce it with full-trace fingerprints.
 
 use crate::id::ProcessId;
 use crate::time::Time;
@@ -25,6 +36,9 @@ pub enum EventKind<M> {
     /// A local step of the process (drives `repeat forever` tasks and
     /// re-evaluates time-dependent guards).
     Step,
+    /// A late-starting process joins the run (churn: a fresh process id
+    /// beginning its `on_start` only now).
+    Join,
     /// The process crashes.
     Crash,
 }
@@ -63,6 +77,56 @@ impl<M> PartialOrd for Event<M> {
 }
 
 /// A time-ordered event queue with deterministic tie-breaking.
+///
+/// The contract every implementation must honour:
+///
+/// * [`Scheduler::push`] assigns the event the next insertion sequence
+///   number (starting at 0);
+/// * [`Scheduler::pop`] removes the pending event with the smallest
+///   `(at, seq)` key — so two schedulers fed the same pushes pop the same
+///   events in the same order, bit for bit.
+pub trait Scheduler<M>: std::fmt::Debug {
+    /// Schedules `kind` for `to` at time `at`.
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>);
+
+    /// Removes and returns the pending event with the smallest `(at, seq)`.
+    fn pop(&mut self) -> Option<Event<M>>;
+
+    /// The time of the earliest pending event.
+    fn peek_time(&self) -> Option<Time>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which [`Scheduler`] implementation a simulation uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The reference [`EventQueue`] (binary heap).
+    BinaryHeap,
+    /// The [`CalendarQueue`] (bucketed calendar) — the default: faster on
+    /// the near-monotone event streams of round-based protocols, and
+    /// pop-order-identical to the heap by construction.
+    #[default]
+    Calendar,
+}
+
+impl QueueKind {
+    /// Stable name, recorded in bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::BinaryHeap => "binary_heap",
+            QueueKind::Calendar => "calendar",
+        }
+    }
+}
+
+/// The reference scheduler: a [`BinaryHeap`] ordered by `(at, seq)`.
 #[derive(Debug)]
 pub struct EventQueue<M> {
     heap: BinaryHeap<Event<M>>,
@@ -83,65 +147,390 @@ impl<M> EventQueue<M> {
             next_seq: 0,
         }
     }
+}
 
-    /// Schedules `kind` for `to` at time `at`.
-    pub fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+impl<M: std::fmt::Debug> Scheduler<M> for EventQueue<M> {
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { at, seq, to, kind });
     }
 
-    /// Removes and returns the earliest event.
-    pub fn pop(&mut self) -> Option<Event<M>> {
+    fn pop(&mut self) -> Option<Event<M>> {
         self.heap.pop()
     }
 
-    /// The time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<Time> {
+    fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len()
     }
+}
 
-    /// Whether no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+/// Default ticks per calendar bucket (see [`CalendarQueue::with_width`]).
+pub const DEFAULT_BUCKET_WIDTH: u64 = 1;
+
+/// Initial bucket count (always a power of two).
+const INITIAL_BUCKETS: usize = 256;
+
+/// Doubling threshold: grow when the queue holds more than this many events
+/// per bucket on average.
+const GROW_FACTOR: usize = 2;
+
+/// Hard cap on the bucket count.
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// A deterministic calendar (bucket) queue.
+///
+/// Events are hashed into `buckets[(at >> width_shift) & mask]`; all
+/// events of one *day* (a `width`-tick span, widths are powers of two so
+/// day extraction is a shift) land in the same bucket, so the global
+/// minimum is always found by scanning forward from the current day and
+/// selecting the smallest `(at, seq)` among that day's events — the exact
+/// order the binary heap produces. A full empty cycle of buckets triggers
+/// a direct jump to the earliest pending day, so sparse schedules (a lone
+/// timer far in the future) stay O(buckets) instead of O(horizon).
+///
+/// The bucket count doubles (up to a cap) whenever average occupancy
+/// exceeds [`GROW_FACTOR`], keeping per-pop scans short; resizing depends
+/// only on the queue's content, never on wall-clock or allocation state,
+/// so it cannot perturb determinism.
+#[derive(Debug)]
+pub struct CalendarQueue<M> {
+    buckets: Vec<Vec<Event<M>>>,
+    /// `log2` of the ticks-per-bucket width.
+    width_shift: u32,
+    /// `buckets.len() - 1` (the bucket count is a power of two).
+    bucket_mask: u64,
+    /// Day cursor: no pending event fires before `day << width_shift`.
+    day: u64,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<M> Default for CalendarQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> CalendarQueue<M> {
+    /// An empty queue with the default bucket width.
+    pub fn new() -> Self {
+        Self::with_width(DEFAULT_BUCKET_WIDTH)
+    }
+
+    /// An empty queue with `width` ticks per bucket (rounded up to a power
+    /// of two, so day extraction compiles to a shift).
+    ///
+    /// The default of [`DEFAULT_BUCKET_WIDTH`] suits the simulator's
+    /// standard delay models (uniform 1–10 tick delays, 1–5 tick step
+    /// intervals, several events per tick): narrow days keep the per-pop
+    /// selection scan at the tie-group size. Larger widths trade longer
+    /// same-day scans for fewer empty-day probes on sparser schedules.
+    pub fn with_width(width: u64) -> Self {
+        CalendarQueue {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            width_shift: width.max(1).next_power_of_two().trailing_zeros(),
+            bucket_mask: INITIAL_BUCKETS as u64 - 1,
+            day: 0,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, at: Time) -> u64 {
+        at.ticks() >> self.width_shift
+    }
+
+    /// The earliest pending day (queue must be non-empty).
+    fn min_day(&self) -> u64 {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|e| e.at.ticks() >> self.width_shift)
+            .min()
+            .expect("min_day on empty queue")
+    }
+
+    fn grow(&mut self) {
+        if self.buckets.len() >= MAX_BUCKETS {
+            return;
+        }
+        let doubled = self.buckets.len() * 2;
+        let events: Vec<Event<M>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        self.buckets = (0..doubled).map(|_| Vec::new()).collect();
+        self.bucket_mask = doubled as u64 - 1;
+        for ev in events {
+            let idx = (self.day_of(ev.at) & self.bucket_mask) as usize;
+            self.buckets[idx].push(ev);
+        }
+    }
+}
+
+impl<M: std::fmt::Debug> Scheduler<M> for CalendarQueue<M> {
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let day = self.day_of(at);
+        // The simulator only schedules at or after `now`, but stay correct
+        // for arbitrary pushes: never let the cursor sit past a pending day.
+        if day < self.day {
+            self.day = day;
+        }
+        let idx = (day & self.bucket_mask) as usize;
+        self.buckets[idx].push(Event { at, seq, to, kind });
+        self.len += 1;
+        if self.len > self.buckets.len() * GROW_FACTOR {
+            self.grow();
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event<M>> {
+        if self.len == 0 {
+            return None;
+        }
+        let shift = self.width_shift;
+        let mut day = self.day;
+        let mut scanned = 0u64;
+        loop {
+            let bucket = &mut self.buckets[(day & self.bucket_mask) as usize];
+            // Select the smallest (at, seq) among this day's events; the
+            // key packs into one u128 so the scan is a single compare per
+            // element.
+            let mut best_i = usize::MAX;
+            let mut best_key = u128::MAX;
+            for (i, e) in bucket.iter().enumerate() {
+                let key = ((e.at.ticks() as u128) << 64) | e.seq as u128;
+                if e.at.ticks() >> shift == day && key < best_key {
+                    best_key = key;
+                    best_i = i;
+                }
+            }
+            if best_i != usize::MAX {
+                let ev = bucket.swap_remove(best_i);
+                self.len -= 1;
+                self.day = day;
+                return Some(ev);
+            }
+            day += 1;
+            scanned += 1;
+            if scanned > self.bucket_mask {
+                // A whole cycle of empty days: jump straight to the
+                // earliest pending one instead of walking tick by tick.
+                day = self.min_day();
+                scanned = 0;
+            }
+        }
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        // Not on the simulator's hot path: a full scan keeps it simple and
+        // trivially consistent with `pop`'s `(at, seq)` order.
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|e| (e.at, e.seq))
+            .min()
+            .map(|(at, _)| at)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The concrete scheduler of a run, chosen by [`QueueKind`].
+///
+/// An enum rather than a boxed trait object so the simulator's hot loop
+/// keeps static dispatch; the [`Scheduler`] trait remains the contract (and
+/// the currency of [`crate::network::Network::route`]).
+#[derive(Debug)]
+pub enum EventCore<M> {
+    /// The reference binary heap.
+    Heap(EventQueue<M>),
+    /// The calendar queue.
+    Calendar(CalendarQueue<M>),
+}
+
+impl<M> EventCore<M> {
+    /// An empty scheduler of the given kind.
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::BinaryHeap => EventCore::Heap(EventQueue::new()),
+            QueueKind::Calendar => EventCore::Calendar(CalendarQueue::new()),
+        }
+    }
+}
+
+impl<M: std::fmt::Debug> Scheduler<M> for EventCore<M> {
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+        match self {
+            EventCore::Heap(q) => q.push(at, to, kind),
+            EventCore::Calendar(q) => q.push(at, to, kind),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event<M>> {
+        match self {
+            EventCore::Heap(q) => q.pop(),
+            EventCore::Calendar(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        match self {
+            EventCore::Heap(q) => q.peek_time(),
+            EventCore::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventCore::Heap(q) => q.len(),
+            EventCore::Calendar(q) => q.len(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
+
+    fn queues() -> [Box<dyn Scheduler<u32>>; 3] {
+        [
+            Box::new(EventQueue::new()),
+            Box::new(CalendarQueue::new()),
+            Box::new(CalendarQueue::with_width(1)),
+        ]
+    }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        q.push(Time(5), ProcessId(0), EventKind::Step);
-        q.push(Time(1), ProcessId(1), EventKind::Step);
-        q.push(Time(3), ProcessId(2), EventKind::Crash);
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
-        assert_eq!(order, vec![1, 3, 5]);
+        for mut q in queues() {
+            q.push(Time(5), ProcessId(0), EventKind::Step);
+            q.push(Time(1), ProcessId(1), EventKind::Step);
+            q.push(Time(3), ProcessId(2), EventKind::Crash);
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+            assert_eq!(order, vec![1, 3, 5]);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion() {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        q.push(Time(2), ProcessId(0), EventKind::Step);
-        q.push(Time(2), ProcessId(1), EventKind::Step);
-        assert_eq!(q.pop().unwrap().to, ProcessId(0));
-        assert_eq!(q.pop().unwrap().to, ProcessId(1));
+        for mut q in queues() {
+            q.push(Time(2), ProcessId(0), EventKind::Step);
+            q.push(Time(2), ProcessId(1), EventKind::Step);
+            assert_eq!(q.pop().unwrap().to, ProcessId(0));
+            assert_eq!(q.pop().unwrap().to, ProcessId(1));
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(Time(9), ProcessId(0), EventKind::Step);
-        assert_eq!(q.peek_time(), Some(Time(9)));
-        assert_eq!(q.len(), 1);
+        for mut q in queues() {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(Time(9), ProcessId(0), EventKind::Step);
+            assert_eq!(q.peek_time(), Some(Time(9)));
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn sparse_far_future_events_pop() {
+        // A lone event far beyond a full bucket cycle exercises the
+        // min-day jump.
+        for mut q in queues() {
+            q.push(Time(1_000_000), ProcessId(0), EventKind::Step);
+            q.push(Time(2), ProcessId(1), EventKind::Step);
+            assert_eq!(q.pop().unwrap().at, Time(2));
+            assert_eq!(q.pop().unwrap().at, Time(1_000_000));
+            assert!(q.pop().is_none());
+        }
+    }
+
+    /// The differential contract at the unit level: under a randomized
+    /// interleaving of pushes and pops (including same-tick ties and
+    /// resize-triggering bursts), the calendar queue pops exactly what the
+    /// heap pops.
+    #[test]
+    fn calendar_matches_heap_differentially() {
+        for seed in 0..32u64 {
+            let mut rng = SplitMix64::new(seed);
+            let mut heap: EventQueue<u32> = EventQueue::new();
+            let mut cal: CalendarQueue<u32> = CalendarQueue::with_width(rng.range(1, 8));
+            let mut now = 0u64;
+            for _ in 0..600 {
+                if rng.chance(2, 3) || heap.is_empty() {
+                    // Push 1–6 events at near-monotone times (occasionally
+                    // far ahead, like a delay-rule release).
+                    for _ in 0..rng.range(1, 6) {
+                        let at = if rng.chance(1, 10) {
+                            now + rng.range(200, 900)
+                        } else {
+                            now + rng.range(0, 12)
+                        };
+                        let to = ProcessId(rng.below(8) as usize);
+                        heap.push(Time(at), to, EventKind::Step);
+                        cal.push(Time(at), to, EventKind::Step);
+                    }
+                } else {
+                    let a = heap.pop().unwrap();
+                    let b = cal.pop().unwrap();
+                    assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to), "seed {seed}");
+                    now = a.at.0;
+                }
+                assert_eq!(heap.len(), cal.len(), "seed {seed}");
+            }
+            // Drain both fully.
+            while let Some(a) = heap.pop() {
+                let b = cal.pop().unwrap();
+                assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to), "seed {seed}");
+            }
+            assert!(cal.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn grow_preserves_order() {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let mut heap: EventQueue<u32> = EventQueue::new();
+        // Enough events to force several doublings.
+        for i in 0..4_000u64 {
+            let at = Time((i * 7919) % 10_000);
+            cal.push(at, ProcessId(0), EventKind::Step);
+            heap.push(at, ProcessId(0), EventKind::Step);
+        }
+        for _ in 0..4_000 {
+            let a = heap.pop().unwrap();
+            let b = cal.pop().unwrap();
+            assert_eq!((a.at, a.seq), (b.at, b.seq));
+        }
+    }
+
+    #[test]
+    fn event_core_dispatches_both_kinds() {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut q: EventCore<u32> = EventCore::new(kind);
+            q.push(Time(4), ProcessId(1), EventKind::Step);
+            q.push(Time(4), ProcessId(2), EventKind::Step);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(Time(4)));
+            assert_eq!(q.pop().unwrap().to, ProcessId(1));
+            assert_eq!(q.pop().unwrap().to, ProcessId(2));
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn queue_kind_names() {
+        assert_eq!(QueueKind::BinaryHeap.name(), "binary_heap");
+        assert_eq!(QueueKind::Calendar.name(), "calendar");
+        assert_eq!(QueueKind::default(), QueueKind::Calendar);
     }
 }

@@ -5,6 +5,13 @@
 //! *correct* in the run if it never crashes, and *faulty* otherwise. `t`
 //! bounds the number of faulty processes (`0 ≤ t < n` in general; most
 //! algorithms additionally require `t < n/2`).
+//!
+//! As an extension for churn scenarios, a pattern may also assign a process
+//! a *start time* > 0: the process takes no step and receives no message
+//! before it, modelling a crashed process "recovering" as a fresh process
+//! id that joins the run late (the paper's crash-stop model has no true
+//! recovery, so reincarnation under a new identity is the honest encoding).
+//! A late joiner that never crashes still counts as *correct*.
 
 use crate::id::{PSet, ProcessId};
 use crate::rng::SplitMix64;
@@ -28,6 +35,7 @@ use crate::time::Time;
 pub struct FailurePattern {
     n: usize,
     crash_at: Vec<Option<Time>>,
+    start_at: Vec<Time>,
 }
 
 impl FailurePattern {
@@ -36,6 +44,7 @@ impl FailurePattern {
         FailurePattern {
             n,
             crash_at: vec![None; n],
+            start_at: vec![Time::ZERO; n],
         }
     }
 
@@ -72,6 +81,42 @@ impl FailurePattern {
         b.build()
     }
 
+    /// Random *churn* pattern: `f` processes crash at uniform times in
+    /// `[0, crash_by]`, and for each crash a distinct fresh process id
+    /// joins the run `rejoin_after` ticks after the crash — the crashed
+    /// process "recovering" under a new identity. The `2f` involved ids
+    /// are drawn without replacement; the remaining `n − 2f` processes run
+    /// from time zero and never crash.
+    ///
+    /// Draw order (part of the reproducibility contract): one
+    /// `sample_indices(n, 2f)` call, then `f` crash-time draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2f > n` (not enough ids for the fresh incarnations).
+    pub fn churn(
+        n: usize,
+        f: usize,
+        crash_by: Time,
+        rejoin_after: u64,
+        rng: &mut SplitMix64,
+    ) -> Self {
+        assert!(
+            2 * f <= n,
+            "churn needs 2f ≤ n ids (f crashers + f fresh joiners), got f={f}, n={n}"
+        );
+        let ids = rng.sample_indices(n, 2 * f);
+        let mut b = FailurePattern::builder(n);
+        for j in 0..f {
+            let at = Time(rng.range(0, crash_by.ticks()));
+            b = b.crash(ProcessId(ids[j]), at).join(
+                ProcessId(ids[f + j]),
+                Time(at.ticks().saturating_add(rejoin_after)),
+            );
+        }
+        b.build()
+    }
+
     /// Number of processes in the system.
     pub fn n(&self) -> usize {
         self.n
@@ -82,14 +127,34 @@ impl FailurePattern {
         self.crash_at[p.0]
     }
 
+    /// The start time of `p` (`Time::ZERO` unless `p` joins the run late).
+    pub fn start_time(&self, p: ProcessId) -> Time {
+        self.start_at[p.0]
+    }
+
+    /// Whether `p` joins the run after time zero (a churn reincarnation).
+    pub fn joins_late(&self, p: ProcessId) -> bool {
+        self.start_at[p.0] > Time::ZERO
+    }
+
+    /// Whether any process joins the run after time zero.
+    pub fn has_late_joiners(&self) -> bool {
+        self.start_at.iter().any(|&s| s > Time::ZERO)
+    }
+
     /// Whether `p` never crashes in this run.
     pub fn is_correct(&self, p: ProcessId) -> bool {
         self.crash_at[p.0].is_none()
     }
 
-    /// Whether `p` has not yet crashed at time `now` (crash takes effect at
-    /// its scheduled instant).
+    /// Whether `p` is running at time `now`: it has started (start takes
+    /// effect at its scheduled instant) and has not yet crashed (crash
+    /// takes effect at its scheduled instant).
+    #[inline]
     pub fn is_alive_at(&self, p: ProcessId, now: Time) -> bool {
+        if now < self.start_at[p.0] {
+            return false;
+        }
         match self.crash_at[p.0] {
             None => true,
             Some(tc) => now < tc,
@@ -114,17 +179,23 @@ impl FailurePattern {
         self.faulty().len()
     }
 
-    /// The set of processes already crashed at time `now`.
+    /// The set of processes already crashed at time `now` (crash-based:
+    /// a late joiner that has not started yet is *not* in this set).
     pub fn crashed_at(&self, now: Time) -> PSet {
         (0..self.n)
             .map(ProcessId)
-            .filter(|&p| !self.is_alive_at(p, now))
+            .filter(|&p| matches!(self.crash_at[p.0], Some(tc) if now >= tc))
             .collect()
     }
 
-    /// The set of processes alive at time `now`.
+    /// The set of processes running at time `now` (started and not yet
+    /// crashed). With late joiners this is *not* the complement of
+    /// [`FailurePattern::crashed_at`].
     pub fn alive_at(&self, now: Time) -> PSet {
-        self.crashed_at(now).complement(self.n)
+        (0..self.n)
+            .map(ProcessId)
+            .filter(|&p| self.is_alive_at(p, now))
+            .collect()
     }
 
     /// The earliest time at which every member of `xs` has crashed, or
@@ -177,6 +248,18 @@ impl FailurePatternBuilder {
         for p in xs {
             self = self.crash(p, at);
         }
+        self
+    }
+
+    /// Schedules `p` to join the run at `at` instead of time zero (churn:
+    /// a fresh process id standing in for a recovered process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn join(mut self, p: ProcessId, at: Time) -> Self {
+        assert!(p.0 < self.fp.n, "{p} out of range (n={})", self.fp.n);
+        self.fp.start_at[p.0] = at;
         self
     }
 
@@ -279,5 +362,81 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn crash_out_of_range_panics() {
         let _ = FailurePattern::builder(2).crash(ProcessId(5), Time(1));
+    }
+
+    #[test]
+    fn join_semantics() {
+        let fp = FailurePattern::builder(4)
+            .join(ProcessId(2), Time(10))
+            .crash(ProcessId(0), Time(20))
+            .build();
+        assert!(fp.joins_late(ProcessId(2)));
+        assert!(!fp.joins_late(ProcessId(1)));
+        assert!(fp.has_late_joiners());
+        assert_eq!(fp.start_time(ProcessId(2)), Time(10));
+        // Not alive before its start, alive from it, still correct.
+        assert!(!fp.is_alive_at(ProcessId(2), Time(9)));
+        assert!(fp.is_alive_at(ProcessId(2), Time(10)));
+        assert!(fp.is_correct(ProcessId(2)));
+        // crashed_at is crash-based: the unjoined p2 is not "crashed".
+        assert_eq!(fp.crashed_at(Time(5)), PSet::EMPTY);
+        assert_eq!(
+            fp.alive_at(Time(5)),
+            PSet::from_iter([ProcessId(1), ProcessId(3), ProcessId(0)])
+        );
+        assert_eq!(fp.crashed_at(Time(20)), PSet::singleton(ProcessId(0)));
+        assert!(!FailurePattern::all_correct(2).has_late_joiners());
+    }
+
+    #[test]
+    fn churn_pairs_crashers_with_fresh_joiners() {
+        for seed in 0..64 {
+            let mut rng = SplitMix64::new(seed);
+            let fp = FailurePattern::churn(9, 3, Time(100), 50, &mut rng);
+            assert_eq!(fp.num_faulty(), 3);
+            let joiners: Vec<ProcessId> = (0..9)
+                .map(ProcessId)
+                .filter(|&p| fp.joins_late(p))
+                .collect();
+            assert_eq!(joiners.len(), 3);
+            for &q in &joiners {
+                // Fresh ids never crash and start exactly 50 ticks after
+                // some crash.
+                assert!(fp.is_correct(q));
+                let s = fp.start_time(q).ticks();
+                assert!(
+                    fp.faulty()
+                        .iter()
+                        .any(|v| fp.crash_time(v).unwrap().ticks() + 50 == s),
+                    "seed {seed}: join at {s} matches no crash"
+                );
+            }
+            for v in fp.faulty() {
+                assert!(fp.crash_time(v).unwrap() <= Time(100));
+                assert!(!fp.joins_late(v), "a crasher must not also be a joiner");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_at_zero_and_zero_rejoin() {
+        let mut rng = SplitMix64::new(7);
+        let fp = FailurePattern::churn(6, 2, Time::ZERO, 0, &mut rng);
+        // crash_by = 0: all crashes initial; rejoin_after = 0: joiners
+        // start at the crash instant.
+        for v in fp.faulty() {
+            assert_eq!(fp.crash_time(v), Some(Time::ZERO));
+        }
+        // rejoin_after = 0 at crash_by = 0: joins land at time zero, so no
+        // process is a *late* joiner.
+        assert!(!fp.has_late_joiners());
+        assert_eq!(fp.num_faulty(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn needs 2f ≤ n")]
+    fn churn_rejects_too_many_pairs() {
+        let mut rng = SplitMix64::new(0);
+        let _ = FailurePattern::churn(5, 3, Time(10), 5, &mut rng);
     }
 }

@@ -70,7 +70,10 @@ pub mod trace;
 
 pub use automaton::{forward_ops, Automaton, Ctx, Op};
 pub use echo::{EchoMsg, EchoRb};
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{
+    CalendarQueue, Event, EventCore, EventKind, EventQueue, QueueKind, Scheduler,
+    DEFAULT_BUCKET_WIDTH,
+};
 pub use failure::{FailurePattern, FailurePatternBuilder};
 pub use id::{PSet, PSetIter, ProcessId, MAX_PROCESSES};
 pub use network::{DelayModel, DelayRule, Network};

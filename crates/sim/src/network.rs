@@ -9,6 +9,7 @@
 //! adversaries of Theorems 8–11 are expressed ("all messages sent by the
 //! processes of `E` between τ and τ₁ are delayed until after τ₁").
 
+use crate::event::{EventKind, Scheduler};
 use crate::id::{PSet, ProcessId};
 use crate::rng::SplitMix64;
 use crate::time::Time;
@@ -139,6 +140,24 @@ impl Network {
         }
         at
     }
+
+    /// Routes a message event: draws its delivery time and schedules `kind`
+    /// for `to` on the given [`Scheduler`]. This is the runtime's send
+    /// path; the trait bound keeps the network agnostic of which queue
+    /// implementation a run chose while staying statically dispatched
+    /// (`?Sized` also admits `&mut dyn Scheduler<M>` where a trait object
+    /// is genuinely needed).
+    pub fn route<M, Q: Scheduler<M> + ?Sized>(
+        &mut self,
+        queue: &mut Q,
+        from: ProcessId,
+        to: ProcessId,
+        sent_at: Time,
+        kind: EventKind<M>,
+    ) {
+        let at = self.delivery_time(from, to, sent_at);
+        queue.push(at, to, kind);
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +211,39 @@ mod tests {
             }
         }
         assert!(spiked);
+    }
+
+    #[test]
+    fn route_schedules_identically_on_both_queue_impls() {
+        use crate::event::{CalendarQueue, EventQueue};
+        let mut heap: EventQueue<u8> = EventQueue::new();
+        let mut cal: CalendarQueue<u8> = CalendarQueue::new();
+        let mut net_a = Network::new(DelayModel::Uniform { lo: 1, hi: 9 }, vec![], rng());
+        let mut net_b = net_a.clone();
+        for i in 0..50u8 {
+            let from = ProcessId(i as usize % 3);
+            let to = ProcessId((i as usize + 1) % 3);
+            let sent = Time(i as u64);
+            net_a.route(
+                &mut heap,
+                from,
+                to,
+                sent,
+                EventKind::Deliver { from, msg: i },
+            );
+            net_b.route(
+                &mut cal,
+                from,
+                to,
+                sent,
+                EventKind::Deliver { from, msg: i },
+            );
+        }
+        for _ in 0..50 {
+            let a = heap.pop().unwrap();
+            let b = cal.pop().unwrap();
+            assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+        }
     }
 
     #[test]

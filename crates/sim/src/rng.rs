@@ -42,6 +42,7 @@ impl SplitMix64 {
     }
 
     /// Next raw 64-bit output.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -55,6 +56,7 @@ impl SplitMix64 {
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
         // Lemire-style rejection to avoid modulo bias.
@@ -73,6 +75,7 @@ impl SplitMix64 {
     /// # Panics
     ///
     /// Panics if `lo > hi`.
+    #[inline]
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
         if lo == hi {
@@ -89,6 +92,7 @@ impl SplitMix64 {
     /// # Panics
     ///
     /// Panics if `den == 0`.
+    #[inline]
     pub fn chance(&mut self, num: u64, den: u64) -> bool {
         self.below(den) < num
     }

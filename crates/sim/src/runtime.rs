@@ -5,7 +5,7 @@
 //! Everything is deterministic in the `(config, pattern, seed)` triple.
 
 use crate::automaton::{Automaton, Ctx, Op};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventCore, EventKind, QueueKind, Scheduler};
 use crate::failure::FailurePattern;
 use crate::id::{PSet, ProcessId};
 use crate::network::{DelayModel, DelayRule, Network};
@@ -51,6 +51,9 @@ pub struct SimConfig {
     pub rb_partial_pct: u8,
     /// Safety valve: abort after this many events (0 = unlimited).
     pub max_events: u64,
+    /// Which event-queue implementation drives the run. Both pop in the
+    /// same `(at, seq)` order, so this knob never changes a trace.
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -70,12 +73,19 @@ impl SimConfig {
             step_max: 5,
             rb_partial_pct: 30,
             max_events: 20_000_000,
+            queue: QueueKind::default(),
         }
     }
 
     /// Sets the seed (builder style).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the event-queue implementation (builder style).
+    pub fn queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -150,7 +160,11 @@ pub struct Sim<A: Automaton, O: OracleSuite> {
     halted: Vec<bool>,
     oracle: O,
     net: Network,
-    queue: EventQueue<A::Msg>,
+    queue: EventCore<A::Msg>,
+    /// Recycled operation buffers: the hot loop hands one to each
+    /// activation's [`Ctx`] and takes it back (emptied) after applying the
+    /// ops, so steady-state event processing allocates no `Vec<Op>`.
+    op_pool: Vec<Vec<Op<A::Msg>>>,
     /// One independent step-schedule stream per process, so that the
     /// presence or absence of one process's events never perturbs another
     /// process's step times — a prerequisite for the indistinguishable-run
@@ -200,7 +214,8 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             procs,
             oracle,
             net,
-            queue: EventQueue::new(),
+            queue: EventCore::new(cfg.queue),
+            op_pool: Vec::new(),
             step_rngs: (0..cfg.n)
                 .map(|i| root.stream(0x57E9).stream(i as u64))
                 .collect(),
@@ -220,10 +235,22 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             let p = ProcessId(i);
             if self.fp.is_alive_at(p, Time::ZERO) {
                 self.activate(p, Activation::Start);
-                let d = self.step_rngs[i].range(self.cfg.step_min.max(1), self.cfg.step_max.max(1));
+                let d = self.next_step_delay(p);
                 self.queue.push(Time(d), p, EventKind::Step);
+            } else if self.fp.joins_late(p) {
+                // Churn: a fresh process id joining the run late. Its
+                // `on_start` fires at the join instant (unless it is also
+                // scheduled to crash at or before it).
+                let start = self.fp.start_time(p);
+                if self.fp.is_alive_at(p, start) {
+                    self.queue.push(start, p, EventKind::Join);
+                }
             }
         }
+    }
+
+    fn next_step_delay(&mut self, p: ProcessId) -> u64 {
+        self.step_rngs[p.0].range(self.cfg.step_min.max(1), self.cfg.step_max.max(1))
     }
 
     /// Runs until the horizon, event cap, or queue exhaustion.
@@ -295,8 +322,16 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                     if self.fp.is_alive_at(to, self.now) && !self.halted[to.0] {
                         self.activate(to, Activation::Step);
                         if !self.halted[to.0] {
-                            let d = self.step_rngs[to.0]
-                                .range(self.cfg.step_min.max(1), self.cfg.step_max.max(1));
+                            let d = self.next_step_delay(to);
+                            self.queue.push(self.now + d, to, EventKind::Step);
+                        }
+                    }
+                }
+                EventKind::Join => {
+                    if self.fp.is_alive_at(to, self.now) && !self.halted[to.0] {
+                        self.activate(to, Activation::Start);
+                        if !self.halted[to.0] {
+                            let d = self.next_step_delay(to);
                             self.queue.push(self.now + d, to, EventKind::Step);
                         }
                     }
@@ -335,15 +370,17 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
     }
 
     fn activate(&mut self, p: ProcessId, what: Activation<A::Msg>) {
+        let buf = self.op_pool.pop().unwrap_or_default();
         let ops = {
             let proc = &mut self.procs[p.0];
-            let mut ctx = Ctx::new(
+            let mut ctx = Ctx::with_buffer(
                 p,
                 self.cfg.n,
                 self.cfg.t,
                 self.now,
                 &mut self.oracle,
                 &mut self.trace,
+                buf,
             );
             match what {
                 Activation::Start => proc.on_start(&mut ctx),
@@ -361,25 +398,34 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             }
             ctx.take_ops()
         };
-        self.apply_ops(p, ops);
+        let emptied = self.apply_ops(p, ops);
+        self.op_pool.push(emptied);
     }
 
-    fn apply_ops(&mut self, from: ProcessId, ops: Vec<Op<A::Msg>>) {
-        for op in ops {
+    /// Applies the buffered operations and returns the (drained) buffer to
+    /// the caller for recycling.
+    fn apply_ops(&mut self, from: ProcessId, mut ops: Vec<Op<A::Msg>>) -> Vec<Op<A::Msg>> {
+        for op in ops.drain(..) {
             match op {
                 Op::Send { to, msg } => {
                     self.trace.bump(counter::SENT, 1);
-                    let at = self.net.delivery_time(from, to, self.now);
-                    self.queue.push(at, to, EventKind::Deliver { from, msg });
+                    self.net.route(
+                        &mut self.queue,
+                        from,
+                        to,
+                        self.now,
+                        EventKind::Deliver { from, msg },
+                    );
                 }
                 Op::Broadcast { msg } => {
                     for i in 0..self.cfg.n {
                         self.trace.bump(counter::SENT, 1);
                         let to = ProcessId(i);
-                        let at = self.net.delivery_time(from, to, self.now);
-                        self.queue.push(
-                            at,
+                        self.net.route(
+                            &mut self.queue,
+                            from,
                             to,
+                            self.now,
                             EventKind::Deliver {
                                 from,
                                 msg: msg.clone(),
@@ -399,6 +445,7 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                 }
             }
         }
+        ops
     }
 
     /// Reliable-broadcast semantics (paper §2.1):
@@ -423,10 +470,11 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             PSet::full(self.cfg.n)
         };
         for to in receivers {
-            let at = self.net.delivery_time(from, to, self.now);
-            self.queue.push(
-                at,
+            self.net.route(
+                &mut self.queue,
+                from,
                 to,
+                self.now,
                 EventKind::RbDeliver {
                     from,
                     msg: msg.clone(),
@@ -561,6 +609,84 @@ mod tests {
                 Some(FdValue::Num(3))
             );
         }
+    }
+
+    /// Full-run differential: both queue implementations must produce the
+    /// exact same trace (events, sends, decisions, histories) for the same
+    /// `(config, pattern, seed)`.
+    #[test]
+    fn queue_impls_are_run_identical() {
+        for seed in 0..24 {
+            let run = |queue: QueueKind| {
+                let cfg = SimConfig::new(6, 2).seed(seed).queue(queue);
+                let fp = FailurePattern::builder(6)
+                    .crash(ProcessId(0), Time(7))
+                    .crash(ProcessId(3), Time(40))
+                    .build();
+                let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+                let rep = sim.run();
+                (
+                    rep.events,
+                    rep.end,
+                    rep.trace.counter(counter::SENT),
+                    rep.trace.counter(counter::DELIVERED),
+                    rep.trace.decisions().to_vec(),
+                )
+            };
+            assert_eq!(
+                run(QueueKind::BinaryHeap),
+                run(QueueKind::Calendar),
+                "seed {seed} diverged between queue impls"
+            );
+        }
+    }
+
+    #[test]
+    fn late_joiner_starts_at_its_join_time() {
+        // p2 joins at 50: it misses the t=0 broadcasts (dropped — it is
+        // not alive), broadcasts its own hello at 50, and everyone else
+        // hears it.
+        let cfg = SimConfig::new(4, 1).seed(9);
+        let fp = FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(30))
+            .join(ProcessId(2), Time(50))
+            .build();
+        let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+        let rep = sim.run();
+        // p1/p3 hear p0's pre-crash broadcast, each other, and eventually
+        // p2 — enough for n - t = 3. The joiner itself missed every t≈0
+        // broadcast and nobody rebroadcasts, so it hears only itself and
+        // must not decide.
+        assert!(rep.trace.deciders().contains(ProcessId(1)));
+        assert!(rep.trace.deciders().contains(ProcessId(3)));
+        assert!(!rep.trace.deciders().contains(ProcessId(2)));
+        // No delivery reached p2 before its join time.
+        assert!(rep.events > 0);
+    }
+
+    #[test]
+    fn join_past_horizon_never_activates() {
+        let cfg = SimConfig::new(3, 1).seed(2).max_time(Time(100));
+        let fp = FailurePattern::builder(3)
+            .join(ProcessId(2), Time(10_000))
+            .build();
+        let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+        let rep = sim.run();
+        // The run completes without panicking and the joiner does nothing.
+        assert!(!rep.trace.deciders().contains(ProcessId(2)));
+    }
+
+    #[test]
+    fn join_at_crash_instant_is_skipped() {
+        // A process scheduled to crash at its own join time never runs.
+        let cfg = SimConfig::new(3, 1).seed(3);
+        let fp = FailurePattern::builder(3)
+            .join(ProcessId(1), Time(20))
+            .crash(ProcessId(1), Time(20))
+            .build();
+        let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+        let rep = sim.run();
+        assert!(!rep.trace.deciders().contains(ProcessId(1)));
     }
 
     #[test]

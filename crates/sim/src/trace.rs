@@ -178,9 +178,13 @@ impl Trace {
     }
 
     /// Increments a named counter.
+    #[inline]
     pub fn bump(&mut self, name: &'static str, by: u64) {
         for (k, v) in self.counters.iter_mut() {
-            if *k == name {
+            // Pointer equality first: the engine's counters are interned
+            // `&'static str` literals, so the hot path (bumped every
+            // event) resolves without comparing bytes.
+            if std::ptr::eq(*k, name) || *k == name {
                 *v += by;
                 return;
             }

@@ -4,8 +4,8 @@
 //! exactly.
 
 use fd_sim::{
-    DelayModel, DelayRule, EventKind, EventQueue, FailurePattern, Network, PSet, ProcessId,
-    SplitMix64, Time,
+    CalendarQueue, DelayModel, DelayRule, EventKind, EventQueue, FailurePattern, Network, PSet,
+    ProcessId, Scheduler, SplitMix64, Time,
 };
 
 const CASES: u64 = 128;
@@ -44,6 +44,57 @@ fn event_queue_fifo_among_ties() {
         }
         for i in 0..k {
             assert_eq!(q.pop().unwrap().to, ProcessId(i));
+        }
+    }
+}
+
+#[test]
+fn calendar_queue_pops_exactly_like_the_heap() {
+    // The Scheduler determinism contract, property-style: any push
+    // sequence (random times, heavy ties, several widths) pops in the
+    // identical (at, seq) order on both implementations.
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 7);
+        let width = 1 + rng.below(8);
+        let mut heap: EventQueue<()> = EventQueue::new();
+        let mut cal: CalendarQueue<()> = CalendarQueue::with_width(width);
+        let len = 1 + rng.below(300) as usize;
+        for i in 0..len {
+            let t = rng.below(500);
+            heap.push(Time(t), ProcessId(i % 8), EventKind::Step);
+            cal.push(Time(t), ProcessId(i % 8), EventKind::Step);
+        }
+        for _ in 0..len {
+            let a = heap.pop().unwrap();
+            let b = cal.pop().unwrap();
+            assert_eq!(
+                (a.at, a.seq, a.to),
+                (b.at, b.seq, b.to),
+                "case {case} (width {width}) diverged"
+            );
+        }
+        assert!(cal.pop().is_none());
+    }
+}
+
+#[test]
+fn churn_patterns_are_structurally_sound() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 8);
+        let n = 4 + rng.below(9) as usize; // 4..13
+        let f = rng.below(n as u64 / 2 + 1) as usize; // 2f <= n
+        let crash_by = Time(rng.below(400));
+        let rejoin = rng.below(200);
+        let fp = FailurePattern::churn(n, f, crash_by, rejoin, &mut rng);
+        assert_eq!(fp.num_faulty(), f);
+        let joiners = (0..n).map(ProcessId).filter(|&p| fp.joins_late(p)).count();
+        // rejoin = 0 with a crash at 0 makes that joiner start at 0.
+        assert!(joiners <= f);
+        for p in (0..n).map(ProcessId) {
+            if fp.joins_late(p) {
+                assert!(fp.is_correct(p));
+                assert!(!fp.is_alive_at(p, Time::ZERO));
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 pub use crate::scenario::DEFAULT_MARGIN;
 use crate::scenario::{AdditionScenario, PsiOmegaScenario, Substrate, TwoWheelsScenario};
 use crate::two_wheels::TwParams;
-pub use fd_detectors::scenario::{sample_oracle, SampledSlot};
+pub use fd_detectors::scenario::{sample_oracle, QueueKind, SampledSlot};
 use fd_detectors::scenario::{
     CrashPlan, Flavour, Runner, ScenarioReport, ScenarioSpec, SweepSummary,
 };
@@ -223,6 +223,25 @@ mod tests {
             Time(40_000),
         );
         assert!(rep.check.ok, "{}", rep.check);
+    }
+
+    #[test]
+    fn queue_impls_are_fingerprint_identical_for_transformations() {
+        // The queue knob flows through the transformation adapters too:
+        // the two-wheels run (a composed automaton with heavy broadcast
+        // traffic) must be bit-identical on both event cores.
+        let params = TwParams::optimal(5, 2, 2, 1);
+        for seed in 0..4 {
+            let base = TwoWheelsScenario::spec(params)
+                .crashes(CrashPlan::Anarchic { by: Time(300) })
+                .gst(Time(400))
+                .seed(seed)
+                .max_time(Time(40_000));
+            let cal = TwoWheelsScenario::default().run(&base.clone().queue(QueueKind::Calendar));
+            let heap = TwoWheelsScenario::default().run(&base.queue(QueueKind::BinaryHeap));
+            assert_eq!(cal.fingerprint(), heap.fingerprint(), "seed {seed}");
+            assert_eq!(cal.check.ok, heap.check.ok);
+        }
     }
 
     #[test]

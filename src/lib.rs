@@ -82,6 +82,9 @@ pub use fd_detectors::scenario::{
     SlimReport, SweepSummary,
 };
 
-pub use fd_sim::{DelayModel, DelayRule, FailurePattern, PSet, ProcessId, SimConfig, Time, Trace};
+pub use fd_sim::{
+    DelayModel, DelayRule, FailurePattern, PSet, ProcessId, QueueKind, Scheduler, SimConfig, Time,
+    Trace,
+};
 
 pub use pipeline::{run_pipeline, PipeMsg, PipelineScenario, WheelsPlusKset};

@@ -212,6 +212,23 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_queue_impls_are_fingerprint_identical() {
+        // End of the chain: the full ◇S_x + ◇φ_y → Ω_z → z-set agreement
+        // stack must not notice which event core drives it.
+        use fd_detectors::scenario::QueueKind;
+        for seed in 0..3 {
+            let base = PipelineScenario::spec(5, 2, 2, 1)
+                .gst(Time(400))
+                .seed(seed)
+                .max_time(Time(120_000));
+            let cal = PipelineScenario.run(&base.clone().queue(QueueKind::Calendar));
+            let heap = PipelineScenario.run(&base.clone().queue(QueueKind::BinaryHeap));
+            assert_eq!(cal.fingerprint(), heap.fingerprint(), "seed {seed}");
+            assert!(cal.check.ok, "seed {seed}: {}", cal.check);
+        }
+    }
+
+    #[test]
     fn pipeline_with_crashes() {
         let fp = FailurePattern::builder(5)
             .crash(ProcessId(1), Time(200))

@@ -1,11 +1,15 @@
 //! Scenario-engine smoke matrix (the acceptance suite of the unified
 //! engine): the whole `(n, k = z)` × crash-plan grid satisfies the k-set
-//! agreement specification, and parallel multi-seed sweeps are
-//! bit-identical to sequential ones (determinism under threading).
+//! agreement specification, parallel multi-seed sweeps are bit-identical
+//! to sequential ones (determinism under threading), the calendar queue is
+//! bit-identical to the reference binary heap (determinism under the event
+//! core), and noise oracles outside their class envelope are *rejected* by
+//! the checkers (negative scenarios — a passing check is the test
+//! failure).
 
 use fd_grid::fd_core::spec;
 use fd_grid::fd_core::KsetScenario;
-use fd_grid::scenario::{CrashPlan, Runner, ScenarioReport, SweepSummary};
+use fd_grid::scenario::{CrashPlan, QueueKind, Runner, Scenario, ScenarioReport, SweepSummary};
 use fd_grid::{FailurePattern, ProcessId, Time, Trace};
 
 /// Every `(n, t)` scale of the matrix keeps `t < n/2`.
@@ -96,6 +100,10 @@ fn fingerprint(rep: &ScenarioReport) -> String {
         }
         s.push(';');
     }
+    // The library digest must separate runs exactly as finely as this
+    // exhaustive textual fingerprint does; cross-check them against each
+    // other wherever the text form is computed anyway.
+    s.push_str(&format!("digest={:016x}", rep.fingerprint()));
     s
 }
 
@@ -156,6 +164,269 @@ fn streaming_sweep_matches_eager_summary() {
     for threads in [1usize, 4, 16] {
         let streamed = Runner::with_threads(threads).sweep_summary(&KsetScenario, &base, 0..96);
         assert_eq!(streamed, eager, "threads={threads} diverged");
+    }
+}
+
+/// The mixed-scale grid the queue differential runs over: ≥256 runs across
+/// n = 5 / 9 / 13, failure-free and anarchic cells.
+fn differential_grid() -> Vec<fd_grid::ScenarioSpec> {
+    let mut specs = Vec::new();
+    for &(n, t) in &[(5usize, 2usize), (9, 4), (13, 6)] {
+        for seed in 0..43 {
+            specs.push(
+                KsetScenario::spec(n, t, 2)
+                    .gst(Time(400))
+                    .seed(seed)
+                    .max_time(Time(30_000))
+                    .crashes(CrashPlan::Anarchic { by: Time(400) }),
+            );
+            specs.push(
+                KsetScenario::spec(n, t, 1)
+                    .gst(Time(300))
+                    .seed(seed)
+                    .max_time(Time(30_000)),
+            );
+        }
+    }
+    specs
+}
+
+/// The tentpole's differential contract: the calendar queue and the binary
+/// heap produce bit-identical traces for every run of a 258-spec mixed
+/// n=5/9/13 grid, at every thread count in {1, 2, 4, 8} — the event core
+/// is swappable without perturbing one recorded number.
+#[test]
+fn calendar_and_heap_are_fingerprint_identical_across_grid_and_threads() {
+    let specs = differential_grid();
+    assert!(specs.len() >= 256, "grid too small: {}", specs.len());
+    let baseline: Vec<String> = Runner::sequential()
+        .grid(
+            &KsetScenario,
+            &specs
+                .iter()
+                .map(|s| s.clone().queue(QueueKind::BinaryHeap))
+                .collect::<Vec<_>>(),
+        )
+        .iter()
+        .map(fingerprint)
+        .collect();
+    for queue in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+        let queued: Vec<fd_grid::ScenarioSpec> =
+            specs.iter().map(|s| s.clone().queue(queue)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let prints: Vec<String> = Runner::with_threads(threads)
+                .grid(&KsetScenario, &queued)
+                .iter()
+                .map(fingerprint)
+                .collect();
+            assert_eq!(
+                baseline,
+                prints,
+                "queue={} threads={threads} diverged from heap@sequential",
+                queue.name()
+            );
+        }
+    }
+}
+
+/// Churn regression at the engine level: the plan materializes its edge
+/// cases (rejoin landing at/after the horizon, churn at `crash_by = 0`)
+/// into runnable, deterministic scenarios.
+#[test]
+fn churn_edge_cases_run_deterministically() {
+    // Rejoin at (in fact past) the horizon: the fresh ids never activate,
+    // and the run must complete without panicking, identically on both
+    // event cores.
+    let at_horizon = KsetScenario::spec(5, 2, 2)
+        .gst(Time(300))
+        .max_time(Time(2_000))
+        .crashes(CrashPlan::Churn {
+            crash_by: Time(100),
+            rejoin_after: 2_000,
+        });
+    // Churn at crash_by = 0: every crash initial, every rejoin at a fixed
+    // offset.
+    let at_zero = KsetScenario::spec(5, 2, 2)
+        .gst(Time(300))
+        .max_time(Time(2_000))
+        .crashes(CrashPlan::Churn {
+            crash_by: Time::ZERO,
+            rejoin_after: 50,
+        });
+    for (label, base) in [
+        ("rejoin_at_horizon", at_horizon),
+        ("churn_at_zero", at_zero),
+    ] {
+        for seed in 0..8 {
+            let spec = base.clone().seed(seed);
+            let rep = KsetScenario.run(&spec);
+            assert_eq!(rep.fp.num_faulty(), 2, "{label} seed {seed}");
+            let rejoin = spec_rejoin(&spec);
+            for p in (0..5).map(ProcessId).filter(|&p| rep.fp.joins_late(p)) {
+                let s = rep.fp.start_time(p).ticks();
+                assert!(
+                    rep.fp
+                        .faulty()
+                        .iter()
+                        .any(|v| rep.fp.crash_time(v).unwrap().ticks() + rejoin == s),
+                    "{label} seed {seed}: joiner {p} at {s} matches no crash"
+                );
+            }
+            // Decisions (if any — liveness is not promised under churn)
+            // stay within the k-set envelope.
+            assert!(
+                spec::k_agreement(&rep.trace, 2).ok,
+                "{label} seed {seed}: agreement violated"
+            );
+            let heap = KsetScenario.run(&spec.clone().queue(QueueKind::BinaryHeap));
+            assert_eq!(
+                rep.fingerprint(),
+                heap.fingerprint(),
+                "{label} seed {seed}: queue impls diverged under churn"
+            );
+        }
+    }
+}
+
+fn spec_rejoin(spec: &fd_grid::ScenarioSpec) -> u64 {
+    match spec.crashes {
+        CrashPlan::Churn { rejoin_after, .. } => rejoin_after,
+        _ => unreachable!("churn spec expected"),
+    }
+}
+
+mod negative {
+    //! Negative scenarios: oracles built from `fd_detectors::noise` that
+    //! step *outside* their class envelope, wired as expected-failure
+    //! runs. The class checkers (and the k-set spec) must reject them — a
+    //! passing check here is the test failure.
+
+    use super::*;
+    use fd_grid::fd_core::run_kset_with;
+    use fd_grid::fd_detectors::scenario::{sample_oracle, SampledSlot};
+    use fd_grid::fd_detectors::{check, noise};
+    use fd_grid::fd_sim::OracleSuite;
+    use fd_grid::PSet;
+
+    /// A "leader" oracle that never leaves the anarchy period: arbitrary
+    /// non-empty leader sets (of size up to `n`, far beyond any `z`),
+    /// re-drawn every `period` ticks, forever. Violates `Ω_z`'s eventual
+    /// leadership on every axis: no stabilization, no size bound, no
+    /// agreement across processes.
+    struct NoisyOmega {
+        seed: u64,
+        n: usize,
+        period: u64,
+    }
+
+    impl OracleSuite for NoisyOmega {
+        fn trusted(&mut self, p: ProcessId, now: Time) -> PSet {
+            noise::arbitrary_leader_set(self.seed, p, now, self.period, self.n, self.n)
+        }
+    }
+
+    /// A suspicion oracle that outputs arbitrary flickering sets forever —
+    /// outside `◇S_x` (no permanent suspicion of the crashed, no stable
+    /// scope) and outside `P` (slanders the living).
+    struct NoisySuspect {
+        seed: u64,
+        n: usize,
+        period: u64,
+    }
+
+    impl OracleSuite for NoisySuspect {
+        fn suspected(&mut self, p: ProcessId, now: Time) -> PSet {
+            noise::arbitrary_set(self.seed, p, now, self.period, self.n)
+        }
+    }
+
+    /// A query oracle answering coin flips — outside every `φ_y` (its
+    /// triviality clauses alone pin half the answers).
+    struct NoisyPhi {
+        seed: u64,
+    }
+
+    impl OracleSuite for NoisyPhi {
+        fn query(&mut self, p: ProcessId, x: PSet, now: Time) -> bool {
+            noise::arbitrary_bool(self.seed, p, x, now, 10)
+        }
+    }
+
+    #[test]
+    fn unstabilizing_omega_noise_fails_the_omega_checker() {
+        let fp = FailurePattern::builder(5)
+            .crash(ProcessId(4), Time(100))
+            .build();
+        for seed in 0..8 {
+            let mut oracle = NoisyOmega {
+                seed,
+                n: 5,
+                period: 20,
+            };
+            let trace = sample_oracle(&mut oracle, &fp, Time(4_000), 10, SampledSlot::Trusted);
+            let out = check::omega_z(&trace, &fp, 2, 200);
+            assert!(
+                !out.ok,
+                "seed {seed}: Ω_2 checker accepted pure noise: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn flickering_suspicion_noise_fails_completeness_and_perfection() {
+        let fp = FailurePattern::builder(5)
+            .crash(ProcessId(4), Time(100))
+            .build();
+        for seed in 0..8 {
+            let mut oracle = NoisySuspect {
+                seed,
+                n: 5,
+                period: 20,
+            };
+            let trace = sample_oracle(&mut oracle, &fp, Time(4_000), 10, SampledSlot::Suspected);
+            let ds = check::diamond_s_x(&trace, &fp, 2, 200);
+            assert!(!ds.ok, "seed {seed}: ◇S_2 checker accepted noise: {ds}");
+            let p = check::perfect_p(&trace, &fp, 200);
+            assert!(!p.ok, "seed {seed}: P checker accepted noise: {p}");
+        }
+    }
+
+    #[test]
+    fn coin_flip_queries_fail_the_phi_audit() {
+        let fp = FailurePattern::builder(5)
+            .crash(ProcessId(4), Time(100))
+            .build();
+        for seed in 0..8 {
+            let mut oracle = NoisyPhi { seed };
+            let out = check::audit_phi(&mut oracle, &fp, 2, 1, Time::ZERO, Time(4_000));
+            assert!(!out.ok, "seed {seed}: φ audit accepted coin flips: {out}");
+        }
+    }
+
+    /// End-to-end negative scenario: the Figure 3 algorithm driven by the
+    /// never-stabilizing noisy Ω. An algorithm this robust still reaches
+    /// consensus on many schedules, so the seeds below are *recorded
+    /// non-termination witnesses* (everything is deterministic in the
+    /// seed): the spec checker rejects each of them. If one ever starts
+    /// *passing*, the simulation's draw order or the oracle envelope moved
+    /// — exactly the silent drift this test exists to catch.
+    #[test]
+    fn kset_under_unstabilizing_omega_noise_is_rejected() {
+        for seed in [1u64, 3, 4, 5, 14, 22, 23] {
+            let spec = KsetScenario::spec(5, 2, 1).seed(seed).max_time(Time(6_000));
+            let fp = spec.materialize();
+            let oracle = NoisyOmega {
+                seed,
+                n: 5,
+                period: 15,
+            };
+            let rep = run_kset_with(&spec, fp, oracle);
+            assert!(
+                !rep.check.ok,
+                "seed {seed}: spec checker accepted a run under noise-Ω: {}",
+                rep.check
+            );
+        }
     }
 }
 
