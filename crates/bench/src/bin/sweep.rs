@@ -6,13 +6,21 @@
 //!
 //! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N]
 //! [-- --threads N] [-- --stream N] [-- --queue calendar|binary_heap]
-//! [-- --compare N] [-- --baseline PATH] [-- --out PATH]`
+//! [-- --compare N] [-- --large N] [-- --adv N] [-- --adv-drop P]
+//! [-- --adv-dup P] [-- --baseline PATH] [-- --out PATH]`
 //!
 //! `--threads 0` (the default) uses all available cores; `--stream 0`
 //! skips the streaming demonstration; `--compare 0` skips the queue
 //! cross-check (default: 4 seeds per cell on both impls, fingerprint
-//! mismatch aborts). `--baseline PATH` compares per-thread `runs_per_sec`
-//! against a committed report and exits non-zero on a >30% regression.
+//! mismatch aborts). `--large N` runs the large-`n` (17/33/64/128) smoke
+//! leg on both event cores (default 1 seed per cell; 0 skips; fingerprint
+//! mismatch aborts). `--adv N` runs the adversary sweep leg at
+//! `--adv-drop`/`--adv-dup` percent (default 2 seeds per cell; 0 skips) —
+//! its determinism, `None`-differential, and churn catch-up gates abort on
+//! failure; its grid pass-rate is recorded, not gated (uniform drops are
+//! outside the algorithm's liveness tolerance by design). `--baseline
+//! PATH` compares per-thread `runs_per_sec` against a committed report and
+//! exits non-zero on a >30% regression.
 
 use fd_bench::BaselineVerdict;
 use fd_detectors::scenario::{QueueKind, Runner};
@@ -37,6 +45,16 @@ fn main() {
     let compare_seeds: u64 = arg_value("--compare")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
+    let large_seeds: u64 = arg_value("--large")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let adv_seeds: u64 = arg_value("--adv").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let adv_drop: u8 = arg_value("--adv-drop")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let adv_dup: u8 = arg_value("--adv-dup")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     let queue = match arg_value("--queue").as_deref() {
         None | Some("calendar") => QueueKind::Calendar,
         Some("binary_heap") => QueueKind::BinaryHeap,
@@ -85,6 +103,44 @@ fn main() {
             "queue implementations produced different trace fingerprints"
         );
         report = report.with_compare(cmp);
+    }
+    if large_seeds > 0 {
+        let lg = fd_bench::large_n_comparison(large_seeds, runner);
+        for r in &lg.rates {
+            println!(
+                "large-n cross-check ({}): {} runs — {:.1} runs/s, {:.0} events/s",
+                r.queue, lg.runs, r.runs_per_sec, r.events_per_sec,
+            );
+        }
+        assert!(
+            lg.fingerprints_equal,
+            "queue implementations diverged on the large-n grid"
+        );
+        report = report.with_large_n(lg);
+    }
+    if adv_seeds > 0 {
+        let leg = fd_bench::adversary_leg(adv_seeds, runner, adv_drop, adv_dup);
+        println!(
+            "adversary leg ({}): {}/{} runs passed, {} dropped, {} duplicated — {:.1} runs/s",
+            leg.adversary, leg.passes, leg.runs, leg.dropped, leg.duplicated, leg.runs_per_sec,
+        );
+        assert!(
+            leg.deterministic,
+            "adversary grid did not rerun bit-identically"
+        );
+        assert!(
+            leg.none_identical,
+            "explicit MessageAdversary::None diverged from the default spec"
+        );
+        assert!(
+            leg.churn_catchup_live,
+            "churn + catch-up failed the liveness envelope under the adversary"
+        );
+        assert!(
+            leg.churn_safety_only,
+            "churn without catch-up no longer scores safety-only"
+        );
+        report = report.with_adversary_leg(leg);
     }
     let json = report.to_json();
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");

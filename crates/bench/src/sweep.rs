@@ -25,8 +25,11 @@
 
 use fd_core::harness::kset_config;
 use fd_core::KsetScenario;
-use fd_detectors::scenario::{CrashPlan, QueueKind, Runner, ScenarioSpec};
-use fd_sim::Time;
+use fd_detectors::scenario::{
+    CrashPlan, MessageAdversary, MessageRule, QueueKind, Runner, Scenario, ScenarioSpec,
+};
+use fd_grid::ChurnKsetScenario;
+use fd_sim::{FailurePattern, ProcessId, Time};
 use std::time::Instant;
 
 /// One grid cell of the sweep.
@@ -84,6 +87,50 @@ pub struct QueueCompare {
     pub fingerprints_equal: bool,
 }
 
+/// The adversary sweep leg: the kset grid under windowed drop/duplicate
+/// rules plus the churn catch-up liveness probe, with its own gates.
+#[derive(Clone, Debug)]
+pub struct AdversaryLeg {
+    /// One-line description of the rule set (`drop10+dup10` style).
+    pub adversary: String,
+    /// Drop probability (percent) inside the pre-GST window.
+    pub drop_pct: u8,
+    /// Duplication probability (percent) inside the pre-GST window.
+    pub dup_pct: u8,
+    /// Seeds run across the adversary cells.
+    pub runs: u64,
+    /// Runs whose spec check passed. Uniform drops sit *outside* the
+    /// algorithm's liveness tolerance, so this is a degradation curve —
+    /// deliberately not gated at 100%.
+    pub passes: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Messages the adversary lost.
+    pub dropped: u64,
+    /// Messages the adversary duplicated.
+    pub duplicated: u64,
+    /// Wall-clock duration, microseconds (≥ 1).
+    pub wall_us: u64,
+    /// Completed scenario runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Gate: running the adversary grid twice produced bit-identical
+    /// fingerprints (the adversary is deterministic in the seed).
+    pub deterministic: bool,
+    /// Gate: an explicit `MessageAdversary::None` spec is
+    /// fingerprint-identical to the default spec on the standard grid.
+    pub none_identical: bool,
+    /// Gate: every churn + catch-up run passed the liveness envelope
+    /// under the adversary.
+    pub churn_catchup_live: bool,
+    /// Gate: with catch-up disabled the same churn runs are scored by the
+    /// safety-only envelope (all pass on those terms, no liveness claimed)
+    /// and at least one seed witnesses the late joiner never deciding —
+    /// the hole the catch-up layer exists to close.
+    pub churn_safety_only: bool,
+    /// Per-cell results.
+    pub cells: Vec<CellResult>,
+}
+
 /// The whole sweep: cells plus throughput.
 #[derive(Clone, Debug)]
 pub struct SweepBenchReport {
@@ -91,6 +138,9 @@ pub struct SweepBenchReport {
     pub threads: usize,
     /// Which event-queue implementation drove the main grid.
     pub queue: &'static str,
+    /// The message adversary of the main grid (always `"none"`: the grid
+    /// is the clean baseline; attacked runs live in the adversary leg).
+    pub adversary: String,
     /// Total runs across all cells.
     pub total_runs: u64,
     /// Total runs that passed.
@@ -113,6 +163,10 @@ pub struct SweepBenchReport {
     pub stream: Option<StreamResult>,
     /// The queue cross-check, when one was run.
     pub compare: Option<QueueCompare>,
+    /// The large-`n` (up to 128) queue cross-check, when one was run.
+    pub large_n: Option<QueueCompare>,
+    /// The adversary sweep leg, when one was run.
+    pub adversary_leg: Option<AdversaryLeg>,
 }
 
 /// The grid the sweep covers: `(n, t)` scales × `k` × crash count.
@@ -168,6 +222,7 @@ pub fn representative_sweep_on(
     SweepBenchReport {
         threads: runner.threads(),
         queue: queue.name(),
+        adversary: MessageAdversary::None.describe(),
         total_runs,
         total_passes,
         total_events,
@@ -178,19 +233,23 @@ pub fn representative_sweep_on(
         cells: out,
         stream: None,
         compare: None,
+        large_n: None,
+        adversary_leg: None,
     }
 }
 
-/// Drives the whole grid once per event-queue implementation, measuring
-/// each one's throughput and cross-checking that every run's trace
-/// fingerprint is identical between them — the bench-smoke leg of the
-/// scheduler determinism contract.
-pub fn queue_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
+/// Drives `make_grid`'s cells once per event-queue implementation,
+/// measuring each one's throughput and cross-checking that every run's
+/// trace fingerprint is identical between them.
+fn compare_on_grid(
+    runner: Runner,
+    make_grid: impl Fn(QueueKind) -> Vec<(String, ScenarioSpec, u64)>,
+) -> QueueCompare {
     let mut rates = Vec::new();
     let mut prints: Vec<Vec<u64>> = Vec::new();
     let mut runs = 0;
     for queue in [QueueKind::Calendar, QueueKind::BinaryHeap] {
-        let cells = grid(seeds_per_cell, queue);
+        let cells = make_grid(queue);
         let t0 = Instant::now();
         let mut fp = Vec::new();
         let mut events = 0u64;
@@ -213,6 +272,179 @@ pub fn queue_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
         runs,
         rates,
         fingerprints_equal: prints.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
+/// Drives the whole grid once per event-queue implementation, measuring
+/// each one's throughput and cross-checking that every run's trace
+/// fingerprint is identical between them — the bench-smoke leg of the
+/// scheduler determinism contract.
+pub fn queue_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
+    compare_on_grid(runner, |queue| grid(seeds_per_cell, queue))
+}
+
+/// The large-`n` cells: the scales `PSet` supports but the standard grid
+/// never exercises, up to the 128-process maximum, with `f = t` crashes.
+fn large_grid(seeds_per_cell: u64, queue: QueueKind) -> Vec<(String, ScenarioSpec, u64)> {
+    let mut cells = Vec::new();
+    for &(n, t) in &[(17usize, 8usize), (33, 16), (64, 31), (128, 63)] {
+        let label = format!("n{n}_t{t}_k2_f{t}");
+        let spec = kset_config(n, t, 2)
+            .gst(Time(400))
+            .queue(queue)
+            .crashes(CrashPlan::Random {
+                f: t,
+                by: Time(500),
+            });
+        cells.push((label, spec, seeds_per_cell));
+    }
+    cells
+}
+
+/// The large-`n` smoke leg: `n` up to 128 on both event cores with the
+/// fingerprint cross-check — the queue determinism contract at the scales
+/// the calendar queue's bucket resizing actually stretches.
+pub fn large_n_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
+    compare_on_grid(runner, |queue| large_grid(seeds_per_cell, queue))
+}
+
+/// The pre-GST drop/duplicate rule set of the adversary leg.
+fn windowed_adversary(drop_pct: u8, dup_pct: u8, gst: Time) -> MessageAdversary {
+    MessageAdversary::Rules(vec![
+        MessageRule::drop(drop_pct).window(Time::ZERO, gst),
+        MessageRule::duplicate(dup_pct).window(Time::ZERO, gst),
+    ])
+}
+
+/// Runs the adversary sweep leg:
+///
+/// * the `(n, t, k)` grid — larger scales included, up to `n = 65` — under
+///   a pre-GST drop/duplicate adversary, recording the pass-rate
+///   degradation curve (uniform drops are outside the algorithm's
+///   liveness tolerance by design, so 100% is *not* expected);
+/// * a determinism gate (the attacked grid reruns bit-identically);
+/// * a `MessageAdversary::None` differential gate (explicitly threading
+///   the empty adversary is fingerprint-identical to the default spec);
+/// * the churn probe: churn + catch-up under the adversary must pass the
+///   liveness envelope, and the same runs without catch-up must stay
+///   safety-only (late joiner undecided).
+pub fn adversary_leg(
+    seeds_per_cell: u64,
+    runner: Runner,
+    drop_pct: u8,
+    dup_pct: u8,
+) -> AdversaryLeg {
+    let gst = Time(400);
+    let adv = windowed_adversary(drop_pct, dup_pct, gst);
+    let scales: &[(usize, usize)] = &[(5, 2), (9, 4), (17, 8), (33, 16), (65, 32)];
+    let make_cells = || {
+        scales.iter().map(|&(n, t)| {
+            let label = format!("adv_n{n}_t{t}_k2_f0");
+            // Failure-free: crashes would eat the quorum slack that lets
+            // the window's permanent losses be absorbed at all.
+            let spec = kset_config(n, t, 2)
+                .gst(gst)
+                .adversary(adv.clone())
+                .crashes(CrashPlan::None);
+            (label, spec)
+        })
+    };
+    let t0 = Instant::now();
+    let mut cells = Vec::new();
+    let mut prints: Vec<u64> = Vec::new();
+    let mut dropped = 0;
+    let mut duplicated = 0;
+    let mut events = 0;
+    for (label, spec) in make_cells() {
+        let reports = runner.sweep(&KsetScenario, &spec, 0..seeds_per_cell);
+        let mut cell = CellResult {
+            label,
+            runs: 0,
+            passes: 0,
+            events: 0,
+            msgs: 0,
+        };
+        for rep in reports {
+            cell.runs += 1;
+            cell.passes += rep.check.ok as u64;
+            cell.events += rep.metrics.events;
+            cell.msgs += rep.metrics.msgs_sent;
+            events += rep.metrics.events;
+            dropped += rep.trace.counter(fd_sim::counter::DROPPED);
+            duplicated += rep.trace.counter(fd_sim::counter::DUPLICATED);
+            prints.push(rep.fingerprint());
+        }
+        cells.push(cell);
+    }
+    let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+    // Determinism gate: the attacked grid reruns bit-identically.
+    let mut reprints: Vec<u64> = Vec::new();
+    for (_, spec) in make_cells() {
+        for rep in runner.sweep(&KsetScenario, &spec, 0..seeds_per_cell) {
+            reprints.push(rep.fingerprint());
+        }
+    }
+    let deterministic = prints == reprints;
+    // None-differential gate on the standard grid shape.
+    let none_identical = {
+        let base = kset_config(5, 2, 2)
+            .gst(gst)
+            .crashes(CrashPlan::Anarchic { by: Time(400) });
+        (0..4).all(|seed| {
+            let spec = base.with_seed(seed);
+            let explicit = spec.clone().adversary(MessageAdversary::None);
+            KsetScenario.run(&spec).fingerprint() == KsetScenario.run(&explicit).fingerprint()
+        })
+    };
+    // Churn probe: quorum slack (one crash < t) + a drop window closing at
+    // the join, the configuration whose liveness the catch-up layer
+    // restores (see fd_grid::churn for the boundary discussion).
+    let churn_fp = FailurePattern::builder(6)
+        .crash(ProcessId(1), Time(100))
+        .join(ProcessId(5), Time(600))
+        .build();
+    let churn_adv = MessageAdversary::Rules(vec![
+        MessageRule::drop(drop_pct.min(25)).window(Time::ZERO, Time(600)),
+        MessageRule::duplicate(dup_pct.min(15)).window(Time::ZERO, Time(1_200)),
+    ]);
+    let churn_base = ChurnKsetScenario::spec(6, 2, 1)
+        .gst(Time(300))
+        .max_time(Time(60_000))
+        .crashes(CrashPlan::Explicit(churn_fp))
+        .adversary(churn_adv);
+    let mut churn_catchup_live = true;
+    let mut bare_all_safe = true;
+    let mut stuck_joiner_witnessed = false;
+    for seed in 0..seeds_per_cell.clamp(1, 4) {
+        let live = ChurnKsetScenario.run(&churn_base.with_seed(seed));
+        churn_catchup_live &= live.check.ok;
+        let bare = ChurnKsetScenario.run(&churn_base.with_seed(seed).catch_up(false));
+        bare_all_safe &= bare.check.ok && bare.check.detail.contains("liveness not claimed");
+        // On some seeds every decision lands after the join and the joiner
+        // decides via the (exempt) reliable broadcast anyway; the envelope
+        // still only claims safety. At least one seed must witness the
+        // genuinely stuck joiner.
+        stuck_joiner_witnessed |= !bare.trace.deciders().contains(ProcessId(5));
+    }
+    let churn_safety_only = bare_all_safe && stuck_joiner_witnessed;
+    let runs: u64 = cells.iter().map(|c| c.runs).sum();
+    let passes: u64 = cells.iter().map(|c| c.passes).sum();
+    AdversaryLeg {
+        adversary: adv.describe(),
+        drop_pct,
+        dup_pct,
+        runs,
+        passes,
+        events,
+        dropped,
+        duplicated,
+        wall_us,
+        runs_per_sec: runs as f64 / (wall_us as f64 / 1e6),
+        deterministic,
+        none_identical,
+        churn_catchup_live,
+        churn_safety_only,
+        cells,
     }
 }
 
@@ -320,6 +552,18 @@ impl SweepBenchReport {
         self
     }
 
+    /// Attaches a large-`n` cross-check to the report (builder style).
+    pub fn with_large_n(mut self, large_n: QueueCompare) -> Self {
+        self.large_n = Some(large_n);
+        self
+    }
+
+    /// Attaches an adversary leg to the report (builder style).
+    pub fn with_adversary_leg(mut self, leg: AdversaryLeg) -> Self {
+        self.adversary_leg = Some(leg);
+        self
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -327,6 +571,7 @@ impl SweepBenchReport {
         s.push_str("  \"bench\": \"grid_sweep\",\n");
         s.push_str("  \"scenario\": \"kset_omega\",\n");
         s.push_str(&format!("  \"queue\": \"{}\",\n", self.queue));
+        s.push_str(&format!("  \"adversary\": \"{}\",\n", self.adversary));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"total_runs\": {},\n", self.total_runs));
         s.push_str(&format!("  \"total_passes\": {},\n", self.total_passes));
@@ -358,6 +603,59 @@ impl SweepBenchReport {
                     r.runs_per_sec,
                     r.events_per_sec,
                     if i + 1 == cmp.rates.len() { "" } else { "," }
+                ));
+            }
+            s.push_str("  ],\n");
+        }
+        if let Some(lg) = &self.large_n {
+            s.push_str(&format!(
+                "  \"large_n_fingerprints_equal\": {},\n",
+                lg.fingerprints_equal
+            ));
+            s.push_str("  \"large_n\": [\n");
+            for (i, r) in lg.rates.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"impl\": \"{}\", \"runs\": {}, \"runs_per_sec\": {:.2}, \"events_per_sec\": {:.2}}}{}\n",
+                    r.queue,
+                    lg.runs,
+                    r.runs_per_sec,
+                    r.events_per_sec,
+                    if i + 1 == lg.rates.len() { "" } else { "," }
+                ));
+            }
+            s.push_str("  ],\n");
+        }
+        if let Some(leg) = &self.adversary_leg {
+            s.push_str(&format!(
+                "  \"adversary_leg\": {{\"adversary\": \"{}\", \"drop_pct\": {}, \"dup_pct\": {}, \
+                 \"runs\": {}, \"passes\": {}, \"events\": {}, \"dropped\": {}, \"duplicated\": {}, \
+                 \"wall_us\": {}, \"runs_per_sec\": {:.2}, \"deterministic\": {}, \
+                 \"none_identical\": {}, \"churn_catchup_live\": {}, \"churn_safety_only\": {}}},\n",
+                leg.adversary,
+                leg.drop_pct,
+                leg.dup_pct,
+                leg.runs,
+                leg.passes,
+                leg.events,
+                leg.dropped,
+                leg.duplicated,
+                leg.wall_us,
+                leg.runs_per_sec,
+                leg.deterministic,
+                leg.none_identical,
+                leg.churn_catchup_live,
+                leg.churn_safety_only,
+            ));
+            s.push_str("  \"adversary_cells\": [\n");
+            for (i, c) in leg.cells.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"label\": \"{}\", \"runs\": {}, \"passes\": {}, \"events\": {}, \"msgs\": {}}}{}\n",
+                    c.label,
+                    c.runs,
+                    c.passes,
+                    c.events,
+                    c.msgs,
+                    if i + 1 == leg.cells.len() { "" } else { "," }
                 ));
             }
             s.push_str("  ],\n");
@@ -407,6 +705,42 @@ mod tests {
         assert!(json.contains("\"impl\": \"binary_heap\""));
         assert!(json.contains("n5_t2_k1_f0"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn main_grid_records_the_empty_adversary() {
+        let rep = representative_sweep(1, Runner::sequential());
+        assert_eq!(rep.adversary, "none");
+        assert!(rep.to_json().contains("\"adversary\": \"none\""));
+    }
+
+    #[test]
+    fn large_n_comparison_is_fingerprint_identical_up_to_128() {
+        let lg = large_n_comparison(1, Runner::parallel());
+        assert!(lg.fingerprints_equal, "queue impls diverged at large n");
+        assert_eq!(lg.runs, 4);
+        let json = representative_sweep(1, Runner::sequential())
+            .with_large_n(lg)
+            .to_json();
+        assert!(json.contains("\"large_n_fingerprints_equal\": true"));
+    }
+
+    #[test]
+    fn adversary_leg_gates_hold() {
+        let leg = adversary_leg(1, Runner::parallel(), 10, 10);
+        assert!(leg.deterministic, "adversary grid not deterministic");
+        assert!(leg.none_identical, "None-differential failed");
+        assert!(leg.churn_catchup_live, "churn+catch-up lost liveness");
+        assert!(leg.churn_safety_only, "bare churn not safety-only");
+        assert!(leg.dropped > 0, "drop rules never fired");
+        assert!(leg.duplicated > 0, "dup rules never fired");
+        assert_eq!(leg.adversary, "drop10+dup10");
+        let json = representative_sweep(1, Runner::sequential())
+            .with_adversary_leg(leg)
+            .to_json();
+        assert!(json.contains("\"adversary_leg\""));
+        assert!(json.contains("\"churn_catchup_live\": true"));
+        assert!(json.contains("adv_n65_t32_k2_f0"));
     }
 
     #[test]

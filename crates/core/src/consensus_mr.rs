@@ -46,6 +46,19 @@ pub enum MrMsg {
     },
 }
 
+impl fd_sim::Corruptible for MrMsg {
+    /// Same corruption surface as the Figure 3 alphabet: estimates in
+    /// flight move by at most the bound; decisions ride the (untouchable)
+    /// reliable broadcast.
+    fn corrupt(&mut self, bound: u64, rng: &mut fd_sim::SplitMix64) -> bool {
+        match self {
+            MrMsg::Coord { est, .. } => fd_sim::corrupt_u64(est, bound, rng),
+            MrMsg::Echo { aux: Some(v), .. } => fd_sim::corrupt_u64(v, bound, rng),
+            _ => false,
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Stage {
     AwaitCoord,

@@ -5,7 +5,9 @@
 //! module only provides the historical entry-point names.
 
 use crate::scenario::{run_kset_with, ConsensusScenario, KsetScenario};
-pub use fd_detectors::scenario::{CrashPlan, QueueKind, ScenarioReport, ScenarioSpec};
+pub use fd_detectors::scenario::{
+    CrashPlan, MessageAdversary, MessageRule, QueueKind, RuleAction, ScenarioReport, ScenarioSpec,
+};
 use fd_detectors::scenario::{Runner, SweepSummary};
 use fd_detectors::Scenario;
 use fd_sim::{FailurePattern, PSet};
@@ -110,6 +112,67 @@ mod tests {
                 cal.fingerprint(),
                 heap.fingerprint(),
                 "consensus seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_knob_threads_through_the_harness() {
+        // Explicit None is bit-identical to the default spec; an armed
+        // adversary changes the run and reports its effects as counters.
+        let base = kset_config(5, 2, 2)
+            .seed(4)
+            .gst(Time(400))
+            .crashes(CrashPlan::Anarchic { by: Time(400) });
+        let default_run = run_kset_omega(&base);
+        let none = run_kset_omega(&base.clone().adversary(MessageAdversary::None));
+        assert_eq!(default_run.fingerprint(), none.fingerprint());
+        // Within-tolerance attack on a failure-free run: silencing one
+        // sender (≤ t) is crash-equivalent — the n − t quorums never needed
+        // it — and duplication is always harmless. Uniform drops, by
+        // contrast, are *outside* the algorithm's liveness tolerance (one
+        // permanently lost phase message can wedge a round forever); the
+        // negative tests in tests/scenario_engine.rs pin that side.
+        use fd_sim::{PSet, ProcessId};
+        let muted = ProcessId(0);
+        let armed = base
+            .clone()
+            .crashes(CrashPlan::None)
+            .adversary(MessageAdversary::Rules(vec![
+                MessageRule::drop(100)
+                    .links(PSet::singleton(muted), PSet::singleton(muted).complement(5)),
+                MessageRule::duplicate(20),
+            ]));
+        let rep = run_kset_omega(&armed);
+        assert!(rep.check.ok, "{}", rep.check);
+        let slim = rep.slim();
+        assert!(slim.counter("sim.dropped") > 0);
+        assert!(slim.counter("sim.duplicated") > 0);
+        assert_ne!(rep.fingerprint(), default_run.fingerprint());
+        // And bit-reproducibly so.
+        assert_eq!(rep.fingerprint(), run_kset_omega(&armed).fingerprint());
+    }
+
+    #[test]
+    fn churn_plan_is_scored_by_the_safety_envelope() {
+        // The bare Figure 3 algorithm has no catch-up, so churn runs claim
+        // safety only — and the envelope passes them on those terms
+        // (upgrading to liveness is the facade churn scenario's job).
+        for seed in 0..4 {
+            let cfg = kset_config(6, 2, 1)
+                .seed(seed)
+                .gst(Time(300))
+                .max_time(Time(20_000))
+                .crashes(CrashPlan::Churn {
+                    crash_by: Time(200),
+                    rejoin_after: 100,
+                });
+            let rep = run_kset_omega(&cfg);
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert!(
+                rep.check.detail.contains("liveness not claimed"),
+                "seed {seed}: {}",
+                rep.check
             );
         }
     }

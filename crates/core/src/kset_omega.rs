@@ -23,7 +23,7 @@
 //! *zero-degrading* (§3.2): with a perfect `Ω_k` and only initial crashes
 //! it decides in a single round.
 
-use fd_sim::{slot, Automaton, Ctx, FdValue, PSet, ProcessId};
+use fd_sim::{slot, Automaton, Corruptible, Ctx, FdValue, PSet, ProcessId, SplitMix64};
 use std::collections::HashMap;
 
 /// Message alphabet of the Figure 3 algorithm.
@@ -50,6 +50,22 @@ pub enum KsetMsg {
         /// The decided value.
         v: u64,
     },
+}
+
+impl Corruptible for KsetMsg {
+    /// The message adversary may move the *estimates* in flight (bounded):
+    /// `PHASE1.est` and any non-`⊥` `PHASE2.aux`. Leader sets and round
+    /// numbers stay intact (structured corruption would make messages
+    /// undecodable rather than wrong, which the drop rule already models),
+    /// and `DECISION`s travel by reliable broadcast, which the adversary
+    /// cannot touch.
+    fn corrupt(&mut self, bound: u64, rng: &mut SplitMix64) -> bool {
+        match self {
+            KsetMsg::Phase1 { est, .. } => fd_sim::corrupt_u64(est, bound, rng),
+            KsetMsg::Phase2 { aux: Some(v), .. } => fd_sim::corrupt_u64(v, bound, rng),
+            _ => false,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -28,6 +28,14 @@ pub struct RepMsg {
     pub inner: KsetMsg,
 }
 
+impl fd_sim::Corruptible for RepMsg {
+    /// Corruption passes through to the inner Figure 3 message; the
+    /// instance tag stays intact (same rationale as round numbers).
+    fn corrupt(&mut self, bound: u64, rng: &mut fd_sim::SplitMix64) -> bool {
+        self.inner.corrupt(bound, rng)
+    }
+}
+
 /// Proposal of process `p` in instance `inst` (distinct per process and
 /// instance, so cross-instance value leakage would be caught by validity).
 pub fn proposal(p: ProcessId, inst: u32) -> u64 {

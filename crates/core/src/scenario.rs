@@ -10,7 +10,8 @@ use crate::kset_omega::KsetOmega;
 use crate::repeated::{run_repeated_spec, RepeatedReport};
 use crate::spec;
 use fd_detectors::scenario::{
-    default_proposals, run_to_decision, salt, Flavour, Scenario, ScenarioReport, ScenarioSpec,
+    churn_envelope, default_proposals, run_to_decision, salt, ChurnGuarantee, CrashPlan, Flavour,
+    Scenario, ScenarioReport, ScenarioSpec,
 };
 use fd_sim::{FailurePattern, OracleSuite};
 
@@ -42,6 +43,13 @@ impl Scenario for KsetScenario {
 /// Runs the Figure 3 algorithm under a caller-supplied oracle — the hook
 /// the lower-bound witnesses use to inject hand-crafted adversarial
 /// detectors (and delay rules, via `spec.rules`).
+///
+/// Churn runs are scored by the engine's
+/// [`churn_envelope`] at [`ChurnGuarantee::SafetyOnly`]: the bare Figure 3
+/// algorithm has no catch-up for late joiners, so it honestly claims
+/// safety and nothing more. The catch-up variant that upgrades churn to
+/// liveness lives in the facade (`fd_grid::churn`), stacked from this
+/// algorithm plus `fd_transforms::catch_up`.
 pub fn run_kset_with(
     spec: &ScenarioSpec,
     fp: FailurePattern,
@@ -49,7 +57,11 @@ pub fn run_kset_with(
 ) -> ScenarioReport {
     let proposals = default_proposals(spec.n);
     let trace = run_to_decision(spec, &fp, |p| KsetOmega::new(proposals[p.0]), oracle);
-    let check = spec::kset_spec(&trace, &fp, spec.k, &proposals);
+    let check = if matches!(spec.crashes, CrashPlan::Churn { .. }) {
+        churn_envelope(&trace, &fp, spec.k, &proposals, ChurnGuarantee::SafetyOnly)
+    } else {
+        spec::kset_spec(&trace, &fp, spec.k, &proposals)
+    };
     ScenarioReport::new("kset_omega", spec, fp, trace, check)
 }
 

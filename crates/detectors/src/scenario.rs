@@ -56,9 +56,11 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
-// Spec authors pick their event core through the spec's `queue` knob;
-// re-export the kind so they need not depend on `fd_sim` directly.
+// Spec authors pick their event core through the spec's `queue` knob and
+// their message adversary through `adversary`; re-export the knobs so they
+// need not depend on `fd_sim` directly.
 pub use fd_sim::QueueKind;
+pub use fd_sim::{MessageAdversary, MessageRule, RuleAction};
 
 /// Seed-mixing constants, one per oracle role, so that the detectors of a
 /// bundle draw from independent streams of the run's root seed.
@@ -111,6 +113,13 @@ pub mod salt {
     pub const ANARCHY: u64 = 0xFA11;
     /// Churn crash-plan stream (crash + fresh-id rejoin).
     pub const CHURN: u64 = 0x0C4B;
+    /// Message-adversary stream (drop / duplicate / corrupt decisions and
+    /// duplicate-copy delays). The runtime derives it in `fd_sim` as
+    /// `root.stream(0xADE5)`; the constant is mirrored here because it is
+    /// part of the same contract: with [`super::MessageAdversary::None`]
+    /// the stream is never drawn from, which is what makes the empty
+    /// adversary bit-identical to the pre-adversary simulator.
+    pub const ADVERSARY: u64 = 0xADE5;
 }
 
 /// How crashes are injected into a run.
@@ -293,6 +302,15 @@ pub struct ScenarioSpec {
     /// the same `(at, seq)` order, so this knob never changes a trace —
     /// only how fast the run goes (calendar is the default).
     pub queue: QueueKind,
+    /// The message adversary attacking the plain channels (drop /
+    /// duplicate / bounded corruption; [`MessageAdversary::None`] is
+    /// bit-identical to the pre-adversary engine).
+    pub adversary: MessageAdversary,
+    /// Whether churn-aware scenarios run their catch-up layer (rebroadcast
+    /// / state transfer for late joiners), upgrading churn guarantees from
+    /// safety-only to liveness. Scenarios without a catch-up variant
+    /// ignore it.
+    pub catch_up: bool,
 }
 
 impl ScenarioSpec {
@@ -315,6 +333,8 @@ impl ScenarioSpec {
             max_time: Time(100_000),
             max_steps: 200_000,
             queue: QueueKind::default(),
+            adversary: MessageAdversary::None,
+            catch_up: false,
         }
     }
 
@@ -403,6 +423,18 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the message adversary (builder style).
+    pub fn adversary(mut self, adversary: MessageAdversary) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Enables or disables the churn catch-up layer (builder style).
+    pub fn catch_up(mut self, catch_up: bool) -> Self {
+        self.catch_up = catch_up;
+        self
+    }
+
     /// A copy of this spec with a different seed (the sweep primitive).
     pub fn with_seed(&self, seed: u64) -> Self {
         let mut s = self.clone();
@@ -423,6 +455,7 @@ impl ScenarioSpec {
             delay: self.delay.clone(),
             rules: self.rules.clone(),
             queue: self.queue,
+            adversary: self.adversary.clone(),
             ..SimConfig::new(self.n, self.t)
         }
     }
@@ -596,6 +629,95 @@ pub fn sample_oracle(
     }
     trace.set_horizon(horizon);
     trace
+}
+
+/// The guarantee level a churn scenario claims — the verdict envelope for
+/// runs under [`CrashPlan::Churn`].
+///
+/// PR 3 landed churn with safety-only guarantees because the Figure 3
+/// algorithm has no catch-up for late joiners; the catch-up layer upgrades
+/// churn scenarios to [`ChurnGuarantee::Liveness`]. The envelope keeps the
+/// two claims honest: a safety-only run must never be scored as if it
+/// promised termination, and a liveness run must actually deliver it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnGuarantee {
+    /// Only safety is promised: whatever was decided is valid, within `k`,
+    /// and decided once per process. Late joiners may never decide.
+    SafetyOnly,
+    /// Safety plus termination: every correct process — *including* every
+    /// late joiner — decides within the horizon.
+    Liveness,
+}
+
+/// The engine-level churn verdict: safety unconditionally, termination only
+/// when the scenario claims [`ChurnGuarantee::Liveness`].
+///
+/// This is deliberately self-contained (decisions and the failure pattern
+/// are everything it reads) so that every churn-aware scenario — core
+/// algorithms, transformations, the facade pipeline — can share one
+/// envelope; the per-algorithm problem specs (e.g. `fd_core::spec`) remain
+/// the checkers for non-churn runs.
+pub fn churn_envelope(
+    trace: &Trace,
+    fp: &FailurePattern,
+    k: usize,
+    proposals: &[u64],
+    guarantee: ChurnGuarantee,
+) -> CheckOutcome {
+    // Safety 1: validity — every decided value was proposed.
+    for d in trace.decisions() {
+        if !proposals.contains(&d.value) {
+            return CheckOutcome::fail(format!(
+                "churn validity: {} decided {} which was never proposed",
+                d.by, d.value
+            ));
+        }
+    }
+    // Safety 2: at most k distinct decisions.
+    let distinct = trace.decided_values();
+    if distinct.len() > k {
+        return CheckOutcome::fail(format!(
+            "churn agreement: {} distinct values decided ({distinct:?}) > k = {k}",
+            distinct.len()
+        ));
+    }
+    // Safety 3: decide-once, and only by processes that were started.
+    let mut seen = fd_sim::PSet::new();
+    for d in trace.decisions() {
+        if !seen.insert(d.by) {
+            return CheckOutcome::fail(format!("churn decide-once: {} decided twice", d.by));
+        }
+        if d.at < fp.start_time(d.by) {
+            return CheckOutcome::fail(format!(
+                "churn structure: {} decided at {} before joining at {}",
+                d.by,
+                d.at,
+                fp.start_time(d.by)
+            ));
+        }
+    }
+    match guarantee {
+        ChurnGuarantee::SafetyOnly => CheckOutcome::pass(
+            None,
+            format!(
+                "churn safety envelope: {} decisions within k = {k} (liveness not claimed)",
+                trace.decisions().len()
+            ),
+        ),
+        ChurnGuarantee::Liveness => {
+            let missing = fp.correct() - trace.deciders();
+            if missing.is_empty() {
+                CheckOutcome::pass(
+                    trace.decisions().last().map(|d| d.at),
+                    format!("churn liveness envelope: all correct decided within k = {k}"),
+                )
+            } else {
+                CheckOutcome::fail(format!(
+                    "churn liveness: correct {missing} never decided (late joiners included)"
+                ))
+            }
+        }
+    }
 }
 
 /// Uniform run statistics, extracted from the trace once, consumed by
@@ -1237,6 +1359,74 @@ mod tests {
         assert_eq!(spec.sim_config().queue, QueueKind::Calendar);
         let heap = spec.queue(QueueKind::BinaryHeap);
         assert_eq!(heap.sim_config().queue, QueueKind::BinaryHeap);
+    }
+
+    #[test]
+    fn spec_adversary_knob_reaches_sim_config() {
+        let spec = ScenarioSpec::new(5, 2);
+        assert!(spec.adversary.is_none());
+        assert!(spec.sim_config().adversary.is_none());
+        assert!(!spec.catch_up);
+        let armed = spec
+            .adversary(MessageAdversary::Rules(vec![MessageRule::drop(10)]))
+            .catch_up(true);
+        assert_eq!(armed.sim_config().adversary.describe(), "drop10");
+        assert!(armed.catch_up);
+        assert!(armed.with_seed(9).catch_up, "seed copies keep the knobs");
+        assert_eq!(armed.with_seed(9).adversary.describe(), "drop10");
+    }
+
+    #[test]
+    fn churn_envelope_scores_safety_and_liveness() {
+        let fp = FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(10))
+            .join(ProcessId(3), Time(50))
+            .build();
+        let proposals = [100, 101, 102, 103];
+        let mut tr = Trace::new();
+        tr.decide(Time(20), ProcessId(1), 101);
+        tr.decide(Time(25), ProcessId(2), 101);
+        // Joiner has not decided: safety passes, liveness fails.
+        let safe = churn_envelope(&tr, &fp, 1, &proposals, ChurnGuarantee::SafetyOnly);
+        assert!(safe.ok, "{safe}");
+        let live = churn_envelope(&tr, &fp, 1, &proposals, ChurnGuarantee::Liveness);
+        assert!(!live.ok, "{live}");
+        assert!(live.detail.contains("never decided"), "{live}");
+        // Once the joiner decides, liveness passes too.
+        tr.decide(Time(90), ProcessId(3), 101);
+        let live = churn_envelope(&tr, &fp, 1, &proposals, ChurnGuarantee::Liveness);
+        assert!(live.ok, "{live}");
+        assert_eq!(live.stabilized_at, Some(Time(90)));
+    }
+
+    #[test]
+    fn churn_envelope_rejects_safety_violations_regardless_of_guarantee() {
+        let fp = FailurePattern::builder(3)
+            .join(ProcessId(2), Time(40))
+            .build();
+        let proposals = [100, 101, 102];
+        for g in [ChurnGuarantee::SafetyOnly, ChurnGuarantee::Liveness] {
+            // Unproposed value.
+            let mut tr = Trace::new();
+            tr.decide(Time(5), ProcessId(0), 999);
+            assert!(!churn_envelope(&tr, &fp, 2, &proposals, g).ok);
+            // Too many distinct values.
+            let mut tr = Trace::new();
+            tr.decide(Time(5), ProcessId(0), 100);
+            tr.decide(Time(6), ProcessId(1), 101);
+            assert!(!churn_envelope(&tr, &fp, 1, &proposals, g).ok);
+            // Double decision.
+            let mut tr = Trace::new();
+            tr.decide(Time(5), ProcessId(0), 100);
+            tr.decide(Time(7), ProcessId(0), 100);
+            assert!(!churn_envelope(&tr, &fp, 1, &proposals, g).ok);
+            // A decision before the decider joined.
+            let mut tr = Trace::new();
+            tr.decide(Time(5), ProcessId(2), 100);
+            let out = churn_envelope(&tr, &fp, 1, &proposals, g);
+            assert!(!out.ok, "{out}");
+            assert!(out.detail.contains("before joining"), "{out}");
+        }
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! The message adversary: deterministic in-flight attacks on the channels.
+//!
+//! The paper's model (§2.1) assumes *reliable* channels — the only power the
+//! base adversary has over messages is their (finite) delay. Related work
+//! motivates a stronger opponent: self-stabilization under malicious actions
+//! corrupts in-flight state, and fault-tolerant protocols are classically
+//! evaluated under message loss and duplication, not just crashes. This
+//! module adds that opponent as an *opt-in* layer applied inside
+//! [`crate::network::Network::route`]:
+//!
+//! * [`MessageAdversary::None`] — today's reliable channels, **bit-identical**
+//!   to a simulator without this module: no RNG stream is consumed, no
+//!   counter is bumped, no trace changes.
+//! * [`MessageAdversary::Rules`] — an ordered rule list. Every routed
+//!   point-to-point message is tested against each rule in order; a matching
+//!   rule fires with its configured probability, drawn from the adversary's
+//!   *own* salt stream (`0xADE5`), so enabling the adversary never perturbs
+//!   the delay, step, or oracle streams.
+//!
+//! The three attacks ([`RuleAction`]):
+//!
+//! * **Drop** — the message is lost (channel becomes fair-lossy inside the
+//!   rule's window). A drop consumes the message's delay draw first, so the
+//!   *delivered* subset of messages keeps exactly the delivery times it
+//!   would have had without the adversary.
+//! * **Duplicate** — a second copy is scheduled with an independently drawn
+//!   delay (from the adversary stream). Both copies carry the same payload;
+//!   duplication never reorders the scheduler's `(at, seq)` pop order
+//!   because copies are ordinary pushes.
+//! * **Corrupt** — the payload is mutated in place via [`Corruptible`],
+//!   within a declared `bound` (Byzantine-ish, but *bounded*: the victim
+//!   value moves by at most `bound`).
+//!
+//! Reliable broadcast is exempt by construction: the runtime routes
+//! R-deliveries through [`crate::network::Network::route_protected`],
+//! because the rb abstraction is an *axiom* of the model — attacking it
+//! would falsify the premise rather than stress the algorithm. (The
+//! constructive [`crate::echo::EchoRb`] implementation, which realizes rb
+//! over plain channels, *is* attacked — its internal echoes are ordinary
+//! point-to-point messages.)
+//!
+//! ## Determinism contract
+//!
+//! The adversary draws from a single dedicated stream in rule order, one
+//! `chance` sample per matching rule per message (plus one delay sample per
+//! duplicate and the draws of each corruption). Same `(spec, seed)` ⇒ same
+//! dropped set, same duplicate schedule, same corrupted values — the
+//! property tests in `crates/sim/tests/props.rs` pin this down.
+
+use crate::id::{PSet, ProcessId};
+use crate::rng::SplitMix64;
+use crate::time::Time;
+
+/// What a matching [`MessageRule`] does to the message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleAction {
+    /// Lose the message. Terminal: later rules are not consulted.
+    Drop,
+    /// Schedule a second copy with an independently drawn delay.
+    Duplicate,
+    /// Mutate the payload in place by at most `bound` (see [`Corruptible`]).
+    Corrupt {
+        /// Maximum distance the corrupted value may move (0 = no-op).
+        bound: u64,
+    },
+}
+
+/// One adversary rule: an action, a firing probability, and a scope.
+///
+/// A rule applies to a message iff the sender is in `from`, the receiver is
+/// in `to`, and the send time lies in `[active_from, active_to)` — the same
+/// windowing scheme as [`crate::network::DelayRule`], so "attack until GST"
+/// is spelled `.window(Time::ZERO, gst)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageRule {
+    /// The attack.
+    pub action: RuleAction,
+    /// Firing probability in percent (0–100), drawn per matching message.
+    pub pct: u8,
+    /// Senders the rule applies to.
+    pub from: PSet,
+    /// Receivers the rule applies to.
+    pub to: PSet,
+    /// Start (inclusive) of the send-time window.
+    pub active_from: Time,
+    /// End (exclusive) of the send-time window.
+    pub active_to: Time,
+}
+
+impl MessageRule {
+    fn unscoped(action: RuleAction, pct: u8) -> Self {
+        MessageRule {
+            action,
+            pct: pct.min(100),
+            from: PSet::full(crate::id::MAX_PROCESSES),
+            to: PSet::full(crate::id::MAX_PROCESSES),
+            active_from: Time::ZERO,
+            active_to: Time::INFINITY,
+        }
+    }
+
+    /// A drop rule over all links, active forever.
+    pub fn drop(pct: u8) -> Self {
+        Self::unscoped(RuleAction::Drop, pct)
+    }
+
+    /// A duplication rule over all links, active forever.
+    pub fn duplicate(pct: u8) -> Self {
+        Self::unscoped(RuleAction::Duplicate, pct)
+    }
+
+    /// A bounded-corruption rule over all links, active forever.
+    pub fn corrupt(pct: u8, bound: u64) -> Self {
+        Self::unscoped(RuleAction::Corrupt { bound }, pct)
+    }
+
+    /// Restricts the rule to a send-time window (builder style).
+    pub fn window(mut self, active_from: Time, active_to: Time) -> Self {
+        self.active_from = active_from;
+        self.active_to = active_to;
+        self
+    }
+
+    /// Restricts the rule to messages `from → to` (builder style).
+    pub fn links(mut self, from: PSet, to: PSet) -> Self {
+        self.from = from;
+        self.to = to;
+        self
+    }
+
+    /// Whether the rule is in scope for this message.
+    #[inline]
+    pub fn applies(&self, from: ProcessId, to: ProcessId, sent_at: Time) -> bool {
+        self.from.contains(from)
+            && self.to.contains(to)
+            && sent_at >= self.active_from
+            && sent_at < self.active_to
+    }
+}
+
+/// The message adversary of a run: nothing, or an ordered rule list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum MessageAdversary {
+    /// Reliable channels (the paper's base model). Guaranteed bit-identical
+    /// to the pre-adversary simulator: the fast path in
+    /// [`crate::network::Network::route`] touches no RNG stream.
+    #[default]
+    None,
+    /// Apply these rules, in order, to every routed point-to-point message.
+    Rules(Vec<MessageRule>),
+}
+
+impl MessageAdversary {
+    /// Whether this is the empty adversary.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        matches!(self, MessageAdversary::None)
+    }
+
+    /// The rule list (empty for [`MessageAdversary::None`]).
+    pub fn rules(&self) -> &[MessageRule] {
+        match self {
+            MessageAdversary::None => &[],
+            MessageAdversary::Rules(rules) => rules,
+        }
+    }
+
+    /// A one-line description for bench reports and tables
+    /// (`"none"` or e.g. `"drop10+dup5"`).
+    pub fn describe(&self) -> String {
+        match self {
+            MessageAdversary::None => "none".into(),
+            MessageAdversary::Rules(rules) => {
+                let parts: Vec<String> = rules
+                    .iter()
+                    .map(|r| match r.action {
+                        RuleAction::Drop => format!("drop{}", r.pct),
+                        RuleAction::Duplicate => format!("dup{}", r.pct),
+                        RuleAction::Corrupt { bound } => {
+                            format!("corrupt{}b{}", r.pct, bound)
+                        }
+                    })
+                    .collect();
+                if parts.is_empty() {
+                    "none".into()
+                } else {
+                    parts.join("+")
+                }
+            }
+        }
+    }
+}
+
+/// What the adversary did to one routed message (all-false on the clean
+/// path). The runtime turns set flags into trace counters, so reports can
+/// cite how many messages were dropped / duplicated / corrupted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteEffects {
+    /// The message was lost.
+    pub dropped: bool,
+    /// A second copy was scheduled.
+    pub duplicated: bool,
+    /// The payload was mutated.
+    pub corrupted: bool,
+}
+
+impl RouteEffects {
+    /// Whether the adversary left the message alone.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        !(self.dropped || self.duplicated || self.corrupted)
+    }
+}
+
+/// Payloads the adversary can corrupt in a *bounded* way.
+///
+/// The default implementation is a no-op (`false`): a message type opts into
+/// corruption by overriding [`Corruptible::corrupt`]. Implementations must
+/// keep the mutation within `bound` — for a numeric payload, the new value
+/// differs from the old by at most `bound`; for a structured message, only
+/// designated fields move, each by at most `bound`. A `bound` of 0 must
+/// leave the message untouched. Return `true` iff the message changed.
+///
+/// Every [`crate::automaton::Automaton::Msg`] must implement this trait;
+/// for alphabets with nothing meaningful to corrupt, the empty impl
+/// (`impl Corruptible for MyMsg {}`) keeps them adversary-transparent.
+pub trait Corruptible {
+    /// Mutates `self` by at most `bound`; returns whether anything changed.
+    fn corrupt(&mut self, _bound: u64, _rng: &mut SplitMix64) -> bool {
+        false
+    }
+}
+
+/// Moves `v` by a uniformly drawn distance in `[1, bound]`, up or down
+/// (saturating, which can only shrink the distance). The building block for
+/// numeric [`Corruptible`] impls.
+pub fn corrupt_u64(v: &mut u64, bound: u64, rng: &mut SplitMix64) -> bool {
+    if bound == 0 {
+        return false;
+    }
+    let delta = rng.range(1, bound);
+    let old = *v;
+    *v = if rng.chance(1, 2) {
+        old.saturating_add(delta)
+    } else {
+        old.saturating_sub(delta)
+    };
+    *v != old
+}
+
+impl Corruptible for () {}
+impl Corruptible for bool {}
+
+impl Corruptible for u64 {
+    fn corrupt(&mut self, bound: u64, rng: &mut SplitMix64) -> bool {
+        corrupt_u64(self, bound, rng)
+    }
+}
+
+macro_rules! corruptible_small_int {
+    ($($ty:ty),*) => {$(
+        impl Corruptible for $ty {
+            fn corrupt(&mut self, bound: u64, rng: &mut SplitMix64) -> bool {
+                let old = *self;
+                let mut wide = old as u64;
+                // Clamp the bound so the value stays representable.
+                let ceil = <$ty>::MAX as u64;
+                corrupt_u64(&mut wide, bound.min(ceil), rng);
+                *self = wide.min(ceil) as $ty;
+                *self != old
+            }
+        }
+    )*};
+}
+
+corruptible_small_int!(u8, u16, u32, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_builders_scope_and_window() {
+        let r = MessageRule::drop(40)
+            .window(Time(10), Time(20))
+            .links(PSet::singleton(ProcessId(0)), PSet::full(3));
+        assert!(r.applies(ProcessId(0), ProcessId(2), Time(10)));
+        assert!(!r.applies(ProcessId(0), ProcessId(2), Time(20)));
+        assert!(!r.applies(ProcessId(0), ProcessId(2), Time(9)));
+        assert!(!r.applies(ProcessId(1), ProcessId(2), Time(15)));
+        assert_eq!(r.pct, 40);
+    }
+
+    #[test]
+    fn pct_is_clamped() {
+        assert_eq!(MessageRule::duplicate(250).pct, 100);
+    }
+
+    #[test]
+    fn adversary_describe() {
+        assert_eq!(MessageAdversary::None.describe(), "none");
+        assert_eq!(MessageAdversary::Rules(vec![]).describe(), "none");
+        let adv = MessageAdversary::Rules(vec![
+            MessageRule::drop(10),
+            MessageRule::duplicate(5),
+            MessageRule::corrupt(3, 7),
+        ]);
+        assert_eq!(adv.describe(), "drop10+dup5+corrupt3b7");
+        assert!(!adv.is_none());
+        assert_eq!(adv.rules().len(), 3);
+        assert!(MessageAdversary::None.is_none());
+    }
+
+    #[test]
+    fn corrupt_u64_respects_bound() {
+        let mut rng = SplitMix64::new(1);
+        for bound in [1u64, 3, 100] {
+            for _ in 0..200 {
+                let old = rng.below(1_000);
+                let mut v = old;
+                let changed = corrupt_u64(&mut v, bound, &mut rng);
+                assert!(v.abs_diff(old) <= bound, "moved {old} -> {v} past {bound}");
+                assert_eq!(changed, v != old);
+            }
+        }
+        let mut v = 5u64;
+        assert!(!corrupt_u64(&mut v, 0, &mut rng));
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn default_corrupt_is_noop() {
+        struct Opaque;
+        impl Corruptible for Opaque {}
+        let mut rng = SplitMix64::new(2);
+        assert!(!Opaque.corrupt(100, &mut rng));
+        assert!(!().corrupt(100, &mut rng));
+    }
+
+    #[test]
+    fn small_int_corruption_stays_in_range() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let old = rng.below(200) as u8;
+            let mut v = old;
+            v.corrupt(1_000, &mut rng);
+            assert!(u64::from(v.abs_diff(old)) <= 1_000);
+        }
+    }
+
+    #[test]
+    fn route_effects_clean() {
+        assert!(RouteEffects::default().is_clean());
+        assert!(!RouteEffects {
+            dropped: true,
+            ..Default::default()
+        }
+        .is_clean());
+    }
+}

@@ -232,8 +232,11 @@ pub fn forward_ops<M1, M2>(ctx: &mut Ctx<'_, M2>, ops: Vec<Op<M1>>, mut f: impl 
 /// block — `wait until` conditions are expressed by returning and
 /// re-checking guards on later activations.
 pub trait Automaton {
-    /// The message alphabet of the algorithm.
-    type Msg: Clone + std::fmt::Debug;
+    /// The message alphabet of the algorithm. The
+    /// [`Corruptible`](crate::adversary::Corruptible) bound is what lets
+    /// the message adversary mutate payloads in flight; alphabets with
+    /// nothing to corrupt use the empty impl (a no-op).
+    type Msg: Clone + std::fmt::Debug + crate::adversary::Corruptible;
 
     /// Called once at time zero (before any delivery), unless the process
     /// crashed initially.

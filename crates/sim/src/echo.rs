@@ -42,6 +42,16 @@ pub enum EchoMsg<M> {
     },
 }
 
+impl<M: crate::adversary::Corruptible> crate::adversary::Corruptible for EchoMsg<M> {
+    /// Corruption reaches the wrapped payload — the echo-based rb runs over
+    /// plain channels, so (unlike the axiomatic rb) it *is* attackable.
+    fn corrupt(&mut self, bound: u64, rng: &mut crate::rng::SplitMix64) -> bool {
+        match self {
+            EchoMsg::Plain(m) | EchoMsg::Echo { payload: m, .. } => m.corrupt(bound, rng),
+        }
+    }
+}
+
 /// Wraps an automaton, implementing its reliable broadcasts with the echo
 /// algorithm over plain channels.
 ///

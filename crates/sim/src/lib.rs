@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod automaton;
 pub mod echo;
 pub mod event;
@@ -68,6 +69,9 @@ pub mod shm;
 pub mod time;
 pub mod trace;
 
+pub use adversary::{
+    corrupt_u64, Corruptible, MessageAdversary, MessageRule, RouteEffects, RuleAction,
+};
 pub use automaton::{forward_ops, Automaton, Ctx, Op};
 pub use echo::{EchoMsg, EchoRb};
 pub use event::{

@@ -9,6 +9,7 @@
 //! adversaries of Theorems 8–11 are expressed ("all messages sent by the
 //! processes of `E` between τ and τ₁ are delayed until after τ₁").
 
+use crate::adversary::{Corruptible, MessageAdversary, RouteEffects, RuleAction};
 use crate::event::{EventKind, Scheduler};
 use crate::id::{PSet, ProcessId};
 use crate::rng::SplitMix64;
@@ -113,41 +114,165 @@ impl DelayRule {
     }
 }
 
-/// The network: computes delivery times.
+/// The network: computes delivery times and applies the message adversary.
 #[derive(Clone, Debug)]
 pub struct Network {
     delay: DelayModel,
     rules: Vec<DelayRule>,
     rng: SplitMix64,
+    adversary: MessageAdversary,
+    /// The adversary's own stream (salt `0xADE5` off the run's root seed):
+    /// enabling rules never perturbs the delay draws of the messages that
+    /// still get through.
+    adv_rng: SplitMix64,
+}
+
+/// Draws one delivery time from `delay` + `rules` using `rng` — the shared
+/// core of [`Network::delivery_time`] and the duplicate-copy scheduling
+/// (which draws from the adversary stream instead of the delay stream).
+fn sample_delivery(
+    delay: &DelayModel,
+    rules: &[DelayRule],
+    rng: &mut SplitMix64,
+    from: ProcessId,
+    to: ProcessId,
+    sent_at: Time,
+) -> Time {
+    let mut at = sent_at + delay.sample(rng);
+    for r in rules {
+        if r.applies(from, to, sent_at) && at < r.deliver_not_before {
+            // Deterministic small jitter past the release point keeps
+            // releases from synchronizing into one mega-tick.
+            at = r.deliver_not_before + rng.range(0, 3);
+        }
+    }
+    at
 }
 
 impl Network {
-    /// Creates a network with the given base delay model, adversary rules,
-    /// and a dedicated RNG stream.
+    /// Creates a network with the given base delay model, delay-adversary
+    /// rules, and a dedicated RNG stream. The message adversary starts as
+    /// [`MessageAdversary::None`]; see [`Network::with_adversary`].
     pub fn new(delay: DelayModel, rules: Vec<DelayRule>, rng: SplitMix64) -> Self {
-        Network { delay, rules, rng }
+        let adv_rng = rng.stream(0xADE5);
+        Network {
+            delay,
+            rules,
+            rng,
+            adversary: MessageAdversary::None,
+            adv_rng,
+        }
+    }
+
+    /// Installs a message adversary with its own RNG stream (builder
+    /// style). The runtime derives `rng` as `root.stream(0xADE5)`.
+    pub fn with_adversary(mut self, adversary: MessageAdversary, rng: SplitMix64) -> Self {
+        self.adversary = adversary;
+        self.adv_rng = rng;
+        self
+    }
+
+    /// The installed message adversary.
+    pub fn adversary(&self) -> &MessageAdversary {
+        &self.adversary
     }
 
     /// Delivery time for a message `from → to` sent at `sent_at`.
     pub fn delivery_time(&mut self, from: ProcessId, to: ProcessId, sent_at: Time) -> Time {
-        let mut at = sent_at + self.delay.sample(&mut self.rng);
-        for r in &self.rules {
-            if r.applies(from, to, sent_at) && at < r.deliver_not_before {
-                // Deterministic small jitter past the release point keeps
-                // releases from synchronizing into one mega-tick.
-                at = r.deliver_not_before + self.rng.range(0, 3);
-            }
-        }
-        at
+        sample_delivery(&self.delay, &self.rules, &mut self.rng, from, to, sent_at)
     }
 
-    /// Routes a message event: draws its delivery time and schedules `kind`
-    /// for `to` on the given [`Scheduler`]. This is the runtime's send
-    /// path; the trait bound keeps the network agnostic of which queue
-    /// implementation a run chose while staying statically dispatched
-    /// (`?Sized` also admits `&mut dyn Scheduler<M>` where a trait object
-    /// is genuinely needed).
-    pub fn route<M, Q: Scheduler<M> + ?Sized>(
+    /// Routes a message event: draws its delivery time, applies the message
+    /// adversary, and schedules `kind` for `to` on the given [`Scheduler`].
+    /// This is the runtime's send path for *plain* channels; the trait
+    /// bound keeps the network agnostic of which queue implementation a run
+    /// chose while staying statically dispatched (`?Sized` also admits
+    /// `&mut dyn Scheduler<M>` where a trait object is genuinely needed).
+    ///
+    /// Returns what the adversary did ([`RouteEffects::default`] on the
+    /// clean path). With [`MessageAdversary::None`] this is draw-for-draw
+    /// identical to the pre-adversary simulator.
+    ///
+    /// The delay draw happens before the adversary is consulted, even for
+    /// messages that end up dropped — so the delivered subset keeps exactly
+    /// the delivery times it would have had in the clean run.
+    pub fn route<M: Clone + Corruptible, Q: Scheduler<M> + ?Sized>(
+        &mut self,
+        queue: &mut Q,
+        from: ProcessId,
+        to: ProcessId,
+        sent_at: Time,
+        kind: EventKind<M>,
+    ) -> RouteEffects {
+        if self.adversary.is_none() {
+            let at = self.delivery_time(from, to, sent_at);
+            queue.push(at, to, kind);
+            return RouteEffects::default();
+        }
+        let at = self.delivery_time(from, to, sent_at);
+        let mut kind = kind;
+        let mut fx = RouteEffects::default();
+        {
+            // Disjoint-field borrows: rules read-only, adversary stream
+            // mutable. One `chance` draw per in-scope rule per message, in
+            // rule order — the determinism contract of the dropped set.
+            let Network {
+                adversary, adv_rng, ..
+            } = self;
+            for rule in adversary.rules() {
+                if !rule.applies(from, to, sent_at) || !adv_rng.chance(rule.pct as u64, 100) {
+                    continue;
+                }
+                match rule.action {
+                    RuleAction::Drop => {
+                        // Lost: nothing is scheduled, later rules are moot,
+                        // and earlier duplications/corruptions of this
+                        // message are moot too — only the drop is reported.
+                        return RouteEffects {
+                            dropped: true,
+                            ..RouteEffects::default()
+                        };
+                    }
+                    RuleAction::Duplicate => fx.duplicated = true,
+                    RuleAction::Corrupt { bound } => {
+                        // Only plain deliveries carry corruptible payloads
+                        // here: rb deliveries never reach route() at all
+                        // (route_protected), keeping the rb exemption
+                        // structural rather than incidental.
+                        let changed = match &mut kind {
+                            EventKind::Deliver { msg, .. } => msg.corrupt(bound, adv_rng),
+                            _ => false,
+                        };
+                        fx.corrupted |= changed;
+                    }
+                }
+            }
+        }
+        if fx.duplicated {
+            // The copy's delay comes from the adversary stream, so the
+            // next regular message's delay draw is unaffected. Pushed
+            // after the original: at equal delivery times the original
+            // keeps the smaller sequence number.
+            let copy = kind.clone();
+            queue.push(at, to, kind);
+            let Network {
+                delay,
+                rules,
+                adv_rng,
+                ..
+            } = self;
+            let dup_at = sample_delivery(delay, rules, adv_rng, from, to, sent_at);
+            queue.push(dup_at, to, copy);
+        } else {
+            queue.push(at, to, kind);
+        }
+        fx
+    }
+
+    /// Routes a message event on a channel the adversary cannot touch — the
+    /// runtime's path for reliable-broadcast deliveries, whose axioms (no
+    /// loss, no alteration, no duplication) are a premise of the model.
+    pub fn route_protected<M, Q: Scheduler<M> + ?Sized>(
         &mut self,
         queue: &mut Q,
         from: ProcessId,
@@ -244,6 +369,186 @@ mod tests {
             let b = cal.pop().unwrap();
             assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
         }
+    }
+
+    #[test]
+    fn adversary_none_routes_identically_to_the_plain_path() {
+        // The fast path and an empty-rule adversary must both be
+        // draw-for-draw identical to the pre-adversary network.
+        let mut plain = Network::new(DelayModel::Uniform { lo: 1, hi: 9 }, vec![], rng());
+        let mut none = Network::new(DelayModel::Uniform { lo: 1, hi: 9 }, vec![], rng())
+            .with_adversary(MessageAdversary::None, SplitMix64::new(77));
+        use crate::event::EventQueue;
+        let mut q1: EventQueue<u64> = EventQueue::new();
+        let mut q2: EventQueue<u64> = EventQueue::new();
+        for i in 0..100u64 {
+            let from = ProcessId(i as usize % 4);
+            let to = ProcessId((i as usize + 1) % 4);
+            let fx = plain.route(
+                &mut q1,
+                from,
+                to,
+                Time(i),
+                EventKind::Deliver { from, msg: i },
+            );
+            assert!(fx.is_clean());
+            let fx = none.route(
+                &mut q2,
+                from,
+                to,
+                Time(i),
+                EventKind::Deliver { from, msg: i },
+            );
+            assert!(fx.is_clean());
+        }
+        for _ in 0..100 {
+            let a = q1.pop().unwrap();
+            let b = q2.pop().unwrap();
+            assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+        }
+    }
+
+    #[test]
+    fn drop_rule_loses_messages_deterministically() {
+        use crate::event::EventQueue;
+        let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::drop(40)]);
+        let run = || {
+            let mut net = Network::new(DelayModel::Fixed(3), vec![], rng())
+                .with_adversary(adv.clone(), SplitMix64::new(5).stream(0xADE5));
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut dropped = Vec::new();
+            for i in 0..200u64 {
+                let fx = net.route(
+                    &mut q,
+                    ProcessId(0),
+                    ProcessId(1),
+                    Time(i),
+                    EventKind::Deliver {
+                        from: ProcessId(0),
+                        msg: i,
+                    },
+                );
+                if fx.dropped {
+                    dropped.push(i);
+                }
+            }
+            let mut delivered = Vec::new();
+            while let Some(e) = q.pop() {
+                if let EventKind::Deliver { msg, .. } = e.kind {
+                    delivered.push(msg);
+                }
+            }
+            (dropped, delivered)
+        };
+        let (d1, del1) = run();
+        let (d2, del2) = run();
+        assert_eq!(d1, d2, "dropped set must be seed-deterministic");
+        assert_eq!(del1, del2);
+        assert!(!d1.is_empty(), "a 40% drop rule lost nothing in 200 sends");
+        assert_eq!(d1.len() + del1.len(), 200);
+    }
+
+    #[test]
+    fn duplicate_rule_schedules_a_second_copy() {
+        use crate::event::EventQueue;
+        let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::duplicate(100)]);
+        let mut net = Network::new(DelayModel::Fixed(2), vec![], rng())
+            .with_adversary(adv, SplitMix64::new(9));
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let fx = net.route(
+            &mut q,
+            ProcessId(0),
+            ProcessId(1),
+            Time(10),
+            EventKind::Deliver {
+                from: ProcessId(0),
+                msg: 42,
+            },
+        );
+        assert!(fx.duplicated && !fx.dropped && !fx.corrupted);
+        assert_eq!(q.len(), 2);
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert!(a.at <= b.at);
+        for e in [a, b] {
+            assert!(matches!(e.kind, EventKind::Deliver { msg: 42, .. }));
+        }
+    }
+
+    #[test]
+    fn corrupt_rule_stays_within_bound() {
+        use crate::event::EventQueue;
+        let bound = 5u64;
+        let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::corrupt(100, bound)]);
+        let mut net = Network::new(DelayModel::Fixed(1), vec![], rng())
+            .with_adversary(adv, SplitMix64::new(13));
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut corrupted = 0;
+        for i in 0..100u64 {
+            let payload = 1_000 + i;
+            let fx = net.route(
+                &mut q,
+                ProcessId(0),
+                ProcessId(1),
+                Time(i),
+                EventKind::Deliver {
+                    from: ProcessId(0),
+                    msg: payload,
+                },
+            );
+            corrupted += fx.corrupted as u32;
+            let e = q.pop().unwrap();
+            let EventKind::Deliver { msg, .. } = e.kind else {
+                panic!("wrong kind")
+            };
+            assert!(msg.abs_diff(payload) <= bound, "{payload} -> {msg}");
+        }
+        assert!(corrupted > 50, "100% corruption rule fired {corrupted}/100");
+    }
+
+    #[test]
+    fn protected_route_ignores_the_adversary() {
+        use crate::event::EventQueue;
+        let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::drop(100)]);
+        let mut net = Network::new(DelayModel::Fixed(1), vec![], rng())
+            .with_adversary(adv, SplitMix64::new(3));
+        let mut q: EventQueue<u64> = EventQueue::new();
+        net.route_protected(
+            &mut q,
+            ProcessId(0),
+            ProcessId(1),
+            Time(0),
+            EventKind::RbDeliver {
+                from: ProcessId(0),
+                msg: 7,
+            },
+        );
+        assert_eq!(q.len(), 1, "rb deliveries must never be dropped");
+    }
+
+    #[test]
+    fn windowed_drop_only_fires_inside_the_window() {
+        use crate::event::EventQueue;
+        let adv = MessageAdversary::Rules(vec![
+            crate::adversary::MessageRule::drop(100).window(Time::ZERO, Time(50))
+        ]);
+        let mut net = Network::new(DelayModel::Fixed(1), vec![], rng())
+            .with_adversary(adv, SplitMix64::new(4));
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for t in [0u64, 49, 50, 100] {
+            let fx = net.route(
+                &mut q,
+                ProcessId(0),
+                ProcessId(1),
+                Time(t),
+                EventKind::Deliver {
+                    from: ProcessId(0),
+                    msg: t,
+                },
+            );
+            assert_eq!(fx.dropped, t < 50, "send at {t}");
+        }
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! [`crate::network`], under a [`FailurePattern`], recording a [`Trace`].
 //! Everything is deterministic in the `(config, pattern, seed)` triple.
 
+use crate::adversary::{MessageAdversary, RouteEffects};
 use crate::automaton::{Automaton, Ctx, Op};
 use crate::event::{EventCore, EventKind, QueueKind, Scheduler};
 use crate::failure::FailurePattern;
@@ -24,6 +25,12 @@ pub mod counter {
     pub const DELIVERED: &str = "sim.delivered";
     /// Events processed by the engine.
     pub const EVENTS: &str = "sim.events";
+    /// Messages lost by the message adversary.
+    pub const DROPPED: &str = "sim.dropped";
+    /// Messages duplicated by the message adversary.
+    pub const DUPLICATED: &str = "sim.duplicated";
+    /// Messages corrupted by the message adversary.
+    pub const CORRUPTED: &str = "sim.corrupted";
 }
 
 /// Static configuration of a run.
@@ -54,6 +61,10 @@ pub struct SimConfig {
     /// Which event-queue implementation drives the run. Both pop in the
     /// same `(at, seq)` order, so this knob never changes a trace.
     pub queue: QueueKind,
+    /// The message adversary attacking the plain channels
+    /// ([`MessageAdversary::None`] is bit-identical to no adversary at
+    /// all; reliable-broadcast deliveries are exempt by construction).
+    pub adversary: MessageAdversary,
 }
 
 impl SimConfig {
@@ -74,6 +85,7 @@ impl SimConfig {
             rb_partial_pct: 30,
             max_events: 20_000_000,
             queue: QueueKind::default(),
+            adversary: MessageAdversary::None,
         }
     }
 
@@ -86,6 +98,12 @@ impl SimConfig {
     /// Sets the event-queue implementation (builder style).
     pub fn queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Sets the message adversary (builder style).
+    pub fn adversary(mut self, adversary: MessageAdversary) -> Self {
+        self.adversary = adversary;
         self
     }
 
@@ -207,7 +225,12 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             cfg.t
         );
         let root = SplitMix64::new(cfg.seed);
-        let net = Network::new(cfg.delay.clone(), cfg.rules.clone(), root.stream(0xDE1A));
+        // The message adversary draws from its own stream (salt 0xADE5 —
+        // part of the reproducibility contract, see
+        // `fd_detectors::scenario::salt`): enabling it never perturbs the
+        // delay stream of the messages that still get through.
+        let net = Network::new(cfg.delay.clone(), cfg.rules.clone(), root.stream(0xDE1A))
+            .with_adversary(cfg.adversary.clone(), root.stream(0xADE5));
         let procs: Vec<A> = (0..cfg.n).map(|i| make(ProcessId(i))).collect();
         let mut sim = Sim {
             halted: vec![false; cfg.n],
@@ -402,6 +425,25 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         self.op_pool.push(emptied);
     }
 
+    /// Records what the adversary did to one routed message. On the clean
+    /// path (and always under [`MessageAdversary::None`]) this bumps
+    /// nothing, keeping adversary-free traces bit-identical.
+    #[inline]
+    fn note_effects(&mut self, fx: RouteEffects) {
+        if fx.is_clean() {
+            return;
+        }
+        if fx.dropped {
+            self.trace.bump(counter::DROPPED, 1);
+        }
+        if fx.duplicated {
+            self.trace.bump(counter::DUPLICATED, 1);
+        }
+        if fx.corrupted {
+            self.trace.bump(counter::CORRUPTED, 1);
+        }
+    }
+
     /// Applies the buffered operations and returns the (drained) buffer to
     /// the caller for recycling.
     fn apply_ops(&mut self, from: ProcessId, mut ops: Vec<Op<A::Msg>>) -> Vec<Op<A::Msg>> {
@@ -409,19 +451,20 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             match op {
                 Op::Send { to, msg } => {
                     self.trace.bump(counter::SENT, 1);
-                    self.net.route(
+                    let fx = self.net.route(
                         &mut self.queue,
                         from,
                         to,
                         self.now,
                         EventKind::Deliver { from, msg },
                     );
+                    self.note_effects(fx);
                 }
                 Op::Broadcast { msg } => {
                     for i in 0..self.cfg.n {
                         self.trace.bump(counter::SENT, 1);
                         let to = ProcessId(i);
-                        self.net.route(
+                        let fx = self.net.route(
                             &mut self.queue,
                             from,
                             to,
@@ -431,6 +474,7 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                                 msg: msg.clone(),
                             },
                         );
+                        self.note_effects(fx);
                     }
                 }
                 Op::RBroadcast { msg } => {
@@ -470,7 +514,9 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             PSet::full(self.cfg.n)
         };
         for to in receivers {
-            self.net.route(
+            // R-deliveries bypass the message adversary: the rb axioms (no
+            // loss, alteration, or duplication) are a premise of the model.
+            self.net.route_protected(
                 &mut self.queue,
                 from,
                 to,
@@ -687,6 +733,111 @@ mod tests {
         let mut sim = Sim::new(cfg, fp, counter, NoOracle);
         let rep = sim.run();
         assert!(!rep.trace.deciders().contains(ProcessId(1)));
+    }
+
+    #[test]
+    fn explicit_none_adversary_is_bit_identical_to_default() {
+        let run = |adv: MessageAdversary| {
+            let cfg = SimConfig::new(6, 2).seed(21).adversary(adv);
+            let fp = FailurePattern::builder(6)
+                .crash(ProcessId(1), Time(30))
+                .build();
+            let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+            let rep = sim.run();
+            (
+                rep.events,
+                rep.end,
+                rep.trace.counter(counter::SENT),
+                rep.trace.counter(counter::DELIVERED),
+                rep.trace.decisions().to_vec(),
+            )
+        };
+        let base = run(MessageAdversary::None);
+        assert_eq!(base, run(MessageAdversary::Rules(vec![])));
+    }
+
+    #[test]
+    fn drop_adversary_loses_deliveries_and_counts_them() {
+        let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::drop(30)]);
+        let run = |adv: MessageAdversary| {
+            let cfg = SimConfig::new(5, 1).seed(11).adversary(adv);
+            let fp = FailurePattern::all_correct(5);
+            let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+            sim.run()
+        };
+        let clean = run(MessageAdversary::None);
+        let attacked = run(adv.clone());
+        let dropped = attacked.trace.counter(counter::DROPPED);
+        assert!(dropped > 0, "30% drop lost nothing");
+        assert_eq!(
+            attacked.trace.counter(counter::DELIVERED) + dropped,
+            attacked.trace.counter(counter::SENT),
+            "every sent message is either delivered or counted dropped"
+        );
+        assert_eq!(clean.trace.counter(counter::DROPPED), 0);
+        // Determinism: the attacked run reproduces bit-identically.
+        let again = run(adv);
+        assert_eq!(attacked.events, again.events);
+        assert_eq!(
+            attacked.trace.counter(counter::DROPPED),
+            again.trace.counter(counter::DROPPED)
+        );
+    }
+
+    #[test]
+    fn duplicate_adversary_delivers_extra_copies() {
+        let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::duplicate(50)]);
+        let cfg = SimConfig::new(5, 1).seed(12).adversary(adv);
+        let fp = FailurePattern::all_correct(5);
+        let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+        let rep = sim.run();
+        let dup = rep.trace.counter(counter::DUPLICATED);
+        assert!(dup > 0, "50% duplication duplicated nothing");
+        assert_eq!(
+            rep.trace.counter(counter::DELIVERED),
+            rep.trace.counter(counter::SENT) + dup,
+            "each duplicate is one extra delivery"
+        );
+        // Duplicates never break the two schedulers' pop-order agreement.
+        let rerun = |queue: QueueKind| {
+            let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::duplicate(50)]);
+            let cfg = SimConfig::new(5, 1).seed(12).adversary(adv).queue(queue);
+            let mut sim = Sim::new(cfg, FailurePattern::all_correct(5), counter, NoOracle);
+            let r = sim.run();
+            (r.events, r.trace.decisions().to_vec())
+        };
+        assert_eq!(rerun(QueueKind::BinaryHeap), rerun(QueueKind::Calendar));
+    }
+
+    #[test]
+    fn rb_deliveries_survive_a_total_drop_adversary() {
+        // Everyone rb-broadcasts once; a 100% drop adversary kills every
+        // plain channel, but the axiomatic rb is exempt: every process
+        // still R-delivers and decides.
+        struct RbOnly {
+            decided: bool,
+        }
+        impl Automaton for RbOnly {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.rb_broadcast(ctx.me().0 as u64);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: u64, _ctx: &mut Ctx<'_, u64>) {}
+            fn on_rb_deliver(&mut self, _f: ProcessId, m: u64, ctx: &mut Ctx<'_, u64>) {
+                if !self.decided {
+                    self.decided = true;
+                    ctx.decide(m);
+                }
+            }
+            fn on_step(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+        }
+        let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::drop(100)]);
+        let cfg = SimConfig::new(4, 1).seed(5).adversary(adv);
+        let fp = FailurePattern::all_correct(4);
+        let mut sim = Sim::new(cfg, fp, |_| RbOnly { decided: false }, NoOracle);
+        let rep = sim.run();
+        assert_eq!(rep.trace.deciders().len(), 4);
+        assert_eq!(rep.trace.counter(counter::DROPPED), 0, "nothing plain sent");
     }
 
     #[test]

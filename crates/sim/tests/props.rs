@@ -4,8 +4,8 @@
 //! exactly.
 
 use fd_sim::{
-    CalendarQueue, DelayModel, DelayRule, EventKind, EventQueue, FailurePattern, Network, PSet,
-    ProcessId, Scheduler, SplitMix64, Time,
+    CalendarQueue, Corruptible, DelayModel, DelayRule, EventKind, EventQueue, FailurePattern,
+    MessageAdversary, MessageRule, Network, PSet, ProcessId, Scheduler, SplitMix64, Time,
 };
 
 const CASES: u64 = 128;
@@ -95,6 +95,134 @@ fn churn_patterns_are_structurally_sound() {
                 assert!(fp.is_correct(p));
                 assert!(!fp.is_alive_at(p, Time::ZERO));
             }
+        }
+    }
+}
+
+/// A popped delivery: `(at, seq, to, payload)`.
+type Popped = (Time, u64, ProcessId, u64);
+
+/// Routes `len` random messages through a fresh adversarial network into a
+/// queue, returning `(dropped ids, popped delivery sequence)`.
+fn route_case<Q: Scheduler<u64> + Default>(
+    case: u64,
+    adv: MessageAdversary,
+    len: usize,
+) -> (Vec<u64>, Vec<Popped>) {
+    let mut net = Network::new(
+        DelayModel::Uniform { lo: 1, hi: 12 },
+        vec![],
+        SplitMix64::new(case).stream(1),
+    )
+    .with_adversary(adv, SplitMix64::new(case).stream(2));
+    let mut q = Q::default();
+    let mut dropped = Vec::new();
+    let mut rng = rng_for(case, 9);
+    for i in 0..len as u64 {
+        let from = ProcessId(rng.below(5) as usize);
+        let to = ProcessId(rng.below(5) as usize);
+        let sent = Time(rng.below(300));
+        let fx = net.route(&mut q, from, to, sent, EventKind::Deliver { from, msg: i });
+        if fx.dropped {
+            dropped.push(i);
+        }
+    }
+    let mut popped = Vec::new();
+    while let Some(e) = q.pop() {
+        if let EventKind::Deliver { msg, .. } = e.kind {
+            popped.push((e.at, e.seq, e.to, msg));
+        }
+    }
+    (dropped, popped)
+}
+
+#[test]
+fn drop_rule_same_seed_same_dropped_set() {
+    // Satellite contract: the dropped message set is a pure function of the
+    // seed — across repeated runs and across queue implementations.
+    for case in 0..CASES {
+        let adv = MessageAdversary::Rules(vec![MessageRule::drop(35)]);
+        let (d1, p1) = route_case::<EventQueue<u64>>(case, adv.clone(), 150);
+        let (d2, p2) = route_case::<EventQueue<u64>>(case, adv.clone(), 150);
+        assert_eq!(d1, d2, "case {case}: dropped set not deterministic");
+        assert_eq!(p1, p2, "case {case}: surviving schedule not deterministic");
+        let (d3, _) = route_case::<CalendarQueue<u64>>(case, adv, 150);
+        assert_eq!(d1, d3, "case {case}: dropped set depends on the queue");
+        assert_eq!(d1.len() + p1.len(), 150);
+    }
+    // Across all cases the rule must actually fire somewhere.
+    let adv = MessageAdversary::Rules(vec![MessageRule::drop(35)]);
+    let (d, _) = route_case::<EventQueue<u64>>(3, adv, 150);
+    assert!(!d.is_empty());
+}
+
+#[test]
+fn duplication_never_reorders_pop_order_on_either_scheduler() {
+    // Satellite contract: with a duplication adversary in play, both
+    // scheduler implementations still pop the identical (at, seq) sequence,
+    // and that sequence is ascending.
+    for case in 0..CASES {
+        let adv = MessageAdversary::Rules(vec![MessageRule::duplicate(40)]);
+        let (_, heap) = route_case::<EventQueue<u64>>(case, adv.clone(), 120);
+        let (_, cal) = route_case::<CalendarQueue<u64>>(case, adv, 120);
+        assert_eq!(heap, cal, "case {case}: queue impls diverged under dup");
+        let mut prev: Option<(Time, u64)> = None;
+        for &(at, seq, _, _) in &heap {
+            if let Some(p) = prev {
+                assert!((at, seq) > p, "case {case}: pop order regressed");
+            }
+            prev = Some((at, seq));
+        }
+    }
+    // Duplicates must exist somewhere across the cases.
+    let adv = MessageAdversary::Rules(vec![MessageRule::duplicate(40)]);
+    let (_, popped) = route_case::<EventQueue<u64>>(1, adv, 120);
+    assert!(popped.len() > 120, "40% duplication produced no copies");
+}
+
+#[test]
+fn corruption_stays_within_declared_bound() {
+    // Satellite contract: a Corrupt{bound} rule moves a numeric payload by
+    // at most `bound`, and u64's Corruptible impl reports honestly.
+    for case in 0..CASES {
+        let bound = 1 + case % 17;
+        let mut rng = rng_for(case, 10);
+        for _ in 0..50 {
+            let old = rng.below(100_000);
+            let mut v = old;
+            let changed = v.corrupt(bound, &mut rng);
+            assert!(v.abs_diff(old) <= bound, "case {case}: {old} -> {v}");
+            assert_eq!(changed, v != old);
+        }
+        // End to end through the network: payload i moves by ≤ bound.
+        let adv = MessageAdversary::Rules(vec![MessageRule::corrupt(60, bound)]);
+        let mut net = Network::new(
+            DelayModel::Fixed(2),
+            vec![],
+            SplitMix64::new(case).stream(3),
+        )
+        .with_adversary(adv, SplitMix64::new(case).stream(4));
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..80u64 {
+            let payload = 10_000 + i * 100;
+            net.route(
+                &mut q,
+                ProcessId(0),
+                ProcessId(1),
+                Time(i),
+                EventKind::Deliver {
+                    from: ProcessId(0),
+                    msg: payload,
+                },
+            );
+            let e = q.pop().unwrap();
+            let EventKind::Deliver { msg, .. } = e.kind else {
+                panic!("wrong kind")
+            };
+            assert!(
+                msg.abs_diff(payload) <= bound,
+                "case {case}: {payload} -> {msg} breaks bound {bound}"
+            );
         }
     }
 }

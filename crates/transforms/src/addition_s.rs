@@ -164,6 +164,15 @@ pub struct Heartbeat {
     pub suspected: PSet,
 }
 
+impl fd_sim::Corruptible for Heartbeat {
+    /// The adversary may nudge the alive-counter by at most the bound —
+    /// a stale- or future-looking heartbeat, the classic failure-detector
+    /// stressor. The suspicion set stays intact (structured state).
+    fn corrupt(&mut self, bound: u64, rng: &mut fd_sim::SplitMix64) -> bool {
+        fd_sim::corrupt_u64(&mut self.count, bound, rng)
+    }
+}
+
 /// One process of the message-passing port of Figure 9.
 #[derive(Clone, Debug)]
 pub struct AdditionMp {

@@ -5,7 +5,9 @@
 pub use crate::scenario::DEFAULT_MARGIN;
 use crate::scenario::{AdditionScenario, PsiOmegaScenario, Substrate, TwoWheelsScenario};
 use crate::two_wheels::TwParams;
-pub use fd_detectors::scenario::{sample_oracle, QueueKind, SampledSlot};
+pub use fd_detectors::scenario::{
+    sample_oracle, MessageAdversary, MessageRule, QueueKind, RuleAction, SampledSlot,
+};
 use fd_detectors::scenario::{
     CrashPlan, Flavour, Runner, ScenarioReport, ScenarioSpec, SweepSummary,
 };
@@ -192,6 +194,29 @@ mod tests {
             );
             assert!(rep.check.ok, "seed {seed}: {}", rep.check);
         }
+    }
+
+    #[test]
+    fn two_wheels_tolerates_a_persistent_mild_drop_adversary() {
+        // Unlike the one-shot round broadcasts of the agreement algorithm,
+        // the wheels' tasks re-send while dissatisfied — so the built Ω_z
+        // survives a *persistent* (unwindowed) mild drop adversary. The
+        // adversary knob threads through the transform scenarios exactly
+        // like the queue knob does.
+        let params = TwParams::optimal(5, 2, 2, 1);
+        let base = TwoWheelsScenario::spec(params)
+            .gst(Time(400))
+            .max_time(Time(40_000))
+            .seed(1);
+        let sc = TwoWheelsScenario::default();
+        let clean = sc.run(&base);
+        let none = sc.run(&base.clone().adversary(MessageAdversary::None));
+        assert_eq!(clean.fingerprint(), none.fingerprint());
+        let armed = base.adversary(MessageAdversary::Rules(vec![MessageRule::drop(10)]));
+        let rep = sc.run(&armed);
+        assert!(rep.check.ok, "{}", rep.check);
+        assert!(rep.slim().counter("sim.dropped") > 0);
+        assert_eq!(rep.fingerprint(), sc.run(&armed).fingerprint());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`witness`] — *executable* renderings of the irreducibility proofs
 //!   (indistinguishable-run adversaries, boundary violations, and the
 //!   Theorem 5 lower bounds);
+//! * [`catch_up`] — the churn catch-up layer (rebroadcast / state
+//!   transfer), lifting any algorithm so late joiners recover prior-round
+//!   state — what upgrades `CrashPlan::Churn` scenarios from safety-only
+//!   to liveness;
 //! * [`scenario`] — the [`Scenario`](fd_detectors::Scenario)
 //!   implementations driving the transformations through the unified
 //!   engine;
@@ -23,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addition_s;
+pub mod catch_up;
 pub mod harness;
 pub mod inclusion;
 pub mod lower_wheel;
@@ -34,6 +39,7 @@ pub mod upper_wheel;
 pub mod witness;
 
 pub use addition_s::{AdditionMp, AdditionShm, Heartbeat};
+pub use catch_up::{CatchUp, CatchUpMsg};
 pub use harness::{
     run_addition_mp, run_addition_shm, run_psi_omega, run_two_wheels, run_two_wheels_opt,
     sample_oracle, AdditionFlavour, SampledSlot, DEFAULT_MARGIN,

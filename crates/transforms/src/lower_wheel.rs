@@ -37,6 +37,10 @@ pub enum LowerMsg {
     },
 }
 
+// `X_MOVE` carries only ids and scopes; see `TwMsg` for why structured
+// state stays adversary-transparent.
+impl fd_sim::Corruptible for LowerMsg {}
+
 /// One process of the lower wheel (Figure 5).
 #[derive(Clone, Debug)]
 pub struct LowerWheel {

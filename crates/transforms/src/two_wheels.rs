@@ -28,6 +28,15 @@ pub enum TwMsg {
     Upper(UpperMsg),
 }
 
+impl fd_sim::Corruptible for TwMsg {
+    /// Wheel messages carry process ids, scopes, and sequence numbers —
+    /// structured state whose mutation models an undecodable message, which
+    /// the drop rule already covers. The alphabet is adversary-transparent.
+    fn corrupt(&mut self, _bound: u64, _rng: &mut fd_sim::SplitMix64) -> bool {
+        false
+    }
+}
+
 /// Parameters of a two-wheels instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TwParams {

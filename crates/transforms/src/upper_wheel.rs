@@ -54,6 +54,10 @@ pub enum UpperMsg {
     },
 }
 
+// Inquiries, responses, and `L_MOVE`s carry ids, scopes, and sequence
+// numbers; see `TwMsg` for why structured state stays adversary-transparent.
+impl fd_sim::Corruptible for UpperMsg {}
+
 /// One process of the upper wheel (Figure 6).
 #[derive(Clone, Debug)]
 pub struct UpperWheel {

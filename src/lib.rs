@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod pipeline;
 
 pub use fd_core;
@@ -83,8 +84,9 @@ pub use fd_detectors::scenario::{
 };
 
 pub use fd_sim::{
-    DelayModel, DelayRule, FailurePattern, PSet, ProcessId, QueueKind, Scheduler, SimConfig, Time,
-    Trace,
+    DelayModel, DelayRule, FailurePattern, MessageAdversary, MessageRule, PSet, ProcessId,
+    QueueKind, RuleAction, Scheduler, SimConfig, Time, Trace,
 };
 
+pub use churn::ChurnKsetScenario;
 pub use pipeline::{run_pipeline, PipeMsg, PipelineScenario, WheelsPlusKset};

@@ -28,6 +28,17 @@ pub enum PipeMsg {
     Kset(KsetMsg),
 }
 
+impl fd_sim::Corruptible for PipeMsg {
+    /// Corruption reaches the embedded sub-alphabets (the wheels are
+    /// adversary-transparent; the agreement estimates are bounded-mutable).
+    fn corrupt(&mut self, bound: u64, rng: &mut fd_sim::SplitMix64) -> bool {
+        match self {
+            PipeMsg::Wheels(m) => m.corrupt(bound, rng),
+            PipeMsg::Kset(m) => m.corrupt(bound, rng),
+        }
+    }
+}
+
 /// One process running the transformation and the agreement algorithm
 /// stacked together.
 #[derive(Clone, Debug)]

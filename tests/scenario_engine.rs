@@ -10,7 +10,7 @@
 use fd_grid::fd_core::spec;
 use fd_grid::fd_core::KsetScenario;
 use fd_grid::scenario::{CrashPlan, QueueKind, Runner, Scenario, ScenarioReport, SweepSummary};
-use fd_grid::{FailurePattern, ProcessId, Time, Trace};
+use fd_grid::{FailurePattern, MessageAdversary, MessageRule, ProcessId, Time, Trace};
 
 /// Every `(n, t)` scale of the matrix keeps `t < n/2`.
 const SCALES: &[(usize, usize)] = &[(4, 1), (5, 2), (7, 3)];
@@ -225,6 +225,328 @@ fn calendar_and_heap_are_fingerprint_identical_across_grid_and_threads() {
                 "queue={} threads={threads} diverged from heap@sequential",
                 queue.name()
             );
+        }
+    }
+}
+
+mod adversary {
+    //! The message-adversary acceptance suite: the `None` differential
+    //! (PR-4's code path is bit-identical to the PR-3 engine), determinism
+    //! under threading, and the above-tolerance witnesses.
+
+    use super::*;
+
+    /// `KsetScenario` fingerprints recorded on the PR-3 engine (before the
+    /// message-adversary layer existed) for the seeded n = 5 / 9 / 13
+    /// grid below: per scale, seeds 0–3, each as (anarchic k = 2,
+    /// failure-free k = 1). If any of these moves, the adversary layer
+    /// (or a salt / draw-order change) perturbed the clean path — exactly
+    /// the silent drift this table exists to catch.
+    const PR3_DIGESTS: [u64; 24] = [
+        0x4cde60aaa105139c,
+        0x691b88ef8aae7d03,
+        0x75bdead03f0adc01,
+        0x7a78c5b05972d0da,
+        0x54231c179a6944aa,
+        0xb684e3b1aba6a196,
+        0x391e3e0c46ebf206,
+        0xf39dddf10817c498,
+        0x7311658e0b04b495,
+        0x0188791901f23516,
+        0x4f74f72a9e67c9dd,
+        0x5223f8cd5c0e44af,
+        0x112c611508dde608,
+        0xa28a989187fe9111,
+        0x74c06d0c89433139,
+        0xa89cd998a8642860,
+        0xf8f4c9444477c8c3,
+        0x08c5f03c8a2afbef,
+        0xe0f12bcdf14f9ddb,
+        0xbf9bfe57e1a7f9fa,
+        0x87cd15bfbec0e05f,
+        0xe0e227652f4783ee,
+        0x1b1221140992ba06,
+        0x067e213f6c2c1eff,
+    ];
+
+    fn pinned_grid() -> Vec<fd_grid::ScenarioSpec> {
+        let mut specs = Vec::new();
+        for &(n, t) in &[(5usize, 2usize), (9, 4), (13, 6)] {
+            for seed in 0..4 {
+                specs.push(
+                    KsetScenario::spec(n, t, 2)
+                        .gst(Time(400))
+                        .seed(seed)
+                        .max_time(Time(30_000))
+                        .crashes(CrashPlan::Anarchic { by: Time(400) }),
+                );
+                specs.push(
+                    KsetScenario::spec(n, t, 1)
+                        .gst(Time(300))
+                        .seed(seed)
+                        .max_time(Time(30_000)),
+                );
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn none_adversary_matches_recorded_pr3_digests() {
+        // Both the default spec (adversary never mentioned) and an
+        // explicitly threaded MessageAdversary::None must reproduce the
+        // PR-3 engine bit for bit.
+        let specs = pinned_grid();
+        for (variant, make) in [
+            ("default", None),
+            ("explicit_none", Some(MessageAdversary::None)),
+        ] {
+            for (spec, &want) in specs.iter().zip(PR3_DIGESTS.iter()) {
+                let spec = match &make {
+                    None => spec.clone(),
+                    Some(adv) => spec.clone().adversary(adv.clone()),
+                };
+                let got = KsetScenario.run(&spec).fingerprint();
+                assert_eq!(
+                    got, want,
+                    "{variant}: n={} seed={} diverged from the PR-3 engine",
+                    spec.n, spec.seed
+                );
+            }
+        }
+    }
+
+    /// The tentpole differential at full width: the explicit-`None` grid is
+    /// fingerprint-identical to the default grid across the mixed
+    /// n = 5 / 9 / 13 differential grid at 1 / 2 / 4 / 8 threads.
+    #[test]
+    fn none_adversary_grid_is_identical_across_threads() {
+        let specs = differential_grid();
+        let baseline: Vec<String> = Runner::sequential()
+            .grid(&KsetScenario, &specs)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        let none_specs: Vec<fd_grid::ScenarioSpec> = specs
+            .iter()
+            .map(|s| s.clone().adversary(MessageAdversary::None))
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let prints: Vec<String> = Runner::with_threads(threads)
+                .grid(&KsetScenario, &none_specs)
+                .iter()
+                .map(fingerprint)
+                .collect();
+            assert_eq!(baseline, prints, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn armed_adversary_is_deterministic_across_threads_and_queues() {
+        // An *armed* adversary (drop + dup + corrupt, windowed) is just as
+        // deterministic as the clean engine: same seed ⇒ same run, on both
+        // event cores, at any thread count.
+        let adv = MessageAdversary::Rules(vec![
+            MessageRule::drop(10).window(Time::ZERO, Time(400)),
+            MessageRule::duplicate(10).window(Time::ZERO, Time(400)),
+            MessageRule::corrupt(5, 3).window(Time::ZERO, Time(400)),
+        ]);
+        let specs: Vec<fd_grid::ScenarioSpec> = (0..12)
+            .map(|seed| {
+                KsetScenario::spec(5, 2, 2)
+                    .gst(Time(400))
+                    .seed(seed)
+                    .max_time(Time(30_000))
+                    .adversary(adv.clone())
+            })
+            .collect();
+        let baseline: Vec<String> = Runner::sequential()
+            .grid(&KsetScenario, &specs)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        for queue in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+            let queued: Vec<fd_grid::ScenarioSpec> =
+                specs.iter().map(|s| s.clone().queue(queue)).collect();
+            for threads in [2usize, 8] {
+                let prints: Vec<String> = Runner::with_threads(threads)
+                    .grid(&KsetScenario, &queued)
+                    .iter()
+                    .map(fingerprint)
+                    .collect();
+                assert_eq!(
+                    baseline,
+                    prints,
+                    "queue={} threads={threads} diverged under the armed adversary",
+                    queue.name()
+                );
+            }
+        }
+    }
+
+    /// Above-tolerance drops: a persistent 60% drop rate starves the
+    /// `n − t` quorums and the spec checker must reject — every recorded
+    /// seed is a non-termination witness (deterministic in the seed). If
+    /// one ever starts passing, the adversary's draw order moved.
+    #[test]
+    fn drop_above_tolerance_rejects_liveness() {
+        let adv = MessageAdversary::Rules(vec![MessageRule::drop(60)]);
+        for seed in [0u64, 1, 2, 5, 9, 13] {
+            let spec = KsetScenario::spec(5, 2, 1)
+                .seed(seed)
+                .max_time(Time(6_000))
+                .adversary(adv.clone());
+            let rep = KsetScenario.run(&spec);
+            assert!(
+                !rep.check.ok,
+                "seed {seed}: checker accepted a run under 60% drops: {}",
+                rep.check
+            );
+            assert!(
+                !rep.trace.deciders().is_superset(rep.fp.correct()),
+                "seed {seed}: all correct decided despite above-tolerance drops"
+            );
+            assert!(rep.slim().counter("sim.dropped") > 0, "seed {seed}");
+        }
+    }
+
+    /// Bounded corruption is outside the algorithm's *safety* tolerance:
+    /// Figure 3 has no authentication, so a corrupted estimate that gets
+    /// adopted is decided. Recorded witnesses: validity (a never-proposed
+    /// value decided) on most seeds, and on seed 1 a 1-agreement violation
+    /// with both decided values legitimate proposals.
+    #[test]
+    fn corruption_witnesses_break_validity_or_agreement() {
+        let adv = MessageAdversary::Rules(vec![MessageRule::corrupt(40, 7)]);
+        for seed in [0u64, 2, 3, 4, 5] {
+            let spec = KsetScenario::spec(5, 2, 1)
+                .seed(seed)
+                .max_time(Time(60_000))
+                .adversary(adv.clone());
+            let rep = KsetScenario.run(&spec);
+            assert!(!rep.check.ok, "seed {seed}: {}", rep.check);
+            assert!(
+                rep.check.detail.contains("validity"),
+                "seed {seed}: expected a validity witness, got {}",
+                rep.check
+            );
+        }
+        let spec = KsetScenario::spec(5, 2, 1)
+            .seed(1)
+            .max_time(Time(60_000))
+            .adversary(adv);
+        let rep = KsetScenario.run(&spec);
+        assert!(
+            rep.check.detail.contains("agreement"),
+            "seed 1: expected the agreement witness, got {}",
+            rep.check
+        );
+    }
+}
+
+mod churn_catch_up {
+    //! Churn catch-up regressions at the engine level: the liveness
+    //! upgrade, its edge cases, and the safety-only negative control.
+
+    use super::*;
+    use fd_grid::ChurnKsetScenario;
+
+    fn base_spec(seed: u64) -> fd_grid::ScenarioSpec {
+        ChurnKsetScenario::spec(6, 2, 1)
+            .gst(Time(300))
+            .seed(seed)
+            .max_time(Time(60_000))
+            .crashes(CrashPlan::Churn {
+                crash_by: Time(150),
+                rejoin_after: 500,
+            })
+    }
+
+    #[test]
+    fn catch_up_upgrades_churn_to_liveness() {
+        for seed in 0..6 {
+            let rep = ChurnKsetScenario.run(&base_spec(seed));
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert!(
+                rep.trace.deciders().is_superset(rep.fp.correct()),
+                "seed {seed}: a correct process (joiners included) never decided"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_catch_up_keeps_the_safety_only_verdict() {
+        // No spurious liveness claims: the envelope scores the bare run as
+        // safety-only, and the run itself demonstrates the hole (for these
+        // seeds the joiners miss the pre-join decisions and never decide).
+        for seed in 0..6 {
+            let rep = ChurnKsetScenario.run(&base_spec(seed).catch_up(false));
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert!(
+                rep.check.detail.contains("liveness not claimed"),
+                "seed {seed}: {}",
+                rep.check
+            );
+        }
+    }
+
+    #[test]
+    fn rejoin_at_or_past_horizon_stays_safe() {
+        // The joiners never activate: catch-up must not manufacture a
+        // liveness claim out of processes that cannot run, so the check
+        // fails honestly under Liveness and the run stays safe.
+        let spec = ChurnKsetScenario::spec(6, 2, 1)
+            .gst(Time(300))
+            .seed(3)
+            .max_time(Time(2_000))
+            .crashes(CrashPlan::Churn {
+                crash_by: Time(100),
+                rejoin_after: 5_000,
+            });
+        let rep = ChurnKsetScenario.run(&spec);
+        assert!(
+            !rep.check.ok,
+            "joiners past the horizon cannot satisfy liveness: {}",
+            rep.check
+        );
+        assert!(rep.check.detail.contains("never decided"), "{}", rep.check);
+        // The same run is fine on safety-only terms.
+        let safe = ChurnKsetScenario.run(&spec.catch_up(false));
+        assert!(safe.check.ok, "{}", safe.check);
+    }
+
+    #[test]
+    fn rejoin_after_zero_joins_at_the_crash_instant() {
+        // rejoin_after = 0: each fresh id starts exactly when its partner
+        // crashes. Catch-up handles the "nothing to miss" case (crash at
+        // time > 0) and the at-zero collapse (not a late joiner at all).
+        for seed in 0..4 {
+            let spec = ChurnKsetScenario::spec(6, 2, 1)
+                .gst(Time(300))
+                .seed(seed)
+                .max_time(Time(60_000))
+                .crashes(CrashPlan::Churn {
+                    crash_by: Time(150),
+                    rejoin_after: 0,
+                });
+            let rep = ChurnKsetScenario.run(&spec);
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert!(
+                rep.trace.deciders().is_superset(rep.fp.correct()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_catch_up_is_fingerprint_deterministic() {
+        for seed in 0..4 {
+            let spec = base_spec(seed);
+            let a = ChurnKsetScenario.run(&spec);
+            let b = ChurnKsetScenario.run(&spec);
+            assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}");
+            let heap = ChurnKsetScenario.run(&spec.clone().queue(QueueKind::BinaryHeap));
+            assert_eq!(a.fingerprint(), heap.fingerprint(), "seed {seed}");
         }
     }
 }
