@@ -99,6 +99,39 @@ fn backlog<Q: Scheduler<u64>>(mut q: Q) -> u64 {
     acc
 }
 
+/// The deep-day storm: one broadcast-sized batch of same-tick events per
+/// pop round, pushing single buckets far past the promotion threshold —
+/// the regime PR 3's calendar collapsed in at n = 128 and the in-bucket
+/// heap promotion now covers.
+fn deep_day<Q: Scheduler<u64>>(mut q: Q) -> u64 {
+    let mut rng = SplitMix64::new(11);
+    let mut now = 0u64;
+    let mut acc = 0u64;
+    for _ in 0..2_000 {
+        // Fan-out 128 into a 10-tick band, like an n=128 broadcast.
+        for i in 0..128u64 {
+            let at = now + rng.range(1, 10);
+            q.push(
+                Time(at),
+                ProcessId((i % 128) as usize),
+                EventKind::Deliver {
+                    from: ProcessId(0),
+                    msg: at,
+                },
+            );
+        }
+        for _ in 0..128 {
+            let e = q.pop().expect("deep_day never drains mid-round");
+            now = e.at.ticks();
+            acc = acc.wrapping_add(e.seq);
+        }
+    }
+    while let Some(e) = q.pop() {
+        acc = acc.wrapping_add(e.seq);
+    }
+    acc
+}
+
 fn main() {
     let mut suite = Suite::new("event_core");
     // Interleave the two cores across seeds so drift cancels; assert the
@@ -133,6 +166,14 @@ fn main() {
     );
     suite.bench("backlog/calendar", || backlog(CalendarQueue::<u64>::new()));
     suite.bench("backlog/binary_heap", || backlog(EventQueue::<u64>::new()));
+    suite.bench(
+        "deep_day/calendar",
+        || deep_day(CalendarQueue::<u64>::new()),
+    );
+    suite.bench(
+        "deep_day/binary_heap",
+        || deep_day(EventQueue::<u64>::new()),
+    );
     assert_eq!(
         balanced(CalendarQueue::<u64>::new()),
         balanced(EventQueue::<u64>::new()),
@@ -142,5 +183,10 @@ fn main() {
         backlog(CalendarQueue::<u64>::new()),
         backlog(EventQueue::<u64>::new()),
         "backlog pop orders diverged"
+    );
+    assert_eq!(
+        deep_day(CalendarQueue::<u64>::new()),
+        deep_day(EventQueue::<u64>::new()),
+        "deep_day pop orders diverged"
     );
 }

@@ -5,22 +5,29 @@
 //! event-core implementations and asserts their trace fingerprints match.
 //!
 //! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N]
-//! [-- --threads N] [-- --stream N] [-- --queue calendar|binary_heap]
-//! [-- --compare N] [-- --large N] [-- --adv N] [-- --adv-drop P]
-//! [-- --adv-dup P] [-- --baseline PATH] [-- --out PATH]`
+//! [-- --threads N] [-- --stream N] [-- --queue auto|calendar|binary_heap]
+//! [-- --compare N] [-- --large N] [-- --auto-queue N] [-- --cache N]
+//! [-- --adv N] [-- --adv-drop P] [-- --adv-dup P] [-- --baseline PATH]
+//! [-- --out PATH]`
 //!
 //! `--threads 0` (the default) uses all available cores; `--stream 0`
 //! skips the streaming demonstration; `--compare 0` skips the queue
 //! cross-check (default: 4 seeds per cell on both impls, fingerprint
 //! mismatch aborts). `--large N` runs the large-`n` (17/33/64/128) smoke
 //! leg on both event cores (default 1 seed per cell; 0 skips; fingerprint
-//! mismatch aborts). `--adv N` runs the adversary sweep leg at
-//! `--adv-drop`/`--adv-dup` percent (default 2 seeds per cell; 0 skips) —
-//! its determinism, `None`-differential, and churn catch-up gates abort on
-//! failure; its grid pass-rate is recorded, not gated (uniform drops are
-//! outside the algorithm's liveness tolerance by design). `--baseline
-//! PATH` compares per-thread `runs_per_sec` against a committed report and
-//! exits non-zero on a >30% regression.
+//! mismatch aborts). `--auto-queue N` runs the same large-`n` grid on
+//! `QueueKind::Auto` *and* both concrete queues (default 1 seed per cell;
+//! 0 skips): a fingerprint mismatch aborts, and `auto` landing more than
+//! 30% below the better concrete queue fails the run. `--cache N` runs
+//! the report-cache leg (default 1 seed per cell; 0 skips): a cold grid
+//! sweep through a fresh cache, then an overlapping warm sweep that must
+//! be bit-identical with >0 hits, or the run aborts. `--adv N` runs the
+//! adversary sweep leg at `--adv-drop`/`--adv-dup` percent (default 2
+//! seeds per cell; 0 skips) — its determinism, `None`-differential, and
+//! churn catch-up gates abort on failure; its grid pass-rate is recorded,
+//! not gated (uniform drops are outside the algorithm's liveness tolerance
+//! by design). `--baseline PATH` compares per-thread `runs_per_sec`
+//! against a committed report and exits non-zero on a >30% regression.
 
 use fd_bench::BaselineVerdict;
 use fd_detectors::scenario::{QueueKind, Runner};
@@ -48,6 +55,12 @@ fn main() {
     let large_seeds: u64 = arg_value("--large")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let auto_seeds: u64 = arg_value("--auto-queue")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let cache_seeds: u64 = arg_value("--cache")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let adv_seeds: u64 = arg_value("--adv").and_then(|v| v.parse().ok()).unwrap_or(2);
     let adv_drop: u8 = arg_value("--adv-drop")
         .and_then(|v| v.parse().ok())
@@ -56,9 +69,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
     let queue = match arg_value("--queue").as_deref() {
-        None | Some("calendar") => QueueKind::Calendar,
+        None | Some("auto") => QueueKind::Auto,
+        Some("calendar") => QueueKind::Calendar,
         Some("binary_heap") => QueueKind::BinaryHeap,
-        Some(other) => panic!("unknown --queue {other} (calendar | binary_heap)"),
+        Some(other) => panic!("unknown --queue {other} (auto | calendar | binary_heap)"),
     };
     let baseline = arg_value("--baseline");
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
@@ -117,6 +131,56 @@ fn main() {
             "queue implementations diverged on the large-n grid"
         );
         report = report.with_large_n(lg);
+    }
+    if auto_seeds > 0 {
+        let auto = fd_bench::auto_queue_comparison(auto_seeds, runner);
+        for r in &auto.rates {
+            println!(
+                "auto-queue leg ({}): {} runs — {:.1} runs/s, {:.0} events/s",
+                r.queue, auto.runs, r.runs_per_sec, r.events_per_sec,
+            );
+        }
+        assert!(
+            auto.fingerprints_equal,
+            "QueueKind::Auto diverged from the concrete queues on the large-n grid"
+        );
+        let rate_of = |name: &str| {
+            auto.rates
+                .iter()
+                .find(|r| r.queue == name)
+                .map(|r| r.runs_per_sec)
+                .unwrap_or(0.0)
+        };
+        let auto_rate = rate_of("auto");
+        let best = rate_of("calendar").max(rate_of("binary_heap"));
+        assert!(
+            auto_rate >= best * 0.70,
+            "QueueKind::Auto ({auto_rate:.1} runs/s) is more than 30% slower than the better \
+             concrete queue ({best:.1} runs/s) on the large-n grid"
+        );
+        report = report.with_auto_queue(auto);
+    }
+    if cache_seeds > 0 {
+        let leg = fd_bench::cache_leg(cache_seeds, runner);
+        println!(
+            "cache leg: {} cold runs ({} us), {} warm runs ({} us) — {} hits, {} misses, identical: {}",
+            leg.cold_runs,
+            leg.cold_wall_us,
+            leg.warm_runs,
+            leg.warm_wall_us,
+            leg.hits,
+            leg.misses,
+            leg.identical,
+        );
+        assert!(
+            leg.identical,
+            "cache-served sweep diverged from the cold sweep"
+        );
+        assert!(
+            leg.hits > 0,
+            "overlapping warm sweep produced no cache hits"
+        );
+        report = report.with_cache_leg(leg);
     }
     if adv_seeds > 0 {
         let leg = fd_bench::adversary_leg(adv_seeds, runner, adv_drop, adv_dup);

@@ -19,7 +19,8 @@ use fd_core::lower_bound;
 use fd_core::spec;
 use fd_core::{ConsensusScenario, KsetScenario};
 use fd_detectors::scenario::{
-    default_proposals, CrashPlan, Flavour, Runner, Scenario, ScenarioSpec, SweepSummary,
+    default_proposals, CrashPlan, Flavour, ReportCache, Runner, Scenario, ScenarioSpec,
+    SweepSummary,
 };
 use fd_detectors::{check, OmegaOracle, PerfectOracle, PhiOracle, Scope, SxOracle};
 use fd_grid::pipeline::PipelineScenario;
@@ -39,9 +40,13 @@ pub fn seeds(quick: bool) -> u64 {
     }
 }
 
-/// The runner every experiment sweeps with.
+/// The runner every experiment sweeps with: parallel, and backed by the
+/// process-wide [`ReportCache::global`] so overlapping grids across
+/// experiments (the E4/E10 sharing pattern) and repeated invocations of
+/// one experiment compute each `(spec, seed)` cell exactly once — a cache
+/// hit folds the stored report, bit-identical to a fresh run.
 fn runner() -> Runner {
-    Runner::parallel()
+    Runner::parallel().with_cache(ReportCache::global())
 }
 
 fn random_fp(n: usize, t: usize, seed: u64, horizon: Time) -> FailurePattern {

@@ -19,8 +19,9 @@ pub mod table;
 pub use experiments::all;
 pub use micro::{BenchResult, Suite};
 pub use sweep::{
-    adversary_leg, check_baseline, large_n_comparison, queue_comparison, representative_sweep,
-    representative_sweep_on, streaming_sweep, streaming_sweep_on, AdversaryLeg, BaselineVerdict,
-    QueueCompare, QueueRate, StreamResult, SweepBenchReport,
+    adversary_leg, auto_queue_comparison, cache_leg, check_baseline, large_n_comparison,
+    queue_comparison, representative_sweep, representative_sweep_on, streaming_sweep,
+    streaming_sweep_on, AdversaryLeg, BaselineVerdict, CacheLeg, QueueCompare, QueueRate,
+    StreamResult, SweepBenchReport,
 };
 pub use table::Table;

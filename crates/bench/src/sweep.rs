@@ -26,7 +26,8 @@
 use fd_core::harness::kset_config;
 use fd_core::KsetScenario;
 use fd_detectors::scenario::{
-    CrashPlan, MessageAdversary, MessageRule, QueueKind, Runner, Scenario, ScenarioSpec,
+    CrashPlan, MessageAdversary, MessageRule, QueueKind, ReportCache, Runner, Scenario,
+    ScenarioSpec, SweepSummary,
 };
 use fd_grid::ChurnKsetScenario;
 use fd_sim::{FailurePattern, ProcessId, Time};
@@ -165,6 +166,10 @@ pub struct SweepBenchReport {
     pub compare: Option<QueueCompare>,
     /// The large-`n` (up to 128) queue cross-check, when one was run.
     pub large_n: Option<QueueCompare>,
+    /// The `Auto` queue-heuristic leg, when one was run.
+    pub auto_queue: Option<QueueCompare>,
+    /// The report-cache leg, when one was run.
+    pub cache: Option<CacheLeg>,
     /// The adversary sweep leg, when one was run.
     pub adversary_leg: Option<AdversaryLeg>,
 }
@@ -234,21 +239,24 @@ pub fn representative_sweep_on(
         stream: None,
         compare: None,
         large_n: None,
+        auto_queue: None,
+        cache: None,
         adversary_leg: None,
     }
 }
 
-/// Drives `make_grid`'s cells once per event-queue implementation,
+/// Drives `make_grid`'s cells once per event-queue choice in `kinds`,
 /// measuring each one's throughput and cross-checking that every run's
 /// trace fingerprint is identical between them.
 fn compare_on_grid(
     runner: Runner,
+    kinds: &[QueueKind],
     make_grid: impl Fn(QueueKind) -> Vec<(String, ScenarioSpec, u64)>,
 ) -> QueueCompare {
     let mut rates = Vec::new();
     let mut prints: Vec<Vec<u64>> = Vec::new();
     let mut runs = 0;
-    for queue in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+    for &queue in kinds {
         let cells = make_grid(queue);
         let t0 = Instant::now();
         let mut fp = Vec::new();
@@ -280,7 +288,11 @@ fn compare_on_grid(
 /// fingerprint is identical between them — the bench-smoke leg of the
 /// scheduler determinism contract.
 pub fn queue_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
-    compare_on_grid(runner, |queue| grid(seeds_per_cell, queue))
+    compare_on_grid(
+        runner,
+        &[QueueKind::Calendar, QueueKind::BinaryHeap],
+        |queue| grid(seeds_per_cell, queue),
+    )
 }
 
 /// The large-`n` cells: the scales `PSet` supports but the standard grid
@@ -305,7 +317,78 @@ fn large_grid(seeds_per_cell: u64, queue: QueueKind) -> Vec<(String, ScenarioSpe
 /// fingerprint cross-check — the queue determinism contract at the scales
 /// the calendar queue's bucket resizing actually stretches.
 pub fn large_n_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
-    compare_on_grid(runner, |queue| large_grid(seeds_per_cell, queue))
+    compare_on_grid(
+        runner,
+        &[QueueKind::Calendar, QueueKind::BinaryHeap],
+        |queue| large_grid(seeds_per_cell, queue),
+    )
+}
+
+/// The `QueueKind::Auto` proving leg: the large-`n` grid (17/33/64/128)
+/// driven by `Auto` *and* by both concrete queues, with the fingerprint
+/// cross-check — so `BENCH_sweep.json` records that the per-run heuristic
+/// picks a core at least as fast as the better hand-picked one (the bin
+/// gates `auto` at no more than 30% below `max(calendar, heap)`) without
+/// ever changing a trace.
+pub fn auto_queue_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompare {
+    compare_on_grid(
+        runner,
+        &[QueueKind::Auto, QueueKind::Calendar, QueueKind::BinaryHeap],
+        |queue| large_grid(seeds_per_cell, queue),
+    )
+}
+
+/// The report-cache proving leg.
+#[derive(Clone, Debug)]
+pub struct CacheLeg {
+    /// Runs computed by the cold pass (all misses).
+    pub cold_runs: u64,
+    /// Runs requested by the warm pass (all hits on the overlap).
+    pub warm_runs: u64,
+    /// Cache hits across both passes.
+    pub hits: u64,
+    /// Cache misses across both passes (the cells actually computed).
+    pub misses: u64,
+    /// Whether the warm summaries were bit-identical to the cold ones.
+    pub identical: bool,
+    /// Wall-clock of the cold pass, microseconds (≥ 1).
+    pub cold_wall_us: u64,
+    /// Wall-clock of the warm pass, microseconds (≥ 1).
+    pub warm_wall_us: u64,
+}
+
+/// Runs the cache leg: the representative grid is swept cold through a
+/// fresh [`ReportCache`], then an *overlapping* grid — the same cells, the
+/// E4/E10 sharing pattern, but driven on the other event core to prove the
+/// cache key ignores the queue knob — is swept warm. The warm pass must be
+/// bit-identical summary for summary, compute nothing new on the overlap,
+/// and report its hits; the sweep bin gates on `identical && hits > 0`.
+pub fn cache_leg(seeds_per_cell: u64, runner: Runner) -> CacheLeg {
+    // Deliberately leaked: `Runner::with_cache` wants `'static` (that is
+    // what keeps the runner `Copy`), and the leg runs once per process.
+    let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+    let runner = runner.with_cache(cache);
+    let sweep_all = |queue: QueueKind| -> Vec<SweepSummary> {
+        grid(seeds_per_cell, queue)
+            .into_iter()
+            .map(|(_, spec, seeds)| runner.sweep_summary(&KsetScenario, &spec, 0..seeds))
+            .collect()
+    };
+    let t0 = Instant::now();
+    let cold = sweep_all(QueueKind::Calendar);
+    let cold_wall_us = (t0.elapsed().as_micros() as u64).max(1);
+    let t1 = Instant::now();
+    let warm = sweep_all(QueueKind::BinaryHeap);
+    let warm_wall_us = (t1.elapsed().as_micros() as u64).max(1);
+    CacheLeg {
+        cold_runs: cold.iter().map(|s| s.runs).sum(),
+        warm_runs: warm.iter().map(|s| s.runs).sum(),
+        hits: cache.hits(),
+        misses: cache.misses(),
+        identical: cold == warm,
+        cold_wall_us,
+        warm_wall_us,
+    }
 }
 
 /// The pre-GST drop/duplicate rule set of the adversary leg.
@@ -558,6 +641,18 @@ impl SweepBenchReport {
         self
     }
 
+    /// Attaches an `Auto`-queue leg to the report (builder style).
+    pub fn with_auto_queue(mut self, auto_queue: QueueCompare) -> Self {
+        self.auto_queue = Some(auto_queue);
+        self
+    }
+
+    /// Attaches a report-cache leg to the report (builder style).
+    pub fn with_cache_leg(mut self, cache: CacheLeg) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Attaches an adversary leg to the report (builder style).
     pub fn with_adversary_leg(mut self, leg: AdversaryLeg) -> Self {
         self.adversary_leg = Some(leg);
@@ -625,6 +720,37 @@ impl SweepBenchReport {
             }
             s.push_str("  ],\n");
         }
+        if let Some(auto) = &self.auto_queue {
+            s.push_str(&format!(
+                "  \"auto_queue_fingerprints_equal\": {},\n",
+                auto.fingerprints_equal
+            ));
+            s.push_str("  \"auto_queue\": [\n");
+            for (i, r) in auto.rates.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"impl\": \"{}\", \"runs\": {}, \"runs_per_sec\": {:.2}, \"events_per_sec\": {:.2}}}{}\n",
+                    r.queue,
+                    auto.runs,
+                    r.runs_per_sec,
+                    r.events_per_sec,
+                    if i + 1 == auto.rates.len() { "" } else { "," }
+                ));
+            }
+            s.push_str("  ],\n");
+        }
+        if let Some(c) = &self.cache {
+            s.push_str(&format!(
+                "  \"cache\": {{\"cold_runs\": {}, \"warm_runs\": {}, \"hits\": {}, \"misses\": {}, \
+                 \"identical\": {}, \"cold_wall_us\": {}, \"warm_wall_us\": {}}},\n",
+                c.cold_runs,
+                c.warm_runs,
+                c.hits,
+                c.misses,
+                c.identical,
+                c.cold_wall_us,
+                c.warm_wall_us,
+            ));
+        }
         if let Some(leg) = &self.adversary_leg {
             s.push_str(&format!(
                 "  \"adversary_leg\": {{\"adversary\": \"{}\", \"drop_pct\": {}, \"dup_pct\": {}, \
@@ -680,7 +806,6 @@ impl SweepBenchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_detectors::scenario::SweepSummary;
 
     #[test]
     fn sweep_passes_and_serializes() {
@@ -695,16 +820,50 @@ mod tests {
         assert!(rep.total_events > 0);
         assert!(rep.wall_us >= 1);
         assert!(rep.wall_ms >= 1);
-        assert_eq!(rep.queue, "calendar");
+        assert_eq!(rep.queue, "auto", "the engine default drives the grid");
         let json = rep.to_json();
         assert!(json.contains("\"runs_per_sec\""));
         assert!(json.contains("\"wall_us\""));
         assert!(json.contains("\"stream\""));
-        assert!(json.contains("\"queue\": \"calendar\""));
+        assert!(json.contains("\"queue\": \"auto\""));
         assert!(json.contains("\"queue_fingerprints_equal\": true"));
         assert!(json.contains("\"impl\": \"binary_heap\""));
         assert!(json.contains("n5_t2_k1_f0"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn auto_queue_leg_matches_and_serializes() {
+        let auto = auto_queue_comparison(1, Runner::parallel());
+        assert!(
+            auto.fingerprints_equal,
+            "Auto diverged from a concrete queue"
+        );
+        assert_eq!(auto.rates.len(), 3);
+        assert_eq!(auto.rates[0].queue, "auto");
+        let json = representative_sweep(1, Runner::sequential())
+            .with_auto_queue(auto)
+            .to_json();
+        assert!(json.contains("\"auto_queue_fingerprints_equal\": true"));
+        assert!(json.contains("\"auto_queue\": ["));
+        assert!(json.contains("\"impl\": \"auto\""));
+    }
+
+    #[test]
+    fn cache_leg_hits_and_stays_identical() {
+        let leg = cache_leg(2, Runner::parallel());
+        assert!(leg.identical, "warm summaries diverged from cold");
+        assert_eq!(leg.cold_runs, leg.warm_runs);
+        assert_eq!(
+            leg.hits, leg.warm_runs,
+            "every warm run must be served from the cache"
+        );
+        assert_eq!(leg.misses, leg.cold_runs);
+        let json = representative_sweep(1, Runner::sequential())
+            .with_cache_leg(leg)
+            .to_json();
+        assert!(json.contains("\"cache\": {"));
+        assert!(json.contains("\"identical\": true"));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 
 use crate::scenario::{run_kset_with, ConsensusScenario, KsetScenario};
 pub use fd_detectors::scenario::{
-    CrashPlan, MessageAdversary, MessageRule, QueueKind, RuleAction, ScenarioReport, ScenarioSpec,
+    CrashPlan, MessageAdversary, MessageRule, QueueKind, ReportCache, RuleAction, ScenarioReport,
+    ScenarioSpec,
 };
 use fd_detectors::scenario::{Runner, SweepSummary};
 use fd_detectors::Scenario;
@@ -230,6 +231,40 @@ mod tests {
             streamed.total_msgs,
             eager.iter().map(|r| r.metrics.msgs_sent).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn cached_kset_sweep_matches_cold_sweep_through_the_harness() {
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let cfg = kset_config(5, 2, 2)
+            .gst(Time(400))
+            .crashes(CrashPlan::Random {
+                f: 2,
+                by: Time(500),
+            });
+        let runner = fd_detectors::scenario::Runner::with_threads(2).with_cache(cache);
+        let cold = sweep_kset_summary(&cfg, 0..12, runner);
+        assert_eq!((cold.runs, cache.misses()), (12, 12));
+        // Warm, on the other event core: the cache key ignores the queue
+        // knob (the event core never changes a trace), so everything hits.
+        let warm = sweep_kset_summary(&cfg.clone().queue(QueueKind::BinaryHeap), 0..12, runner);
+        assert_eq!(warm, cold);
+        assert_eq!(cache.misses(), 12, "warm sweep recomputed a run");
+        assert_eq!(cache.hits(), 12);
+    }
+
+    #[test]
+    fn auto_queue_is_the_default_and_changes_nothing() {
+        let base = kset_config(5, 2, 2)
+            .seed(7)
+            .gst(Time(400))
+            .crashes(CrashPlan::Anarchic { by: Time(400) });
+        assert_eq!(base.queue, QueueKind::Auto);
+        let auto = run_kset_omega(&base);
+        let cal = run_kset_omega(&base.clone().queue(QueueKind::Calendar));
+        let heap = run_kset_omega(&base.clone().queue(QueueKind::BinaryHeap));
+        assert_eq!(auto.fingerprint(), cal.fingerprint());
+        assert_eq!(auto.fingerprint(), heap.fingerprint());
     }
 
     #[test]

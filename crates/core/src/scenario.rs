@@ -100,6 +100,11 @@ impl Scenario for RepeatedScenario {
         "repeated_kset"
     }
 
+    fn cache_tag(&self) -> String {
+        // The instance count is configuration outside the spec.
+        format!("repeated_kset/m={}", self.instances)
+    }
+
     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
         let fp = spec.materialize();
         let oracle = spec.build_oracle(&fp);

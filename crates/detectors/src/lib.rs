@@ -68,7 +68,7 @@ pub use perfect::PerfectOracle;
 pub use phi::{PhiAdversary, PhiOracle, PsiOracle};
 pub use scenario::{
     default_proposals, sample_oracle, BoxedOracle, CrashPlan, Flavour, Metrics, OracleChoice,
-    Runner, SampledSlot, Scenario, ScenarioReport, ScenarioSpec, SweepSummary,
+    ReportCache, Runner, SampledSlot, Scenario, ScenarioReport, ScenarioSpec, SweepSummary,
 };
 pub use scripted::{ScriptedOracle, SetSchedule};
 pub use sx::{Scope, SxAdversary, SxOracle};

@@ -50,11 +50,12 @@ use fd_sim::{
     counter, slot, Automaton, DelayModel, DelayRule, FailurePattern, FdValue, OracleSuite,
     ProcessId, ShmConfig, Sim, SimConfig, SplitMix64, SuspectPlusQuery, Time, Trace,
 };
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 // Spec authors pick their event core through the spec's `queue` knob and
 // their message adversary through `adversary`; re-export the knobs so they
@@ -445,6 +446,127 @@ impl ScenarioSpec {
     /// Materializes the crash plan for this spec.
     pub fn materialize(&self) -> FailurePattern {
         self.crashes.materialize(self.n, self.t, self.seed)
+    }
+
+    /// A stable 64-bit content digest of every run-shaping knob of this
+    /// spec *except* the seed — the spec half of a [`ReportCache`] key
+    /// (the seed is the other half, so one fingerprint covers a whole
+    /// sweep).
+    ///
+    /// Two knobs are deliberately excluded:
+    ///
+    /// * **`seed`** — it varies per run inside a sweep;
+    /// * **`queue`** — the event-queue choice never changes a trace (the
+    ///   repository's central determinism contract, enforced by the
+    ///   differential suites), so runs on the calendar queue and the heap
+    ///   are *the same run* and may share a cache entry.
+    ///
+    /// Everything else that can shape a run is folded in: sizes and grid
+    /// parameters, oracle choice, crash plan (explicit patterns by
+    /// content), delay model and delay rules, GST, horizons, the message
+    /// adversary (rules by content), and the catch-up toggle. Uses
+    /// [`DefaultHasher`], which hashes with fixed keys: stable across runs
+    /// and builds of one toolchain, but not an on-disk format.
+    pub fn fingerprint(&self) -> u64 {
+        fn flavour_tag(f: Flavour) -> u8 {
+            match f {
+                Flavour::Perpetual => 0,
+                Flavour::Eventual => 1,
+            }
+        }
+        // Exhaustive destructure, no `..` rest pattern: adding a field to
+        // `ScenarioSpec` must fail to compile here until the author
+        // decides whether it shapes runs (hash it) or is deliberately
+        // excluded like the two below — a silent omission would hand one
+        // spec's cached reports to another.
+        let ScenarioSpec {
+            n,
+            t,
+            x,
+            y,
+            z,
+            k,
+            oracle,
+            crashes,
+            delay,
+            rules,
+            gst,
+            seed: _, // the cache key's other half
+            max_time,
+            max_steps,
+            queue: _, // never changes a trace (the determinism contract)
+            adversary,
+            catch_up,
+        } = self;
+        let mut h = DefaultHasher::new();
+        (n, t, x, y, z, k).hash(&mut h);
+        match *oracle {
+            OracleChoice::None => 0u8.hash(&mut h),
+            OracleChoice::Omega => 1u8.hash(&mut h),
+            OracleChoice::Sx(f) => (2u8, flavour_tag(f)).hash(&mut h),
+            OracleChoice::Phi(f) => (3u8, flavour_tag(f)).hash(&mut h),
+            OracleChoice::Psi => 4u8.hash(&mut h),
+            OracleChoice::SxPlusPhi(f) => (5u8, flavour_tag(f)).hash(&mut h),
+            OracleChoice::Perfect(f) => (6u8, flavour_tag(f)).hash(&mut h),
+        }
+        match crashes {
+            CrashPlan::None => 0u8.hash(&mut h),
+            CrashPlan::Random { f, by } => (1u8, f, by.ticks()).hash(&mut h),
+            CrashPlan::Initial { f } => (2u8, f).hash(&mut h),
+            CrashPlan::Anarchic { by } => (3u8, by.ticks()).hash(&mut h),
+            CrashPlan::Churn {
+                crash_by,
+                rejoin_after,
+            } => (4u8, crash_by.ticks(), rejoin_after).hash(&mut h),
+            CrashPlan::Explicit(fp) => {
+                (5u8, fp.n()).hash(&mut h);
+                for p in (0..fp.n()).map(ProcessId) {
+                    fp.crash_time(p).map(|t| t.ticks()).hash(&mut h);
+                    fp.start_time(p).ticks().hash(&mut h);
+                }
+            }
+        }
+        match *delay {
+            DelayModel::Fixed(d) => (0u8, d).hash(&mut h),
+            DelayModel::Uniform { lo, hi } => (1u8, lo, hi).hash(&mut h),
+            DelayModel::Spiky {
+                lo,
+                hi,
+                spike_pct,
+                factor,
+            } => (2u8, lo, hi, spike_pct, factor).hash(&mut h),
+        }
+        rules.len().hash(&mut h);
+        for r in rules {
+            (
+                r.from.bits(),
+                r.to.bits(),
+                r.active_from.ticks(),
+                r.active_to.ticks(),
+                r.deliver_not_before.ticks(),
+            )
+                .hash(&mut h);
+        }
+        (gst.ticks(), max_time.ticks(), max_steps).hash(&mut h);
+        let adv_rules = adversary.rules();
+        (adversary.is_none(), adv_rules.len()).hash(&mut h);
+        for r in adv_rules {
+            match r.action {
+                RuleAction::Drop => 0u8.hash(&mut h),
+                RuleAction::Duplicate => 1u8.hash(&mut h),
+                RuleAction::Corrupt { bound } => (2u8, bound).hash(&mut h),
+            }
+            (
+                r.pct,
+                r.from.bits(),
+                r.to.bits(),
+                r.active_from.ticks(),
+                r.active_to.ticks(),
+            )
+                .hash(&mut h);
+        }
+        catch_up.hash(&mut h);
+        h.finish()
     }
 
     /// The message-passing simulator configuration for this spec.
@@ -917,6 +1039,141 @@ impl SlimReport {
     }
 }
 
+/// Shard count of the [`ReportCache`] (a power of two; the shard index is
+/// taken from the key hash's low bits).
+const CACHE_SHARDS: usize = 16;
+
+/// Default entry cap of a [`ReportCache`] (~a few hundred bytes per
+/// [`SlimReport`], so the default bounds the cache at low hundreds of MB).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// A content-addressed cache of completed runs, keyed on
+/// `(`[`ScenarioSpec::fingerprint`]` ⊕ scenario name, seed)` and storing
+/// [`SlimReport`]s — the constant-size currency of streaming sweeps.
+///
+/// Runs are pure functions of `(scenario, spec, seed)` (the repository's
+/// determinism contract), which is what makes caching sound: a hit returns
+/// exactly the report a fresh run would produce, bit for bit, so cached
+/// sweeps fold to bit-identical summaries while skipping the simulation
+/// entirely. Overlapping experiment grids (E4/E10-style shared cells) and
+/// repeated sweeps therefore compute each `(spec, seed)` cell once.
+///
+/// The map is sharded ([`CACHE_SHARDS`] mutexes, shard picked by key hash)
+/// so parallel sweep workers rarely contend; hit/miss tallies are atomics
+/// surfaced into `BENCH_sweep.json`. Insertion stops (deterministically —
+/// the cached *values* are pure, so skipping an insert can never change a
+/// result) once the capacity is reached.
+///
+/// **When to bypass it**: anything measuring *throughput* (the bench legs
+/// gate uncached runners), and anything whose spec mutates state outside
+/// the report — engine scenarios never do. Attach a cache explicitly via
+/// [`Runner::with_cache`]; the default runner never caches.
+#[derive(Debug)]
+pub struct ReportCache {
+    shards: Vec<Mutex<HashMap<(u64, u64), SlimReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    per_shard_capacity: usize,
+}
+
+impl Default for ReportCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReportCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache capped at `capacity` entries (rounded up to a
+    /// multiple of the shard count).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ReportCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+        }
+    }
+
+    /// The process-wide shared cache: one instance every caller (all bench
+    /// experiments, any [`Runner::with_cache`] user) can point at, so
+    /// overlapping grids in different experiments share cells.
+    pub fn global() -> &'static ReportCache {
+        static GLOBAL: OnceLock<ReportCache> = OnceLock::new();
+        GLOBAL.get_or_init(ReportCache::new)
+    }
+
+    /// The scenario-plus-spec half of a cache key: the scenario's
+    /// [`Scenario::cache_tag`] (which must cover any out-of-spec knobs)
+    /// mixed with the spec fingerprint.
+    fn salt(tag: &str, spec: &ScenarioSpec) -> u64 {
+        let mut h = DefaultHasher::new();
+        tag.hash(&mut h);
+        spec.fingerprint().hash(&mut h);
+        h.finish()
+    }
+
+    #[inline]
+    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), SlimReport>> {
+        // Mix both halves so sweeps (varying seeds) spread across shards.
+        let mix = key.0 ^ key.1.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mix as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    /// Looks up one run; tallies a hit or a miss.
+    fn lookup(&self, key: (u64, u64)) -> Option<SlimReport> {
+        let found = self.shard(key).lock().unwrap().get(&key).cloned();
+        match found {
+            Some(slim) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slim)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores one run (a no-op once the shard is at capacity).
+    fn insert(&self, key: (u64, u64), slim: SlimReport) {
+        let mut shard = self.shard(key).lock().unwrap();
+        if shard.len() < self.per_shard_capacity {
+            shard.insert(key, slim);
+        }
+    }
+
+    /// Completed-run lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a real run so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached runs.
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Drops every entry and zeroes the tallies.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
 /// One algorithm or transformation, exposed to the engine.
 ///
 /// Implementations must be deterministic in `spec.seed` and must not keep
@@ -928,19 +1185,36 @@ pub trait Scenario: Sync {
 
     /// Executes one run of the scenario under `spec`.
     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport;
+
+    /// The scenario half of a [`ReportCache`] key: must uniquely identify
+    /// this scenario *object*, including every knob it carries outside
+    /// the [`ScenarioSpec`] (the spec fingerprint and the seed are the
+    /// key's other half). The default — the scenario's name — is correct
+    /// for unit-struct scenarios; **any scenario with out-of-spec
+    /// configuration** (an ablation switch, an instance count, a flavour)
+    /// **must override this**, or differently-configured objects sharing
+    /// a name would serve each other's cached runs.
+    fn cache_tag(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// Executes scenarios: single runs, multi-seed sweeps, grid matrices —
 /// sequentially or on a thread pool, with identical results either way.
+/// Optionally consults a [`ReportCache`] for its streaming sweeps.
 #[derive(Clone, Copy, Debug)]
 pub struct Runner {
     threads: usize,
+    cache: Option<&'static ReportCache>,
 }
 
 impl Runner {
     /// A strictly sequential runner.
     pub fn sequential() -> Self {
-        Runner { threads: 1 }
+        Runner {
+            threads: 1,
+            cache: None,
+        }
     }
 
     /// A runner using all available cores.
@@ -949,6 +1223,7 @@ impl Runner {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            cache: None,
         }
     }
 
@@ -956,7 +1231,24 @@ impl Runner {
     pub fn with_threads(threads: usize) -> Self {
         Runner {
             threads: threads.max(1),
+            cache: None,
         }
+    }
+
+    /// Consults `cache` in the streaming sweeps ([`Runner::sweep_fold`] /
+    /// [`Runner::sweep_summary`]): cache-hit seeds skip the simulation and
+    /// fold the stored [`SlimReport`] — bit-identical to a cold sweep,
+    /// because runs are pure in `(scenario, spec, seed)`. Misses run and
+    /// populate the cache. The `'static` bound keeps the runner `Copy`;
+    /// use [`ReportCache::global`] or a deliberately leaked instance.
+    pub fn with_cache(mut self, cache: &'static ReportCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The cache this runner consults, if any.
+    pub fn cache(&self) -> Option<&'static ReportCache> {
+        self.cache
     }
 
     /// The worker count this runner fans out to.
@@ -1008,14 +1300,28 @@ impl Runner {
         if n == 0 {
             return init;
         }
+        // One salt per sweep: the spec fingerprint (seed-independent) mixed
+        // with the scenario name; per-run keys append the seed.
+        let cache = self
+            .cache
+            .map(|c| (c, ReportCache::salt(&scenario.cache_tag(), base)));
+        let run_one = |seed: u64| -> SlimReport {
+            if let Some((cache, salt)) = cache {
+                let key = (salt, seed);
+                if let Some(slim) = cache.lookup(key) {
+                    return slim;
+                }
+                let slim = scenario.run(&base.with_seed(seed)).slim();
+                cache.insert(key, slim.clone());
+                return slim;
+            }
+            scenario.run(&base.with_seed(seed)).slim()
+        };
         let threads = self.threads.clamp(1, n);
         if threads == 1 {
             let mut acc = init;
             for i in 0..n {
-                fold(
-                    &mut acc,
-                    scenario.run(&base.with_seed(lo + i as u64)).slim(),
-                );
+                fold(&mut acc, run_one(lo + i as u64));
             }
             return acc;
         }
@@ -1050,7 +1356,7 @@ impl Runner {
                             st = frontier_moved.wait(st).unwrap();
                         }
                     }
-                    let slim = scenario.run(&base.with_seed(lo + i as u64)).slim();
+                    let slim = run_one(lo + i as u64);
                     let mut guard = state.lock().unwrap();
                     let st = &mut *guard;
                     st.pending.insert(i, slim);
@@ -1355,10 +1661,133 @@ mod tests {
     #[test]
     fn spec_queue_knob_reaches_sim_config() {
         let spec = ScenarioSpec::new(5, 2);
-        assert_eq!(spec.queue, QueueKind::Calendar);
-        assert_eq!(spec.sim_config().queue, QueueKind::Calendar);
-        let heap = spec.queue(QueueKind::BinaryHeap);
+        assert_eq!(spec.queue, QueueKind::Auto, "Auto is the default");
+        assert_eq!(spec.sim_config().queue, QueueKind::Auto);
+        let heap = spec.clone().queue(QueueKind::BinaryHeap);
         assert_eq!(heap.sim_config().queue, QueueKind::BinaryHeap);
+        let cal = spec.queue(QueueKind::Calendar);
+        assert_eq!(cal.sim_config().queue, QueueKind::Calendar);
+    }
+
+    #[test]
+    fn spec_fingerprint_covers_the_knobs_but_not_seed_or_queue() {
+        let base = ScenarioSpec::new(7, 3).kz(2).gst(Time(500));
+        let fp = base.fingerprint();
+        // Stable across clones and reruns.
+        assert_eq!(fp, base.clone().fingerprint());
+        // Seed and queue are deliberately excluded: neither changes what a
+        // sweep computes (seed is the key's other half; the queue never
+        // changes a trace).
+        assert_eq!(fp, base.clone().seed(99).fingerprint());
+        assert_eq!(fp, base.clone().queue(QueueKind::BinaryHeap).fingerprint());
+        // Every other knob separates.
+        let variants = [
+            ScenarioSpec::new(8, 3).kz(2).gst(Time(500)),
+            base.clone().k(1),
+            base.clone().x(2),
+            base.clone().y(2),
+            base.clone().gst(Time(501)),
+            base.clone().max_time(Time(99_999)),
+            base.clone().max_steps(7),
+            base.clone().oracle(OracleChoice::Sx(Flavour::Perpetual)),
+            base.clone().oracle(OracleChoice::Sx(Flavour::Eventual)),
+            base.clone().crashes(CrashPlan::Anarchic { by: Time(50) }),
+            base.clone().crashes(CrashPlan::Initial { f: 1 }),
+            base.clone().crashes(CrashPlan::Explicit(
+                FailurePattern::builder(7)
+                    .crash(ProcessId(1), Time(9))
+                    .build(),
+            )),
+            base.clone().delay(DelayModel::Fixed(3)),
+            base.clone().rule(DelayRule::silence_until(
+                fd_sim::PSet::singleton(ProcessId(0)),
+                fd_sim::PSet::full(7),
+                Time(100),
+            )),
+            base.clone()
+                .adversary(MessageAdversary::Rules(vec![MessageRule::drop(10)])),
+            base.clone()
+                .adversary(MessageAdversary::Rules(vec![MessageRule::drop(11)])),
+            base.clone().adversary(MessageAdversary::Rules(vec![])),
+            base.clone().catch_up(true),
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(|s| s.fingerprint()).collect();
+        prints.push(fp);
+        let unique: std::collections::BTreeSet<u64> = prints.iter().copied().collect();
+        assert_eq!(unique.len(), prints.len(), "spec fingerprints collided");
+    }
+
+    /// A scenario that counts how often it actually runs — the probe for
+    /// "a cache hit never re-executes the simulation".
+    struct CountingProbe<'a>(&'a AtomicU64);
+    impl Scenario for CountingProbe<'_> {
+        fn name(&self) -> &'static str {
+            "counting_probe"
+        }
+        fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Probe.run(spec)
+        }
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_and_never_reruns() {
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let executed = AtomicU64::new(0);
+        let probe = CountingProbe(&executed);
+        let base = ScenarioSpec::new(5, 2).crashes(CrashPlan::Anarchic { by: Time(50) });
+        let cold = Runner::with_threads(4)
+            .with_cache(cache)
+            .sweep_summary(&probe, &base, 0..200);
+        assert_eq!(executed.load(Ordering::Relaxed), 200);
+        assert_eq!(cache.misses(), 200);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.entries(), 200);
+        // Warm sweep: bit-identical summary, zero new executions — and the
+        // queue knob may differ, since it never changes a run.
+        for (threads, queue) in [(1usize, QueueKind::Auto), (4, QueueKind::BinaryHeap)] {
+            let warm = Runner::with_threads(threads)
+                .with_cache(cache)
+                .sweep_summary(&probe, &base.clone().queue(queue), 0..200);
+            assert_eq!(warm, cold, "threads={threads}");
+            assert_eq!(
+                executed.load(Ordering::Relaxed),
+                200,
+                "cache hit re-ran the scenario"
+            );
+        }
+        assert_eq!(cache.hits(), 400);
+        // A different spec (or an uncached runner) does not hit.
+        let other =
+            Runner::sequential()
+                .with_cache(cache)
+                .sweep_summary(&probe, &base.clone().k(2), 0..10);
+        assert_eq!(other.runs, 10);
+        assert_eq!(executed.load(Ordering::Relaxed), 210);
+        let uncached = Runner::sequential().sweep_summary(&probe, &base, 0..10);
+        assert_eq!(uncached.runs, 10);
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            220,
+            "default runner must not cache"
+        );
+    }
+
+    #[test]
+    fn cache_capacity_caps_insertions_without_changing_results() {
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::with_capacity(16)));
+        let base = ScenarioSpec::new(5, 2);
+        let runner = Runner::sequential().with_cache(cache);
+        let a = runner.sweep_summary(&Probe, &base, 0..100);
+        assert!(
+            cache.entries() <= 32,
+            "per-shard rounding stays near the cap"
+        );
+        let b = runner.sweep_summary(&Probe, &base, 0..100);
+        assert_eq!(a, b, "capped cache must not change summaries");
+        assert!(cache.hits() > 0, "capped cache still serves what it holds");
+        cache.clear();
+        assert_eq!((cache.entries(), cache.hits(), cache.misses()), (0, 0, 0));
     }
 
     #[test]

@@ -212,6 +212,36 @@ impl RouteEffects {
     }
 }
 
+/// What the adversary did across one whole broadcast (the counted sum of
+/// the per-recipient [`RouteEffects`]): returned by
+/// [`crate::network::Network::route_broadcast`] so the runtime bumps each
+/// trace counter once per broadcast instead of once per recipient.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BroadcastEffects {
+    /// Recipients whose copy was lost.
+    pub dropped: u64,
+    /// Recipients for whom a second copy was scheduled.
+    pub duplicated: u64,
+    /// Recipients whose copy was mutated.
+    pub corrupted: u64,
+}
+
+impl BroadcastEffects {
+    /// Folds one recipient's effects into the totals.
+    #[inline]
+    pub fn absorb(&mut self, fx: RouteEffects) {
+        self.dropped += fx.dropped as u64;
+        self.duplicated += fx.duplicated as u64;
+        self.corrupted += fx.corrupted as u64;
+    }
+
+    /// Whether the adversary left the whole broadcast alone.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0 && self.duplicated == 0 && self.corrupted == 0
+    }
+}
+
 /// Payloads the adversary can corrupt in a *bounded* way.
 ///
 /// The default implementation is a no-op (`false`): a message type opts into

@@ -70,13 +70,14 @@ pub mod time;
 pub mod trace;
 
 pub use adversary::{
-    corrupt_u64, Corruptible, MessageAdversary, MessageRule, RouteEffects, RuleAction,
+    corrupt_u64, BroadcastEffects, Corruptible, MessageAdversary, MessageRule, RouteEffects,
+    RuleAction,
 };
 pub use automaton::{forward_ops, Automaton, Ctx, Op};
 pub use echo::{EchoMsg, EchoRb};
 pub use event::{
-    CalendarQueue, Event, EventCore, EventKind, EventQueue, QueueKind, Scheduler,
-    DEFAULT_BUCKET_WIDTH,
+    CalendarQueue, Event, EventCore, EventKind, EventQueue, QueueKind, Scheduler, Staged,
+    AUTO_CALENDAR_MAX_N, DEFAULT_BUCKET_WIDTH,
 };
 pub use failure::{FailurePattern, FailurePatternBuilder};
 pub use id::{PSet, PSetIter, ProcessId, MAX_PROCESSES};

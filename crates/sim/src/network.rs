@@ -9,8 +9,8 @@
 //! adversaries of Theorems 8–11 are expressed ("all messages sent by the
 //! processes of `E` between τ and τ₁ are delayed until after τ₁").
 
-use crate::adversary::{Corruptible, MessageAdversary, RouteEffects, RuleAction};
-use crate::event::{EventKind, Scheduler};
+use crate::adversary::{BroadcastEffects, Corruptible, MessageAdversary, RouteEffects, RuleAction};
+use crate::event::{EventKind, Scheduler, Staged};
 use crate::id::{PSet, ProcessId};
 use crate::rng::SplitMix64;
 use crate::time::Time;
@@ -127,9 +127,17 @@ pub struct Network {
     adv_rng: SplitMix64,
 }
 
-/// Draws one delivery time from `delay` + `rules` using `rng` — the shared
-/// core of [`Network::delivery_time`] and the duplicate-copy scheduling
-/// (which draws from the adversary stream instead of the delay stream).
+/// Draws one delivery time from `delay` + `rules` using `rng` — the *only*
+/// place a delivery time is ever sampled: [`Network::delivery_time`], every
+/// scalar and batched route path (regular copies draw from the delay
+/// stream, duplicate copies from the adversary stream), and the protected
+/// reliable-broadcast path all funnel through here. Part of the
+/// reproducibility contract: the delay draw happens *before* the message
+/// adversary is consulted (see [`Network::route_with`]), so the delivered
+/// subset of messages keeps exactly the delivery times it would have had in
+/// a clean run, and adding/removing adversary rules never shifts this
+/// stream.
+#[inline]
 fn sample_delivery(
     delay: &DelayModel,
     rules: &[DelayRule],
@@ -204,9 +212,32 @@ impl Network {
         sent_at: Time,
         kind: EventKind<M>,
     ) -> RouteEffects {
+        self.route_with(from, to, sent_at, kind, |at, to, kind| {
+            queue.push(at, to, kind)
+        })
+    }
+
+    /// The one routing core every plain-channel path shares: draws the
+    /// delivery time, applies the message adversary, and *emits* the
+    /// resulting event(s) — directly into a scheduler for the scalar
+    /// [`Network::route`], into a staging buffer for
+    /// [`Network::route_broadcast`]. Keeping it in one place is what pins
+    /// the draw-order contract down: delay draw first (from the delay
+    /// stream), then one `chance` draw per in-scope rule per message in
+    /// rule order (from the adversary stream), then one extra delay draw
+    /// per duplicate (adversary stream again).
+    #[inline]
+    fn route_with<M: Clone + Corruptible>(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        sent_at: Time,
+        kind: EventKind<M>,
+        mut emit: impl FnMut(Time, ProcessId, EventKind<M>),
+    ) -> RouteEffects {
         if self.adversary.is_none() {
             let at = self.delivery_time(from, to, sent_at);
-            queue.push(at, to, kind);
+            emit(at, to, kind);
             return RouteEffects::default();
         }
         let at = self.delivery_time(from, to, sent_at);
@@ -254,7 +285,7 @@ impl Network {
             // after the original: at equal delivery times the original
             // keeps the smaller sequence number.
             let copy = kind.clone();
-            queue.push(at, to, kind);
+            emit(at, to, kind);
             let Network {
                 delay,
                 rules,
@@ -262,10 +293,70 @@ impl Network {
                 ..
             } = self;
             let dup_at = sample_delivery(delay, rules, adv_rng, from, to, sent_at);
-            queue.push(dup_at, to, copy);
+            emit(dup_at, to, copy);
         } else {
-            queue.push(at, to, kind);
+            emit(at, to, kind);
         }
+        fx
+    }
+
+    /// Routes one broadcast of `msg` by `from` to processes `0..n`: draws
+    /// all `n` delivery delays in a single pass — draw for draw in the
+    /// exact per-recipient order the scalar [`Network::route`] loop
+    /// produces, so traces are bit-identical — stages the deliveries into
+    /// the caller-recycled `staging` buffer, and inserts them through one
+    /// [`Scheduler::push_batch`] call (one day-lookup per day on the
+    /// calendar queue, one reserve on the heap, instead of full per-push
+    /// bookkeeping `n` times).
+    ///
+    /// Returns the counted sum of what the adversary did across the
+    /// broadcast ([`BroadcastEffects::is_clean`] under
+    /// [`MessageAdversary::None`]). `staging` must arrive empty and is
+    /// drained before returning.
+    pub fn route_broadcast<M: Clone + Corruptible, Q: Scheduler<M> + ?Sized>(
+        &mut self,
+        queue: &mut Q,
+        from: ProcessId,
+        n: usize,
+        sent_at: Time,
+        msg: M,
+        staging: &mut Vec<Staged<M>>,
+    ) -> BroadcastEffects {
+        debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
+        let mut fx = BroadcastEffects::default();
+        if self.adversary.is_none() {
+            // Fast path: n delay draws back to back, no per-recipient
+            // adversary branching.
+            for i in 0..n {
+                let to = ProcessId(i);
+                let at =
+                    sample_delivery(&self.delay, &self.rules, &mut self.rng, from, to, sent_at);
+                staging.push(Staged {
+                    at,
+                    to,
+                    kind: EventKind::Deliver {
+                        from,
+                        msg: msg.clone(),
+                    },
+                });
+            }
+        } else {
+            for i in 0..n {
+                let to = ProcessId(i);
+                let one = self.route_with(
+                    from,
+                    to,
+                    sent_at,
+                    EventKind::Deliver {
+                        from,
+                        msg: msg.clone(),
+                    },
+                    |at, to, kind| staging.push(Staged { at, to, kind }),
+                );
+                fx.absorb(one);
+            }
+        }
+        queue.push_batch(staging);
         fx
     }
 
@@ -282,6 +373,35 @@ impl Network {
     ) {
         let at = self.delivery_time(from, to, sent_at);
         queue.push(at, to, kind);
+    }
+
+    /// The batched [`Network::route_protected`]: one reliable-broadcast
+    /// delivery of `msg` per process in `receivers`, delays drawn in
+    /// iteration order (identical to the scalar loop), inserted through a
+    /// single [`Scheduler::push_batch`] call. `staging` must arrive empty
+    /// and is drained before returning.
+    pub fn route_protected_batch<M: Clone, Q: Scheduler<M> + ?Sized>(
+        &mut self,
+        queue: &mut Q,
+        from: ProcessId,
+        receivers: impl IntoIterator<Item = ProcessId>,
+        sent_at: Time,
+        msg: M,
+        staging: &mut Vec<Staged<M>>,
+    ) {
+        debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
+        for to in receivers {
+            let at = sample_delivery(&self.delay, &self.rules, &mut self.rng, from, to, sent_at);
+            staging.push(Staged {
+                at,
+                to,
+                kind: EventKind::RbDeliver {
+                    from,
+                    msg: msg.clone(),
+                },
+            });
+        }
+        queue.push_batch(staging);
     }
 }
 
@@ -549,6 +669,119 @@ mod tests {
             assert_eq!(fx.dropped, t < 50, "send at {t}");
         }
         assert_eq!(q.len(), 2);
+    }
+
+    /// The batching contract at the network level: `route_broadcast` is
+    /// draw-for-draw and push-for-push identical to the historical
+    /// per-recipient `route` loop — including the RNG stream positions it
+    /// leaves behind — with and without an armed adversary, on both queue
+    /// implementations.
+    #[test]
+    fn route_broadcast_matches_the_scalar_recipient_loop() {
+        use crate::event::{CalendarQueue, EventQueue};
+        let adversaries = [
+            MessageAdversary::None,
+            MessageAdversary::Rules(vec![
+                crate::adversary::MessageRule::drop(15),
+                crate::adversary::MessageRule::duplicate(20),
+                crate::adversary::MessageRule::corrupt(25, 4),
+            ]),
+        ];
+        for adv in adversaries {
+            for n in [2usize, 5, 9, 33] {
+                let mut scalar_net = Network::new(DelayModel::default(), vec![], rng())
+                    .with_adversary(adv.clone(), SplitMix64::new(31).stream(0xADE5));
+                let mut batch_net = scalar_net.clone();
+                let mut scalar_q: EventQueue<u64> = EventQueue::new();
+                let mut batch_q: CalendarQueue<u64> = CalendarQueue::new();
+                let mut staging = Vec::new();
+                for round in 0..40u64 {
+                    let from = ProcessId(round as usize % n);
+                    let sent = Time(round * 3);
+                    let msg = 1_000 + round;
+                    let mut scalar_fx = crate::adversary::BroadcastEffects::default();
+                    for i in 0..n {
+                        scalar_fx.absorb(scalar_net.route(
+                            &mut scalar_q,
+                            from,
+                            ProcessId(i),
+                            sent,
+                            EventKind::Deliver { from, msg },
+                        ));
+                    }
+                    let batch_fx =
+                        batch_net.route_broadcast(&mut batch_q, from, n, sent, msg, &mut staging);
+                    assert!(staging.is_empty(), "staging must drain");
+                    assert_eq!(scalar_fx, batch_fx, "n={n} round={round}");
+                    // An interleaved scalar send keeps proving the stream
+                    // positions agree after every broadcast.
+                    let fx_a = scalar_net.route(
+                        &mut scalar_q,
+                        from,
+                        ProcessId((round as usize + 1) % n),
+                        sent,
+                        EventKind::Deliver { from, msg: round },
+                    );
+                    let fx_b = batch_net.route(
+                        &mut batch_q,
+                        from,
+                        ProcessId((round as usize + 1) % n),
+                        sent,
+                        EventKind::Deliver { from, msg: round },
+                    );
+                    assert_eq!(fx_a, fx_b, "n={n} round={round}");
+                }
+                loop {
+                    match (scalar_q.pop(), batch_q.pop()) {
+                        (None, None) => break,
+                        (a, b) => {
+                            let a = a.expect("scalar drained first");
+                            let b = b.expect("batch drained first");
+                            assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to), "n={n}");
+                            assert_eq!(a.kind, b.kind, "n={n}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same contract for the protected (reliable-broadcast) path.
+    #[test]
+    fn route_protected_batch_matches_the_scalar_loop() {
+        use crate::event::EventQueue;
+        let mut scalar_net = Network::new(DelayModel::default(), vec![], rng());
+        let mut batch_net = scalar_net.clone();
+        let mut scalar_q: EventQueue<u64> = EventQueue::new();
+        let mut batch_q: EventQueue<u64> = EventQueue::new();
+        let mut staging = Vec::new();
+        for round in 0..30u64 {
+            let from = ProcessId(round as usize % 7);
+            let receivers = PSet::full(7);
+            for to in receivers {
+                scalar_net.route_protected(
+                    &mut scalar_q,
+                    from,
+                    to,
+                    Time(round),
+                    EventKind::RbDeliver { from, msg: round },
+                );
+            }
+            batch_net.route_protected_batch(
+                &mut batch_q,
+                from,
+                receivers,
+                Time(round),
+                round,
+                &mut staging,
+            );
+        }
+        while let Some(a) = scalar_q.pop() {
+            let b = batch_q.pop().unwrap();
+            assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+            assert_eq!(a.kind, b.kind);
+        }
+        assert!(batch_q.pop().is_none());
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! [`crate::network`], under a [`FailurePattern`], recording a [`Trace`].
 //! Everything is deterministic in the `(config, pattern, seed)` triple.
 
-use crate::adversary::{MessageAdversary, RouteEffects};
+use crate::adversary::{BroadcastEffects, MessageAdversary, RouteEffects};
 use crate::automaton::{Automaton, Ctx, Op};
-use crate::event::{EventCore, EventKind, QueueKind, Scheduler};
+use crate::event::{EventCore, EventKind, QueueKind, Scheduler, Staged};
 use crate::failure::FailurePattern;
 use crate::id::{PSet, ProcessId};
 use crate::network::{DelayModel, DelayRule, Network};
@@ -48,7 +48,9 @@ pub struct SimConfig {
     pub delay: DelayModel,
     /// Targeted-delay adversary rules.
     pub rules: Vec<DelayRule>,
-    /// Periodic step interval bounds `[step_min, step_max]` (≥ 1).
+    /// Periodic step interval bounds `[step_min, step_max]`. Values below 1
+    /// are clamped up once at [`Sim::new`] (via [`SimConfig::normalized`]);
+    /// the per-activation draw then uses them as-is.
     pub step_min: u64,
     /// See `step_min`.
     pub step_max: u64,
@@ -124,6 +126,18 @@ impl SimConfig {
         self.rules.push(rule);
         self
     }
+
+    /// Clamps the step-interval bounds into the engine's documented domain
+    /// (`step_min ≥ 1`, `step_max ≥ 1`) — once, at construction time,
+    /// instead of re-clamping on every per-activation draw. [`Sim::new`]
+    /// applies this to whatever configuration it is handed, so degenerate
+    /// values (a hand-built `step_min = 0`) behave exactly as they always
+    /// did: as if they were 1.
+    pub fn normalized(mut self) -> Self {
+        self.step_min = self.step_min.max(1);
+        self.step_max = self.step_max.max(1);
+        self
+    }
 }
 
 /// Outcome of a run.
@@ -183,6 +197,11 @@ pub struct Sim<A: Automaton, O: OracleSuite> {
     /// activation's [`Ctx`] and takes it back (emptied) after applying the
     /// ops, so steady-state event processing allocates no `Vec<Op>`.
     op_pool: Vec<Vec<Op<A::Msg>>>,
+    /// Recycled broadcast staging buffer: every (plain or reliable)
+    /// broadcast stages its deliveries here and flushes them through one
+    /// [`Scheduler::push_batch`] call, so steady-state broadcasting
+    /// allocates nothing per recipient either.
+    staging: Vec<Staged<A::Msg>>,
     /// One independent step-schedule stream per process, so that the
     /// presence or absence of one process's events never perturbs another
     /// process's step times — a prerequisite for the indistinguishable-run
@@ -217,6 +236,8 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         mut make: impl FnMut(ProcessId) -> A,
         oracle: O,
     ) -> Self {
+        // Normalize once: every later step-delay draw uses the bounds raw.
+        let cfg = cfg.normalized();
         assert_eq!(fp.n(), cfg.n, "failure pattern size mismatch");
         assert!(
             fp.num_faulty() <= cfg.t,
@@ -237,8 +258,9 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             procs,
             oracle,
             net,
-            queue: EventCore::new(cfg.queue),
+            queue: EventCore::for_system(cfg.queue, cfg.n),
             op_pool: Vec::new(),
+            staging: Vec::with_capacity(cfg.n + 1),
             step_rngs: (0..cfg.n)
                 .map(|i| root.stream(0x57E9).stream(i as u64))
                 .collect(),
@@ -273,7 +295,8 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
     }
 
     fn next_step_delay(&mut self, p: ProcessId) -> u64 {
-        self.step_rngs[p.0].range(self.cfg.step_min.max(1), self.cfg.step_max.max(1))
+        // Bounds were normalized (≥ 1) once in `Sim::new`; no re-clamping.
+        self.step_rngs[p.0].range(self.cfg.step_min, self.cfg.step_max)
     }
 
     /// Runs until the horizon, event cap, or queue exhaustion.
@@ -444,6 +467,24 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         }
     }
 
+    /// As [`Sim::note_effects`] for a whole broadcast: the counter totals
+    /// are identical to bumping per recipient, in one call.
+    #[inline]
+    fn note_broadcast_effects(&mut self, fx: BroadcastEffects) {
+        if fx.is_clean() {
+            return;
+        }
+        if fx.dropped > 0 {
+            self.trace.bump(counter::DROPPED, fx.dropped);
+        }
+        if fx.duplicated > 0 {
+            self.trace.bump(counter::DUPLICATED, fx.duplicated);
+        }
+        if fx.corrupted > 0 {
+            self.trace.bump(counter::CORRUPTED, fx.corrupted);
+        }
+    }
+
     /// Applies the buffered operations and returns the (drained) buffer to
     /// the caller for recycling.
     fn apply_ops(&mut self, from: ProcessId, mut ops: Vec<Op<A::Msg>>) -> Vec<Op<A::Msg>> {
@@ -461,21 +502,20 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                     self.note_effects(fx);
                 }
                 Op::Broadcast { msg } => {
-                    for i in 0..self.cfg.n {
-                        self.trace.bump(counter::SENT, 1);
-                        let to = ProcessId(i);
-                        let fx = self.net.route(
-                            &mut self.queue,
-                            from,
-                            to,
-                            self.now,
-                            EventKind::Deliver {
-                                from,
-                                msg: msg.clone(),
-                            },
-                        );
-                        self.note_effects(fx);
-                    }
+                    // Batched: all n delivery delays drawn in one pass (in
+                    // the per-recipient order the old loop produced, so
+                    // traces are unchanged) and inserted through a single
+                    // `push_batch`.
+                    self.trace.bump(counter::SENT, self.cfg.n as u64);
+                    let fx = self.net.route_broadcast(
+                        &mut self.queue,
+                        from,
+                        self.cfg.n,
+                        self.now,
+                        msg,
+                        &mut self.staging,
+                    );
+                    self.note_broadcast_effects(fx);
                 }
                 Op::RBroadcast { msg } => {
                     self.trace.bump(counter::RB_SENT, 1);
@@ -513,20 +553,18 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         } else {
             PSet::full(self.cfg.n)
         };
-        for to in receivers {
-            // R-deliveries bypass the message adversary: the rb axioms (no
-            // loss, alteration, or duplication) are a premise of the model.
-            self.net.route_protected(
-                &mut self.queue,
-                from,
-                to,
-                self.now,
-                EventKind::RbDeliver {
-                    from,
-                    msg: msg.clone(),
-                },
-            );
-        }
+        // R-deliveries bypass the message adversary: the rb axioms (no
+        // loss, alteration, or duplication) are a premise of the model.
+        // Batched like plain broadcasts: delays drawn in receiver order,
+        // one `push_batch` insert.
+        self.net.route_protected_batch(
+            &mut self.queue,
+            from,
+            receivers,
+            self.now,
+            msg,
+            &mut self.staging,
+        );
     }
 }
 
@@ -733,6 +771,66 @@ mod tests {
         let mut sim = Sim::new(cfg, fp, counter, NoOracle);
         let rep = sim.run();
         assert!(!rep.trace.deciders().contains(ProcessId(1)));
+    }
+
+    /// Regression for the hoisted step clamping: a degenerate
+    /// `step_min = 0` behaves exactly as it always did under the old
+    /// per-draw `.max(1)` — i.e. as `step_min = 1` — and `Sim::new`
+    /// normalizes instead of the hot path re-clamping.
+    #[test]
+    fn degenerate_step_bounds_behave_as_before() {
+        let run = |step_min: u64, step_max: u64| {
+            let mut cfg = SimConfig::new(5, 1).seed(17);
+            cfg.step_min = step_min;
+            cfg.step_max = step_max;
+            let mut sim = Sim::new(cfg, FailurePattern::all_correct(5), counter, NoOracle);
+            let rep = sim.run();
+            (
+                rep.events,
+                rep.end,
+                rep.trace.counter(counter::SENT),
+                rep.trace.decisions().to_vec(),
+            )
+        };
+        assert_eq!(run(0, 5), run(1, 5), "step_min = 0 must act as 1");
+        assert_eq!(run(0, 0), run(1, 1), "both bounds at 0 must act as 1");
+        assert_eq!(
+            SimConfig::new(4, 1).normalized().step_min,
+            1,
+            "defaults are already normal"
+        );
+        let mut degenerate = SimConfig::new(4, 1);
+        degenerate.step_min = 0;
+        degenerate.step_max = 0;
+        let n = degenerate.normalized();
+        assert_eq!((n.step_min, n.step_max), (1, 1));
+    }
+
+    /// `QueueKind::Auto` (the default) resolves per run and never changes
+    /// a trace: small and large systems both match their explicitly chosen
+    /// concrete queue bit for bit.
+    #[test]
+    fn auto_queue_matches_both_concrete_queues() {
+        for (n, t) in [(6usize, 2usize), (40, 10)] {
+            let run = |queue: QueueKind| {
+                let cfg = SimConfig::new(n, t).seed(23).queue(queue);
+                let fp = FailurePattern::builder(n)
+                    .crash(ProcessId(0), Time(7))
+                    .build();
+                let mut sim = Sim::new(cfg, fp, counter, NoOracle);
+                let rep = sim.run();
+                (
+                    rep.events,
+                    rep.end,
+                    rep.trace.counter(counter::SENT),
+                    rep.trace.decisions().to_vec(),
+                )
+            };
+            assert_eq!(SimConfig::new(n, t).queue, QueueKind::Auto);
+            let auto = run(QueueKind::Auto);
+            assert_eq!(auto, run(QueueKind::Calendar), "n={n}");
+            assert_eq!(auto, run(QueueKind::BinaryHeap), "n={n}");
+        }
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! exactly.
 
 use fd_sim::{
-    CalendarQueue, Corruptible, DelayModel, DelayRule, EventKind, EventQueue, FailurePattern,
-    MessageAdversary, MessageRule, Network, PSet, ProcessId, Scheduler, SplitMix64, Time,
+    BroadcastEffects, CalendarQueue, Corruptible, DelayModel, DelayRule, EventKind, EventQueue,
+    FailurePattern, MessageAdversary, MessageRule, Network, PSet, ProcessId, Scheduler, SplitMix64,
+    Staged, Time,
 };
 
 const CASES: u64 = 128;
@@ -74,6 +75,112 @@ fn calendar_queue_pops_exactly_like_the_heap() {
             );
         }
         assert!(cal.pop().is_none());
+    }
+}
+
+#[test]
+fn deep_backlog_promotion_pops_exactly_like_the_heap() {
+    // The day-promotion property: an adversarial same-day backlog (random
+    // bursts into a handful of days, pushing buckets far past the
+    // promotion threshold, interleaved with pops and occasional far-future
+    // sparse days) still pops the identical (at, seq) sequence on both
+    // schedulers, for every width.
+    for case in 0..32 {
+        let mut rng = rng_for(case, 11);
+        let width = 1 + rng.below(4);
+        let mut heap: EventQueue<()> = EventQueue::new();
+        let mut cal: CalendarQueue<()> = CalendarQueue::with_width(width);
+        let mut now = 0u64;
+        for _ in 0..1_500 {
+            let burst = 1 + rng.below(6);
+            for _ in 0..burst {
+                let t = if rng.chance(1, 25) {
+                    now + rng.below(5_000)
+                } else {
+                    now + rng.below(3)
+                };
+                heap.push(Time(t), ProcessId(0), EventKind::Step);
+                cal.push(Time(t), ProcessId(0), EventKind::Step);
+            }
+            let a = heap.pop().unwrap();
+            let b = cal.pop().unwrap();
+            assert_eq!(
+                (a.at, a.seq),
+                (b.at, b.seq),
+                "case {case} (width {width}) diverged mid-backlog"
+            );
+            now = a.at.ticks();
+        }
+        while let Some(a) = heap.pop() {
+            let b = cal.pop().unwrap();
+            assert_eq!(
+                (a.at, a.seq),
+                (b.at, b.seq),
+                "case {case} diverged in drain"
+            );
+        }
+        assert!(cal.pop().is_none());
+    }
+}
+
+/// Stages a broadcast through `route_broadcast` and replays the identical
+/// sends through the scalar `route` loop on an independent network clone;
+/// both the queue contents and the adversary effect totals must agree.
+#[test]
+fn route_broadcast_equals_scalar_loop_under_every_adversary() {
+    let adversaries = || {
+        [
+            MessageAdversary::None,
+            MessageAdversary::Rules(vec![MessageRule::drop(30)]),
+            MessageAdversary::Rules(vec![
+                MessageRule::drop(10).window(Time::ZERO, Time(100)),
+                MessageRule::duplicate(30),
+                MessageRule::corrupt(20, 5),
+            ]),
+        ]
+    };
+    for case in 0..48u64 {
+        for adv in adversaries() {
+            let mut rng = rng_for(case, 12);
+            let n = 2 + rng.below(32) as usize;
+            let mut batch_net = Network::new(
+                DelayModel::Uniform { lo: 1, hi: 12 },
+                vec![],
+                SplitMix64::new(case).stream(5),
+            )
+            .with_adversary(adv.clone(), SplitMix64::new(case).stream(6));
+            let mut scalar_net = batch_net.clone();
+            let mut batch_q: CalendarQueue<u64> = CalendarQueue::new();
+            let mut scalar_q: EventQueue<u64> = EventQueue::new();
+            let mut staging: Vec<Staged<u64>> = Vec::new();
+            for round in 0..12u64 {
+                let from = ProcessId(round as usize % n);
+                let sent = Time(round * 7);
+                let batch_fx =
+                    batch_net.route_broadcast(&mut batch_q, from, n, sent, round, &mut staging);
+                let mut scalar_fx = BroadcastEffects::default();
+                for i in 0..n {
+                    scalar_fx.absorb(scalar_net.route(
+                        &mut scalar_q,
+                        from,
+                        ProcessId(i),
+                        sent,
+                        EventKind::Deliver { from, msg: round },
+                    ));
+                }
+                assert_eq!(batch_fx, scalar_fx, "case {case} round {round} n {n}");
+            }
+            assert_eq!(batch_q.len(), scalar_q.len(), "case {case} n {n}");
+            while let Some(a) = scalar_q.pop() {
+                let b = batch_q.pop().unwrap();
+                assert_eq!(
+                    (a.at, a.seq, a.to),
+                    (b.at, b.seq, b.to),
+                    "case {case} n {n}"
+                );
+                assert_eq!(a.kind, b.kind, "case {case} n {n}");
+            }
+        }
     }
 }
 

@@ -6,7 +6,7 @@ pub use crate::scenario::DEFAULT_MARGIN;
 use crate::scenario::{AdditionScenario, PsiOmegaScenario, Substrate, TwoWheelsScenario};
 use crate::two_wheels::TwParams;
 pub use fd_detectors::scenario::{
-    sample_oracle, MessageAdversary, MessageRule, QueueKind, RuleAction, SampledSlot,
+    sample_oracle, MessageAdversary, MessageRule, QueueKind, ReportCache, RuleAction, SampledSlot,
 };
 use fd_detectors::scenario::{
     CrashPlan, Flavour, Runner, ScenarioReport, ScenarioSpec, SweepSummary,
@@ -288,6 +288,47 @@ mod tests {
             eager_passes += rep.check.ok as u64;
         }
         assert_eq!(summary.passes, eager_passes);
+    }
+
+    #[test]
+    fn cached_transform_sweep_matches_cold_sweep() {
+        // The adapter layer rides the engine's report cache unchanged: a
+        // warm two-wheels sweep is summary-identical to the cold one and
+        // computes nothing new.
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let params = TwParams::optimal(5, 2, 2, 1);
+        let sweep = |runner: Runner| {
+            sweep_two_wheels_summary(
+                params,
+                CrashPlan::Anarchic { by: Time(300) },
+                Time(400),
+                0..6,
+                Time(40_000),
+                runner,
+            )
+        };
+        let cold = sweep(Runner::with_threads(2).with_cache(cache));
+        assert_eq!(cache.misses(), 6);
+        let warm = sweep(Runner::sequential().with_cache(cache));
+        assert_eq!(warm, cold);
+        assert_eq!(cache.misses(), 6, "warm sweep recomputed a run");
+        assert_eq!(cache.hits(), 6);
+    }
+
+    #[test]
+    fn auto_queue_matches_concrete_queues_through_the_harness() {
+        let params = TwParams::optimal(5, 2, 2, 1);
+        let base = TwoWheelsScenario::spec(params)
+            .crashes(CrashPlan::Anarchic { by: Time(300) })
+            .gst(Time(400))
+            .seed(3)
+            .max_time(Time(40_000));
+        assert_eq!(base.queue, QueueKind::Auto, "Auto is the spec default");
+        let auto = TwoWheelsScenario::default().run(&base.clone());
+        let cal = TwoWheelsScenario::default().run(&base.clone().queue(QueueKind::Calendar));
+        let heap = TwoWheelsScenario::default().run(&base.queue(QueueKind::BinaryHeap));
+        assert_eq!(auto.fingerprint(), cal.fingerprint());
+        assert_eq!(auto.fingerprint(), heap.fingerprint());
     }
 
     #[test]

@@ -54,6 +54,12 @@ impl Scenario for TwoWheelsScenario {
         "two_wheels"
     }
 
+    fn cache_tag(&self) -> String {
+        // The throttle is configuration *outside* the spec: the two E12
+        // ablation variants must never share cache entries.
+        format!("two_wheels/throttled={}", self.throttled)
+    }
+
     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
         let fp = spec.materialize();
         let params = TwParams {
@@ -130,6 +136,16 @@ impl Scenario for AdditionScenario {
             Substrate::MessagePassing => "addition_mp",
             Substrate::SharedMemory => "addition_shm",
         }
+    }
+
+    fn cache_tag(&self) -> String {
+        // The flavour is out-of-spec configuration (the substrate already
+        // splits the name): perpetual and eventual runs differ.
+        let flavour = match self.flavour {
+            Flavour::Perpetual => "perpetual",
+            Flavour::Eventual => "eventual",
+        };
+        format!("{}/flavour={flavour}", self.name())
     }
 
     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
@@ -270,5 +286,50 @@ mod tests {
             flavour: Flavour::Perpetual,
         };
         assert!(shm.run(&spec).check.ok);
+    }
+
+    /// Regression for the E12 cache-collision: scenario objects that share
+    /// a `name()` but differ in out-of-spec configuration (the throttle)
+    /// must not serve each other's cached runs — `cache_tag` keeps their
+    /// entries apart, so the ablation's message counts stay honest.
+    #[test]
+    fn differently_configured_scenarios_never_share_cache_entries() {
+        use fd_detectors::scenario::ReportCache;
+        let throttled = TwoWheelsScenario { throttled: true };
+        let unthrottled = TwoWheelsScenario { throttled: false };
+        assert_eq!(throttled.name(), unthrottled.name());
+        assert_ne!(throttled.cache_tag(), unthrottled.cache_tag());
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let runner = fd_detectors::scenario::Runner::sequential().with_cache(cache);
+        let spec = TwoWheelsScenario::spec(crate::two_wheels::TwParams::optimal(5, 2, 2, 0))
+            .crashes(CrashPlan::Random {
+                f: 1,
+                by: fd_sim::Time(600),
+            })
+            .gst(Time(700))
+            .max_time(Time(30_000));
+        let moves = |scenario: &TwoWheelsScenario| {
+            runner.sweep_fold(scenario, &spec, 0..4, 0u64, |acc, slim| {
+                *acc += slim.counter("lower.x_move") + slim.counter("upper.l_move")
+            })
+        };
+        let a = moves(&throttled);
+        assert_eq!(cache.misses(), 4);
+        let b = moves(&unthrottled);
+        assert_eq!(
+            cache.misses(),
+            8,
+            "the unthrottled variant must compute its own runs, not hit the throttled entries"
+        );
+        assert!(
+            b > a,
+            "paper-literal re-broadcast must send more moves than the throttled variant \
+             ({b} vs {a}) — equality means the cache served the wrong variant"
+        );
+        // Each variant still hits its own entries on a warm pass.
+        assert_eq!(moves(&throttled), a);
+        assert_eq!(moves(&unthrottled), b);
+        assert_eq!(cache.misses(), 8);
+        assert_eq!(cache.hits(), 8);
     }
 }

@@ -229,6 +229,152 @@ fn calendar_and_heap_are_fingerprint_identical_across_grid_and_threads() {
     }
 }
 
+mod batching {
+    //! The broadcast-batching acceptance suite: `Network::route_broadcast`
+    //! with `Scheduler::push_batch` (and the promoted calendar day buckets
+    //! underneath) is bit-identical to the per-recipient routing loop of
+    //! the previous engine, across scales, thread counts, and queues —
+    //! including `QueueKind::Auto`, which resolves per run and must never
+    //! change a trace.
+
+    use super::*;
+
+    /// `KsetScenario` fingerprints recorded on the *pre-batching* engine
+    /// (per-recipient `route` loop, unpromoted calendar buckets) for the
+    /// n = 33 grid below — the large-fan-out complement of
+    /// [`super::adversary::PR3_DIGESTS`], where a broadcast stages 33
+    /// deliveries per call and same-day buckets run far past the
+    /// promotion threshold. If any of these moves, batch routing (or day
+    /// promotion, or the `Auto` resolution) perturbed a draw or a pop.
+    const PRE_BATCH_N33_DIGESTS: [u64; 8] = [
+        0x4ff6a2224212ccb2,
+        0x611764dd8f5dc92a,
+        0x4bd34cdc15db096e,
+        0x5e18a66232c5a4a9,
+        0xfd754d48f291736e,
+        0xf62777da978dca71,
+        0x6ecb23a7ebddc328,
+        0x063b1ed0e4ccb5fc,
+    ];
+
+    fn n33_grid() -> Vec<fd_grid::ScenarioSpec> {
+        let mut specs = Vec::new();
+        for seed in 0..4 {
+            specs.push(
+                KsetScenario::spec(33, 16, 2)
+                    .gst(Time(400))
+                    .seed(seed)
+                    .max_time(Time(30_000))
+                    .crashes(CrashPlan::Anarchic { by: Time(400) }),
+            );
+            specs.push(
+                KsetScenario::spec(33, 16, 1)
+                    .gst(Time(300))
+                    .seed(seed)
+                    .max_time(Time(30_000)),
+            );
+        }
+        specs
+    }
+
+    #[test]
+    fn batched_broadcasts_match_recorded_pre_batching_digests() {
+        for (spec, &want) in n33_grid().iter().zip(PRE_BATCH_N33_DIGESTS.iter()) {
+            let got = KsetScenario.run(spec).fingerprint();
+            assert_eq!(
+                got, want,
+                "n=33 seed={} diverged from the per-recipient-loop engine",
+                spec.seed
+            );
+        }
+    }
+
+    /// The batched engine is fingerprint-identical across n = 5/9/13/33 at
+    /// 1/2/4/8 threads on `Auto` and both concrete queues (all compared
+    /// against the sequential binary-heap baseline).
+    #[test]
+    fn broadcast_batching_is_identical_across_scales_threads_and_queues() {
+        let mut specs = Vec::new();
+        for &(n, t) in &[(5usize, 2usize), (9, 4), (13, 6), (33, 16)] {
+            for seed in 0..2 {
+                specs.push(
+                    KsetScenario::spec(n, t, 2)
+                        .gst(Time(400))
+                        .seed(seed)
+                        .max_time(Time(30_000))
+                        .crashes(CrashPlan::Anarchic { by: Time(400) }),
+                );
+                specs.push(
+                    KsetScenario::spec(n, t, 1)
+                        .gst(Time(300))
+                        .seed(seed)
+                        .max_time(Time(30_000)),
+                );
+            }
+        }
+        let baseline: Vec<String> = Runner::sequential()
+            .grid(
+                &KsetScenario,
+                &specs
+                    .iter()
+                    .map(|s| s.clone().queue(QueueKind::BinaryHeap))
+                    .collect::<Vec<_>>(),
+            )
+            .iter()
+            .map(fingerprint)
+            .collect();
+        for queue in [QueueKind::Auto, QueueKind::Calendar, QueueKind::BinaryHeap] {
+            let queued: Vec<fd_grid::ScenarioSpec> =
+                specs.iter().map(|s| s.clone().queue(queue)).collect();
+            for threads in [1usize, 2, 4, 8] {
+                let prints: Vec<String> = Runner::with_threads(threads)
+                    .grid(&KsetScenario, &queued)
+                    .iter()
+                    .map(fingerprint)
+                    .collect();
+                assert_eq!(
+                    baseline,
+                    prints,
+                    "queue={} threads={threads} diverged from heap@sequential",
+                    queue.name()
+                );
+            }
+        }
+    }
+
+    /// Satellite (c) at the engine level, on the real algorithm: a
+    /// cache-hit sweep folds to a bit-identical `SweepSummary` and never
+    /// recomputes a run (the miss tally — i.e. actual simulations — stays
+    /// frozen across warm passes, even on the other event core).
+    #[test]
+    fn cached_kset_sweep_is_bit_identical_and_computes_nothing() {
+        use fd_grid::scenario::ReportCache;
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let base = KsetScenario::spec(5, 2, 2)
+            .gst(Time(400))
+            .max_time(Time(30_000))
+            .crashes(CrashPlan::Anarchic { by: Time(400) });
+        let cold =
+            Runner::with_threads(4)
+                .with_cache(cache)
+                .sweep_summary(&KsetScenario, &base, 0..32);
+        assert!(cold.all_pass());
+        assert_eq!((cache.misses(), cache.hits()), (32, 0));
+        for (threads, queue) in [(1usize, QueueKind::Auto), (4, QueueKind::BinaryHeap)] {
+            let warm = Runner::with_threads(threads)
+                .with_cache(cache)
+                .sweep_summary(&KsetScenario, &base.clone().queue(queue), 0..32);
+            assert_eq!(warm, cold, "threads={threads}: warm summary diverged");
+            assert_eq!(
+                cache.misses(),
+                32,
+                "threads={threads}: a cache hit re-ran the simulation"
+            );
+        }
+        assert_eq!(cache.hits(), 64);
+    }
+}
+
 mod adversary {
     //! The message-adversary acceptance suite: the `None` differential
     //! (PR-4's code path is bit-identical to the PR-3 engine), determinism
