@@ -1,0 +1,67 @@
+//! Activation-path A/B: the same representative k-set runs driven through
+//! the *generic* oracle path (`ScenarioSpec::with_oracle` resolves the
+//! oracle choice to its concrete type, so every `trusted_i` read inside
+//! the activation loop is a static call) and through the *dyn shim*
+//! (`ScenarioSpec::build_oracle` erases the oracle into a
+//! `Box<dyn OracleSuite>`, paying one vtable hop per oracle read). The two
+//! must agree bit-for-bit (asserted via trace fingerprints); the medians
+//! measure what devirtualizing the hot loop is worth on this machine.
+
+use fd_bench::Suite;
+use fd_core::{run_kset_with, KsetScenario};
+use fd_detectors::scenario::{CrashPlan, Scenario, ScenarioSpec};
+use fd_sim::Time;
+use std::hint::black_box;
+
+fn spec(seed: u64) -> ScenarioSpec {
+    KsetScenario::spec(9, 4, 2)
+        .gst(Time(400))
+        .seed(seed)
+        .crashes(CrashPlan::Random {
+            f: 4,
+            by: Time(500),
+        })
+}
+
+/// The monomorphic path: `KsetScenario::run` dispatches once through the
+/// `OracleVisitor`, then the whole simulation is instantiated at the
+/// concrete oracle type.
+fn generic_run(seed: u64) -> u64 {
+    KsetScenario.run(&spec(seed)).fingerprint()
+}
+
+/// The erased path: the same run with the oracle boxed up-front, so every
+/// oracle read inside the loop goes through the
+/// `impl OracleSuite for Box<dyn OracleSuite>` double indirection.
+fn boxed_run(seed: u64) -> u64 {
+    let spec = spec(seed);
+    let fp = spec.materialize();
+    let oracle = spec.build_oracle(&fp);
+    run_kset_with(&spec, fp, oracle).fingerprint()
+}
+
+fn main() {
+    let mut suite = Suite::new("activation");
+    // Interleave the two paths across seeds so machine drift cancels;
+    // assert the fingerprints agree while we're at it.
+    let mut generic_prints = Vec::new();
+    let mut boxed_prints = Vec::new();
+    suite.bench("kset_n9/generic", || {
+        generic_prints.clear();
+        for seed in 0..8 {
+            generic_prints.push(generic_run(seed));
+        }
+        black_box(generic_prints.len())
+    });
+    suite.bench("kset_n9/dyn_shim", || {
+        boxed_prints.clear();
+        for seed in 0..8 {
+            boxed_prints.push(boxed_run(seed));
+        }
+        black_box(boxed_prints.len())
+    });
+    assert_eq!(
+        generic_prints, boxed_prints,
+        "generic and dyn-shim activation paths disagree on the benchmarked runs"
+    );
+}

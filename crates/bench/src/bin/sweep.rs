@@ -8,7 +8,11 @@
 //! [-- --threads N] [-- --stream N] [-- --queue auto|calendar|binary_heap]
 //! [-- --compare N] [-- --large N] [-- --auto-queue N] [-- --cache N]
 //! [-- --adv N] [-- --adv-drop P] [-- --adv-dup P] [-- --baseline PATH]
-//! [-- --out PATH]`
+//! [-- --out PATH] [-- --profile]`
+//!
+//! `--profile` prints a per-phase event-count breakdown after the run:
+//! every grid cell's simulated events, plus the streaming and adversary
+//! phases — where the work actually goes, for sizing optimization targets.
 //!
 //! `--threads 0` (the default) uses all available cores; `--stream 0`
 //! skips the streaming demonstration; `--compare 0` skips the queue
@@ -75,6 +79,7 @@ fn main() {
         Some(other) => panic!("unknown --queue {other} (auto | calendar | binary_heap)"),
     };
     let baseline = arg_value("--baseline");
+    let profile = std::env::args().any(|a| a == "--profile");
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
     let runner = if threads == 0 {
         Runner::parallel()
@@ -205,6 +210,37 @@ fn main() {
             "churn without catch-up no longer scores safety-only"
         );
         report = report.with_adversary_leg(leg);
+    }
+    if profile {
+        println!("event profile (per phase):");
+        for c in &report.cells {
+            println!(
+                "  grid      {:<28} {:>12} events  ({} runs)",
+                c.label, c.events, c.runs
+            );
+        }
+        println!(
+            "  grid      {:<28} {:>12} events  ({} runs)",
+            "TOTAL", report.total_events, report.total_runs
+        );
+        if let Some(s) = &report.stream {
+            println!(
+                "  stream    {:<28} {:>12} events  ({} runs)",
+                s.cell, s.events, s.runs
+            );
+        }
+        if let Some(a) = &report.adversary_leg {
+            for c in &a.cells {
+                println!(
+                    "  adversary {:<28} {:>12} events  ({} runs)",
+                    c.label, c.events, c.runs
+                );
+            }
+            println!(
+                "  adversary {:<28} {:>12} events  ({} runs)",
+                "TOTAL", a.events, a.runs
+            );
+        }
     }
     let json = report.to_json();
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");

@@ -19,7 +19,7 @@
 //! This baseline lets the benchmarks compare the paper's `Ω_k` algorithm
 //! (at `k = 1`) against the prior consensus technology it generalizes.
 
-use fd_sim::{slot, Automaton, Ctx, FdValue, ProcessId};
+use fd_sim::{slot, Automaton, Ctx, FdValue, OracleSuite, ProcessId};
 use std::collections::HashMap;
 
 /// Message alphabet of the MR consensus algorithm.
@@ -99,7 +99,7 @@ impl ConsensusMr {
         ProcessId(((self.r as usize).saturating_sub(1)) % n)
     }
 
-    fn begin_round(&mut self, ctx: &mut Ctx<'_, MrMsg>) {
+    fn begin_round<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, MrMsg, O>) {
         self.r += 1;
         ctx.publish(slot::ROUND, FdValue::Num(self.r as u64));
         self.stage = Stage::AwaitCoord;
@@ -111,7 +111,7 @@ impl ConsensusMr {
         }
     }
 
-    fn try_advance(&mut self, ctx: &mut Ctx<'_, MrMsg>) {
+    fn try_advance<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, MrMsg, O>) {
         loop {
             match self.stage {
                 Stage::Done => return,
@@ -153,12 +153,17 @@ impl ConsensusMr {
 impl Automaton for ConsensusMr {
     type Msg = MrMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, MrMsg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, MrMsg, O>) {
         self.begin_round(ctx);
         self.try_advance(ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: MrMsg, ctx: &mut Ctx<'_, MrMsg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: MrMsg,
+        ctx: &mut Ctx<'_, MrMsg, O>,
+    ) {
         match msg {
             MrMsg::Coord { r, est } => {
                 self.coords.entry(r).or_insert(est);
@@ -174,7 +179,12 @@ impl Automaton for ConsensusMr {
         self.try_advance(ctx);
     }
 
-    fn on_rb_deliver(&mut self, _from: ProcessId, msg: MrMsg, ctx: &mut Ctx<'_, MrMsg>) {
+    fn on_rb_deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        _from: ProcessId,
+        msg: MrMsg,
+        ctx: &mut Ctx<'_, MrMsg, O>,
+    ) {
         if let MrMsg::Decision { v } = msg {
             if !self.decided {
                 self.decided = true;
@@ -185,7 +195,7 @@ impl Automaton for ConsensusMr {
         }
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, MrMsg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, MrMsg, O>) {
         // suspected_i is time-dependent: re-evaluate the phase 1 guard.
         self.try_advance(ctx);
     }

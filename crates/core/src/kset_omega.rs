@@ -23,7 +23,9 @@
 //! *zero-degrading* (§3.2): with a perfect `Ω_k` and only initial crashes
 //! it decides in a single round.
 
-use fd_sim::{slot, Automaton, Corruptible, Ctx, FdValue, PSet, ProcessId, SplitMix64};
+use fd_sim::{
+    slot, Automaton, Corruptible, Ctx, FdValue, OracleSuite, PSet, ProcessId, SplitMix64,
+};
 use std::collections::HashMap;
 
 /// Message alphabet of the Figure 3 algorithm.
@@ -144,7 +146,7 @@ impl KsetOmega {
         self.r
     }
 
-    fn read_leaders(&mut self, ctx: &mut Ctx<'_, KsetMsg>) -> PSet {
+    fn read_leaders<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, KsetMsg, O>) -> PSet {
         match self.leader_input {
             LeaderInput::Oracle => ctx.trusted(),
             LeaderInput::External => self.external_leaders,
@@ -152,7 +154,7 @@ impl KsetOmega {
     }
 
     /// Lines 03–04: enter round `r+1` and broadcast `PHASE1`.
-    fn begin_round(&mut self, ctx: &mut Ctx<'_, KsetMsg>) {
+    fn begin_round<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, KsetMsg, O>) {
         self.r += 1;
         ctx.publish(slot::ROUND, FdValue::Num(self.r as u64));
         self.li = self.read_leaders(ctx);
@@ -165,7 +167,7 @@ impl KsetOmega {
     }
 
     /// Re-evaluates the `wait until` guards; makes all enabled transitions.
-    fn try_advance(&mut self, ctx: &mut Ctx<'_, KsetMsg>) {
+    fn try_advance<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, KsetMsg, O>) {
         loop {
             match self.stage {
                 Stage::Done => return,
@@ -235,12 +237,17 @@ impl KsetOmega {
 impl Automaton for KsetOmega {
     type Msg = KsetMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, KsetMsg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, KsetMsg, O>) {
         self.begin_round(ctx);
         self.try_advance(ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: KsetMsg, ctx: &mut Ctx<'_, KsetMsg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: KsetMsg,
+        ctx: &mut Ctx<'_, KsetMsg, O>,
+    ) {
         match msg {
             KsetMsg::Phase1 { r, leaders, est } => {
                 let v = self.p1.entry(r).or_default();
@@ -261,7 +268,12 @@ impl Automaton for KsetOmega {
         self.try_advance(ctx);
     }
 
-    fn on_rb_deliver(&mut self, _from: ProcessId, msg: KsetMsg, ctx: &mut Ctx<'_, KsetMsg>) {
+    fn on_rb_deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        _from: ProcessId,
+        msg: KsetMsg,
+        ctx: &mut Ctx<'_, KsetMsg, O>,
+    ) {
         // Task T2: on R-delivery of DECISION(v), return v.
         if let KsetMsg::Decision { v } = msg {
             if !self.decided {
@@ -273,7 +285,7 @@ impl Automaton for KsetOmega {
         }
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, KsetMsg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, KsetMsg, O>) {
         // trusted_i is time-dependent: the line 06 guard and the line 03
         // re-read both need periodic re-evaluation.
         self.try_advance(ctx);

@@ -16,7 +16,9 @@
 use crate::kset_omega::{KsetMsg, KsetOmega};
 use fd_detectors::scenario::ScenarioSpec;
 use fd_detectors::CheckOutcome;
-use fd_sim::{counter, forward_ops, Automaton, Ctx, FailurePattern, Op, ProcessId, Time, Trace};
+use fd_sim::{
+    counter, forward_ops, Automaton, Ctx, FailurePattern, Op, OracleSuite, ProcessId, Time, Trace,
+};
 
 /// Message of the repeated protocol: an inner Figure 3 message tagged with
 /// its instance.
@@ -83,10 +85,10 @@ impl RepeatedKset {
     /// Runs an inner activation, filtering the inner `Halt` (the inner
     /// algorithm halts after deciding; the repeated wrapper instead
     /// advances to the next instance) and tagging outgoing messages.
-    fn run_inner(
+    fn run_inner<O: OracleSuite + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, RepMsg>,
-        f: impl FnOnce(&mut KsetOmega, &mut Ctx<'_, KsetMsg>),
+        ctx: &mut Ctx<'_, RepMsg, O>,
+        f: impl FnOnce(&mut KsetOmega, &mut Ctx<'_, KsetMsg, O>),
     ) {
         let inst = self.cur;
         let kset = &mut self.kset;
@@ -101,7 +103,7 @@ impl RepeatedKset {
 
     /// If the current instance decided, move to the next one (replaying any
     /// buffered deliveries for it).
-    fn maybe_advance(&mut self, ctx: &mut Ctx<'_, RepMsg>) {
+    fn maybe_advance<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, RepMsg, O>) {
         while self.kset.has_decided() && !self.finished {
             ctx.bump("repeated.instance_done");
             if self.cur + 1 >= self.instances {
@@ -147,7 +149,13 @@ impl RepeatedKset {
         }
     }
 
-    fn deliver(&mut self, from: ProcessId, msg: RepMsg, rb: bool, ctx: &mut Ctx<'_, RepMsg>) {
+    fn deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: RepMsg,
+        rb: bool,
+        ctx: &mut Ctx<'_, RepMsg, O>,
+    ) {
         if self.finished {
             return;
         }
@@ -172,19 +180,29 @@ impl RepeatedKset {
 impl Automaton for RepeatedKset {
     type Msg = RepMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, RepMsg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, RepMsg, O>) {
         self.run_inner(ctx, |k, ictx| k.on_start(ictx));
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: RepMsg, ctx: &mut Ctx<'_, RepMsg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: RepMsg,
+        ctx: &mut Ctx<'_, RepMsg, O>,
+    ) {
         self.deliver(from, msg, false, ctx);
     }
 
-    fn on_rb_deliver(&mut self, from: ProcessId, msg: RepMsg, ctx: &mut Ctx<'_, RepMsg>) {
+    fn on_rb_deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: RepMsg,
+        ctx: &mut Ctx<'_, RepMsg, O>,
+    ) {
         self.deliver(from, msg, true, ctx);
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, RepMsg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, RepMsg, O>) {
         if !self.finished {
             self.run_inner(ctx, |k, ictx| k.on_step(ictx));
         }

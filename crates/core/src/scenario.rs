@@ -11,7 +11,7 @@ use crate::repeated::{run_repeated_spec, RepeatedReport};
 use crate::spec;
 use fd_detectors::scenario::{
     churn_envelope, default_proposals, run_to_decision, salt, ChurnGuarantee, CrashPlan, Flavour,
-    Scenario, ScenarioReport, ScenarioSpec,
+    OracleVisitor, Scenario, ScenarioReport, ScenarioSpec,
 };
 use fd_sim::{FailurePattern, OracleSuite};
 
@@ -35,8 +35,21 @@ impl Scenario for KsetScenario {
 
     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
         let fp = spec.materialize();
-        let oracle = spec.build_oracle(&fp);
-        run_kset_with(spec, fp, oracle)
+        struct RunKset<'a> {
+            spec: &'a ScenarioSpec,
+            fp: FailurePattern,
+        }
+        impl OracleVisitor for RunKset<'_> {
+            type Out = ScenarioReport;
+            fn visit<O: OracleSuite + 'static>(self, oracle: O) -> ScenarioReport {
+                run_kset_with(self.spec, self.fp, oracle)
+            }
+        }
+        let v = RunKset {
+            spec,
+            fp: fp.clone(),
+        };
+        spec.with_oracle(&fp, v)
     }
 }
 
@@ -107,8 +120,23 @@ impl Scenario for RepeatedScenario {
 
     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
         let fp = spec.materialize();
-        let oracle = spec.build_oracle(&fp);
-        let rep: RepeatedReport = run_repeated_spec(spec, self.instances, fp, oracle);
+        struct RunRepeated<'a> {
+            spec: &'a ScenarioSpec,
+            instances: u32,
+            fp: FailurePattern,
+        }
+        impl OracleVisitor for RunRepeated<'_> {
+            type Out = RepeatedReport;
+            fn visit<O: OracleSuite + 'static>(self, oracle: O) -> RepeatedReport {
+                run_repeated_spec(self.spec, self.instances, self.fp, oracle)
+            }
+        }
+        let v = RunRepeated {
+            spec,
+            instances: self.instances,
+            fp: fp.clone(),
+        };
+        let rep = spec.with_oracle(&fp, v);
         ScenarioReport::new(self.name(), spec, rep.fp, rep.trace, rep.spec)
     }
 }

@@ -342,8 +342,8 @@ pub fn perfect_p(trace: &Trace, fp: &FailurePattern, margin: u64) -> CheckOutcom
 ///   stabilization time for `◇φ_y`);
 /// * **liveness** for fully-crashed meaningful sets in the last tenth of
 ///   the window (`true` expected there, forever).
-pub fn audit_phi(
-    oracle: &mut dyn OracleSuite,
+pub fn audit_phi<O: OracleSuite + ?Sized>(
+    oracle: &mut O,
     fp: &FailurePattern,
     t: usize,
     y: usize,

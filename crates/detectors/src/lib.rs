@@ -68,7 +68,8 @@ pub use perfect::PerfectOracle;
 pub use phi::{PhiAdversary, PhiOracle, PsiOracle};
 pub use scenario::{
     default_proposals, sample_oracle, BoxedOracle, CrashPlan, Flavour, Metrics, OracleChoice,
-    ReportCache, Runner, SampledSlot, Scenario, ScenarioReport, ScenarioSpec, SweepSummary,
+    OracleVisitor, ReportCache, Runner, SampledSlot, Scenario, ScenarioReport, ScenarioSpec,
+    SweepSummary,
 };
 pub use scripted::{ScriptedOracle, SetSchedule};
 pub use sx::{Scope, SxAdversary, SxOracle};
@@ -76,8 +77,8 @@ pub use sx::{Scope, SxAdversary, SxOracle};
 /// Samples an oracle's `trusted_i` outputs over a time grid into a trace
 /// (kept as a shorthand for [`scenario::sample_oracle`] with
 /// [`SampledSlot::Trusted`]).
-pub fn scripted_sample(
-    oracle: &mut dyn fd_sim::OracleSuite,
+pub fn scripted_sample<O: fd_sim::OracleSuite + ?Sized>(
+    oracle: &mut O,
     fp: &fd_sim::FailurePattern,
     horizon: fd_sim::Time,
     step: u64,

@@ -638,34 +638,71 @@ impl ScenarioSpec {
         }
     }
 
-    /// Builds the oracle bundle named by [`ScenarioSpec::oracle`], with the
-    /// canonical salt for each choice.
+    /// Resolves the spec's [`OracleChoice`] to its concrete oracle type
+    /// (with the canonical salt for each choice) and runs `v` with it.
     ///
-    /// [`OracleChoice::None`] yields the empty bundle
-    /// ([`fd_sim::NoOracle`]): building it succeeds, but any detector
-    /// access during the run panics — an algorithm for the pure
-    /// asynchronous model must never consult a detector.
-    pub fn build_oracle(&self, fp: &FailurePattern) -> BoxedOracle {
+    /// This is the *generic* dispatch over a runtime oracle choice:
+    /// everything the visitor runs — typically a whole [`fd_sim::Sim`] —
+    /// is monomorphized per oracle type, so detector reads inside the
+    /// activation loop stay static calls. [`ScenarioSpec::build_oracle`]
+    /// is the boxing instance of this dispatch, for callers that genuinely
+    /// need an erased bundle.
+    pub fn with_oracle<V: OracleVisitor>(&self, fp: &FailurePattern, v: V) -> V::Out {
         match self.oracle {
-            OracleChoice::None => Box::new(fd_sim::NoOracle),
-            OracleChoice::Omega => Box::new(self.omega_oracle(fp, salt::OMEGA)),
-            OracleChoice::Sx(f) => Box::new(self.sx_oracle(fp, self.x, f, salt::SX)),
-            OracleChoice::Phi(f) => Box::new(self.phi_oracle(fp, f, salt::PHI)),
-            OracleChoice::Psi => Box::new(PsiOracle::new(self.phi_oracle(
+            OracleChoice::None => v.visit(fd_sim::NoOracle),
+            OracleChoice::Omega => v.visit(self.omega_oracle(fp, salt::OMEGA)),
+            OracleChoice::Sx(f) => v.visit(self.sx_oracle(fp, self.x, f, salt::SX)),
+            OracleChoice::Phi(f) => v.visit(self.phi_oracle(fp, f, salt::PHI)),
+            OracleChoice::Psi => v.visit(PsiOracle::new(self.phi_oracle(
                 fp,
                 Flavour::Eventual,
                 salt::PSI_PHI,
             ))),
             OracleChoice::SxPlusPhi(f) => {
-                Box::new(self.sx_plus_phi(fp, f, salt::ADDITION_SX, salt::ADDITION_PHI))
+                v.visit(self.sx_plus_phi(fp, f, salt::ADDITION_SX, salt::ADDITION_PHI))
             }
-            OracleChoice::Perfect(f) => Box::new(PerfectOracle::new(
+            OracleChoice::Perfect(f) => v.visit(PerfectOracle::new(
                 fp.clone(),
                 f.scope(self.gst),
                 self.seed ^ salt::PERFECT,
             )),
         }
     }
+
+    /// Builds the oracle bundle named by [`ScenarioSpec::oracle`], erased
+    /// behind one `Box` — the [`ScenarioSpec::with_oracle`] dispatch with
+    /// the boxing visitor. Use `with_oracle` directly on hot paths; the
+    /// box pays one vtable hop per oracle read (see the
+    /// `impl OracleSuite for Box<dyn OracleSuite>` rustdoc in `fd-sim`).
+    ///
+    /// [`OracleChoice::None`] yields the empty bundle
+    /// ([`fd_sim::NoOracle`]): building it succeeds, but any detector
+    /// access during the run panics — an algorithm for the pure
+    /// asynchronous model must never consult a detector.
+    pub fn build_oracle(&self, fp: &FailurePattern) -> BoxedOracle {
+        struct BoxUp;
+        impl OracleVisitor for BoxUp {
+            type Out = BoxedOracle;
+            fn visit<O: OracleSuite + 'static>(self, oracle: O) -> BoxedOracle {
+                Box::new(oracle)
+            }
+        }
+        self.with_oracle(fp, BoxUp)
+    }
+}
+
+/// One monomorphic continuation over a runtime-chosen oracle bundle,
+/// consumed by [`ScenarioSpec::with_oracle`].
+///
+/// Implementors get called with the *concrete* oracle type named by the
+/// spec's [`OracleChoice`], so a simulation started inside `visit` keeps
+/// every oracle read statically dispatched end to end.
+pub trait OracleVisitor {
+    /// The continuation's result.
+    type Out;
+
+    /// Runs the continuation with the resolved oracle bundle.
+    fn visit<O: OracleSuite + 'static>(self, oracle: O) -> Self::Out;
 }
 
 /// The canonical proposal vector: process `p_i` proposes `100 + i`.
@@ -722,8 +759,8 @@ pub enum SampledSlot {
 /// Samples a (possibly adapted) oracle's outputs over a time grid into a
 /// trace, so the class checkers can audit the oracle itself — the engine
 /// of the grid-reduction experiments.
-pub fn sample_oracle(
-    oracle: &mut dyn OracleSuite,
+pub fn sample_oracle<O: OracleSuite + ?Sized>(
+    oracle: &mut O,
     fp: &FailurePattern,
     horizon: Time,
     step: u64,

@@ -46,17 +46,25 @@ pub enum Op<M> {
 ///
 /// Gives access to the clock, the process's identity, the system size, the
 /// failure-detector bundle, and the outgoing operation buffer.
-pub struct Ctx<'a, M> {
+///
+/// The oracle is a *generic* parameter (defaulting to `dyn OracleSuite` so
+/// hand-written harness code can keep the erased type): when the runtime
+/// instantiates `Ctx` with the concrete oracle bundle of the run, every
+/// [`Ctx::suspected`]/[`Ctx::trusted`]/[`Ctx::query`] call in the
+/// activation hot loop is a static call the compiler can inline — no
+/// vtable hop per oracle read. See `fd_sim::oracle` for where the one
+/// deliberate dynamic-dispatch boundary lives.
+pub struct Ctx<'a, M, O: OracleSuite + ?Sized = dyn OracleSuite + 'a> {
     me: ProcessId,
     n: usize,
     t: usize,
     now: Time,
-    oracle: &'a mut dyn OracleSuite,
+    oracle: &'a mut O,
     trace: &'a mut Trace,
     ops: Vec<Op<M>>,
 }
 
-impl<M> std::fmt::Debug for Ctx<'_, M> {
+impl<M, O: OracleSuite + ?Sized> std::fmt::Debug for Ctx<'_, M, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ctx")
             .field("me", &self.me)
@@ -65,7 +73,7 @@ impl<M> std::fmt::Debug for Ctx<'_, M> {
     }
 }
 
-impl<'a, M> Ctx<'a, M> {
+impl<'a, M, O: OracleSuite + ?Sized> Ctx<'a, M, O> {
     /// Creates a context (used by the runtime; exposed for harnesses that
     /// drive automata directly in unit tests).
     pub fn new(
@@ -73,7 +81,7 @@ impl<'a, M> Ctx<'a, M> {
         n: usize,
         t: usize,
         now: Time,
-        oracle: &'a mut dyn OracleSuite,
+        oracle: &'a mut O,
         trace: &'a mut Trace,
     ) -> Self {
         Self::with_buffer(me, n, t, now, oracle, trace, Vec::new())
@@ -88,7 +96,7 @@ impl<'a, M> Ctx<'a, M> {
         n: usize,
         t: usize,
         now: Time,
-        oracle: &'a mut dyn OracleSuite,
+        oracle: &'a mut O,
         trace: &'a mut Trace,
         ops: Vec<Op<M>>,
     ) -> Self {
@@ -193,7 +201,7 @@ impl<'a, M> Ctx<'a, M> {
     /// composition) that translate an inner algorithm's operations.
     pub fn reborrow_inner<M2, R>(
         &mut self,
-        f: impl FnOnce(&mut Ctx<'_, M2>) -> R,
+        f: impl FnOnce(&mut Ctx<'_, M2, O>) -> R,
     ) -> (R, Vec<Op<M2>>) {
         let mut child = Ctx {
             me: self.me,
@@ -214,7 +222,11 @@ impl<'a, M> Ctx<'a, M> {
 /// payloads with `f`. This is the plumbing for *composed* automata — e.g.
 /// the two-wheels construction wraps two sub-algorithms whose messages are
 /// embedded into one combined alphabet.
-pub fn forward_ops<M1, M2>(ctx: &mut Ctx<'_, M2>, ops: Vec<Op<M1>>, mut f: impl FnMut(M1) -> M2) {
+pub fn forward_ops<M1, M2, O: OracleSuite + ?Sized>(
+    ctx: &mut Ctx<'_, M2, O>,
+    ops: Vec<Op<M1>>,
+    mut f: impl FnMut(M1) -> M2,
+) {
     for op in ops {
         match op {
             Op::Send { to, msg } => ctx.send(to, f(msg)),
@@ -231,6 +243,15 @@ pub fn forward_ops<M1, M2>(ctx: &mut Ctx<'_, M2>, ops: Vec<Op<M1>>, mut f: impl 
 /// The runtime activates exactly one callback per event; callbacks must not
 /// block — `wait until` conditions are expressed by returning and
 /// re-checking guards on later activations.
+///
+/// Every callback is generic over the oracle bundle `O` so the runtime's
+/// hot loop stays monomorphic end to end: algorithms written against
+/// `Ctx<'_, Msg, O>` compile to static oracle calls for whatever concrete
+/// bundle the run was built with. The generic methods make the trait
+/// non-object-safe, which is deliberate — automata are always statically
+/// known to the engine ([`crate::Sim`] is generic over `A`), and the one
+/// sanctioned type-erasure point of the stack is the oracle side's
+/// `Box<dyn OracleSuite>` shim, not the automaton side.
 pub trait Automaton {
     /// The message alphabet of the algorithm. The
     /// [`Corruptible`](crate::adversary::Corruptible) bound is what lets
@@ -240,21 +261,31 @@ pub trait Automaton {
 
     /// Called once at time zero (before any delivery), unless the process
     /// crashed initially.
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Self::Msg, O>);
 
     /// Called when a point-to-point or plain-broadcast message arrives.
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg, O>,
+    );
 
     /// Called when a reliably-broadcast message is R-delivered
     /// (`from` is the original broadcaster).
-    fn on_rb_deliver(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_rb_deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg, O>,
+    ) {
         // Most algorithms treat R-delivery like an ordinary delivery.
         self.on_message(from, msg, ctx);
     }
 
     /// Called on periodic local steps (drives `repeat forever` tasks and
     /// re-evaluates time-dependent guards such as oracle reads).
-    fn on_step(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Self::Msg, O>);
 }
 
 #[cfg(test)]

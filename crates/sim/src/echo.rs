@@ -24,6 +24,7 @@
 
 use crate::automaton::{Automaton, Ctx, Op};
 use crate::id::ProcessId;
+use crate::oracle::OracleSuite;
 use std::collections::HashSet;
 
 /// Messages of the echo protocol, wrapping the inner alphabet `M`.
@@ -83,7 +84,11 @@ impl<A: Automaton> EchoRb<A> {
     /// Runs one inner activation and rewrites its `RBroadcast` ops into
     /// echo messages (self-delivery happens via the network like any other
     /// copy, since we send to ourselves too).
-    fn relay_inner_ops(&mut self, ctx: &mut Ctx<'_, EchoMsg<A::Msg>>, ops: Vec<Op<A::Msg>>) {
+    fn relay_inner_ops<O: OracleSuite + ?Sized>(
+        &mut self,
+        ctx: &mut Ctx<'_, EchoMsg<A::Msg>, O>,
+        ops: Vec<Op<A::Msg>>,
+    ) {
         for op in ops {
             match op {
                 Op::Send { to, msg } => ctx.send(to, EchoMsg::Plain(msg)),
@@ -105,9 +110,9 @@ impl<A: Automaton> EchoRb<A> {
 
     /// Activates the inner automaton with a fresh inner context and returns
     /// its buffered ops.
-    fn run_inner(
-        ctx: &mut Ctx<'_, EchoMsg<A::Msg>>,
-        f: impl FnOnce(&mut Ctx<'_, A::Msg>),
+    fn run_inner<O: OracleSuite + ?Sized>(
+        ctx: &mut Ctx<'_, EchoMsg<A::Msg>, O>,
+        f: impl FnOnce(&mut Ctx<'_, A::Msg, O>),
     ) -> Vec<Op<A::Msg>> {
         // Borrow the outer context's oracle and trace through a shim
         // context typed at the inner alphabet.
@@ -118,13 +123,18 @@ impl<A: Automaton> EchoRb<A> {
 impl<A: Automaton> Automaton for EchoRb<A> {
     type Msg = EchoMsg<A::Msg>;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Self::Msg, O>) {
         let inner = &mut self.inner;
         let ops = Self::run_inner(ctx, |ictx| inner.on_start(ictx));
         self.relay_inner_ops(ctx, ops);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg, O>,
+    ) {
         match msg {
             EchoMsg::Plain(m) => {
                 let inner = &mut self.inner;
@@ -153,7 +163,7 @@ impl<A: Automaton> Automaton for EchoRb<A> {
         }
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Self::Msg, O>) {
         let inner = &mut self.inner;
         let ops = Self::run_inner(ctx, |ictx| inner.on_step(ictx));
         self.relay_inner_ops(ctx, ops);

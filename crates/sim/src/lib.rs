@@ -32,17 +32,22 @@
 //! struct MinId { heard: Vec<u64>, decided: bool }
 //! impl Automaton for MinId {
 //!     type Msg = u64;
-//!     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+//!     fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, u64, O>) {
 //!         ctx.broadcast(ctx.me().0 as u64);
 //!     }
-//!     fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+//!     fn on_message<O: OracleSuite + ?Sized>(
+//!         &mut self,
+//!         _from: ProcessId,
+//!         msg: u64,
+//!         ctx: &mut Ctx<'_, u64, O>,
+//!     ) {
 //!         self.heard.push(msg);
 //!         if !self.decided && self.heard.len() >= ctx.n() - ctx.t() {
 //!             self.decided = true;
 //!             ctx.decide(*self.heard.iter().min().unwrap());
 //!         }
 //!     }
-//!     fn on_step(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+//!     fn on_step<O: OracleSuite + ?Sized>(&mut self, _ctx: &mut Ctx<'_, u64, O>) {}
 //! }
 //!
 //! let cfg = SimConfig::new(5, 1).seed(1);

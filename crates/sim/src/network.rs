@@ -127,16 +127,17 @@ pub struct Network {
     adv_rng: SplitMix64,
 }
 
-/// Draws one delivery time from `delay` + `rules` using `rng` — the *only*
-/// place a delivery time is ever sampled: [`Network::delivery_time`], every
-/// scalar and batched route path (regular copies draw from the delay
-/// stream, duplicate copies from the adversary stream), and the protected
-/// reliable-broadcast path all funnel through here. Part of the
-/// reproducibility contract: the delay draw happens *before* the message
-/// adversary is consulted (see [`Network::route_with`]), so the delivered
-/// subset of messages keeps exactly the delivery times it would have had in
-/// a clean run, and adding/removing adversary rules never shifts this
-/// stream.
+/// Draws one delivery time from `delay` + `rules` using `rng`. Together
+/// with its draw-identical batched twin [`sample_delivery_bulk`], this is
+/// the *only* place a delivery time is ever sampled:
+/// [`Network::delivery_time`], every scalar and batched route path (regular
+/// copies draw from the delay stream, duplicate copies from the adversary
+/// stream), and the protected reliable-broadcast path all funnel through
+/// these two. Part of the reproducibility contract: the delay draw happens
+/// *before* the message adversary is consulted (see
+/// [`Network::route_with`]), so the delivered subset of messages keeps
+/// exactly the delivery times it would have had in a clean run, and
+/// adding/removing adversary rules never shifts this stream.
 #[inline]
 fn sample_delivery(
     delay: &DelayModel,
@@ -155,6 +156,73 @@ fn sample_delivery(
         }
     }
     at
+}
+
+/// The batched [`sample_delivery`]: draws delivery times for one send to
+/// each process in `recipients`, in iteration order, emitting
+/// `(recipient, delivery_time)` pairs.
+///
+/// Draw-for-draw identical to calling [`sample_delivery`] per recipient —
+/// the RNG-stream-position differential tests pin this — but with the
+/// delay-model match and the rule scan hoisted out of the loop on the
+/// common path. A rule is *in scope* for the batch when its sender set and
+/// send-time window match; only then does per-recipient work depend on the
+/// rule (the `to` check and the order-sensitive release jitter), so only
+/// then does the batch fall back to the scalar sampler.
+#[inline]
+fn sample_delivery_bulk(
+    delay: &DelayModel,
+    rules: &[DelayRule],
+    rng: &mut SplitMix64,
+    from: ProcessId,
+    recipients: impl IntoIterator<Item = ProcessId>,
+    sent_at: Time,
+    mut emit: impl FnMut(ProcessId, Time),
+) {
+    let rule_in_scope = rules
+        .iter()
+        .any(|r| r.from.contains(from) && sent_at >= r.active_from && sent_at < r.active_to);
+    if rule_in_scope {
+        for to in recipients {
+            emit(to, sample_delivery(delay, rules, rng, from, to, sent_at));
+        }
+        return;
+    }
+    // Clean batch: every recipient samples the bare model, so the match on
+    // the model runs once instead of once per recipient. Per-recipient
+    // draws stay in recipient order (`range`, then `chance` for spiky),
+    // exactly as the scalar path makes them.
+    match *delay {
+        DelayModel::Fixed(d) => {
+            let at = sent_at + d.max(1);
+            for to in recipients {
+                emit(to, at);
+            }
+        }
+        DelayModel::Uniform { lo, hi } => {
+            let (lo, hi) = (lo.min(hi), hi.max(lo));
+            for to in recipients {
+                emit(to, sent_at + rng.range(lo, hi).max(1));
+            }
+        }
+        DelayModel::Spiky {
+            lo,
+            hi,
+            spike_pct,
+            factor,
+        } => {
+            let (lo, hi) = (lo.min(hi), hi.max(lo));
+            for to in recipients {
+                let base = rng.range(lo, hi);
+                let d = if rng.chance(spike_pct as u64, 100) {
+                    base.saturating_mul(factor.max(1))
+                } else {
+                    base
+                };
+                emit(to, sent_at + d.max(1));
+            }
+        }
+    }
 }
 
 impl Network {
@@ -325,21 +393,26 @@ impl Network {
         debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
         let mut fx = BroadcastEffects::default();
         if self.adversary.is_none() {
-            // Fast path: n delay draws back to back, no per-recipient
-            // adversary branching.
-            for i in 0..n {
-                let to = ProcessId(i);
-                let at =
-                    sample_delivery(&self.delay, &self.rules, &mut self.rng, from, to, sent_at);
-                staging.push(Staged {
-                    at,
-                    to,
-                    kind: EventKind::Deliver {
-                        from,
-                        msg: msg.clone(),
-                    },
-                });
-            }
+            // Fast path: all n delays drawn in one bulk pass, no
+            // per-recipient adversary branching or model re-matching.
+            sample_delivery_bulk(
+                &self.delay,
+                &self.rules,
+                &mut self.rng,
+                from,
+                (0..n).map(ProcessId),
+                sent_at,
+                |to, at| {
+                    staging.push(Staged {
+                        at,
+                        to,
+                        kind: EventKind::Deliver {
+                            from,
+                            msg: msg.clone(),
+                        },
+                    });
+                },
+            );
         } else {
             for i in 0..n {
                 let to = ProcessId(i);
@@ -390,17 +463,24 @@ impl Network {
         staging: &mut Vec<Staged<M>>,
     ) {
         debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
-        for to in receivers {
-            let at = sample_delivery(&self.delay, &self.rules, &mut self.rng, from, to, sent_at);
-            staging.push(Staged {
-                at,
-                to,
-                kind: EventKind::RbDeliver {
-                    from,
-                    msg: msg.clone(),
-                },
-            });
-        }
+        sample_delivery_bulk(
+            &self.delay,
+            &self.rules,
+            &mut self.rng,
+            from,
+            receivers,
+            sent_at,
+            |to, at| {
+                staging.push(Staged {
+                    at,
+                    to,
+                    kind: EventKind::RbDeliver {
+                        from,
+                        msg: msg.clone(),
+                    },
+                });
+            },
+        );
         queue.push_batch(staging);
     }
 }
@@ -740,6 +820,105 @@ mod tests {
                             assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to), "n={n}");
                             assert_eq!(a.kind, b.kind, "n={n}");
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The bulk sampler's contract: for every delay model, with and
+    /// without in-scope delay rules, `sample_delivery_bulk` emits the same
+    /// delivery times as the scalar per-recipient loop *and* leaves the
+    /// RNG at the same stream position — so a run may switch freely
+    /// between the two without perturbing any later draw.
+    #[test]
+    fn bulk_sampler_matches_scalar_loop_and_rng_stream_position() {
+        let models = [
+            DelayModel::Fixed(4),
+            DelayModel::Uniform { lo: 1, hi: 10 },
+            DelayModel::Uniform { lo: 3, hi: 3 },
+            DelayModel::Spiky {
+                lo: 1,
+                hi: 8,
+                spike_pct: 30,
+                factor: 50,
+            },
+        ];
+        let sender = ProcessId(1);
+        let rule_sets: [Vec<DelayRule>; 3] = [
+            vec![],
+            // In scope for `sender` during [0, 60): forces the scalar
+            // fallback, including its release-jitter draws.
+            vec![DelayRule::silence_until(
+                PSet::singleton(sender),
+                PSet::full(9),
+                Time(60),
+            )],
+            // Matching window but a different sender: the batch must
+            // recognize the rule is out of scope and take the clean path.
+            vec![DelayRule::silence_until(
+                PSet::singleton(ProcessId(5)),
+                PSet::full(9),
+                Time(60),
+            )],
+        ];
+        for model in &models {
+            for rules in &rule_sets {
+                for n in [1usize, 4, 9] {
+                    let mut scalar_rng = SplitMix64::new(2024).stream(0xDE1A);
+                    let mut bulk_rng = scalar_rng.clone();
+                    for round in 0..25u64 {
+                        let sent = Time(round * 5);
+                        let scalar: Vec<(ProcessId, Time)> = (0..n)
+                            .map(ProcessId)
+                            .map(|to| {
+                                (
+                                    to,
+                                    sample_delivery(
+                                        model,
+                                        rules,
+                                        &mut scalar_rng,
+                                        sender,
+                                        to,
+                                        sent,
+                                    ),
+                                )
+                            })
+                            .collect();
+                        let mut bulk = Vec::new();
+                        sample_delivery_bulk(
+                            model,
+                            rules,
+                            &mut bulk_rng,
+                            sender,
+                            (0..n).map(ProcessId),
+                            sent,
+                            |to, at| bulk.push((to, at)),
+                        );
+                        assert_eq!(scalar, bulk, "model={model:?} n={n} round={round}");
+                        assert_eq!(
+                            scalar_rng, bulk_rng,
+                            "stream position diverged: model={model:?} n={n} round={round}"
+                        );
+                        // An interleaved scalar draw keeps the two streams
+                        // honest between batches.
+                        let a = sample_delivery(
+                            model,
+                            rules,
+                            &mut scalar_rng,
+                            sender,
+                            ProcessId(0),
+                            sent,
+                        );
+                        let b = sample_delivery(
+                            model,
+                            rules,
+                            &mut bulk_rng,
+                            sender,
+                            ProcessId(0),
+                            sent,
+                        );
+                        assert_eq!(a, b);
                     }
                 }
             }

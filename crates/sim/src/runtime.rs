@@ -166,17 +166,22 @@ pub struct RunReport {
 /// struct Hello { decided: bool }
 /// impl Automaton for Hello {
 ///     type Msg = u64;
-///     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+///     fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, u64, O>) {
 ///         ctx.broadcast(ctx.me().0 as u64);
 ///     }
-///     fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+///     fn on_message<O: OracleSuite + ?Sized>(
+///         &mut self,
+///         _from: ProcessId,
+///         msg: u64,
+///         ctx: &mut Ctx<'_, u64, O>,
+///     ) {
 ///         if !self.decided {
 ///             self.decided = true;
 ///             ctx.decide(msg);
 ///             ctx.halt();
 ///         }
 ///     }
-///     fn on_step(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+///     fn on_step<O: OracleSuite + ?Sized>(&mut self, _ctx: &mut Ctx<'_, u64, O>) {}
 /// }
 ///
 /// let cfg = SimConfig::new(4, 1).seed(7);
@@ -591,11 +596,16 @@ mod tests {
     impl Automaton for Counter {
         type Msg = ();
 
-        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, (), O>) {
             ctx.broadcast(());
         }
 
-        fn on_message(&mut self, from: ProcessId, _msg: (), ctx: &mut Ctx<'_, ()>) {
+        fn on_message<O: OracleSuite + ?Sized>(
+            &mut self,
+            from: ProcessId,
+            _msg: (),
+            ctx: &mut Ctx<'_, (), O>,
+        ) {
             self.heard.insert(from);
             if !self.decided && self.heard.len() >= ctx.n() - ctx.t() {
                 self.decided = true;
@@ -603,7 +613,7 @@ mod tests {
             }
         }
 
-        fn on_step(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+        fn on_step<O: OracleSuite + ?Sized>(&mut self, _ctx: &mut Ctx<'_, (), O>) {}
     }
 
     fn counter(_p: ProcessId) -> Counter {
@@ -670,9 +680,15 @@ mod tests {
 
     impl Automaton for Stepper {
         type Msg = ();
-        fn on_start(&mut self, _ctx: &mut Ctx<'_, ()>) {}
-        fn on_message(&mut self, _f: ProcessId, _m: (), _ctx: &mut Ctx<'_, ()>) {}
-        fn on_step(&mut self, ctx: &mut Ctx<'_, ()>) {
+        fn on_start<O: OracleSuite + ?Sized>(&mut self, _ctx: &mut Ctx<'_, (), O>) {}
+        fn on_message<O: OracleSuite + ?Sized>(
+            &mut self,
+            _f: ProcessId,
+            _m: (),
+            _ctx: &mut Ctx<'_, (), O>,
+        ) {
+        }
+        fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, (), O>) {
             self.rounds += 1;
             ctx.publish(slot::ROUND, FdValue::Num(self.rounds));
             if self.rounds == 3 {
@@ -917,17 +933,28 @@ mod tests {
         }
         impl Automaton for RbOnly {
             type Msg = u64;
-            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, u64, O>) {
                 ctx.rb_broadcast(ctx.me().0 as u64);
             }
-            fn on_message(&mut self, _f: ProcessId, _m: u64, _ctx: &mut Ctx<'_, u64>) {}
-            fn on_rb_deliver(&mut self, _f: ProcessId, m: u64, ctx: &mut Ctx<'_, u64>) {
+            fn on_message<O: OracleSuite + ?Sized>(
+                &mut self,
+                _f: ProcessId,
+                _m: u64,
+                _ctx: &mut Ctx<'_, u64, O>,
+            ) {
+            }
+            fn on_rb_deliver<O: OracleSuite + ?Sized>(
+                &mut self,
+                _f: ProcessId,
+                m: u64,
+                ctx: &mut Ctx<'_, u64, O>,
+            ) {
                 if !self.decided {
                     self.decided = true;
                     ctx.decide(m);
                 }
             }
-            fn on_step(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+            fn on_step<O: OracleSuite + ?Sized>(&mut self, _ctx: &mut Ctx<'_, u64, O>) {}
         }
         let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::drop(100)]);
         let cfg = SimConfig::new(4, 1).seed(5).adversary(adv);
@@ -945,17 +972,22 @@ mod tests {
         struct Once;
         impl Automaton for Once {
             type Msg = u8;
-            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+            fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, u8, O>) {
                 if ctx.me() == ProcessId(0) {
                     ctx.broadcast(1);
                 }
             }
-            fn on_message(&mut self, from: ProcessId, _m: u8, ctx: &mut Ctx<'_, u8>) {
+            fn on_message<O: OracleSuite + ?Sized>(
+                &mut self,
+                from: ProcessId,
+                _m: u8,
+                ctx: &mut Ctx<'_, u8, O>,
+            ) {
                 if from == ProcessId(0) && ctx.me() != ProcessId(0) {
                     ctx.decide(1);
                 }
             }
-            fn on_step(&mut self, _ctx: &mut Ctx<'_, u8>) {}
+            fn on_step<O: OracleSuite + ?Sized>(&mut self, _ctx: &mut Ctx<'_, u8, O>) {}
         }
         let cfg = SimConfig::new(3, 1).seed(8);
         let fp = FailurePattern::builder(3)

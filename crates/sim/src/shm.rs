@@ -49,19 +49,24 @@ impl SharedMem {
 
 /// Context of one shared-memory step. Permits at most one register
 /// operation, enforcing atomic-register granularity.
-pub struct ShmCtx<'a> {
+///
+/// Like the message-passing [`crate::Ctx`], the oracle is a generic
+/// parameter (defaulting to `dyn OracleSuite` for erased harness code), so
+/// a concrete bundle's `suspected`/`query` reads are static calls in the
+/// scheduling loop.
+pub struct ShmCtx<'a, O: OracleSuite + ?Sized = dyn OracleSuite + 'a> {
     me: ProcessId,
     n: usize,
     t: usize,
     now: Time,
     mem: &'a mut SharedMem,
-    oracle: &'a mut dyn OracleSuite,
+    oracle: &'a mut O,
     trace: &'a mut Trace,
     ops_used: u32,
     halted: bool,
 }
 
-impl std::fmt::Debug for ShmCtx<'_> {
+impl<O: OracleSuite + ?Sized> std::fmt::Debug for ShmCtx<'_, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShmCtx")
             .field("me", &self.me)
@@ -70,7 +75,7 @@ impl std::fmt::Debug for ShmCtx<'_> {
     }
 }
 
-impl<'a> ShmCtx<'a> {
+impl<'a, O: OracleSuite + ?Sized> ShmCtx<'a, O> {
     /// This process's identity.
     pub fn me(&self) -> ProcessId {
         self.me
@@ -155,9 +160,13 @@ impl<'a> ShmCtx<'a> {
 
 /// A shared-memory process: an explicit program-counter state machine that
 /// performs one register operation per `step`.
+///
+/// `step` is generic over the oracle bundle for the same reason
+/// [`crate::Automaton`]'s callbacks are: [`run_shm`] instantiates it with
+/// the run's concrete oracle so detector reads are static calls.
 pub trait ShmProcess {
     /// Executes one step.
-    fn step(&mut self, ctx: &mut ShmCtx<'_>);
+    fn step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut ShmCtx<'_, O>);
 }
 
 /// Configuration of a shared-memory run.
@@ -197,11 +206,11 @@ impl ShmConfig {
 
 /// Runs shared-memory processes under a random (hence fair with probability
 /// one) adversarial schedule and returns the recorded trace.
-pub fn run_shm<P: ShmProcess>(
+pub fn run_shm<P: ShmProcess, O: OracleSuite + ?Sized>(
     cfg: &ShmConfig,
     fp: &FailurePattern,
     mut make: impl FnMut(ProcessId) -> P,
-    oracle: &mut dyn OracleSuite,
+    oracle: &mut O,
 ) -> Trace {
     assert_eq!(fp.n(), cfg.n, "failure pattern size mismatch");
     let mut procs: Vec<P> = (0..cfg.n).map(|i| make(ProcessId(i))).collect();
@@ -224,7 +233,7 @@ pub fn run_shm<P: ShmProcess>(
             t: cfg.t,
             now,
             mem: &mut mem,
-            oracle,
+            oracle: &mut *oracle,
             trace: &mut trace,
             ops_used: 0,
             halted: false,
@@ -252,7 +261,7 @@ mod tests {
     }
 
     impl ShmProcess for Role {
-        fn step(&mut self, ctx: &mut ShmCtx<'_>) {
+        fn step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut ShmCtx<'_, O>) {
             match self {
                 Role::Writer { count } => {
                     *count += 1;
@@ -307,7 +316,7 @@ mod tests {
 
     struct TwoOps;
     impl ShmProcess for TwoOps {
-        fn step(&mut self, ctx: &mut ShmCtx<'_>) {
+        fn step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut ShmCtx<'_, O>) {
             ctx.write(0, 1);
             ctx.write(1, 2); // must panic: one op per step
         }

@@ -135,16 +135,29 @@ impl History {
 
 /// Everything recorded during one run.
 ///
-/// Storage is dense and publish-optimized: histories are indexed by
-/// process id into a `Vec`, each holding a short slot-sorted vector
-/// (a run publishes into at most a handful of slots), and counters are
-/// an interned `(&'static str, u64)` vector scanned linearly. Both
-/// replace `BTreeMap`s that dominated the `publish`/`bump` hot path of
-/// large sweeps; the observable API (and iteration order) is unchanged.
+/// Storage is struct-of-arrays and publish-optimized: all `(process, slot)`
+/// histories live in two flat, parallel arenas (`slot_ids` / `hists`),
+/// indexed by a per-process `[start, end)` offset table (`ranges`). The
+/// arenas are *contiguous-ascending*: process `p`'s entries sit at
+/// `ranges[p]`, sorted by slot, and `ranges[p].1 == ranges[p + 1].0`, so a
+/// `publish` into an existing slot is one offset lookup plus a short
+/// binary search over contiguous memory — no per-process `Vec` pointer to
+/// chase — and in steady state (every slot already known, the common case
+/// after the first few ticks of a run) allocates nothing. Opening a *new*
+/// slot shifts the later ranges — rare by construction, since a run
+/// publishes into a handful of slots, once each. Counters are an interned
+/// `(&'static str, u64)` vector scanned linearly. The observable API (and
+/// iteration order, matching the original `BTreeMap` storage) is
+/// unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    /// `histories[p]` holds `(slot, history)` pairs sorted by slot.
-    histories: Vec<Vec<(u32, History)>>,
+    /// `ranges[p]` is the `[start, end)` window of process `p`'s entries
+    /// in the arenas.
+    ranges: Vec<(u32, u32)>,
+    /// Slot ids, ascending within each process's range.
+    slot_ids: Vec<u32>,
+    /// Histories, parallel to `slot_ids`.
+    hists: Vec<History>,
     decisions: Vec<Decision>,
     counters: Vec<(&'static str, u64)>,
     horizon: Time,
@@ -159,15 +172,25 @@ impl Trace {
     /// Records that `(p, slot)` holds `value` from time `at` on.
     /// Consecutive duplicates are elided.
     pub fn publish(&mut self, p: ProcessId, slot: u32, at: Time, value: FdValue) {
-        if self.histories.len() <= p.0 {
-            self.histories.resize_with(p.0 + 1, Vec::new);
+        if self.ranges.len() <= p.0 {
+            // New processes open empty at the arena's end — the tail range
+            // ends there too, preserving contiguity.
+            let end = self.slot_ids.len() as u32;
+            self.ranges.resize(p.0 + 1, (end, end));
         }
-        let slots = &mut self.histories[p.0];
-        match slots.binary_search_by_key(&slot, |(s, _)| *s) {
-            Ok(i) => slots[i].1.push(at, value),
+        let (s, e) = self.ranges[p.0];
+        let (s, e) = (s as usize, e as usize);
+        match self.slot_ids[s..e].binary_search(&slot) {
+            Ok(i) => self.hists[s + i].push(at, value),
             Err(i) => {
-                slots.insert(i, (slot, History::default()));
-                slots[i].1.push(at, value);
+                self.slot_ids.insert(s + i, slot);
+                self.hists.insert(s + i, History::default());
+                self.ranges[p.0].1 += 1;
+                for r in &mut self.ranges[p.0 + 1..] {
+                    r.0 += 1;
+                    r.1 += 1;
+                }
+                self.hists[s + i].push(at, value);
             }
         }
     }
@@ -207,13 +230,14 @@ impl Trace {
         static EMPTY: History = History {
             samples: Vec::new(),
         };
-        self.histories
+        self.ranges
             .get(p.0)
-            .and_then(|slots| {
-                slots
-                    .binary_search_by_key(&slot, |(s, _)| *s)
+            .and_then(|&(s, e)| {
+                let (s, e) = (s as usize, e as usize);
+                self.slot_ids[s..e]
+                    .binary_search(&slot)
                     .ok()
-                    .map(|i| &slots[i].1)
+                    .map(|i| &self.hists[s + i])
             })
             .unwrap_or(&EMPTY)
     }
@@ -221,11 +245,13 @@ impl Trace {
     /// Iterates over all `(process, slot)` histories, ordered by process,
     /// then slot (the order the old `BTreeMap` storage produced).
     pub fn histories(&self) -> impl Iterator<Item = ((ProcessId, u32), &History)> {
-        self.histories.iter().enumerate().flat_map(|(p, slots)| {
-            slots
-                .iter()
-                .map(move |(slot, h)| ((ProcessId(p), *slot), h))
-        })
+        self.ranges
+            .iter()
+            .enumerate()
+            .flat_map(move |(p, &(s, e))| {
+                (s as usize..e as usize)
+                    .map(move |i| ((ProcessId(p), self.slot_ids[i]), &self.hists[i]))
+            })
     }
 
     /// All decisions in time order.
@@ -347,6 +373,45 @@ mod tests {
         let mut sparse = Trace::new();
         sparse.publish(ProcessId(3), slot::ROUND, Time(1), FdValue::Num(0));
         assert_eq!(sparse.histories().count(), 1);
+    }
+
+    /// Model check for the struct-of-arrays storage: interleaved publishes
+    /// across processes and slots (repeatedly forcing new-slot inserts in
+    /// the middle of the arenas) must match a naive `BTreeMap` reference
+    /// sample for sample, through both `histories()` and `history()`.
+    #[test]
+    fn soa_storage_matches_a_map_model_under_interleaved_publishes() {
+        use std::collections::BTreeMap;
+        let mut t = Trace::new();
+        let mut model: BTreeMap<(usize, u32), Vec<Sample>> = BTreeMap::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for step in 0..2_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let p = (x % 7) as usize;
+            let slot = ((x >> 8) % 6) as u32;
+            let value = FdValue::Num((x >> 16) % 3);
+            let at = Time(step);
+            t.publish(ProcessId(p), slot, at, value);
+            let h = model.entry((p, slot)).or_default();
+            if h.last().map(|s| s.value) != Some(value) {
+                h.push(Sample { at, value });
+            }
+        }
+        let got: Vec<((usize, u32), &[Sample])> = t
+            .histories()
+            .map(|((p, s), h)| ((p.0, s), h.samples()))
+            .collect();
+        let want: Vec<((usize, u32), &[Sample])> =
+            model.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        assert_eq!(got, want);
+        for (&(p, slot), samples) in &model {
+            assert_eq!(t.history(ProcessId(p), slot).samples(), samples.as_slice());
+        }
+        // Never-published pairs still read as empty.
+        assert!(t.history(ProcessId(0), 77).samples().is_empty());
+        assert!(t.history(ProcessId(50), 0).samples().is_empty());
     }
 
     #[test]

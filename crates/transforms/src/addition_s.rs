@@ -27,7 +27,7 @@
 //! accuracy pivot — together they upgrade the scope-`x` accuracy to the
 //! full-scope accuracy of `S` whenever `x + y > t`.
 
-use fd_sim::{slot, Automaton, Ctx, FdValue, PSet, ProcessId, ShmCtx, ShmProcess};
+use fd_sim::{slot, Automaton, Ctx, FdValue, OracleSuite, PSet, ProcessId, ShmCtx, ShmProcess};
 
 /// Register indices used by the shared-memory variant.
 pub mod reg {
@@ -84,7 +84,7 @@ impl AdditionShm {
     }
 
     /// Task T1, one micro-step (line 01).
-    fn t1_step(&mut self, ctx: &mut ShmCtx<'_>) {
+    fn t1_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut ShmCtx<'_, O>) {
         if self.t1_alive_next {
             self.alive_count += 1;
             let c = self.alive_count;
@@ -97,7 +97,7 @@ impl AdditionShm {
     }
 
     /// Task T2, one micro-step (lines 03–09).
-    fn t2_step(&mut self, ctx: &mut ShmCtx<'_>) {
+    fn t2_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut ShmCtx<'_, O>) {
         match self.pc {
             T2Pc::ReadAlive(j) => {
                 self.new[j] = ctx.read(ProcessId(j), reg::ALIVE);
@@ -145,7 +145,7 @@ impl AdditionShm {
 }
 
 impl ShmProcess for AdditionShm {
-    fn step(&mut self, ctx: &mut ShmCtx<'_>) {
+    fn step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut ShmCtx<'_, O>) {
         self.toggle = !self.toggle;
         if self.toggle {
             self.t1_step(ctx);
@@ -195,7 +195,7 @@ impl AdditionMp {
         }
     }
 
-    fn scan(&mut self, ctx: &mut Ctx<'_, Heartbeat>) {
+    fn scan<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Heartbeat, O>) {
         let live: PSet = (0..self.n)
             .map(ProcessId)
             .filter(|p| self.latest_count[p.0] > self.prev[p.0])
@@ -216,11 +216,16 @@ impl AdditionMp {
 impl Automaton for AdditionMp {
     type Msg = Heartbeat;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Heartbeat>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Heartbeat, O>) {
         ctx.publish(slot::SUSPECTED, FdValue::Set(PSet::EMPTY));
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Heartbeat, ctx: &mut Ctx<'_, Heartbeat>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: Heartbeat,
+        ctx: &mut Ctx<'_, Heartbeat, O>,
+    ) {
         // Non-FIFO channels: only newer heartbeats count.
         if msg.count > self.latest_count[from.0] {
             self.latest_count[from.0] = msg.count;
@@ -229,7 +234,7 @@ impl Automaton for AdditionMp {
         self.scan(ctx);
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, Heartbeat>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Heartbeat, O>) {
         // Task T1: heartbeat with the current suspicion set.
         self.count += 1;
         let suspected = ctx.suspected();

@@ -51,7 +51,7 @@
 //! payload corruption (the adversary can still drop or duplicate the
 //! `CatchUpMsg` envelopes — retries absorb that).
 
-use fd_sim::{Automaton, Corruptible, Ctx, Op, PSet, ProcessId, SplitMix64, Time};
+use fd_sim::{Automaton, Corruptible, Ctx, Op, OracleSuite, PSet, ProcessId, SplitMix64, Time};
 
 /// Trace counters bumped by the catch-up layer.
 pub mod counter {
@@ -144,10 +144,10 @@ impl<A: Automaton> CatchUp<A> {
 
     /// Runs one inner activation and forwards its ops, logging every
     /// broadcast payload for future digests.
-    fn run_inner(
+    fn run_inner<O: OracleSuite + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>>,
-        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>),
+        ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>, O>,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg, O>),
     ) {
         let inner = &mut self.inner;
         let ((), ops) = ctx.reborrow_inner(|ictx| f(inner, ictx));
@@ -168,12 +168,12 @@ impl<A: Automaton> CatchUp<A> {
         }
     }
 
-    fn handle(
+    fn handle<O: OracleSuite + ?Sized>(
         &mut self,
         from: ProcessId,
         msg: CatchUpMsg<A::Msg>,
         rb: bool,
-        ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>>,
+        ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>, O>,
     ) {
         match msg {
             CatchUpMsg::App(m) => {
@@ -231,7 +231,7 @@ impl<A: Automaton> CatchUp<A> {
     /// Broadcasts the consolidated repair digest once the joiner has heard
     /// from `n − t − 1` distinct responders, and again whenever a new
     /// responder's digest lands after that.
-    fn maybe_repair(&mut self, ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>>) {
+    fn maybe_repair<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>, O>) {
         let heard = self.digests_from.len();
         if !self.late
             || heard <= self.repaired_upto
@@ -249,7 +249,7 @@ impl<A: Automaton> CatchUp<A> {
         ctx.broadcast(CatchUpMsg::Repair(flat));
     }
 
-    fn request_state(&self, ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>>) {
+    fn request_state<O: OracleSuite + ?Sized>(&self, ctx: &mut Ctx<'_, CatchUpMsg<A::Msg>, O>) {
         ctx.bump(counter::JOIN_REQ);
         ctx.broadcast(CatchUpMsg::JoinReq);
     }
@@ -258,7 +258,7 @@ impl<A: Automaton> CatchUp<A> {
 impl<A: Automaton> Automaton for CatchUp<A> {
     type Msg = CatchUpMsg<A::Msg>;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Self::Msg, O>) {
         if ctx.now() > Time::ZERO {
             self.late = true;
             self.request_state(ctx);
@@ -266,15 +266,25 @@ impl<A: Automaton> Automaton for CatchUp<A> {
         self.run_inner(ctx, |a, ictx| a.on_start(ictx));
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg, O>,
+    ) {
         self.handle(from, msg, false, ctx);
     }
 
-    fn on_rb_deliver(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_rb_deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg, O>,
+    ) {
         self.handle(from, msg, true, ctx);
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, Self::Msg, O>) {
         // Retry until n − t − 1 distinct digests arrived — the other
         // correct processes, of which there are at least that many, are
         // each guaranteed to eventually answer (a process cannot digest
@@ -306,18 +316,29 @@ mod tests {
 
     impl Automaton for RbToken {
         type Msg = u64;
-        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, u64, O>) {
             ctx.rb_broadcast(500 + ctx.me().0 as u64);
         }
-        fn on_message(&mut self, _f: ProcessId, _m: u64, _ctx: &mut Ctx<'_, u64>) {}
-        fn on_rb_deliver(&mut self, from: ProcessId, m: u64, ctx: &mut Ctx<'_, u64>) {
+        fn on_message<O: OracleSuite + ?Sized>(
+            &mut self,
+            _f: ProcessId,
+            _m: u64,
+            _ctx: &mut Ctx<'_, u64, O>,
+        ) {
+        }
+        fn on_rb_deliver<O: OracleSuite + ?Sized>(
+            &mut self,
+            from: ProcessId,
+            m: u64,
+            ctx: &mut Ctx<'_, u64, O>,
+        ) {
             if !self.decided && from != ctx.me() {
                 self.decided = true;
                 ctx.decide(m);
                 ctx.halt();
             }
         }
-        fn on_step(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+        fn on_step<O: OracleSuite + ?Sized>(&mut self, _ctx: &mut Ctx<'_, u64, O>) {}
     }
 
     fn churn_fp() -> FailurePattern {

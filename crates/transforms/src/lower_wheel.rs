@@ -22,7 +22,7 @@
 //! experiment E7).
 
 use crate::ring::MemberRing;
-use fd_sim::{slot, Automaton, Ctx, FdValue, PSet, ProcessId};
+use fd_sim::{slot, Automaton, Ctx, FdValue, OracleSuite, PSet, ProcessId};
 use std::collections::BTreeMap;
 
 /// Message alphabet of the lower wheel.
@@ -121,7 +121,7 @@ impl LowerWheel {
     }
 
     /// Updates and publishes `repr_i` (task T1, first line).
-    fn refresh_repr(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+    fn refresh_repr<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, LowerMsg, O>) {
         let me = ctx.me();
         self.repr = if self.cur.1.contains(me) {
             self.cur.0
@@ -132,7 +132,7 @@ impl LowerWheel {
     }
 
     /// One iteration of task T1.
-    pub fn tick(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+    pub fn tick<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, LowerMsg, O>) {
         self.drain();
         self.refresh_repr(ctx);
         let me = ctx.me();
@@ -152,7 +152,11 @@ impl LowerWheel {
     }
 
     /// Task T2: buffer a delivered `X_MOVE`.
-    pub fn deliver(&mut self, msg: LowerMsg, ctx: &mut Ctx<'_, LowerMsg>) {
+    pub fn deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        msg: LowerMsg,
+        ctx: &mut Ctx<'_, LowerMsg, O>,
+    ) {
         let LowerMsg::XMove { lx, xs } = msg;
         *self.pending.entry((lx, xs.bits())).or_insert(0) += 1;
         self.drain();
@@ -163,16 +167,21 @@ impl LowerWheel {
 impl Automaton for LowerWheel {
     type Msg = LowerMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, LowerMsg, O>) {
         self.refresh_repr(ctx);
     }
 
-    fn on_message(&mut self, _from: ProcessId, msg: LowerMsg, ctx: &mut Ctx<'_, LowerMsg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        _from: ProcessId,
+        msg: LowerMsg,
+        ctx: &mut Ctx<'_, LowerMsg, O>,
+    ) {
         // X_MOVEs travel by reliable broadcast only.
         self.deliver(msg, ctx);
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, LowerMsg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, LowerMsg, O>) {
         self.tick(ctx);
     }
 }

@@ -21,7 +21,7 @@
 //! first chain set, which lets a crashed process be elected forever — the
 //! tightness experiment E8 exhibits exactly that.
 
-use fd_sim::{slot, Automaton, Ctx, FdValue, PSet, ProcessId};
+use fd_sim::{slot, Automaton, Ctx, FdValue, OracleSuite, PSet, ProcessId};
 
 /// One process of the Figure 8 transformation (communication-free: it only
 /// queries its local `Ψ_y` module and publishes `trusted_i`).
@@ -59,7 +59,7 @@ impl PsiToOmega {
     }
 
     /// One evaluation of the Figure 8 rule.
-    fn trusted(&self, ctx: &mut Ctx<'_, ()>) -> PSet {
+    fn trusted<O: OracleSuite + ?Sized>(&self, ctx: &mut Ctx<'_, (), O>) -> PSet {
         for j in 1..self.chain.len() {
             if !ctx.query(self.chain[j]) {
                 return self.chain[j] - self.chain[j - 1];
@@ -74,14 +74,20 @@ impl PsiToOmega {
 impl Automaton for PsiToOmega {
     type Msg = ();
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, (), O>) {
         let t = self.trusted(ctx);
         ctx.publish(slot::TRUSTED, FdValue::Set(t));
     }
 
-    fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        _from: ProcessId,
+        _msg: (),
+        _ctx: &mut Ctx<'_, (), O>,
+    ) {
+    }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, ()>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, (), O>) {
         let t = self.trusted(ctx);
         ctx.publish(slot::TRUSTED, FdValue::Set(t));
     }

@@ -17,7 +17,7 @@
 
 use crate::lower_wheel::{LowerMsg, LowerWheel};
 use crate::upper_wheel::{UpperMsg, UpperWheel};
-use fd_sim::{forward_ops, Automaton, Ctx, PSet, ProcessId};
+use fd_sim::{forward_ops, Automaton, Ctx, OracleSuite, PSet, ProcessId};
 
 /// Combined message alphabet of the two wheels.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -127,14 +127,14 @@ impl TwoWheels {
     }
 
     /// The current built `trusted_i` (task T6 of Figure 6).
-    pub fn trusted(&self, ctx: &mut Ctx<'_, UpperMsg>) -> PSet {
+    pub fn trusted<O: OracleSuite + ?Sized>(&self, ctx: &mut Ctx<'_, UpperMsg, O>) -> PSet {
         self.upper.trusted(ctx)
     }
 
-    fn run_lower(
+    fn run_lower<O: OracleSuite + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, TwMsg>,
-        f: impl FnOnce(&mut LowerWheel, &mut Ctx<'_, LowerMsg>),
+        ctx: &mut Ctx<'_, TwMsg, O>,
+        f: impl FnOnce(&mut LowerWheel, &mut Ctx<'_, LowerMsg, O>),
     ) {
         let lower = &mut self.lower;
         let ((), ops) = ctx.reborrow_inner(|ictx| f(lower, ictx));
@@ -143,10 +143,10 @@ impl TwoWheels {
         self.upper.set_repr(self.lower.repr());
     }
 
-    fn run_upper(
+    fn run_upper<O: OracleSuite + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, TwMsg>,
-        f: impl FnOnce(&mut UpperWheel, &mut Ctx<'_, UpperMsg>),
+        ctx: &mut Ctx<'_, TwMsg, O>,
+        f: impl FnOnce(&mut UpperWheel, &mut Ctx<'_, UpperMsg, O>),
     ) {
         let upper = &mut self.upper;
         let ((), ops) = ctx.reborrow_inner(|ictx| f(upper, ictx));
@@ -157,25 +157,35 @@ impl TwoWheels {
 impl Automaton for TwoWheels {
     type Msg = TwMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, TwMsg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, TwMsg, O>) {
         self.run_lower(ctx, |w, ictx| w.on_start(ictx));
         self.run_upper(ctx, |w, ictx| w.on_start(ictx));
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: TwMsg, ctx: &mut Ctx<'_, TwMsg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: TwMsg,
+        ctx: &mut Ctx<'_, TwMsg, O>,
+    ) {
         match msg {
             TwMsg::Lower(m) => self.run_lower(ctx, |w, ictx| w.on_message(from, m, ictx)),
             TwMsg::Upper(m) => self.run_upper(ctx, |w, ictx| w.deliver(from, m, ictx)),
         }
     }
 
-    fn on_rb_deliver(&mut self, from: ProcessId, msg: TwMsg, ctx: &mut Ctx<'_, TwMsg>) {
+    fn on_rb_deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: TwMsg,
+        ctx: &mut Ctx<'_, TwMsg, O>,
+    ) {
         // X_MOVE and L_MOVE arrive via reliable broadcast; the wheels'
         // handlers are shared with plain delivery.
         self.on_message(from, msg, ctx);
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, TwMsg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, TwMsg, O>) {
         self.run_lower(ctx, |w, ictx| w.tick(ictx));
         self.run_upper(ctx, |w, ictx| w.tick(ictx));
     }

@@ -26,7 +26,7 @@
 //! correct process (Theorem 7).
 
 use crate::ring::NestedRing;
-use fd_sim::{slot, Automaton, Ctx, FdValue, PSet, ProcessId};
+use fd_sim::{slot, Automaton, Ctx, FdValue, OracleSuite, PSet, ProcessId};
 use std::collections::BTreeMap;
 
 /// Message alphabet of the upper wheel.
@@ -142,7 +142,7 @@ impl UpperWheel {
     }
 
     /// Task T6: the `trusted_i` value served to the upper layer.
-    pub fn trusted(&self, ctx: &mut Ctx<'_, UpperMsg>) -> PSet {
+    pub fn trusted<O: OracleSuite + ?Sized>(&self, ctx: &mut Ctx<'_, UpperMsg, O>) -> PSet {
         let (l, y) = self.cur;
         if ctx.query(y) {
             // All of Y_i crashed: return the smallest process whose
@@ -160,13 +160,13 @@ impl UpperWheel {
         }
     }
 
-    fn publish_trusted(&mut self, ctx: &mut Ctx<'_, UpperMsg>) {
+    fn publish_trusted<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, UpperMsg, O>) {
         let t = self.trusted(ctx);
         ctx.publish(slot::TRUSTED, FdValue::Set(t));
     }
 
     /// Task T3's guard and body, re-evaluated on steps and responses.
-    fn evaluate_wait(&mut self, ctx: &mut Ctx<'_, UpperMsg>) {
+    fn evaluate_wait<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, UpperMsg, O>) {
         if !self.awaiting {
             return;
         }
@@ -195,7 +195,7 @@ impl UpperWheel {
     }
 
     /// One iteration of task T3.
-    pub fn tick(&mut self, ctx: &mut Ctx<'_, UpperMsg>) {
+    pub fn tick<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, UpperMsg, O>) {
         self.drain();
         self.evaluate_wait(ctx);
         if !self.awaiting {
@@ -211,7 +211,12 @@ impl UpperWheel {
     }
 
     /// Message handler for all three message kinds.
-    pub fn deliver(&mut self, from: ProcessId, msg: UpperMsg, ctx: &mut Ctx<'_, UpperMsg>) {
+    pub fn deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: UpperMsg,
+        ctx: &mut Ctx<'_, UpperMsg, O>,
+    ) {
         match msg {
             UpperMsg::Inquiry { seq } => {
                 // Task T5: answer with the lower wheel's current repr.
@@ -242,15 +247,20 @@ impl UpperWheel {
 impl Automaton for UpperWheel {
     type Msg = UpperMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, UpperMsg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, UpperMsg, O>) {
         self.publish_trusted(ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: UpperMsg, ctx: &mut Ctx<'_, UpperMsg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: UpperMsg,
+        ctx: &mut Ctx<'_, UpperMsg, O>,
+    ) {
         self.deliver(from, msg, ctx);
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, UpperMsg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, UpperMsg, O>) {
         self.tick(ctx);
     }
 }
@@ -266,7 +276,7 @@ mod tests {
         t: usize,
         y: usize,
         now: Time,
-        f: impl FnOnce(&mut Ctx<'_, UpperMsg>) -> R,
+        f: impl FnOnce(&mut Ctx<'_, UpperMsg, PhiOracle>) -> R,
     ) -> R {
         let mut oracle = PhiOracle::new(fp.clone(), t, y, Scope::Perpetual, 1);
         let mut trace = Trace::new();

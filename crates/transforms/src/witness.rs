@@ -28,7 +28,7 @@ use fd_detectors::{
     check, CheckOutcome, PhiOracle, Scope, ScriptedOracle, SetSchedule, SxAdversary, SxOracle,
 };
 use fd_sim::{
-    Automaton, Ctx, DelayModel, DelayRule, FailurePattern, FdValue, PSet, ProcessId,
+    Automaton, Ctx, DelayModel, DelayRule, FailurePattern, FdValue, OracleSuite, PSet, ProcessId,
     SuspectPlusQuery, Time, Trace,
 };
 
@@ -63,13 +63,19 @@ impl StrawmanQueryBuilder {
 impl Automaton for StrawmanQueryBuilder {
     type Msg = ();
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, (), O>) {
         ctx.publish(QUERY_SLOT, FdValue::Flag(false));
     }
 
-    fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        _from: ProcessId,
+        _msg: (),
+        _ctx: &mut Ctx<'_, (), O>,
+    ) {
+    }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, ()>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, (), O>) {
         let now = ctx.now();
         if self.e.is_subset(ctx.suspected()) {
             self.since.get_or_insert(now);

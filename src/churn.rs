@@ -36,9 +36,10 @@
 
 use fd_core::kset_omega::KsetOmega;
 use fd_detectors::scenario::{
-    churn_envelope, default_proposals, run_to_decision, ChurnGuarantee, Scenario, ScenarioReport,
-    ScenarioSpec,
+    churn_envelope, default_proposals, run_to_decision, ChurnGuarantee, OracleVisitor, Scenario,
+    ScenarioReport, ScenarioSpec,
 };
+use fd_sim::{FailurePattern, OracleSuite, Trace};
 use fd_transforms::catch_up::CatchUp;
 
 /// `k`-set agreement under churn, with (or, for the negative control,
@@ -63,24 +64,46 @@ impl Scenario for ChurnKsetScenario {
 
     fn run(&self, spec: &ScenarioSpec) -> ScenarioReport {
         let fp = spec.materialize();
-        let oracle = spec.build_oracle(&fp);
         let proposals = default_proposals(spec.n);
-        let (trace, guarantee) = if spec.catch_up {
-            (
-                run_to_decision(
+        struct RunChurn<'a> {
+            spec: &'a ScenarioSpec,
+            fp: &'a FailurePattern,
+            proposals: &'a [u64],
+        }
+        impl OracleVisitor for RunChurn<'_> {
+            type Out = (Trace, ChurnGuarantee);
+            fn visit<O: OracleSuite + 'static>(self, oracle: O) -> (Trace, ChurnGuarantee) {
+                let RunChurn {
                     spec,
-                    &fp,
-                    |p| CatchUp::new(KsetOmega::new(proposals[p.0])),
-                    oracle,
-                ),
-                ChurnGuarantee::Liveness,
-            )
-        } else {
-            (
-                run_to_decision(spec, &fp, |p| KsetOmega::new(proposals[p.0]), oracle),
-                ChurnGuarantee::SafetyOnly,
-            )
-        };
+                    fp,
+                    proposals,
+                } = self;
+                if spec.catch_up {
+                    (
+                        run_to_decision(
+                            spec,
+                            fp,
+                            |p| CatchUp::new(KsetOmega::new(proposals[p.0])),
+                            oracle,
+                        ),
+                        ChurnGuarantee::Liveness,
+                    )
+                } else {
+                    (
+                        run_to_decision(spec, fp, |p| KsetOmega::new(proposals[p.0]), oracle),
+                        ChurnGuarantee::SafetyOnly,
+                    )
+                }
+            }
+        }
+        let (trace, guarantee) = spec.with_oracle(
+            &fp,
+            RunChurn {
+                spec,
+                fp: &fp,
+                proposals: &proposals,
+            },
+        );
         let check = churn_envelope(&trace, &fp, spec.k, &proposals, guarantee);
         ScenarioReport::new(self.name(), spec, fp, trace, check)
     }

@@ -16,7 +16,7 @@ use fd_detectors::scenario::{
     default_proposals, run_to_decision, salt, CrashPlan, Flavour, Scenario, ScenarioReport,
     ScenarioSpec,
 };
-use fd_sim::{forward_ops, Automaton, Ctx, FailurePattern, ProcessId, Time};
+use fd_sim::{forward_ops, Automaton, Ctx, FailurePattern, OracleSuite, ProcessId, Time};
 use fd_transforms::two_wheels::{TwMsg, TwParams, TwoWheels};
 
 /// Combined message alphabet of the pipeline.
@@ -61,10 +61,10 @@ impl WheelsPlusKset {
         self.kset.has_decided()
     }
 
-    fn run_wheels(
+    fn run_wheels<O: OracleSuite + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, PipeMsg>,
-        f: impl FnOnce(&mut TwoWheels, &mut Ctx<'_, TwMsg>),
+        ctx: &mut Ctx<'_, PipeMsg, O>,
+        f: impl FnOnce(&mut TwoWheels, &mut Ctx<'_, TwMsg, O>),
     ) {
         let wheels = &mut self.wheels;
         let ((), ops) = ctx.reborrow_inner(|ictx| f(wheels, ictx));
@@ -72,10 +72,10 @@ impl WheelsPlusKset {
         self.sync_leaders(ctx);
     }
 
-    fn run_kset(
+    fn run_kset<O: OracleSuite + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<'_, PipeMsg>,
-        f: impl FnOnce(&mut KsetOmega, &mut Ctx<'_, KsetMsg>),
+        ctx: &mut Ctx<'_, PipeMsg, O>,
+        f: impl FnOnce(&mut KsetOmega, &mut Ctx<'_, KsetMsg, O>),
     ) {
         self.sync_leaders(ctx);
         let kset = &mut self.kset;
@@ -84,7 +84,7 @@ impl WheelsPlusKset {
     }
 
     /// Feeds the wheels' live `trusted_i` into the agreement layer.
-    fn sync_leaders(&mut self, ctx: &mut Ctx<'_, PipeMsg>) {
+    fn sync_leaders<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, PipeMsg, O>) {
         let wheels = &self.wheels;
         let (l, ops) = ctx.reborrow_inner(|ictx| wheels.trusted(ictx));
         debug_assert!(ops.is_empty());
@@ -95,26 +95,36 @@ impl WheelsPlusKset {
 impl Automaton for WheelsPlusKset {
     type Msg = PipeMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, PipeMsg>) {
+    fn on_start<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, PipeMsg, O>) {
         self.run_wheels(ctx, |w, ictx| w.on_start(ictx));
         self.run_kset(ctx, |k, ictx| k.on_start(ictx));
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: PipeMsg, ctx: &mut Ctx<'_, PipeMsg>) {
+    fn on_message<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: PipeMsg,
+        ctx: &mut Ctx<'_, PipeMsg, O>,
+    ) {
         match msg {
             PipeMsg::Wheels(m) => self.run_wheels(ctx, |w, ictx| w.on_message(from, m, ictx)),
             PipeMsg::Kset(m) => self.run_kset(ctx, |k, ictx| k.on_message(from, m, ictx)),
         }
     }
 
-    fn on_rb_deliver(&mut self, from: ProcessId, msg: PipeMsg, ctx: &mut Ctx<'_, PipeMsg>) {
+    fn on_rb_deliver<O: OracleSuite + ?Sized>(
+        &mut self,
+        from: ProcessId,
+        msg: PipeMsg,
+        ctx: &mut Ctx<'_, PipeMsg, O>,
+    ) {
         match msg {
             PipeMsg::Wheels(m) => self.run_wheels(ctx, |w, ictx| w.on_rb_deliver(from, m, ictx)),
             PipeMsg::Kset(m) => self.run_kset(ctx, |k, ictx| k.on_rb_deliver(from, m, ictx)),
         }
     }
 
-    fn on_step(&mut self, ctx: &mut Ctx<'_, PipeMsg>) {
+    fn on_step<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, PipeMsg, O>) {
         self.run_wheels(ctx, |w, ictx| w.on_step(ictx));
         self.run_kset(ctx, |k, ictx| k.on_step(ictx));
     }
