@@ -13,7 +13,9 @@
 use fd_bench::Suite;
 use fd_core::KsetScenario;
 use fd_detectors::scenario::{CrashPlan, QueueKind, Scenario};
-use fd_sim::{CalendarQueue, EventKind, EventQueue, ProcessId, Scheduler, SplitMix64, Time};
+use fd_sim::{
+    CalendarQueue, EventKind, EventQueue, MsgSlot, ProcessId, Scheduler, SplitMix64, Time,
+};
 use std::hint::black_box;
 
 fn kset_run(queue: QueueKind, seed: u64) -> u64 {
@@ -31,7 +33,7 @@ fn kset_run(queue: QueueKind, seed: u64) -> u64 {
 /// Synthetic near-monotone workload shaped like the simulator's: a bounded
 /// backlog (each pop spawns roughly one future event, occasionally a far
 /// delay-rule release), so same-tick groups stay small.
-fn balanced<Q: Scheduler<u64>>(mut q: Q) -> u64 {
+fn balanced<Q: Scheduler>(mut q: Q) -> u64 {
     let mut rng = SplitMix64::new(42);
     let mut acc = 0u64;
     for i in 0..200u64 {
@@ -40,7 +42,7 @@ fn balanced<Q: Scheduler<u64>>(mut q: Q) -> u64 {
             ProcessId(0),
             EventKind::Deliver {
                 from: ProcessId(0),
-                msg: i,
+                slot: MsgSlot::from_raw(i as u32),
             },
         );
     }
@@ -58,7 +60,7 @@ fn balanced<Q: Scheduler<u64>>(mut q: Q) -> u64 {
             ProcessId(0),
             EventKind::Deliver {
                 from: ProcessId(0),
-                msg: at,
+                slot: MsgSlot::from_raw(at as u32),
             },
         );
     }
@@ -72,7 +74,7 @@ fn balanced<Q: Scheduler<u64>>(mut q: Q) -> u64 {
 /// piling thousands of events into the same few days — the calendar
 /// queue's documented worst case (its per-pop selection scan is linear in
 /// the same-day group, where the heap stays logarithmic in the total).
-fn backlog<Q: Scheduler<u64>>(mut q: Q) -> u64 {
+fn backlog<Q: Scheduler>(mut q: Q) -> u64 {
     let mut rng = SplitMix64::new(7);
     let mut now = 0u64;
     let mut acc = 0u64;
@@ -84,7 +86,7 @@ fn backlog<Q: Scheduler<u64>>(mut q: Q) -> u64 {
                 ProcessId(0),
                 EventKind::Deliver {
                     from: ProcessId(0),
-                    msg: at,
+                    slot: MsgSlot::from_raw(at as u32),
                 },
             );
         }
@@ -103,7 +105,7 @@ fn backlog<Q: Scheduler<u64>>(mut q: Q) -> u64 {
 /// pop round, pushing single buckets far past the promotion threshold —
 /// the regime PR 3's calendar collapsed in at n = 128 and the in-bucket
 /// heap promotion now covers.
-fn deep_day<Q: Scheduler<u64>>(mut q: Q) -> u64 {
+fn deep_day<Q: Scheduler>(mut q: Q) -> u64 {
     let mut rng = SplitMix64::new(11);
     let mut now = 0u64;
     let mut acc = 0u64;
@@ -116,7 +118,7 @@ fn deep_day<Q: Scheduler<u64>>(mut q: Q) -> u64 {
                 ProcessId((i % 128) as usize),
                 EventKind::Deliver {
                     from: ProcessId(0),
-                    msg: at,
+                    slot: MsgSlot::from_raw(at as u32),
                 },
             );
         }
@@ -156,37 +158,25 @@ fn main() {
         cal_prints, heap_prints,
         "event cores disagree on the benchmarked runs"
     );
-    suite.bench(
-        "balanced/calendar",
-        || balanced(CalendarQueue::<u64>::new()),
-    );
-    suite.bench(
-        "balanced/binary_heap",
-        || balanced(EventQueue::<u64>::new()),
-    );
-    suite.bench("backlog/calendar", || backlog(CalendarQueue::<u64>::new()));
-    suite.bench("backlog/binary_heap", || backlog(EventQueue::<u64>::new()));
-    suite.bench(
-        "deep_day/calendar",
-        || deep_day(CalendarQueue::<u64>::new()),
-    );
-    suite.bench(
-        "deep_day/binary_heap",
-        || deep_day(EventQueue::<u64>::new()),
-    );
+    suite.bench("balanced/calendar", || balanced(CalendarQueue::new()));
+    suite.bench("balanced/binary_heap", || balanced(EventQueue::new()));
+    suite.bench("backlog/calendar", || backlog(CalendarQueue::new()));
+    suite.bench("backlog/binary_heap", || backlog(EventQueue::new()));
+    suite.bench("deep_day/calendar", || deep_day(CalendarQueue::new()));
+    suite.bench("deep_day/binary_heap", || deep_day(EventQueue::new()));
     assert_eq!(
-        balanced(CalendarQueue::<u64>::new()),
-        balanced(EventQueue::<u64>::new()),
+        balanced(CalendarQueue::new()),
+        balanced(EventQueue::new()),
         "balanced pop orders diverged"
     );
     assert_eq!(
-        backlog(CalendarQueue::<u64>::new()),
-        backlog(EventQueue::<u64>::new()),
+        backlog(CalendarQueue::new()),
+        backlog(EventQueue::new()),
         "backlog pop orders diverged"
     );
     assert_eq!(
-        deep_day(CalendarQueue::<u64>::new()),
-        deep_day(EventQueue::<u64>::new()),
+        deep_day(CalendarQueue::new()),
+        deep_day(EventQueue::new()),
         "deep_day pop orders diverged"
     );
 }

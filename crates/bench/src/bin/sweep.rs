@@ -7,8 +7,8 @@
 //! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N]
 //! [-- --threads N] [-- --stream N] [-- --queue auto|calendar|binary_heap]
 //! [-- --compare N] [-- --large N] [-- --auto-queue N] [-- --cache N]
-//! [-- --adv N] [-- --adv-drop P] [-- --adv-dup P] [-- --baseline PATH]
-//! [-- --out PATH] [-- --profile]`
+//! [-- --adv N] [-- --adv-drop P] [-- --adv-dup P] [-- --curve LIST]
+//! [-- --n-max N] [-- --baseline PATH] [-- --out PATH] [-- --profile]`
 //!
 //! `--profile` prints a per-phase event-count breakdown after the run:
 //! every grid cell's simulated events, plus the streaming and adversary
@@ -30,8 +30,13 @@
 //! seeds per cell; 0 skips) — its determinism, `None`-differential, and
 //! churn catch-up gates abort on failure; its grid pass-rate is recorded,
 //! not gated (uniform drops are outside the algorithm's liveness tolerance
-//! by design). `--baseline PATH` compares per-thread `runs_per_sec`
-//! against a committed report and exits non-zero on a >30% regression.
+//! by design). `--curve LIST` runs the `n`-scaling leg at the
+//! comma-separated process counts in `LIST` (default `256,512,1024`; pass
+//! `--curve 0` to skip), one seed per size, recording the events/s-vs-`n`
+//! curve and the chosen `n` list in the JSON; `--n-max N` drops every
+//! curve point above `N` (how CI trims the leg to an `n = 256` smoke).
+//! `--baseline PATH` compares per-thread `runs_per_sec` against a
+//! committed report and exits non-zero on a >30% regression.
 
 use fd_bench::BaselineVerdict;
 use fd_detectors::scenario::{QueueKind, Runner};
@@ -78,6 +83,26 @@ fn main() {
         Some("binary_heap") => QueueKind::BinaryHeap,
         Some(other) => panic!("unknown --queue {other} (auto | calendar | binary_heap)"),
     };
+    // The n-scaling leg: `--curve 256,512,1024` (the default), `--curve 0`
+    // to skip, `--n-max 256` to trim the list (the CI smoke shape).
+    let curve_ns: Vec<usize> = {
+        let raw = arg_value("--curve").unwrap_or_else(|| "256,512,1024".into());
+        if raw.trim() == "0" {
+            Vec::new()
+        } else {
+            raw.split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("bad --curve entry {p:?}: {e}"))
+                })
+                .collect()
+        }
+    };
+    let n_max: usize = arg_value("--n-max")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let curve_ns: Vec<usize> = curve_ns.into_iter().filter(|&n| n <= n_max).collect();
     let baseline = arg_value("--baseline");
     let profile = std::env::args().any(|a| a == "--profile");
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
@@ -210,6 +235,21 @@ fn main() {
             "churn without catch-up no longer scores safety-only"
         );
         report = report.with_adversary_leg(leg);
+    }
+    if !curve_ns.is_empty() {
+        let sc = fd_bench::scaling_curve(&curve_ns, 1, runner);
+        for p in &sc.points {
+            println!(
+                "scaling curve (n={}): {} events in {} us — {:.0} events/s",
+                p.n, p.events, p.wall_us, p.events_per_sec,
+            );
+            assert_eq!(
+                p.passes, p.runs,
+                "scaling point n={} failed its spec check",
+                p.n
+            );
+        }
+        report = report.with_scaling(sc);
     }
     if profile {
         println!("event profile (per phase):");

@@ -17,11 +17,11 @@ pub mod sweep;
 pub mod table;
 
 pub use experiments::all;
-pub use micro::{BenchResult, Suite};
+pub use micro::{BenchResult, CountingAlloc, Suite};
 pub use sweep::{
     adversary_leg, auto_queue_comparison, cache_leg, check_baseline, large_n_comparison,
-    queue_comparison, representative_sweep, representative_sweep_on, streaming_sweep,
-    streaming_sweep_on, AdversaryLeg, BaselineVerdict, CacheLeg, QueueCompare, QueueRate,
-    StreamResult, SweepBenchReport,
+    queue_comparison, representative_sweep, representative_sweep_on, scaling_curve,
+    streaming_sweep, streaming_sweep_on, AdversaryLeg, BaselineVerdict, CacheLeg, QueueCompare,
+    QueueRate, ScalePoint, ScalingCurve, StreamResult, SweepBenchReport,
 };
 pub use table::Table;

@@ -10,8 +10,76 @@
 //! Iteration counts can be tuned without recompiling:
 //! `FD_BENCH_ITERS` (default 10) and `FD_BENCH_WARMUP` (default 2).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+static HEAP_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator for steady-state
+/// allocation probes.
+///
+/// Install as the `#[global_allocator]` of a *dedicated* test binary (so
+/// no concurrently running test pollutes the counter); every `alloc`,
+/// `alloc_zeroed` and `realloc` call bumps a process-global counter read
+/// via [`CountingAlloc::allocations`]. Counting is compiled in only under
+/// `debug_assertions` — release builds get a transparent pass-through, so
+/// installing the wrapper in a bench binary costs nothing; probes should
+/// skip their assertions when [`CountingAlloc::enabled`] is false.
+#[derive(Debug)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A counting allocator (counter shared process-wide).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+
+    /// Whether allocation counting is compiled in (debug builds only).
+    pub fn enabled(&self) -> bool {
+        cfg!(debug_assertions)
+    }
+
+    /// Total allocation calls (`alloc` + `alloc_zeroed` + `realloc`)
+    /// since process start. Always 0 when counting is disabled.
+    pub fn allocations(&self) -> u64 {
+        HEAP_ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        #[cfg(debug_assertions)]
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        #[cfg(debug_assertions)]
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        #[cfg(debug_assertions)]
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
 
 /// Timing statistics of one benchmarked workload.
 #[derive(Clone, Debug)]

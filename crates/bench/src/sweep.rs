@@ -172,6 +172,8 @@ pub struct SweepBenchReport {
     pub cache: Option<CacheLeg>,
     /// The adversary sweep leg, when one was run.
     pub adversary_leg: Option<AdversaryLeg>,
+    /// The `n`-scaling curve, when one was run.
+    pub scaling: Option<ScalingCurve>,
 }
 
 /// The grid the sweep covers: `(n, t)` scales × `k` × crash count.
@@ -242,6 +244,7 @@ pub fn representative_sweep_on(
         auto_queue: None,
         cache: None,
         adversary_leg: None,
+        scaling: None,
     }
 }
 
@@ -336,6 +339,86 @@ pub fn auto_queue_comparison(seeds_per_cell: u64, runner: Runner) -> QueueCompar
         &[QueueKind::Auto, QueueKind::Calendar, QueueKind::BinaryHeap],
         |queue| large_grid(seeds_per_cell, queue),
     )
+}
+
+/// One point of the events/s-vs-`n` scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience bound (`(n − 1) / 2`, maximal for `t < n/2`).
+    pub t: usize,
+    /// Seeds run at this size.
+    pub runs: u64,
+    /// Runs whose spec check passed.
+    pub passes: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Messages sent.
+    pub msgs: u64,
+    /// Wall-clock duration, microseconds (≥ 1).
+    pub wall_us: u64,
+    /// Simulator events per wall-clock second at this size.
+    pub events_per_sec: f64,
+}
+
+/// The `n`-scaling leg: the same failure-free `k = 2` cell at every size
+/// in `ns`, so `BENCH_sweep.json` carries an events/s-vs-`n` curve into
+/// the arena/bitset frontier (`n` up to [`fd_sim::MAX_PROCESSES`]).
+#[derive(Clone, Debug)]
+pub struct ScalingCurve {
+    /// The process counts measured, in order (recorded in the JSON so a
+    /// trimmed CI curve is distinguishable from the full one).
+    pub ns: Vec<usize>,
+    /// Seeds per size.
+    pub seeds_per_cell: u64,
+    /// One point per entry of `ns`.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Measures the events/s-vs-`n` scaling curve at the sizes in `ns`.
+///
+/// Failure-free (crashes change the workload shape per size, which would
+/// confound the curve), `k = 2`, maximal `t`, on the spec's `Auto` queue.
+/// Every run's spec check still applies — a silent wrong answer at
+/// `n = 1024` fails the leg rather than becoming a fast number.
+///
+/// # Panics
+///
+/// Panics if any `n` exceeds [`fd_sim::MAX_PROCESSES`].
+pub fn scaling_curve(ns: &[usize], seeds_per_cell: u64, runner: Runner) -> ScalingCurve {
+    let mut points = Vec::with_capacity(ns.len());
+    for &n in ns {
+        assert!(
+            n <= fd_sim::MAX_PROCESSES,
+            "scaling point n={n} exceeds MAX_PROCESSES={}",
+            fd_sim::MAX_PROCESSES
+        );
+        let t = (n - 1) / 2;
+        // A short GST: the curve measures event-routing throughput, and
+        // every pre-GST tick buys another O(n²)-message round of churn —
+        // at n = 1024 the standard gst = 400 alone is tens of millions of
+        // events before the oracle even lets anyone decide.
+        let spec = kset_config(n, t, 2).gst(Time(100));
+        let t0 = Instant::now();
+        let summary = runner.sweep_summary(&KsetScenario, &spec, 0..seeds_per_cell);
+        let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+        points.push(ScalePoint {
+            n,
+            t,
+            runs: summary.runs,
+            passes: summary.passes,
+            events: summary.total_events,
+            msgs: summary.total_msgs,
+            wall_us,
+            events_per_sec: summary.total_events as f64 / (wall_us as f64 / 1e6),
+        });
+    }
+    ScalingCurve {
+        ns: ns.to_vec(),
+        seeds_per_cell,
+        points,
+    }
 }
 
 /// The report-cache proving leg.
@@ -659,6 +742,12 @@ impl SweepBenchReport {
         self
     }
 
+    /// Attaches an `n`-scaling curve to the report (builder style).
+    pub fn with_scaling(mut self, scaling: ScalingCurve) -> Self {
+        self.scaling = Some(scaling);
+        self
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -786,6 +875,33 @@ impl SweepBenchReport {
             }
             s.push_str("  ],\n");
         }
+        if let Some(sc) = &self.scaling {
+            s.push_str(&format!(
+                "  \"scaling\": {{\"ns\": [{}], \"seeds_per_cell\": {}, \"points\": [\n",
+                sc.ns
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                sc.seeds_per_cell,
+            ));
+            for (i, p) in sc.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"n\": {}, \"t\": {}, \"runs\": {}, \"passes\": {}, \"events\": {}, \
+                     \"msgs\": {}, \"wall_us\": {}, \"events_per_sec\": {:.2}}}{}\n",
+                    p.n,
+                    p.t,
+                    p.runs,
+                    p.passes,
+                    p.events,
+                    p.msgs,
+                    p.wall_us,
+                    p.events_per_sec,
+                    if i + 1 == sc.points.len() { "" } else { "," }
+                ));
+            }
+            s.push_str("  ]},\n");
+        }
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             s.push_str(&format!(
@@ -900,6 +1016,34 @@ mod tests {
         assert!(json.contains("\"adversary_leg\""));
         assert!(json.contains("\"churn_catchup_live\": true"));
         assert!(json.contains("adv_n65_t32_k2_f0"));
+    }
+
+    #[test]
+    fn scaling_curve_measures_and_serializes() {
+        let sc = scaling_curve(&[5, 9], 1, Runner::parallel());
+        assert_eq!(sc.ns, vec![5, 9]);
+        assert_eq!(sc.points.len(), 2);
+        for p in &sc.points {
+            assert_eq!(p.runs, 1);
+            assert_eq!(p.passes, p.runs, "n={} failed its spec", p.n);
+            assert!(p.events > 0);
+            assert!(p.events_per_sec > 0.0);
+            assert_eq!(p.t, (p.n - 1) / 2);
+        }
+        // More processes, more simulated work.
+        assert!(sc.points[1].events > sc.points[0].events);
+        let json = representative_sweep(1, Runner::sequential())
+            .with_scaling(sc)
+            .to_json();
+        assert!(json.contains("\"scaling\": {\"ns\": [5, 9]"));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"n\": 9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PROCESSES")]
+    fn scaling_curve_rejects_oversized_n() {
+        scaling_curve(&[fd_sim::MAX_PROCESSES + 1], 1, Runner::sequential());
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! This baseline lets the benchmarks compare the paper's `Ω_k` algorithm
 //! (at `k = 1`) against the prior consensus technology it generalizes.
 
+use crate::rounds::{CoordSlab, EchoSlab, RoundWindow};
 use fd_sim::{slot, Automaton, Ctx, FdValue, OracleSuite, ProcessId};
-use std::collections::HashMap;
 
 /// Message alphabet of the MR consensus algorithm.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,13 +67,18 @@ enum Stage {
 }
 
 /// One process of the MR `◇S` consensus baseline.
+///
+/// Round state uses the recycled bitset slabs of [`crate::rounds`] (see
+/// [`crate::kset_omega::KsetOmega`] for the rationale); the `vec-reference`
+/// feature keeps the original `HashMap` implementation for the
+/// differential suite.
 #[derive(Clone, Debug)]
 pub struct ConsensusMr {
     est: u64,
     r: u32,
     stage: Stage,
-    coords: HashMap<u32, u64>,
-    echoes: HashMap<u32, Vec<(ProcessId, Option<u64>)>>,
+    coords: RoundWindow<CoordSlab>,
+    echoes: RoundWindow<EchoSlab>,
     decided: bool,
 }
 
@@ -84,8 +89,8 @@ impl ConsensusMr {
             est: proposal,
             r: 0,
             stage: Stage::Done,
-            coords: HashMap::new(),
-            echoes: HashMap::new(),
+            coords: RoundWindow::new(),
+            echoes: RoundWindow::new(),
             decided: false,
         }
     }
@@ -101,6 +106,9 @@ impl ConsensusMr {
 
     fn begin_round<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, MrMsg, O>) {
         self.r += 1;
+        // Finished rounds are never read again: recycle their slabs.
+        self.coords.retire_below(self.r);
+        self.echoes.retire_below(self.r);
         ctx.publish(slot::ROUND, FdValue::Num(self.r as u64));
         self.stage = Stage::AwaitCoord;
         if self.coordinator(ctx.n()) == ctx.me() {
@@ -117,7 +125,10 @@ impl ConsensusMr {
                 Stage::Done => return,
                 Stage::AwaitCoord => {
                     let c = self.coordinator(ctx.n());
-                    let aux = if let Some(&est) = self.coords.get(&self.r) {
+                    // `suspected()` queries the oracle: keep it
+                    // short-circuited behind the coordinator check exactly
+                    // as before.
+                    let aux = if let Some(est) = self.coords.get(self.r).and_then(CoordSlab::est) {
                         Some(est)
                     } else if ctx.suspected().contains(c) {
                         None
@@ -129,15 +140,13 @@ impl ConsensusMr {
                 }
                 Stage::AwaitEchoes => {
                     let quorum = ctx.n() - ctx.t();
-                    let msgs = self.echoes.entry(self.r).or_default();
-                    if msgs.len() < quorum {
+                    let slab = *self.echoes.entry(self.r, EchoSlab::default);
+                    if slab.count() < quorum {
                         return;
                     }
-                    let values: Vec<Option<u64>> = msgs.iter().map(|&(_, a)| a).collect();
-                    let non_bot: Vec<u64> = values.iter().flatten().copied().collect();
-                    if let Some(&v) = non_bot.first() {
+                    if let Some(v) = slab.first_val() {
                         self.est = v;
-                        if non_bot.len() == values.len() {
+                        if slab.all_non_bot() {
                             ctx.rb_broadcast(MrMsg::Decision { v });
                             self.stage = Stage::Done;
                             return;
@@ -165,15 +174,15 @@ impl Automaton for ConsensusMr {
         ctx: &mut Ctx<'_, MrMsg, O>,
     ) {
         match msg {
-            MrMsg::Coord { r, est } => {
-                self.coords.entry(r).or_insert(est);
+            // Stale-round messages were write-only state in the reference
+            // implementation; drop them so retired slabs stay retired.
+            MrMsg::Coord { r, est } if r >= self.r => {
+                self.coords.entry(r, CoordSlab::default).record(est);
             }
-            MrMsg::Echo { r, aux } => {
-                let v = self.echoes.entry(r).or_default();
-                if !v.iter().any(|(f, _)| *f == from) {
-                    v.push((from, aux));
-                }
+            MrMsg::Echo { r, aux } if r >= self.r => {
+                self.echoes.entry(r, EchoSlab::default).insert(from, aux);
             }
+            MrMsg::Coord { .. } | MrMsg::Echo { .. } => {}
             MrMsg::Decision { v } => self.on_rb_deliver(from, MrMsg::Decision { v }, ctx),
         }
         self.try_advance(ctx);

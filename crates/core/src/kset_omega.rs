@@ -23,10 +23,10 @@
 //! *zero-degrading* (§3.2): with a perfect `Ω_k` and only initial crashes
 //! it decides in a single round.
 
+use crate::rounds::{Phase1Slab, Phase2Slab, RoundWindow};
 use fd_sim::{
     slot, Automaton, Corruptible, Ctx, FdValue, OracleSuite, PSet, ProcessId, SplitMix64,
 };
-use std::collections::HashMap;
 
 /// Message alphabet of the Figure 3 algorithm.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +91,14 @@ pub enum LeaderInput {
 
 /// One process of the `Ω_k`-based `k`-set agreement algorithm (Figure 3).
 ///
+/// Round state lives in the bitset slabs of [`crate::rounds`]: sender
+/// dedup and the `n−t` quorum counts are popcounts, the line 07/13 value
+/// choices are running aggregates, and slabs of finished rounds are
+/// recycled — steady-state progress allocates nothing, independent of `n`.
+/// The `vec-reference` feature retains the original `HashMap`-of-`Vec`
+/// implementation ([`crate::reference::KsetOmegaRef`]) and the
+/// differential suite pins both bit-identical.
+///
 /// # Examples
 ///
 /// See [`crate::harness::run_kset_omega`] for the assembled experiment.
@@ -101,8 +109,8 @@ pub struct KsetOmega {
     li: PSet,
     stage: Stage,
     aux: Option<u64>,
-    p1: HashMap<u32, Vec<(ProcessId, PSet, u64)>>,
-    p2: HashMap<u32, Vec<(ProcessId, Option<u64>)>>,
+    p1: RoundWindow<Phase1Slab>,
+    p2: RoundWindow<Phase2Slab>,
     decided: bool,
     leader_input: LeaderInput,
     external_leaders: PSet,
@@ -117,8 +125,8 @@ impl KsetOmega {
             li: PSet::EMPTY,
             stage: Stage::Done, // set properly in on_start
             aux: None,
-            p1: HashMap::new(),
-            p2: HashMap::new(),
+            p1: RoundWindow::new(),
+            p2: RoundWindow::new(),
             decided: false,
             leader_input: LeaderInput::Oracle,
             external_leaders: PSet::EMPTY,
@@ -156,6 +164,10 @@ impl KsetOmega {
     /// Lines 03–04: enter round `r+1` and broadcast `PHASE1`.
     fn begin_round<O: OracleSuite + ?Sized>(&mut self, ctx: &mut Ctx<'_, KsetMsg, O>) {
         self.r += 1;
+        // Rounds below the new current one are never read again: recycle
+        // their slabs (messages for them are dropped on arrival too).
+        self.p1.retire_below(self.r);
+        self.p2.retire_below(self.r);
         ctx.publish(slot::ROUND, FdValue::Num(self.r as u64));
         self.li = self.read_leaders(ctx);
         self.stage = Stage::Phase1;
@@ -173,34 +185,26 @@ impl KsetOmega {
                 Stage::Done => return,
                 Stage::Phase1 => {
                     let quorum = ctx.n() - ctx.t();
-                    let msgs = self.p1.entry(self.r).or_default();
+                    let n = ctx.n();
+                    let li = self.li;
+                    let (count, from_leader) = {
+                        let slab = self.p1.entry(self.r, || Phase1Slab::new(n));
+                        (slab.count(), slab.heard_from(li))
+                    };
                     // Line 05: n−t PHASE1(r) messages.
-                    if msgs.len() < quorum {
+                    if count < quorum {
                         return;
                     }
                     // Line 06: one from a member of L_i, or trusted_i moved.
-                    let li = self.li;
-                    let from_leader = msgs.iter().any(|(from, _, _)| li.contains(*from));
+                    // (`read_leaders` queries the oracle, so it must stay
+                    // short-circuited exactly as before.)
                     if !from_leader && self.read_leaders(ctx) == li {
                         return;
                     }
                     // Lines 07–08: aux_i := v_L if a majority agrees on one
                     // leader set L and some member of L supplied a value.
-                    let msgs = &self.p1[&self.r];
-                    let mut counts: HashMap<PSet, usize> = HashMap::new();
-                    for (_, l, _) in msgs {
-                        *counts.entry(*l).or_insert(0) += 1;
-                    }
-                    let majority = counts
-                        .iter()
-                        .find(|&(_, &c)| 2 * c > ctx.n())
-                        .map(|(&l, _)| l);
-                    self.aux = majority.and_then(|l| {
-                        msgs.iter()
-                            .filter(|(from, _, _)| l.contains(*from))
-                            .min_by_key(|(from, _, _)| *from)
-                            .map(|&(_, _, v)| v)
-                    });
+                    let slab = self.p1.get(self.r).expect("entry created above");
+                    self.aux = slab.majority(n).and_then(|l| slab.min_member_est(l));
                     // Line 10: broadcast PHASE2.
                     self.stage = Stage::Phase2;
                     ctx.broadcast(KsetMsg::Phase2 {
@@ -210,19 +214,18 @@ impl KsetOmega {
                 }
                 Stage::Phase2 => {
                     let quorum = ctx.n() - ctx.t();
-                    let msgs = self.p2.entry(self.r).or_default();
+                    let slab = *self.p2.entry(self.r, Phase2Slab::default);
                     // Line 11: n−t PHASE2(r) messages.
-                    if msgs.len() < quorum {
+                    if slab.count() < quorum {
                         return;
                     }
                     // Line 13: adopt any non-⊥ value (deterministically the
                     // smallest, any choice is correct).
-                    let rec: Vec<Option<u64>> = msgs.iter().map(|&(_, a)| a).collect();
-                    if let Some(v) = rec.iter().flatten().min() {
-                        self.est = *v;
+                    if let Some(v) = slab.min_val() {
+                        self.est = v;
                     }
                     // Line 14: decide if no ⊥ was received.
-                    if rec.iter().all(|a| a.is_some()) {
+                    if slab.all_non_bot() {
                         ctx.rb_broadcast(KsetMsg::Decision { v: self.est });
                         self.stage = Stage::Done;
                         return;
@@ -249,18 +252,20 @@ impl Automaton for KsetOmega {
         ctx: &mut Ctx<'_, KsetMsg, O>,
     ) {
         match msg {
-            KsetMsg::Phase1 { r, leaders, est } => {
-                let v = self.p1.entry(r).or_default();
-                if !v.iter().any(|(f, _, _)| *f == from) {
-                    v.push((from, leaders, est));
-                }
+            // Messages for rounds already finished were write-only state in
+            // the reference implementation (the guards only ever read the
+            // current round); here they are dropped outright so retired
+            // slabs stay retired.
+            KsetMsg::Phase1 { r, leaders, est } if r >= self.r => {
+                let n = ctx.n();
+                self.p1
+                    .entry(r, || Phase1Slab::new(n))
+                    .insert(from, leaders, est);
             }
-            KsetMsg::Phase2 { r, aux } => {
-                let v = self.p2.entry(r).or_default();
-                if !v.iter().any(|(f, _)| *f == from) {
-                    v.push((from, aux));
-                }
+            KsetMsg::Phase2 { r, aux } if r >= self.r => {
+                self.p2.entry(r, Phase2Slab::default).insert(from, aux);
             }
+            KsetMsg::Phase1 { .. } | KsetMsg::Phase2 { .. } => {}
             // Plain channels never carry decisions, but be permissive: a
             // composed wrapper may re-route them.
             KsetMsg::Decision { v } => self.on_rb_deliver(from, KsetMsg::Decision { v }, ctx),

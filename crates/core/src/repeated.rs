@@ -52,6 +52,10 @@ pub struct RepeatedKset {
     kset: KsetOmega,
     /// Deliveries for future instances, replayed on entry.
     buffered: Vec<(ProcessId, u32, KsetMsg, bool)>,
+    /// Retained partition buffer for the replay in `maybe_advance` — the
+    /// buffers swap back and forth so instance boundaries allocate nothing
+    /// once warm.
+    scratch: Vec<(ProcessId, u32, KsetMsg, bool)>,
     finished: bool,
 }
 
@@ -68,6 +72,7 @@ impl RepeatedKset {
             cur: 0,
             kset: KsetOmega::new(proposal(me, 0)),
             buffered: Vec::new(),
+            scratch: Vec::new(),
             finished: false,
         }
     }
@@ -92,12 +97,9 @@ impl RepeatedKset {
     ) {
         let inst = self.cur;
         let kset = &mut self.kset;
-        let ((), ops) = ctx.reborrow_inner(|ictx| f(kset, ictx));
-        let filtered: Vec<Op<KsetMsg>> = ops
-            .into_iter()
-            .filter(|op| !matches!(op, Op::Halt))
-            .collect();
-        forward_ops(ctx, filtered, |inner| RepMsg { inst, inner });
+        let ((), mut ops) = ctx.reborrow_inner(|ictx| f(kset, ictx));
+        ops.retain(|op| !matches!(op, Op::Halt));
+        forward_ops(ctx, ops, |inner| RepMsg { inst, inner });
         self.maybe_advance(ctx);
     }
 
@@ -118,34 +120,34 @@ impl RepeatedKset {
             let kset = &mut self.kset;
             let ((), ops) = ctx.reborrow_inner(|ictx| kset.on_start(ictx));
             forward_ops(ctx, ops, |inner| RepMsg { inst, inner });
-            // Replay buffered deliveries for this instance.
-            let ready: Vec<(ProcessId, KsetMsg, bool)> = {
-                let mut r = Vec::new();
-                self.buffered.retain(|(from, i, msg, rb)| {
-                    if *i == inst {
-                        r.push((*from, msg.clone(), *rb));
-                        false
-                    } else {
-                        *i > inst // drop stale instances
+            // Replay buffered deliveries for this instance (in arrival
+            // order), re-buffering later instances and dropping stale
+            // ones. The two buffers swap rather than reallocate: `take`
+            // moves the scratch Vec out so its drain can run alongside
+            // the `&mut self` replay calls, then hands the (empty, still
+            // warm) storage back.
+            debug_assert!(self.scratch.is_empty());
+            std::mem::swap(&mut self.buffered, &mut self.scratch);
+            let mut pending = std::mem::take(&mut self.scratch);
+            for (from, i, msg, rb) in pending.drain(..) {
+                match i.cmp(&inst) {
+                    std::cmp::Ordering::Less => {} // stale instance: drop
+                    std::cmp::Ordering::Greater => self.buffered.push((from, i, msg, rb)),
+                    std::cmp::Ordering::Equal => {
+                        let kset = &mut self.kset;
+                        let ((), mut ops) = ctx.reborrow_inner(|ictx| {
+                            if rb {
+                                kset.on_rb_deliver(from, msg, ictx)
+                            } else {
+                                kset.on_message(from, msg, ictx)
+                            }
+                        });
+                        ops.retain(|op| !matches!(op, Op::Halt));
+                        forward_ops(ctx, ops, |inner| RepMsg { inst, inner });
                     }
-                });
-                r
-            };
-            for (from, msg, rb) in ready {
-                let kset = &mut self.kset;
-                let ((), ops) = ctx.reborrow_inner(|ictx| {
-                    if rb {
-                        kset.on_rb_deliver(from, msg, ictx)
-                    } else {
-                        kset.on_message(from, msg, ictx)
-                    }
-                });
-                let filtered: Vec<Op<KsetMsg>> = ops
-                    .into_iter()
-                    .filter(|op| !matches!(op, Op::Halt))
-                    .collect();
-                forward_ops(ctx, filtered, |inner| RepMsg { inst, inner });
+                }
             }
+            self.scratch = pending;
         }
     }
 

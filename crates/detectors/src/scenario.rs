@@ -538,9 +538,9 @@ impl ScenarioSpec {
         }
         rules.len().hash(&mut h);
         for r in rules {
+            r.from.words().hash(&mut h);
+            r.to.words().hash(&mut h);
             (
-                r.from.bits(),
-                r.to.bits(),
                 r.active_from.ticks(),
                 r.active_to.ticks(),
                 r.deliver_not_before.ticks(),
@@ -556,14 +556,10 @@ impl ScenarioSpec {
                 RuleAction::Duplicate => 1u8.hash(&mut h),
                 RuleAction::Corrupt { bound } => (2u8, bound).hash(&mut h),
             }
-            (
-                r.pct,
-                r.from.bits(),
-                r.to.bits(),
-                r.active_from.ticks(),
-                r.active_to.ticks(),
-            )
-                .hash(&mut h);
+            r.pct.hash(&mut h);
+            r.from.words().hash(&mut h);
+            r.to.words().hash(&mut h);
+            (r.active_from.ticks(), r.active_to.ticks()).hash(&mut h);
         }
         catch_up.hash(&mut h);
         h.finish()
@@ -1025,10 +1021,19 @@ impl ScenarioReport {
 
 fn hash_fd_value(v: FdValue, h: &mut impl Hasher) {
     match v {
-        FdValue::Set(s) => {
-            0u8.hash(h);
-            s.bits().hash(h);
-        }
+        FdValue::Set(s) => match s.try_bits() {
+            // Sets confined to 128 identities hash exactly as the
+            // historical u128 mask did — every recorded digest for n ≤ 128
+            // depends on it. Wider sets (n > 128 runs) get their own tag.
+            Some(bits) => {
+                0u8.hash(h);
+                bits.hash(h);
+            }
+            None => {
+                4u8.hash(h);
+                s.words().hash(h);
+            }
+        },
         FdValue::Proc(p) => {
             1u8.hash(h);
             p.0.hash(h);

@@ -1,0 +1,265 @@
+//! The message arena: shared storage for in-flight message payloads.
+//!
+//! A broadcast to `n` recipients used to clone its payload `n` times at
+//! routing time and carry one copy inside every queued event. The arena
+//! inverts that layout: the payload is stored **once**, the queue carries a
+//! [`Copy`] handle ([`MsgSlot`]) plus a reference count, and the payload is
+//! only materialized per recipient when the delivery actually *fires*
+//! ([`MsgArena::take`] clones while other references remain and moves the
+//! payload out on the last one). Routing a broadcast storm is therefore
+//! O(n) index writes instead of O(n) clones of `M`, queue nodes shrink to a
+//! fixed size independent of `M`, and deliveries to crashed recipients
+//! ([`MsgArena::release`]) never pay for a clone at all.
+//!
+//! Slots are recycled through a free list, so steady-state traffic — where
+//! deliveries drain as fast as broadcasts stage them — allocates nothing
+//! (the `alloc_per_broadcast` probe in `fd-bench` pins this at n = 128).
+//! Determinism is untouched: the arena draws no randomness and the handle
+//! indirection never reorders events.
+
+/// A handle to a payload stored in a [`MsgArena`].
+///
+/// Plain `Copy` data — this is what queued events carry instead of the
+/// message body. A slot is only meaningful to the arena that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MsgSlot(u32);
+
+impl MsgSlot {
+    /// Fabricates a slot handle from a raw index, without an arena.
+    ///
+    /// For queue-level tests and benchmarks that exercise event ordering
+    /// and never dereference the payload. Handing a fabricated slot to a
+    /// real arena is a logic error.
+    pub fn from_raw(index: u32) -> Self {
+        MsgSlot(index)
+    }
+
+    /// The raw slot index (the inverse of [`MsgSlot::from_raw`]).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Slot<M> {
+    msg: Option<M>,
+    /// Pending deliveries still pointing at this slot.
+    refs: u32,
+}
+
+/// Reference-counted storage for the payloads of scheduled deliveries.
+///
+/// The simulator owns one arena per run; the network allocates into it on
+/// every route and the engine consumes from it on every delivery pop. See
+/// the [module docs](self) for the layout rationale.
+#[derive(Debug)]
+pub struct MsgArena<M> {
+    slots: Vec<Slot<M>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<M> Default for MsgArena<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> MsgArena<M> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        MsgArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty arena with room for `cap` concurrent payloads.
+    pub fn with_capacity(cap: usize) -> Self {
+        MsgArena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, msg: M, refs: u32) -> MsgSlot {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                debug_assert!(s.msg.is_none(), "free-list slot still holds a payload");
+                s.msg = Some(msg);
+                s.refs = refs;
+                MsgSlot(i)
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("arena exceeds u32 slots");
+                self.slots.push(Slot {
+                    msg: Some(msg),
+                    refs,
+                });
+                MsgSlot(i)
+            }
+        }
+    }
+
+    /// Stores `msg` with `refs` pending deliveries (`refs ≥ 1`).
+    pub fn alloc(&mut self, msg: M, refs: u32) -> MsgSlot {
+        debug_assert!(refs > 0, "alloc with zero refs leaks; use stage/commit");
+        self.insert(msg, refs)
+    }
+
+    /// Stores `msg` with its delivery count not yet known — the batched
+    /// routing paths stage the payload first, emit one event per recipient,
+    /// and then [`MsgArena::commit`] the final count.
+    pub fn stage(&mut self, msg: M) -> MsgSlot {
+        self.insert(msg, 0)
+    }
+
+    /// Sets the delivery count of a [`MsgArena::stage`]d slot. A count of
+    /// zero (a broadcast that reached nobody) frees the slot immediately.
+    pub fn commit(&mut self, slot: MsgSlot, refs: u32) {
+        let s = &mut self.slots[slot.0 as usize];
+        debug_assert_eq!(s.refs, 0, "commit on an already-committed slot");
+        if refs == 0 {
+            s.msg = None;
+            self.free.push(slot.0);
+            self.live -= 1;
+        } else {
+            s.refs = refs;
+        }
+    }
+
+    /// Adds one pending delivery to an existing slot (message duplication).
+    pub fn retain(&mut self, slot: MsgSlot) {
+        self.slots[slot.0 as usize].refs += 1;
+    }
+
+    /// Consumes one delivery of `slot`'s payload: clones while other
+    /// deliveries are still pending, moves the payload out (and recycles
+    /// the slot) on the last one.
+    pub fn take(&mut self, slot: MsgSlot) -> M
+    where
+        M: Clone,
+    {
+        let s = &mut self.slots[slot.0 as usize];
+        debug_assert!(s.refs > 0, "take on a dead slot");
+        s.refs -= 1;
+        if s.refs == 0 {
+            let msg = s.msg.take().expect("live slot without a payload");
+            self.free.push(slot.0);
+            self.live -= 1;
+            msg
+        } else {
+            s.msg.as_ref().expect("live slot without a payload").clone()
+        }
+    }
+
+    /// Drops one delivery of `slot`'s payload without materializing it —
+    /// the engine's path for deliveries to crashed recipients, which
+    /// therefore never pay for a clone.
+    pub fn release(&mut self, slot: MsgSlot) {
+        let s = &mut self.slots[slot.0 as usize];
+        debug_assert!(s.refs > 0, "release on a dead slot");
+        s.refs -= 1;
+        if s.refs == 0 {
+            s.msg = None;
+            self.free.push(slot.0);
+            self.live -= 1;
+        }
+    }
+
+    /// Number of payloads currently stored.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no payloads are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever created (the arena's high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_clones_then_moves() {
+        let mut a: MsgArena<String> = MsgArena::new();
+        let s = a.alloc("hello".to_owned(), 3);
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.take(s), "hello");
+        assert_eq!(a.take(s), "hello");
+        assert_eq!(a.live(), 1, "slot stays live until the last take");
+        assert_eq!(a.take(s), "hello");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut a: MsgArena<u64> = MsgArena::new();
+        let s1 = a.alloc(1, 1);
+        assert_eq!(a.take(s1), 1);
+        let s2 = a.alloc(2, 1);
+        assert_eq!(s1, s2, "freed slot must be reused");
+        assert_eq!(a.capacity(), 1, "no new slot was created");
+        assert_eq!(a.take(s2), 2);
+    }
+
+    #[test]
+    fn release_skips_the_clone_and_frees() {
+        let mut a: MsgArena<u64> = MsgArena::new();
+        let s = a.alloc(7, 2);
+        a.release(s);
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.take(s), 7, "last consumer still gets the payload");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn stage_commit_zero_frees_immediately() {
+        let mut a: MsgArena<u64> = MsgArena::new();
+        let s = a.stage(9);
+        assert_eq!(a.live(), 1);
+        a.commit(s, 0);
+        assert!(a.is_empty());
+        // And the slot is back on the free list.
+        let s2 = a.alloc(10, 1);
+        assert_eq!(s, s2);
+        assert_eq!(a.take(s2), 10);
+    }
+
+    #[test]
+    fn stage_commit_counts_like_alloc() {
+        let mut a: MsgArena<u64> = MsgArena::new();
+        let s = a.stage(5);
+        a.commit(s, 2);
+        assert_eq!(a.take(s), 5);
+        assert_eq!(a.take(s), 5);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn retain_adds_a_delivery() {
+        let mut a: MsgArena<u64> = MsgArena::new();
+        let s = a.alloc(4, 1);
+        a.retain(s);
+        assert_eq!(a.take(s), 4);
+        assert_eq!(a.take(s), 4);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn slot_raw_round_trip() {
+        let s = MsgSlot::from_raw(42);
+        assert_eq!(s.index(), 42);
+    }
+}

@@ -10,28 +10,35 @@
 //! contract (see `fd_detectors::scenario::salt`): swapping the queue
 //! implementation must never change a trace, and the differential tests in
 //! `tests/scenario_engine.rs` enforce it with full-trace fingerprints.
+//!
+//! Events are plain [`Copy`] data: message payloads live in the
+//! [`crate::arena::MsgArena`] and deliveries carry a [`MsgSlot`] handle, so
+//! a queue node's size is fixed regardless of the protocol's message type
+//! and batch insertion is a `memcpy`-class operation.
 
+use crate::arena::MsgSlot;
 use crate::id::ProcessId;
 use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EventKind<M> {
-    /// Point-to-point delivery of `msg` from `from`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Point-to-point delivery of the payload in `slot`, sent by `from`.
     Deliver {
         /// Sender.
         from: ProcessId,
-        /// Payload.
-        msg: M,
+        /// Arena handle of the payload.
+        slot: MsgSlot,
     },
-    /// Reliable-broadcast delivery of `msg` R-broadcast by `from`.
+    /// Reliable-broadcast delivery of the payload in `slot`, R-broadcast by
+    /// `from`.
     RbDeliver {
         /// Original broadcaster.
         from: ProcessId,
-        /// Payload.
-        msg: M,
+        /// Arena handle of the payload.
+        slot: MsgSlot,
     },
     /// A local step of the process (drives `repeat forever` tasks and
     /// re-evaluates time-dependent guards).
@@ -44,8 +51,8 @@ pub enum EventKind<M> {
 }
 
 /// A scheduled event targeting process `to` at time `at`.
-#[derive(Clone, Debug)]
-pub struct Event<M> {
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
     /// When the event fires.
     pub at: Time,
     /// Deterministic tie-breaker (insertion order).
@@ -53,24 +60,24 @@ pub struct Event<M> {
     /// Target process.
     pub to: ProcessId,
     /// What happens.
-    pub kind: EventKind<M>,
+    pub kind: EventKind,
 }
 
-impl<M> PartialEq for Event<M> {
+impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for Event<M> {}
+impl Eq for Event {}
 
-impl<M> Ord for Event<M> {
+impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
         // Sequence numbers break ties deterministically (FIFO insertion).
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
-impl<M> PartialOrd for Event<M> {
+impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -79,17 +86,19 @@ impl<M> PartialOrd for Event<M> {
 /// A not-yet-sequenced event staged for a [`Scheduler::push_batch`] call.
 ///
 /// Broadcast routing stages all of a broadcast's deliveries into one
-/// (caller-recycled) `Vec<Staged<M>>` and hands them to the scheduler in a
+/// (caller-recycled) `Vec<Staged>` and hands them to the scheduler in a
 /// single call, so the queue pays its per-insert bookkeeping once per day
-/// (calendar) or reserves once (heap) instead of once per recipient.
-#[derive(Clone, Debug)]
-pub struct Staged<M> {
+/// (calendar) or reserves once (heap) instead of once per recipient. Staged
+/// events are `Copy`: the batch is passed by slice and the caller clears
+/// and recycles the buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Staged {
     /// When the event fires.
     pub at: Time,
     /// Target process.
     pub to: ProcessId,
     /// What happens.
-    pub kind: EventKind<M>,
+    pub kind: EventKind,
 }
 
 /// A time-ordered event queue with deterministic tie-breaking.
@@ -98,27 +107,27 @@ pub struct Staged<M> {
 ///
 /// * [`Scheduler::push`] assigns the event the next insertion sequence
 ///   number (starting at 0);
-/// * [`Scheduler::push_batch`] drains the staged events in order, as if
-///   each had been [`Scheduler::push`]ed individually — same sequence
+/// * [`Scheduler::push_batch`] inserts the staged events in slice order, as
+///   if each had been [`Scheduler::push`]ed individually — same sequence
 ///   numbers, same pending set — and exists only so implementations can
 ///   amortize per-insert bookkeeping over a broadcast;
 /// * [`Scheduler::pop`] removes the pending event with the smallest
 ///   `(at, seq)` key — so two schedulers fed the same pushes pop the same
 ///   events in the same order, bit for bit.
-pub trait Scheduler<M>: std::fmt::Debug {
+pub trait Scheduler: std::fmt::Debug {
     /// Schedules `kind` for `to` at time `at`.
-    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>);
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind);
 
-    /// Schedules every staged event, in order, draining `batch` (which the
-    /// caller recycles). Observationally identical to pushing one by one.
-    fn push_batch(&mut self, batch: &mut Vec<Staged<M>>) {
-        for s in batch.drain(..) {
+    /// Schedules every staged event, in slice order. Observationally
+    /// identical to pushing one by one.
+    fn push_batch(&mut self, batch: &[Staged]) {
+        for s in batch {
             self.push(s.at, s.to, s.kind);
         }
     }
 
     /// Removes and returns the pending event with the smallest `(at, seq)`.
-    fn pop(&mut self) -> Option<Event<M>>;
+    fn pop(&mut self) -> Option<Event>;
 
     /// The time of the earliest pending event.
     fn peek_time(&self) -> Option<Time>;
@@ -194,19 +203,13 @@ impl QueueKind {
 }
 
 /// The reference scheduler: a [`BinaryHeap`] ordered by `(at, seq)`.
-#[derive(Debug)]
-pub struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
     next_seq: u64,
 }
 
-impl<M> Default for EventQueue<M> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<M> EventQueue<M> {
+impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
@@ -216,23 +219,23 @@ impl<M> EventQueue<M> {
     }
 }
 
-impl<M: std::fmt::Debug> Scheduler<M> for EventQueue<M> {
-    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+impl Scheduler for EventQueue {
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { at, seq, to, kind });
     }
 
-    fn push_batch(&mut self, batch: &mut Vec<Staged<M>>) {
+    fn push_batch(&mut self, batch: &[Staged]) {
         // One capacity check for the whole broadcast instead of one per
         // recipient; insertion order (and thus `seq`) is unchanged.
         self.heap.reserve(batch.len());
-        for s in batch.drain(..) {
+        for s in batch {
             self.push(s.at, s.to, s.kind);
         }
     }
 
-    fn pop(&mut self) -> Option<Event<M>> {
+    fn pop(&mut self) -> Option<Event> {
         self.heap.pop()
     }
 
@@ -269,7 +272,7 @@ const PROMOTE_THRESHOLD: usize = 32;
 /// The packed scan/heap key: `at` in the high 64 bits, `seq` in the low —
 /// one `u128` compare per element, ordering exactly like `(at, seq)`.
 #[inline]
-fn pack<M>(e: &Event<M>) -> u128 {
+fn pack(e: &Event) -> u128 {
     ((e.at.ticks() as u128) << 64) | e.seq as u128
 }
 
@@ -277,13 +280,13 @@ fn pack<M>(e: &Event<M>) -> u128 {
 /// promoted to an inline binary min-heap (keyed on [`pack`]) once a deep
 /// same-day backlog pushes it past [`PROMOTE_THRESHOLD`].
 #[derive(Debug)]
-struct Bucket<M> {
-    events: Vec<Event<M>>,
+struct Bucket {
+    events: Vec<Event>,
     /// Whether `events` currently satisfies the min-heap invariant.
     heaped: bool,
 }
 
-impl<M> Bucket<M> {
+impl Bucket {
     fn new() -> Self {
         Bucket {
             events: Vec::new(),
@@ -291,7 +294,7 @@ impl<M> Bucket<M> {
         }
     }
 
-    fn insert(&mut self, ev: Event<M>) {
+    fn insert(&mut self, ev: Event) {
         self.events.push(ev);
         if self.heaped {
             self.sift_up(self.events.len() - 1);
@@ -326,7 +329,7 @@ impl<M> Bucket<M> {
     }
 
     /// Removes the event at `pos` (which must be a `min_pos_key` result).
-    fn remove(&mut self, pos: usize) -> Event<M> {
+    fn remove(&mut self, pos: usize) -> Event {
         let ev = if self.heaped {
             debug_assert_eq!(pos, 0, "heaped buckets only remove the root");
             let last = self.events.len() - 1;
@@ -401,8 +404,8 @@ impl<M> Bucket<M> {
 /// [`PROMOTE_THRESHOLD`]), which keeps worst-case pops logarithmic in the
 /// day depth while leaving the pop *order* untouched.
 #[derive(Debug)]
-pub struct CalendarQueue<M> {
-    buckets: Vec<Bucket<M>>,
+pub struct CalendarQueue {
+    buckets: Vec<Bucket>,
     /// `log2` of the ticks-per-bucket width.
     width_shift: u32,
     /// `buckets.len() - 1` (the bucket count is a power of two).
@@ -413,13 +416,13 @@ pub struct CalendarQueue<M> {
     next_seq: u64,
 }
 
-impl<M> Default for CalendarQueue<M> {
+impl Default for CalendarQueue {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> CalendarQueue<M> {
+impl CalendarQueue {
     /// An empty queue with the default bucket width.
     pub fn new() -> Self {
         Self::with_width(DEFAULT_BUCKET_WIDTH)
@@ -490,7 +493,7 @@ impl<M> CalendarQueue<M> {
             return;
         }
         let doubled = self.buckets.len() * 2;
-        let events: Vec<Event<M>> = self
+        let events: Vec<Event> = self
             .buckets
             .iter_mut()
             .flat_map(|b| std::mem::take(&mut b.events))
@@ -504,8 +507,8 @@ impl<M> CalendarQueue<M> {
     }
 }
 
-impl<M: std::fmt::Debug> Scheduler<M> for CalendarQueue<M> {
-    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+impl Scheduler for CalendarQueue {
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind) {
         let (seq, day) = self.sequence(at);
         let idx = (day & self.bucket_mask) as usize;
         self.buckets[idx].insert(Event { at, seq, to, kind });
@@ -513,14 +516,14 @@ impl<M: std::fmt::Debug> Scheduler<M> for CalendarQueue<M> {
         self.maybe_grow();
     }
 
-    fn push_batch(&mut self, batch: &mut Vec<Staged<M>>) {
+    fn push_batch(&mut self, batch: &[Staged]) {
         // A broadcast's deliveries land in a handful of adjacent days, so
         // cache the day → bucket-index mapping between consecutive entries
         // and run the occupancy (grow) check once for the whole batch.
         // Deferring the grow is layout-only: pop order is keyed on
         // `(at, seq)` content, never on which bucket an event sits in.
         let mut cached: Option<(u64, usize)> = None;
-        for s in batch.drain(..) {
+        for s in batch {
             let (seq, day) = self.sequence(s.at);
             let idx = match cached {
                 Some((d, idx)) if d == day => idx,
@@ -541,7 +544,7 @@ impl<M: std::fmt::Debug> Scheduler<M> for CalendarQueue<M> {
         self.maybe_grow();
     }
 
-    fn pop(&mut self) -> Option<Event<M>> {
+    fn pop(&mut self) -> Option<Event> {
         if self.len == 0 {
             return None;
         }
@@ -599,14 +602,14 @@ impl<M: std::fmt::Debug> Scheduler<M> for CalendarQueue<M> {
 /// keeps static dispatch; the [`Scheduler`] trait remains the contract (and
 /// the currency of [`crate::network::Network::route`]).
 #[derive(Debug)]
-pub enum EventCore<M> {
+pub enum EventCore {
     /// The reference binary heap.
-    Heap(EventQueue<M>),
+    Heap(EventQueue),
     /// The calendar queue.
-    Calendar(CalendarQueue<M>),
+    Calendar(CalendarQueue),
 }
 
-impl<M> EventCore<M> {
+impl EventCore {
     /// An empty scheduler of the given kind. [`QueueKind::Auto`] resolves
     /// as for a small system (the calendar queue); runs that know their
     /// size should use [`EventCore::for_system`] instead.
@@ -624,22 +627,22 @@ impl<M> EventCore<M> {
     }
 }
 
-impl<M: std::fmt::Debug> Scheduler<M> for EventCore<M> {
-    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+impl Scheduler for EventCore {
+    fn push(&mut self, at: Time, to: ProcessId, kind: EventKind) {
         match self {
             EventCore::Heap(q) => q.push(at, to, kind),
             EventCore::Calendar(q) => q.push(at, to, kind),
         }
     }
 
-    fn push_batch(&mut self, batch: &mut Vec<Staged<M>>) {
+    fn push_batch(&mut self, batch: &[Staged]) {
         match self {
             EventCore::Heap(q) => q.push_batch(batch),
             EventCore::Calendar(q) => q.push_batch(batch),
         }
     }
 
-    fn pop(&mut self) -> Option<Event<M>> {
+    fn pop(&mut self) -> Option<Event> {
         match self {
             EventCore::Heap(q) => q.pop(),
             EventCore::Calendar(q) => q.pop(),
@@ -666,12 +669,21 @@ mod tests {
     use super::*;
     use crate::rng::SplitMix64;
 
-    fn queues() -> [Box<dyn Scheduler<u32>>; 3] {
+    fn queues() -> [Box<dyn Scheduler>; 3] {
         [
             Box::new(EventQueue::new()),
             Box::new(CalendarQueue::new()),
             Box::new(CalendarQueue::with_width(1)),
         ]
+    }
+
+    /// A delivery kind whose payload lives nowhere: queue-level tests only
+    /// exercise ordering, never dereference the slot.
+    fn deliver(to: ProcessId, tag: u32) -> EventKind {
+        EventKind::Deliver {
+            from: to,
+            slot: MsgSlot::from_raw(tag),
+        }
     }
 
     #[test]
@@ -727,8 +739,8 @@ mod tests {
     fn calendar_matches_heap_differentially() {
         for seed in 0..32u64 {
             let mut rng = SplitMix64::new(seed);
-            let mut heap: EventQueue<u32> = EventQueue::new();
-            let mut cal: CalendarQueue<u32> = CalendarQueue::with_width(rng.range(1, 8));
+            let mut heap: EventQueue = EventQueue::new();
+            let mut cal: CalendarQueue = CalendarQueue::with_width(rng.range(1, 8));
             let mut now = 0u64;
             for _ in 0..600 {
                 if rng.chance(2, 3) || heap.is_empty() {
@@ -763,8 +775,8 @@ mod tests {
 
     #[test]
     fn grow_preserves_order() {
-        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
-        let mut heap: EventQueue<u32> = EventQueue::new();
+        let mut cal: CalendarQueue = CalendarQueue::new();
+        let mut heap: EventQueue = EventQueue::new();
         // Enough events to force several doublings.
         for i in 0..4_000u64 {
             let at = Time((i * 7919) % 10_000);
@@ -781,7 +793,7 @@ mod tests {
     #[test]
     fn event_core_dispatches_both_kinds() {
         for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
-            let mut q: EventCore<u32> = EventCore::new(kind);
+            let mut q: EventCore = EventCore::new(kind);
             q.push(Time(4), ProcessId(1), EventKind::Step);
             q.push(Time(4), ProcessId(2), EventKind::Step);
             assert_eq!(q.len(), 2);
@@ -818,11 +830,11 @@ mod tests {
         }
         // EventCore honours the resolution.
         assert!(matches!(
-            EventCore::<u32>::for_system(QueueKind::Auto, 5),
+            EventCore::for_system(QueueKind::Auto, 5),
             EventCore::Calendar(_)
         ));
         assert!(matches!(
-            EventCore::<u32>::for_system(QueueKind::Auto, 128),
+            EventCore::for_system(QueueKind::Auto, 128),
             EventCore::Heap(_)
         ));
     }
@@ -834,8 +846,8 @@ mod tests {
     fn promoted_day_backlog_matches_heap_pop_order() {
         for seed in 0..8u64 {
             let mut rng = SplitMix64::new(seed);
-            let mut heap: EventQueue<u32> = EventQueue::new();
-            let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+            let mut heap: EventQueue = EventQueue::new();
+            let mut cal: CalendarQueue = CalendarQueue::new();
             let mut now = 0u64;
             // Pushes outpace pops 3:1 into a 4-tick band: with width 1,
             // hundreds of events share each day, far past the promotion
@@ -844,8 +856,8 @@ mod tests {
                 for _ in 0..3 {
                     let at = now + rng.range(0, 4);
                     let to = ProcessId(rng.below(8) as usize);
-                    heap.push(Time(at), to, EventKind::Deliver { from: to, msg: i });
-                    cal.push(Time(at), to, EventKind::Deliver { from: to, msg: i });
+                    heap.push(Time(at), to, deliver(to, i));
+                    cal.push(Time(at), to, deliver(to, i));
                 }
                 let a = heap.pop().unwrap();
                 let b = cal.pop().unwrap();
@@ -863,11 +875,13 @@ mod tests {
     /// Degenerate batch contents: the extreme `Time::INFINITY` day (whose
     /// raw value collided with a naive "no cached day yet" sentinel) and
     /// repeated same-day entries batch exactly like individual pushes.
+    /// `Staged` being `Copy`, one staging buffer feeds both queues with no
+    /// cloning.
     #[test]
     fn push_batch_handles_extreme_days() {
-        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
-        let mut heap: EventQueue<u32> = EventQueue::new();
-        let mut batch: Vec<Staged<u32>> = [Time::INFINITY, Time(0), Time::INFINITY, Time(5)]
+        let mut cal: CalendarQueue = CalendarQueue::new();
+        let mut heap: EventQueue = EventQueue::new();
+        let batch: Vec<Staged> = [Time::INFINITY, Time(0), Time::INFINITY, Time(5)]
             .into_iter()
             .map(|at| Staged {
                 at,
@@ -875,8 +889,8 @@ mod tests {
                 kind: EventKind::Step,
             })
             .collect();
-        cal.push_batch(&mut batch.clone());
-        heap.push_batch(&mut batch);
+        cal.push_batch(&batch);
+        heap.push_batch(&batch);
         for _ in 0..4 {
             let a = heap.pop().unwrap();
             let b = cal.pop().unwrap();
@@ -892,36 +906,33 @@ mod tests {
     fn push_batch_matches_individual_pushes() {
         for seed in 0..8u64 {
             let mut rng = SplitMix64::new(seed ^ 0xBA7C);
-            let mut scalar: Vec<Box<dyn Scheduler<u32>>> = vec![
+            let mut scalar: Vec<Box<dyn Scheduler>> = vec![
                 Box::new(EventQueue::new()),
                 Box::new(CalendarQueue::new()),
                 Box::new(EventCore::new(QueueKind::Calendar)),
             ];
-            let mut batched: Vec<Box<dyn Scheduler<u32>>> = vec![
+            let mut batched: Vec<Box<dyn Scheduler>> = vec![
                 Box::new(EventQueue::new()),
                 Box::new(CalendarQueue::new()),
                 Box::new(EventCore::new(QueueKind::Calendar)),
             ];
-            let mut staging: Vec<Staged<u32>> = Vec::new();
+            let mut staging: Vec<Staged> = Vec::new();
             let mut now = 0u64;
             for round in 0..300u32 {
                 let fanout = rng.range(1, 33);
                 for _ in 0..fanout {
                     let at = Time(now + rng.range(0, 12));
                     let to = ProcessId(rng.below(16) as usize);
-                    let kind = EventKind::Deliver {
-                        from: to,
-                        msg: round,
-                    };
+                    let kind = deliver(to, round);
                     for q in &mut scalar {
-                        q.push(at, to, kind.clone());
+                        q.push(at, to, kind);
                     }
                     staging.push(Staged { at, to, kind });
                 }
+                // The same staged slice feeds all three queues — no per
+                // queue copy; the caller clears and recycles the buffer.
                 for q in &mut batched {
-                    let mut batch = staging.clone();
-                    q.push_batch(&mut batch);
-                    assert!(batch.is_empty(), "push_batch must drain the staging");
+                    q.push_batch(&staging);
                 }
                 staging.clear();
                 // Drain a few to interleave pops with batches.

@@ -4,10 +4,15 @@
 //! numbered `0..n`; [`ProcessId::display_index`] recovers the paper's
 //! 1-based identity when printing.
 
+use std::cmp::Ordering;
 use std::fmt;
 
-/// Maximum number of processes supported by [`PSet`]'s `u128` representation.
-pub const MAX_PROCESSES: usize = 128;
+/// Number of `u64` words in a [`PSet`].
+const WORDS: usize = 16;
+
+/// Maximum number of processes supported by [`PSet`]'s fixed-width
+/// (`16 × u64 = 1024`-bit) representation.
+pub const MAX_PROCESSES: usize = WORDS * 64;
 
 /// The identity of a process (`0`-based).
 ///
@@ -46,11 +51,15 @@ impl From<usize> for ProcessId {
     }
 }
 
-/// A set of processes, represented as a `u128` bitmask (so `n ≤ 128`).
+/// A set of processes, represented as a fixed `[u64; 16]` bitmask (so
+/// `n ≤ 1024`). Word `w` holds identities `64w .. 64w + 63`, low bit first —
+/// the same layout as the historical `u128` mask extended upward, which is
+/// what keeps [`PSet::bits`] and [`PSet::from_bits`] exact round-trips for
+/// sets confined to the first 128 identities.
 ///
-/// All set algebra is O(1). `PSet` is the lingua franca of the crate: failure
-/// detector outputs (`suspected_i`, `trusted_i`), query arguments (the sets
-/// `X` of `φ_y.query(X)`), quorums and scopes are all `PSet`s.
+/// All set algebra is O(words). `PSet` is the lingua franca of the crate:
+/// failure detector outputs (`suspected_i`, `trusted_i`), query arguments
+/// (the sets `X` of `φ_y.query(X)`), quorums and scopes are all `PSet`s.
 ///
 /// # Examples
 ///
@@ -63,90 +72,133 @@ impl From<usize> for ProcessId {
 /// assert!(a.contains(ProcessId(0)));
 /// assert!(!(a - b).contains(ProcessId(1)));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct PSet(u128);
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PSet([u64; WORDS]);
 
 impl PSet {
     /// The empty set.
-    pub const EMPTY: PSet = PSet(0);
+    pub const EMPTY: PSet = PSet([0; WORDS]);
 
     /// Creates an empty set.
     pub fn new() -> Self {
-        PSet(0)
+        PSet::EMPTY
     }
 
     /// The full set `{p_1, …, p_n}`.
     ///
     /// # Panics
     ///
-    /// Panics if `n > 128`.
+    /// Panics if `n > 1024`.
     pub fn full(n: usize) -> Self {
-        assert!(n <= MAX_PROCESSES, "PSet supports at most 128 processes");
-        if n == MAX_PROCESSES {
-            PSet(u128::MAX)
-        } else {
-            PSet((1u128 << n) - 1)
+        assert!(
+            n <= MAX_PROCESSES,
+            "PSet supports at most {MAX_PROCESSES} processes"
+        );
+        let mut words = [0u64; WORDS];
+        let (whole, rem) = (n / 64, n % 64);
+        for w in words.iter_mut().take(whole) {
+            *w = u64::MAX;
         }
+        if rem > 0 {
+            words[whole] = (1u64 << rem) - 1;
+        }
+        PSet(words)
     }
 
     /// The singleton `{p}`.
     pub fn singleton(p: ProcessId) -> Self {
         assert!(p.0 < MAX_PROCESSES);
-        PSet(1u128 << p.0)
+        let mut words = [0u64; WORDS];
+        words[p.0 / 64] = 1u64 << (p.0 % 64);
+        PSet(words)
     }
 
-    /// Constructs a set from a raw bitmask.
+    /// Constructs a set from a raw `u128` bitmask (identities `0..128`; the
+    /// historical representation, kept for the small-system callers that
+    /// enumerate or store masks directly).
     pub fn from_bits(bits: u128) -> Self {
-        PSet(bits)
+        let mut words = [0u64; WORDS];
+        words[0] = bits as u64;
+        words[1] = (bits >> 64) as u64;
+        PSet(words)
     }
 
-    /// The raw bitmask.
+    /// The raw `u128` bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has a member `≥ 128` (it no longer fits the
+    /// historical mask); see [`PSet::try_bits`] for the fallible form and
+    /// [`PSet::words`] for the full-width view.
     pub fn bits(self) -> u128 {
+        self.try_bits()
+            .expect("PSet::bits: set has members ≥ 128; use words()")
+    }
+
+    /// The raw `u128` bitmask, or `None` if a member `≥ 128` exists.
+    pub fn try_bits(self) -> Option<u128> {
+        if self.0[2..].iter().any(|&w| w != 0) {
+            None
+        } else {
+            Some((self.0[1] as u128) << 64 | self.0[0] as u128)
+        }
+    }
+
+    /// The full-width word view (word `w` holds identities `64w..64w+63`,
+    /// low bit first).
+    pub fn words(self) -> [u64; WORDS] {
         self.0
     }
 
     /// Number of processes in the set.
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0 == [0; WORDS]
     }
 
     /// Whether `p` belongs to the set.
+    #[inline]
     pub fn contains(self, p: ProcessId) -> bool {
-        p.0 < MAX_PROCESSES && self.0 & (1u128 << p.0) != 0
+        p.0 < MAX_PROCESSES && self.0[p.0 / 64] & (1u64 << (p.0 % 64)) != 0
     }
 
     /// Inserts `p`; returns `true` if it was not already present.
+    #[inline]
     pub fn insert(&mut self, p: ProcessId) -> bool {
         let fresh = !self.contains(p);
-        self.0 |= 1u128 << p.0;
+        self.0[p.0 / 64] |= 1u64 << (p.0 % 64);
         fresh
     }
 
     /// Removes `p`; returns `true` if it was present.
     pub fn remove(&mut self, p: ProcessId) -> bool {
         let present = self.contains(p);
-        self.0 &= !(1u128 << p.0);
+        self.0[p.0 / 64] &= !(1u64 << (p.0 % 64));
         present
     }
 
     /// Whether `self ⊆ other`.
+    #[inline]
     pub fn is_subset(self, other: PSet) -> bool {
-        self.0 & !other.0 == 0
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// Whether `self ⊇ other`.
+    #[inline]
     pub fn is_superset(self, other: PSet) -> bool {
         other.is_subset(self)
     }
 
     /// Whether the two sets are disjoint.
     pub fn is_disjoint(self, other: PSet) -> bool {
-        self.0 & other.0 == 0
+        self.0.iter().zip(other.0.iter()).all(|(&a, &b)| a & b == 0)
     }
 
     /// Whether the two sets are ordered by containment (either way).
@@ -159,76 +211,111 @@ impl PSet {
 
     /// The smallest identity in the set, if any.
     pub fn min(self) -> Option<ProcessId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(ProcessId(self.0.trailing_zeros() as usize))
-        }
+        self.0
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| ProcessId(i * 64 + self.0[i].trailing_zeros() as usize))
     }
 
     /// The largest identity in the set, if any.
     pub fn max(self) -> Option<ProcessId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(ProcessId(127 - self.0.leading_zeros() as usize))
-        }
+        self.0
+            .iter()
+            .rposition(|&w| w != 0)
+            .map(|i| ProcessId(i * 64 + 63 - self.0[i].leading_zeros() as usize))
     }
 
     /// Iterates over members in increasing identity order.
     pub fn iter(self) -> PSetIter {
-        PSetIter(self.0)
+        PSetIter {
+            words: self.0,
+            word: 0,
+        }
     }
 
     /// The complement within `{p_1, …, p_n}`.
     pub fn complement(self, n: usize) -> PSet {
-        PSet(!self.0 & PSet::full(n).0)
+        PSet::full(n) - self
+    }
+}
+
+impl Default for PSet {
+    fn default() -> Self {
+        PSet::EMPTY
+    }
+}
+
+/// Numeric mask order: identical to the historical `u128` ordering for sets
+/// confined to the first 128 identities (high identities are the most
+/// significant), so every map iteration order keyed on `PSet` survives the
+/// widened representation.
+impl Ord for PSet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..WORDS).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for PSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
 impl std::ops::BitAnd for PSet {
     type Output = PSet;
     fn bitand(self, rhs: PSet) -> PSet {
-        PSet(self.0 & rhs.0)
+        PSet(std::array::from_fn(|i| self.0[i] & rhs.0[i]))
     }
 }
 
 impl std::ops::BitOr for PSet {
     type Output = PSet;
     fn bitor(self, rhs: PSet) -> PSet {
-        PSet(self.0 | rhs.0)
+        PSet(std::array::from_fn(|i| self.0[i] | rhs.0[i]))
     }
 }
 
 impl std::ops::BitXor for PSet {
     type Output = PSet;
     fn bitxor(self, rhs: PSet) -> PSet {
-        PSet(self.0 ^ rhs.0)
+        PSet(std::array::from_fn(|i| self.0[i] ^ rhs.0[i]))
     }
 }
 
 impl std::ops::Sub for PSet {
     type Output = PSet;
     fn sub(self, rhs: PSet) -> PSet {
-        PSet(self.0 & !rhs.0)
+        PSet(std::array::from_fn(|i| self.0[i] & !rhs.0[i]))
     }
 }
 
 impl std::ops::BitAndAssign for PSet {
     fn bitand_assign(&mut self, rhs: PSet) {
-        self.0 &= rhs.0;
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a &= b;
+        }
     }
 }
 
 impl std::ops::BitOrAssign for PSet {
     fn bitor_assign(&mut self, rhs: PSet) {
-        self.0 |= rhs.0;
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a |= b;
+        }
     }
 }
 
 impl std::ops::SubAssign for PSet {
     fn sub_assign(&mut self, rhs: PSet) {
-        self.0 &= !rhs.0;
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a &= !b;
+        }
     }
 }
 
@@ -260,23 +347,33 @@ impl IntoIterator for PSet {
 
 /// Iterator over the members of a [`PSet`] in increasing identity order.
 #[derive(Clone, Debug)]
-pub struct PSetIter(u128);
+pub struct PSetIter {
+    words: [u64; WORDS],
+    word: usize,
+}
 
 impl Iterator for PSetIter {
     type Item = ProcessId;
 
     fn next(&mut self) -> Option<ProcessId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let i = self.0.trailing_zeros() as usize;
-            self.0 &= self.0 - 1;
-            Some(ProcessId(i))
+        while self.word < WORDS {
+            let w = self.words[self.word];
+            if w == 0 {
+                self.word += 1;
+                continue;
+            }
+            let i = w.trailing_zeros() as usize;
+            self.words[self.word] = w & (w - 1);
+            return Some(ProcessId(self.word * 64 + i));
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n = self.words[self.word.min(WORDS - 1)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -315,6 +412,7 @@ mod tests {
         assert!(PSet::EMPTY.is_empty());
         assert_eq!(PSet::full(5).len(), 5);
         assert_eq!(PSet::full(128).len(), 128);
+        assert_eq!(PSet::full(1024).len(), 1024);
         assert_eq!(PSet::full(0), PSet::EMPTY);
     }
 
@@ -379,5 +477,59 @@ mod tests {
         let s = ps(&[3, 7, 11]);
         assert_eq!(s.iter().len(), 3);
         assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn wide_members_past_128() {
+        let mut s = PSet::new();
+        assert!(s.insert(ProcessId(900)));
+        assert!(s.insert(ProcessId(127)));
+        assert!(s.contains(ProcessId(900)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.min(), Some(ProcessId(127)));
+        assert_eq!(s.max(), Some(ProcessId(900)));
+        assert_eq!(s.iter().map(|p| p.0).collect::<Vec<_>>(), vec![127, 900]);
+        assert_eq!(s.try_bits(), None);
+        assert!(s.remove(ProcessId(900)));
+        assert_eq!(s.try_bits(), Some(1u128 << 127));
+        assert_eq!(s.complement(1024).len(), 1023);
+    }
+
+    #[test]
+    fn bits_round_trip_small() {
+        let m = 0xdead_beef_u128 | (1u128 << 127);
+        assert_eq!(PSet::from_bits(m).bits(), m);
+        assert_eq!(PSet::full(128).bits(), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "members ≥ 128")]
+    fn bits_panics_on_wide_sets() {
+        let _ = PSet::singleton(ProcessId(128)).bits();
+    }
+
+    #[test]
+    fn order_matches_numeric_mask_order() {
+        // The map-iteration contract: for small sets, PSet's Ord is the
+        // numeric order of the historical u128 mask.
+        let masks = [0u128, 1, 2, 3, 0b1010, 1 << 70, (1 << 70) | 1, u128::MAX];
+        for &a in &masks {
+            for &b in &masks {
+                assert_eq!(
+                    PSet::from_bits(a).cmp(&PSet::from_bits(b)),
+                    a.cmp(&b),
+                    "order diverged on {a:#x} vs {b:#x}"
+                );
+            }
+        }
+        // High identities are most significant.
+        assert!(PSet::singleton(ProcessId(200)) > PSet::full(128));
+    }
+
+    #[test]
+    fn full_width_words_layout() {
+        let w = PSet::singleton(ProcessId(130)).words();
+        assert_eq!(w[2], 0b100);
+        assert!(w.iter().enumerate().all(|(i, &x)| i == 2 || x == 0));
     }
 }

@@ -61,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;
+pub mod arena;
 pub mod automaton;
 pub mod echo;
 pub mod event;
@@ -78,6 +79,7 @@ pub use adversary::{
     corrupt_u64, BroadcastEffects, Corruptible, MessageAdversary, MessageRule, RouteEffects,
     RuleAction,
 };
+pub use arena::{MsgArena, MsgSlot};
 pub use automaton::{forward_ops, Automaton, Ctx, Op};
 pub use echo::{EchoMsg, EchoRb};
 pub use event::{

@@ -8,8 +8,14 @@
 //! any matching [`DelayRule`]s, which is how the indistinguishable-run
 //! adversaries of Theorems 8–11 are expressed ("all messages sent by the
 //! processes of `E` between τ and τ₁ are delayed until after τ₁").
+//!
+//! Payloads are not carried by the scheduled events: every routing path
+//! stores the message once in the run's [`MsgArena`] and schedules `Copy`
+//! events holding a [`crate::arena::MsgSlot`] handle — a clean broadcast is
+//! one arena insert plus `n` index writes, not `n` clones of `M`.
 
 use crate::adversary::{BroadcastEffects, Corruptible, MessageAdversary, RouteEffects, RuleAction};
+use crate::arena::MsgArena;
 use crate::event::{EventKind, Scheduler, Staged};
 use crate::id::{PSet, ProcessId};
 use crate::rng::SplitMix64;
@@ -258,12 +264,13 @@ impl Network {
         sample_delivery(&self.delay, &self.rules, &mut self.rng, from, to, sent_at)
     }
 
-    /// Routes a message event: draws its delivery time, applies the message
-    /// adversary, and schedules `kind` for `to` on the given [`Scheduler`].
-    /// This is the runtime's send path for *plain* channels; the trait
-    /// bound keeps the network agnostic of which queue implementation a run
-    /// chose while staying statically dispatched (`?Sized` also admits
-    /// `&mut dyn Scheduler<M>` where a trait object is genuinely needed).
+    /// Routes a point-to-point message: draws its delivery time, applies
+    /// the message adversary, stores the surviving payload in `arena`, and
+    /// schedules the delivery for `to` on the given [`Scheduler`]. This is
+    /// the runtime's send path for *plain* channels; the trait bound keeps
+    /// the network agnostic of which queue implementation a run chose while
+    /// staying statically dispatched (`?Sized` also admits
+    /// `&mut dyn Scheduler` where a trait object is genuinely needed).
     ///
     /// Returns what the adversary did ([`RouteEffects::default`] on the
     /// clean path). With [`MessageAdversary::None`] this is draw-for-draw
@@ -271,45 +278,52 @@ impl Network {
     ///
     /// The delay draw happens before the adversary is consulted, even for
     /// messages that end up dropped — so the delivered subset keeps exactly
-    /// the delivery times it would have had in the clean run.
-    pub fn route<M: Clone + Corruptible, Q: Scheduler<M> + ?Sized>(
+    /// the delivery times it would have had in the clean run. Dropped
+    /// payloads never touch the arena.
+    pub fn route<M: Clone + Corruptible, Q: Scheduler + ?Sized>(
         &mut self,
         queue: &mut Q,
+        arena: &mut MsgArena<M>,
         from: ProcessId,
         to: ProcessId,
         sent_at: Time,
-        kind: EventKind<M>,
+        msg: M,
     ) -> RouteEffects {
-        self.route_with(from, to, sent_at, kind, |at, to, kind| {
+        self.route_with(arena, from, to, sent_at, msg, |at, to, kind| {
             queue.push(at, to, kind)
         })
     }
 
     /// The one routing core every plain-channel path shares: draws the
-    /// delivery time, applies the message adversary, and *emits* the
-    /// resulting event(s) — directly into a scheduler for the scalar
-    /// [`Network::route`], into a staging buffer for
+    /// delivery time, applies the message adversary (corruption mutates the
+    /// still-owned payload *before* it is stored), allocates the arena
+    /// slot, and *emits* the resulting event(s) — directly into a scheduler
+    /// for the scalar [`Network::route`], into a staging buffer for
     /// [`Network::route_broadcast`]. Keeping it in one place is what pins
     /// the draw-order contract down: delay draw first (from the delay
     /// stream), then one `chance` draw per in-scope rule per message in
     /// rule order (from the adversary stream), then one extra delay draw
-    /// per duplicate (adversary stream again).
+    /// per duplicate (adversary stream again). A duplicated message stores
+    /// its payload once (one slot, two pending deliveries); the original is
+    /// emitted first, so at equal delivery times it keeps the smaller
+    /// sequence number.
     #[inline]
     fn route_with<M: Clone + Corruptible>(
         &mut self,
+        arena: &mut MsgArena<M>,
         from: ProcessId,
         to: ProcessId,
         sent_at: Time,
-        kind: EventKind<M>,
-        mut emit: impl FnMut(Time, ProcessId, EventKind<M>),
+        mut msg: M,
+        mut emit: impl FnMut(Time, ProcessId, EventKind),
     ) -> RouteEffects {
         if self.adversary.is_none() {
             let at = self.delivery_time(from, to, sent_at);
-            emit(at, to, kind);
+            let slot = arena.alloc(msg, 1);
+            emit(at, to, EventKind::Deliver { from, slot });
             return RouteEffects::default();
         }
         let at = self.delivery_time(from, to, sent_at);
-        let mut kind = kind;
         let mut fx = RouteEffects::default();
         {
             // Disjoint-field borrows: rules read-only, adversary stream
@@ -324,9 +338,10 @@ impl Network {
                 }
                 match rule.action {
                     RuleAction::Drop => {
-                        // Lost: nothing is scheduled, later rules are moot,
-                        // and earlier duplications/corruptions of this
-                        // message are moot too — only the drop is reported.
+                        // Lost: nothing is scheduled or stored, later rules
+                        // are moot, and earlier duplications/corruptions of
+                        // this message are moot too — only the drop is
+                        // reported.
                         return RouteEffects {
                             dropped: true,
                             ..RouteEffects::default()
@@ -337,23 +352,18 @@ impl Network {
                         // Only plain deliveries carry corruptible payloads
                         // here: rb deliveries never reach route() at all
                         // (route_protected), keeping the rb exemption
-                        // structural rather than incidental.
-                        let changed = match &mut kind {
-                            EventKind::Deliver { msg, .. } => msg.corrupt(bound, adv_rng),
-                            _ => false,
-                        };
-                        fx.corrupted |= changed;
+                        // structural rather than incidental. The payload is
+                        // still owned at this point, so corruption happens
+                        // in place, before the arena ever sees it.
+                        fx.corrupted |= msg.corrupt(bound, adv_rng);
                     }
                 }
             }
         }
         if fx.duplicated {
             // The copy's delay comes from the adversary stream, so the
-            // next regular message's delay draw is unaffected. Pushed
-            // after the original: at equal delivery times the original
-            // keeps the smaller sequence number.
-            let copy = kind.clone();
-            emit(at, to, kind);
+            // next regular message's delay draw is unaffected. One slot
+            // with two pending deliveries — the payload is stored once.
             let Network {
                 delay,
                 rules,
@@ -361,9 +371,12 @@ impl Network {
                 ..
             } = self;
             let dup_at = sample_delivery(delay, rules, adv_rng, from, to, sent_at);
-            emit(dup_at, to, copy);
+            let slot = arena.alloc(msg, 2);
+            emit(at, to, EventKind::Deliver { from, slot });
+            emit(dup_at, to, EventKind::Deliver { from, slot });
         } else {
-            emit(at, to, kind);
+            let slot = arena.alloc(msg, 1);
+            emit(at, to, EventKind::Deliver { from, slot });
         }
         fx
     }
@@ -377,24 +390,38 @@ impl Network {
     /// calendar queue, one reserve on the heap, instead of full per-push
     /// bookkeeping `n` times).
     ///
+    /// On the adversary-free path the payload is stored **once** (one arena
+    /// slot with `n` pending deliveries): routing the broadcast costs no
+    /// clone of `M` at all — the per-recipient copies materialize lazily at
+    /// delivery time. With an armed adversary each recipient's copy is
+    /// routed (and possibly independently corrupted) separately, exactly as
+    /// the scalar loop would.
+    ///
     /// Returns the counted sum of what the adversary did across the
     /// broadcast ([`BroadcastEffects::is_clean`] under
     /// [`MessageAdversary::None`]). `staging` must arrive empty and is
-    /// drained before returning.
-    pub fn route_broadcast<M: Clone + Corruptible, Q: Scheduler<M> + ?Sized>(
+    /// cleared again before returning.
+    // The arena + recycled staging buffer are exactly why the batch
+    // path exists; folding them into a params struct would only move
+    // the argument count somewhere less legible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_broadcast<M: Clone + Corruptible, Q: Scheduler + ?Sized>(
         &mut self,
         queue: &mut Q,
+        arena: &mut MsgArena<M>,
         from: ProcessId,
         n: usize,
         sent_at: Time,
         msg: M,
-        staging: &mut Vec<Staged<M>>,
+        staging: &mut Vec<Staged>,
     ) -> BroadcastEffects {
         debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
         let mut fx = BroadcastEffects::default();
         if self.adversary.is_none() {
-            // Fast path: all n delays drawn in one bulk pass, no
-            // per-recipient adversary branching or model re-matching.
+            // Fast path: one arena slot for the whole storm, all n delays
+            // drawn in one bulk pass, no per-recipient adversary branching
+            // or model re-matching.
+            let slot = arena.stage(msg);
             sample_delivery_bulk(
                 &self.delay,
                 &self.rules,
@@ -406,63 +433,64 @@ impl Network {
                     staging.push(Staged {
                         at,
                         to,
-                        kind: EventKind::Deliver {
-                            from,
-                            msg: msg.clone(),
-                        },
+                        kind: EventKind::Deliver { from, slot },
                     });
                 },
             );
+            arena.commit(slot, staging.len() as u32);
         } else {
             for i in 0..n {
                 let to = ProcessId(i);
-                let one = self.route_with(
-                    from,
-                    to,
-                    sent_at,
-                    EventKind::Deliver {
-                        from,
-                        msg: msg.clone(),
-                    },
-                    |at, to, kind| staging.push(Staged { at, to, kind }),
-                );
+                let one = self.route_with(arena, from, to, sent_at, msg.clone(), |at, to, kind| {
+                    staging.push(Staged { at, to, kind })
+                });
                 fx.absorb(one);
             }
         }
         queue.push_batch(staging);
+        staging.clear();
         fx
     }
 
-    /// Routes a message event on a channel the adversary cannot touch — the
+    /// Routes a message on a channel the adversary cannot touch — the
     /// runtime's path for reliable-broadcast deliveries, whose axioms (no
     /// loss, no alteration, no duplication) are a premise of the model.
-    pub fn route_protected<M, Q: Scheduler<M> + ?Sized>(
+    pub fn route_protected<M, Q: Scheduler + ?Sized>(
         &mut self,
         queue: &mut Q,
+        arena: &mut MsgArena<M>,
         from: ProcessId,
         to: ProcessId,
         sent_at: Time,
-        kind: EventKind<M>,
+        msg: M,
     ) {
         let at = self.delivery_time(from, to, sent_at);
-        queue.push(at, to, kind);
+        let slot = arena.alloc(msg, 1);
+        queue.push(at, to, EventKind::RbDeliver { from, slot });
     }
 
     /// The batched [`Network::route_protected`]: one reliable-broadcast
     /// delivery of `msg` per process in `receivers`, delays drawn in
-    /// iteration order (identical to the scalar loop), inserted through a
-    /// single [`Scheduler::push_batch`] call. `staging` must arrive empty
-    /// and is drained before returning.
-    pub fn route_protected_batch<M: Clone, Q: Scheduler<M> + ?Sized>(
+    /// iteration order (identical to the scalar loop), the payload stored
+    /// once (one slot, one pending delivery per receiver), inserted through
+    /// a single [`Scheduler::push_batch`] call. `staging` must arrive empty
+    /// and is cleared again before returning.
+    // The arena + recycled staging buffer are exactly why the batch
+    // path exists; folding them into a params struct would only move
+    // the argument count somewhere less legible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_protected_batch<M, Q: Scheduler + ?Sized>(
         &mut self,
         queue: &mut Q,
+        arena: &mut MsgArena<M>,
         from: ProcessId,
         receivers: impl IntoIterator<Item = ProcessId>,
         sent_at: Time,
         msg: M,
-        staging: &mut Vec<Staged<M>>,
+        staging: &mut Vec<Staged>,
     ) {
         debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
+        let slot = arena.stage(msg);
         sample_delivery_bulk(
             &self.delay,
             &self.rules,
@@ -474,23 +502,33 @@ impl Network {
                 staging.push(Staged {
                     at,
                     to,
-                    kind: EventKind::RbDeliver {
-                        from,
-                        msg: msg.clone(),
-                    },
+                    kind: EventKind::RbDeliver { from, slot },
                 });
             },
         );
+        arena.commit(slot, staging.len() as u32);
         queue.push_batch(staging);
+        staging.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::Event;
 
     fn rng() -> SplitMix64 {
         SplitMix64::new(99)
+    }
+
+    /// Pops a delivery's `(from, payload)` out of its queue's arena.
+    fn take_delivery<M: Clone>(arena: &mut MsgArena<M>, e: &Event) -> (ProcessId, M) {
+        match e.kind {
+            EventKind::Deliver { from, slot } | EventKind::RbDeliver { from, slot } => {
+                (from, arena.take(slot))
+            }
+            ref k => panic!("expected a delivery, got {k:?}"),
+        }
     }
 
     #[test]
@@ -541,34 +579,29 @@ mod tests {
     #[test]
     fn route_schedules_identically_on_both_queue_impls() {
         use crate::event::{CalendarQueue, EventQueue};
-        let mut heap: EventQueue<u8> = EventQueue::new();
-        let mut cal: CalendarQueue<u8> = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut arena_a: MsgArena<u64> = MsgArena::new();
+        let mut arena_b: MsgArena<u64> = MsgArena::new();
         let mut net_a = Network::new(DelayModel::Uniform { lo: 1, hi: 9 }, vec![], rng());
         let mut net_b = net_a.clone();
-        for i in 0..50u8 {
+        for i in 0..50u64 {
             let from = ProcessId(i as usize % 3);
             let to = ProcessId((i as usize + 1) % 3);
-            let sent = Time(i as u64);
-            net_a.route(
-                &mut heap,
-                from,
-                to,
-                sent,
-                EventKind::Deliver { from, msg: i },
-            );
-            net_b.route(
-                &mut cal,
-                from,
-                to,
-                sent,
-                EventKind::Deliver { from, msg: i },
-            );
+            let sent = Time(i);
+            net_a.route(&mut heap, &mut arena_a, from, to, sent, i);
+            net_b.route(&mut cal, &mut arena_b, from, to, sent, i);
         }
         for _ in 0..50 {
             let a = heap.pop().unwrap();
             let b = cal.pop().unwrap();
             assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+            assert_eq!(
+                take_delivery(&mut arena_a, &a),
+                take_delivery(&mut arena_b, &b)
+            );
         }
+        assert!(arena_a.is_empty() && arena_b.is_empty());
     }
 
     #[test]
@@ -579,32 +612,26 @@ mod tests {
         let mut none = Network::new(DelayModel::Uniform { lo: 1, hi: 9 }, vec![], rng())
             .with_adversary(MessageAdversary::None, SplitMix64::new(77));
         use crate::event::EventQueue;
-        let mut q1: EventQueue<u64> = EventQueue::new();
-        let mut q2: EventQueue<u64> = EventQueue::new();
+        let mut q1 = EventQueue::new();
+        let mut q2 = EventQueue::new();
+        let mut arena1: MsgArena<u64> = MsgArena::new();
+        let mut arena2: MsgArena<u64> = MsgArena::new();
         for i in 0..100u64 {
             let from = ProcessId(i as usize % 4);
             let to = ProcessId((i as usize + 1) % 4);
-            let fx = plain.route(
-                &mut q1,
-                from,
-                to,
-                Time(i),
-                EventKind::Deliver { from, msg: i },
-            );
+            let fx = plain.route(&mut q1, &mut arena1, from, to, Time(i), i);
             assert!(fx.is_clean());
-            let fx = none.route(
-                &mut q2,
-                from,
-                to,
-                Time(i),
-                EventKind::Deliver { from, msg: i },
-            );
+            let fx = none.route(&mut q2, &mut arena2, from, to, Time(i), i);
             assert!(fx.is_clean());
         }
         for _ in 0..100 {
             let a = q1.pop().unwrap();
             let b = q2.pop().unwrap();
             assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+            assert_eq!(
+                take_delivery(&mut arena1, &a),
+                take_delivery(&mut arena2, &b)
+            );
         }
     }
 
@@ -615,29 +642,20 @@ mod tests {
         let run = || {
             let mut net = Network::new(DelayModel::Fixed(3), vec![], rng())
                 .with_adversary(adv.clone(), SplitMix64::new(5).stream(0xADE5));
-            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut q = EventQueue::new();
+            let mut arena: MsgArena<u64> = MsgArena::new();
             let mut dropped = Vec::new();
             for i in 0..200u64 {
-                let fx = net.route(
-                    &mut q,
-                    ProcessId(0),
-                    ProcessId(1),
-                    Time(i),
-                    EventKind::Deliver {
-                        from: ProcessId(0),
-                        msg: i,
-                    },
-                );
+                let fx = net.route(&mut q, &mut arena, ProcessId(0), ProcessId(1), Time(i), i);
                 if fx.dropped {
                     dropped.push(i);
                 }
             }
             let mut delivered = Vec::new();
             while let Some(e) = q.pop() {
-                if let EventKind::Deliver { msg, .. } = e.kind {
-                    delivered.push(msg);
-                }
+                delivered.push(take_delivery(&mut arena, &e).1);
             }
+            assert!(arena.is_empty(), "drained queue must drain the arena");
             (dropped, delivered)
         };
         let (d1, del1) = run();
@@ -654,25 +672,19 @@ mod tests {
         let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::duplicate(100)]);
         let mut net = Network::new(DelayModel::Fixed(2), vec![], rng())
             .with_adversary(adv, SplitMix64::new(9));
-        let mut q: EventQueue<u64> = EventQueue::new();
-        let fx = net.route(
-            &mut q,
-            ProcessId(0),
-            ProcessId(1),
-            Time(10),
-            EventKind::Deliver {
-                from: ProcessId(0),
-                msg: 42,
-            },
-        );
+        let mut q = EventQueue::new();
+        let mut arena: MsgArena<u64> = MsgArena::new();
+        let fx = net.route(&mut q, &mut arena, ProcessId(0), ProcessId(1), Time(10), 42);
         assert!(fx.duplicated && !fx.dropped && !fx.corrupted);
         assert_eq!(q.len(), 2);
+        assert_eq!(arena.live(), 1, "both copies share one stored payload");
         let a = q.pop().unwrap();
         let b = q.pop().unwrap();
         assert!(a.at <= b.at);
         for e in [a, b] {
-            assert!(matches!(e.kind, EventKind::Deliver { msg: 42, .. }));
+            assert_eq!(take_delivery(&mut arena, &e).1, 42);
         }
+        assert!(arena.is_empty());
     }
 
     #[test]
@@ -682,25 +694,22 @@ mod tests {
         let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::corrupt(100, bound)]);
         let mut net = Network::new(DelayModel::Fixed(1), vec![], rng())
             .with_adversary(adv, SplitMix64::new(13));
-        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut q = EventQueue::new();
+        let mut arena: MsgArena<u64> = MsgArena::new();
         let mut corrupted = 0;
         for i in 0..100u64 {
             let payload = 1_000 + i;
             let fx = net.route(
                 &mut q,
+                &mut arena,
                 ProcessId(0),
                 ProcessId(1),
                 Time(i),
-                EventKind::Deliver {
-                    from: ProcessId(0),
-                    msg: payload,
-                },
+                payload,
             );
             corrupted += fx.corrupted as u32;
             let e = q.pop().unwrap();
-            let EventKind::Deliver { msg, .. } = e.kind else {
-                panic!("wrong kind")
-            };
+            let (_, msg) = take_delivery(&mut arena, &e);
             assert!(msg.abs_diff(payload) <= bound, "{payload} -> {msg}");
         }
         assert!(corrupted > 50, "100% corruption rule fired {corrupted}/100");
@@ -712,18 +721,12 @@ mod tests {
         let adv = MessageAdversary::Rules(vec![crate::adversary::MessageRule::drop(100)]);
         let mut net = Network::new(DelayModel::Fixed(1), vec![], rng())
             .with_adversary(adv, SplitMix64::new(3));
-        let mut q: EventQueue<u64> = EventQueue::new();
-        net.route_protected(
-            &mut q,
-            ProcessId(0),
-            ProcessId(1),
-            Time(0),
-            EventKind::RbDeliver {
-                from: ProcessId(0),
-                msg: 7,
-            },
-        );
+        let mut q = EventQueue::new();
+        let mut arena: MsgArena<u64> = MsgArena::new();
+        net.route_protected(&mut q, &mut arena, ProcessId(0), ProcessId(1), Time(0), 7);
         assert_eq!(q.len(), 1, "rb deliveries must never be dropped");
+        let e = q.pop().unwrap();
+        assert_eq!(take_delivery(&mut arena, &e), (ProcessId(0), 7));
     }
 
     #[test]
@@ -734,28 +737,23 @@ mod tests {
         ]);
         let mut net = Network::new(DelayModel::Fixed(1), vec![], rng())
             .with_adversary(adv, SplitMix64::new(4));
-        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut q = EventQueue::new();
+        let mut arena: MsgArena<u64> = MsgArena::new();
         for t in [0u64, 49, 50, 100] {
-            let fx = net.route(
-                &mut q,
-                ProcessId(0),
-                ProcessId(1),
-                Time(t),
-                EventKind::Deliver {
-                    from: ProcessId(0),
-                    msg: t,
-                },
-            );
+            let fx = net.route(&mut q, &mut arena, ProcessId(0), ProcessId(1), Time(t), t);
             assert_eq!(fx.dropped, t < 50, "send at {t}");
         }
         assert_eq!(q.len(), 2);
+        assert_eq!(arena.live(), 2, "dropped payloads never touch the arena");
     }
 
     /// The batching contract at the network level: `route_broadcast` is
     /// draw-for-draw and push-for-push identical to the historical
     /// per-recipient `route` loop — including the RNG stream positions it
     /// leaves behind — with and without an armed adversary, on both queue
-    /// implementations.
+    /// implementations. (Slot numbering differs between the two layouts —
+    /// the batch stores a clean broadcast once — so equality is checked on
+    /// the observable: `(at, seq, to)` and the materialized payloads.)
     #[test]
     fn route_broadcast_matches_the_scalar_recipient_loop() {
         use crate::event::{CalendarQueue, EventQueue};
@@ -772,8 +770,10 @@ mod tests {
                 let mut scalar_net = Network::new(DelayModel::default(), vec![], rng())
                     .with_adversary(adv.clone(), SplitMix64::new(31).stream(0xADE5));
                 let mut batch_net = scalar_net.clone();
-                let mut scalar_q: EventQueue<u64> = EventQueue::new();
-                let mut batch_q: CalendarQueue<u64> = CalendarQueue::new();
+                let mut scalar_q = EventQueue::new();
+                let mut batch_q = CalendarQueue::new();
+                let mut scalar_arena: MsgArena<u64> = MsgArena::new();
+                let mut batch_arena: MsgArena<u64> = MsgArena::new();
                 let mut staging = Vec::new();
                 for round in 0..40u64 {
                     let from = ProcessId(round as usize % n);
@@ -783,31 +783,41 @@ mod tests {
                     for i in 0..n {
                         scalar_fx.absorb(scalar_net.route(
                             &mut scalar_q,
+                            &mut scalar_arena,
                             from,
                             ProcessId(i),
                             sent,
-                            EventKind::Deliver { from, msg },
+                            msg,
                         ));
                     }
-                    let batch_fx =
-                        batch_net.route_broadcast(&mut batch_q, from, n, sent, msg, &mut staging);
-                    assert!(staging.is_empty(), "staging must drain");
+                    let batch_fx = batch_net.route_broadcast(
+                        &mut batch_q,
+                        &mut batch_arena,
+                        from,
+                        n,
+                        sent,
+                        msg,
+                        &mut staging,
+                    );
+                    assert!(staging.is_empty(), "staging must be cleared");
                     assert_eq!(scalar_fx, batch_fx, "n={n} round={round}");
                     // An interleaved scalar send keeps proving the stream
                     // positions agree after every broadcast.
                     let fx_a = scalar_net.route(
                         &mut scalar_q,
+                        &mut scalar_arena,
                         from,
                         ProcessId((round as usize + 1) % n),
                         sent,
-                        EventKind::Deliver { from, msg: round },
+                        round,
                     );
                     let fx_b = batch_net.route(
                         &mut batch_q,
+                        &mut batch_arena,
                         from,
                         ProcessId((round as usize + 1) % n),
                         sent,
-                        EventKind::Deliver { from, msg: round },
+                        round,
                     );
                     assert_eq!(fx_a, fx_b, "n={n} round={round}");
                 }
@@ -818,10 +828,15 @@ mod tests {
                             let a = a.expect("scalar drained first");
                             let b = b.expect("batch drained first");
                             assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to), "n={n}");
-                            assert_eq!(a.kind, b.kind, "n={n}");
+                            assert_eq!(
+                                take_delivery(&mut scalar_arena, &a),
+                                take_delivery(&mut batch_arena, &b),
+                                "n={n}"
+                            );
                         }
                     }
                 }
+                assert!(scalar_arena.is_empty() && batch_arena.is_empty(), "n={n}");
             }
         }
     }
@@ -931,8 +946,10 @@ mod tests {
         use crate::event::EventQueue;
         let mut scalar_net = Network::new(DelayModel::default(), vec![], rng());
         let mut batch_net = scalar_net.clone();
-        let mut scalar_q: EventQueue<u64> = EventQueue::new();
-        let mut batch_q: EventQueue<u64> = EventQueue::new();
+        let mut scalar_q = EventQueue::new();
+        let mut batch_q = EventQueue::new();
+        let mut scalar_arena: MsgArena<u64> = MsgArena::new();
+        let mut batch_arena: MsgArena<u64> = MsgArena::new();
         let mut staging = Vec::new();
         for round in 0..30u64 {
             let from = ProcessId(round as usize % 7);
@@ -940,14 +957,16 @@ mod tests {
             for to in receivers {
                 scalar_net.route_protected(
                     &mut scalar_q,
+                    &mut scalar_arena,
                     from,
                     to,
                     Time(round),
-                    EventKind::RbDeliver { from, msg: round },
+                    round,
                 );
             }
             batch_net.route_protected_batch(
                 &mut batch_q,
+                &mut batch_arena,
                 from,
                 receivers,
                 Time(round),
@@ -958,9 +977,13 @@ mod tests {
         while let Some(a) = scalar_q.pop() {
             let b = batch_q.pop().unwrap();
             assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
-            assert_eq!(a.kind, b.kind);
+            assert_eq!(
+                take_delivery(&mut scalar_arena, &a),
+                take_delivery(&mut batch_arena, &b)
+            );
         }
         assert!(batch_q.pop().is_none());
+        assert!(scalar_arena.is_empty() && batch_arena.is_empty());
     }
 
     #[test]

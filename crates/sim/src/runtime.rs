@@ -5,6 +5,7 @@
 //! Everything is deterministic in the `(config, pattern, seed)` triple.
 
 use crate::adversary::{BroadcastEffects, MessageAdversary, RouteEffects};
+use crate::arena::MsgArena;
 use crate::automaton::{Automaton, Ctx, Op};
 use crate::event::{EventCore, EventKind, QueueKind, Scheduler, Staged};
 use crate::failure::FailurePattern;
@@ -36,7 +37,7 @@ pub mod counter {
 /// Static configuration of a run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Number of processes `n` (≤ 128).
+    /// Number of processes `n` (≤ [`crate::id::MAX_PROCESSES`]).
     pub n: usize,
     /// Resilience bound `t` (maximum number of crashes).
     pub t: usize,
@@ -85,7 +86,12 @@ impl SimConfig {
             step_min: 1,
             step_max: 5,
             rb_partial_pct: 30,
-            max_events: 20_000_000,
+            // The safety valve scales with the O(n²) messages a broadcast
+            // round actually costs: a 20M floor for small systems (the
+            // historical cap, which no healthy n ≤ 128 run approaches) and
+            // ~200 full broadcast rounds of headroom at the n = 1024
+            // frontier, where a single pre-GST round is already ~1M events.
+            max_events: 20_000_000u64.max((n as u64 * n as u64).saturating_mul(200)),
             queue: QueueKind::default(),
             adversary: MessageAdversary::None,
         }
@@ -197,7 +203,14 @@ pub struct Sim<A: Automaton, O: OracleSuite> {
     halted: Vec<bool>,
     oracle: O,
     net: Network,
-    queue: EventCore<A::Msg>,
+    queue: EventCore,
+    /// In-flight message payloads. Every routed message body lives here
+    /// exactly once while any of its deliveries are pending; queued events
+    /// carry only a `Copy` [`crate::arena::MsgSlot`] handle. A clean
+    /// broadcast therefore clones nothing at routing time — per-recipient
+    /// copies materialize lazily when the delivery pops (and deliveries to
+    /// crashed recipients never pay for a clone at all).
+    arena: MsgArena<A::Msg>,
     /// Recycled operation buffers: the hot loop hands one to each
     /// activation's [`Ctx`] and takes it back (emptied) after applying the
     /// ops, so steady-state event processing allocates no `Vec<Op>`.
@@ -206,7 +219,7 @@ pub struct Sim<A: Automaton, O: OracleSuite> {
     /// broadcast stages its deliveries here and flushes them through one
     /// [`Scheduler::push_batch`] call, so steady-state broadcasting
     /// allocates nothing per recipient either.
-    staging: Vec<Staged<A::Msg>>,
+    staging: Vec<Staged>,
     /// One independent step-schedule stream per process, so that the
     /// presence or absence of one process's events never perturbs another
     /// process's step times — a prerequisite for the indistinguishable-run
@@ -264,6 +277,7 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             oracle,
             net,
             queue: EventCore::for_system(cfg.queue, cfg.n),
+            arena: MsgArena::with_capacity(cfg.n),
             op_pool: Vec::new(),
             staging: Vec::with_capacity(cfg.n + 1),
             step_rngs: (0..cfg.n)
@@ -343,8 +357,9 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             self.trace.bump(counter::EVENTS, 1);
             let to = ev.to;
             match ev.kind {
-                EventKind::Deliver { from, msg } => {
+                EventKind::Deliver { from, slot } => {
                     if self.fp.is_alive_at(to, self.now) {
+                        let msg = self.arena.take(slot);
                         self.trace.bump(counter::DELIVERED, 1);
                         self.activate(
                             to,
@@ -354,10 +369,15 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                                 rb: false,
                             },
                         );
+                    } else {
+                        // Crashed recipient: drop the delivery without ever
+                        // materializing (cloning) the payload.
+                        self.arena.release(slot);
                     }
                 }
-                EventKind::RbDeliver { from, msg } => {
+                EventKind::RbDeliver { from, slot } => {
                     if self.fp.is_alive_at(to, self.now) {
+                        let msg = self.arena.take(slot);
                         self.trace.bump(counter::DELIVERED, 1);
                         self.activate(
                             to,
@@ -367,6 +387,8 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
                                 rb: true,
                             },
                         );
+                    } else {
+                        self.arena.release(slot);
                     }
                 }
                 EventKind::Step => {
@@ -497,23 +519,21 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
             match op {
                 Op::Send { to, msg } => {
                     self.trace.bump(counter::SENT, 1);
-                    let fx = self.net.route(
-                        &mut self.queue,
-                        from,
-                        to,
-                        self.now,
-                        EventKind::Deliver { from, msg },
-                    );
+                    let fx =
+                        self.net
+                            .route(&mut self.queue, &mut self.arena, from, to, self.now, msg);
                     self.note_effects(fx);
                 }
                 Op::Broadcast { msg } => {
                     // Batched: all n delivery delays drawn in one pass (in
                     // the per-recipient order the old loop produced, so
-                    // traces are unchanged) and inserted through a single
+                    // traces are unchanged), the payload stored once in the
+                    // arena, and all deliveries inserted through a single
                     // `push_batch`.
                     self.trace.bump(counter::SENT, self.cfg.n as u64);
                     let fx = self.net.route_broadcast(
                         &mut self.queue,
+                        &mut self.arena,
                         from,
                         self.cfg.n,
                         self.now,
@@ -564,6 +584,7 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         // one `push_batch` insert.
         self.net.route_protected_batch(
             &mut self.queue,
+            &mut self.arena,
             from,
             receivers,
             self.now,
