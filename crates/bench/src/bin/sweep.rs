@@ -7,12 +7,29 @@
 //! Usage: `cargo run -p fd-bench --bin sweep --release [-- --seeds N]
 //! [-- --threads N] [-- --stream N] [-- --queue auto|calendar|binary_heap]
 //! [-- --compare N] [-- --large N] [-- --auto-queue N] [-- --cache N]
-//! [-- --adv N] [-- --adv-drop P] [-- --adv-dup P] [-- --curve LIST]
-//! [-- --n-max N] [-- --baseline PATH] [-- --out PATH] [-- --profile]`
+//! [-- --store-leg N] [-- --store DIR] [-- --resume] [-- --adv N]
+//! [-- --adv-drop P] [-- --adv-dup P] [-- --curve LIST] [-- --n-max N]
+//! [-- --baseline PATH] [-- --out PATH] [-- --profile]`
+//!
+//! Or, to aggregate previously written run directories:
+//! `cargo run -p fd-bench --bin sweep --release -- analyze DIR [DIR ...]`
 //!
 //! `--profile` prints a per-phase event-count breakdown after the run:
 //! every grid cell's simulated events, plus the streaming and adversary
 //! phases — where the work actually goes, for sizing optimization targets.
+//! With `--store`, it also prints the hydrated cache's occupancy and
+//! capped-insert tallies (how effective store hydration was).
+//!
+//! `--store DIR` makes the main grid + streaming legs durable: DIR is
+//! opened (or created) as a run directory, its cells hydrate the report
+//! cache before the sweep, and every newly computed cell is persisted
+//! crash-safely as it finishes. A rerun against the same DIR resumes with
+//! pure cache hits and a bit-identical `grid_digest`. `--resume` asserts
+//! exactly that (0 misses, >0 hydrated cells) — CI's kill-and-resume gate.
+//! `--store-leg N` (default 1 seed per cell; 0 skips) proves the
+//! round-trip in-process against a scratch directory: cold sweep → close →
+//! reopen → hydrate a fresh cache → warm sweep must be bit-identical, all
+//! hits, zero misses.
 //!
 //! `--threads 0` (the default) uses all available cores; `--stream 0`
 //! skips the streaming demonstration; `--compare 0` skips the queue
@@ -38,8 +55,8 @@
 //! `--baseline PATH` compares per-thread `runs_per_sec` against a
 //! committed report and exits non-zero on a >30% regression.
 
-use fd_bench::BaselineVerdict;
-use fd_detectors::scenario::{QueueKind, Runner};
+use fd_bench::{BaselineVerdict, InvocationRecord, SweepStore};
+use fd_detectors::scenario::{QueueKind, ReportCache, Runner};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -48,7 +65,23 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// `sweep analyze DIR [DIR ...]` — aggregate run directories into tables.
+fn run_analyze(dirs: &[String]) {
+    if dirs.is_empty() {
+        eprintln!("usage: sweep analyze DIR [DIR ...]");
+        std::process::exit(2);
+    }
+    let report = fd_bench::analyze_run_dirs(dirs)
+        .unwrap_or_else(|e| panic!("analyze: failed to load run dirs: {e}"));
+    print!("{}", report.render());
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("analyze") {
+        run_analyze(&args[2..]);
+        return;
+    }
     let seeds: u64 = arg_value("--seeds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(25);
@@ -70,6 +103,10 @@ fn main() {
     let cache_seeds: u64 = arg_value("--cache")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let store_leg_seeds: u64 = arg_value("--store-leg")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let resume = args.iter().any(|a| a == "--resume");
     let adv_seeds: u64 = arg_value("--adv").and_then(|v| v.parse().ok()).unwrap_or(2);
     let adv_drop: u8 = arg_value("--adv-drop")
         .and_then(|v| v.parse().ok())
@@ -111,7 +148,43 @@ fn main() {
     } else {
         Runner::with_threads(threads)
     };
-    let mut report = fd_bench::representative_sweep_on(seeds, runner, queue);
+    // --store DIR: open the run directory, hydrate the report cache from
+    // it, and persist every newly computed grid/stream cell as it lands.
+    let store_ctx: Option<(SweepStore, &'static ReportCache)> = arg_value("--store").map(|dir| {
+        let store = SweepStore::open(&dir).unwrap_or_else(|e| panic!("open --store {dir}: {e}"));
+        let tag = {
+            use fd_detectors::scenario::Scenario as _;
+            fd_core::KsetScenario.cache_tag()
+        };
+        for (label, spec, _) in fd_bench::grid_cells(seeds, queue) {
+            store.register_spec(&label, &tag, &spec);
+        }
+        if stream_seeds > 0 {
+            let (slabel, sspec) = fd_bench::stream_cell(queue);
+            store.register_spec(&format!("stream_{slabel}"), &tag, &sspec);
+        }
+        // Leaked: `Runner::with_cache` wants `'static`, and the bin runs
+        // one campaign per process.
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let hydrated = store.hydrate_into(cache);
+        cache.set_spill(Some(store.spill()));
+        println!(
+            "store: opened {dir} — {} cell(s) on disk, {hydrated} hydrated, {} corrupt line(s){}",
+            store.loaded(),
+            store.corrupt(),
+            if store.archived_stale() {
+                ", stale shards archived"
+            } else {
+                ""
+            },
+        );
+        (store, cache)
+    });
+    let grid_runner = match &store_ctx {
+        Some((_, cache)) => runner.with_cache(cache),
+        None => runner,
+    };
+    let mut report = fd_bench::representative_sweep_on(seeds, grid_runner, queue);
     println!(
         "grid sweep ({}): {} runs ({} passed) on {} threads in {} us — {:.1} runs/s, {:.0} events/s",
         report.queue,
@@ -123,7 +196,7 @@ fn main() {
         report.events_per_sec,
     );
     if stream_seeds > 0 {
-        let stream = fd_bench::streaming_sweep_on(stream_seeds, runner, queue);
+        let stream = fd_bench::streaming_sweep_on(stream_seeds, grid_runner, queue);
         println!(
             "streaming sweep: {} runs ({} passed) in {} us — {:.1} runs/s, O(threads) reports held",
             stream.runs, stream.passes, stream.wall_us, stream.runs_per_sec,
@@ -134,6 +207,41 @@ fn main() {
         );
         report = report.with_stream(stream);
     }
+    // Finalize the run directory: record this invocation, flush, close.
+    // The cache stays alive (it is 'static) for the --profile stats below.
+    let store_cache: Option<&'static ReportCache> = store_ctx.map(|(store, cache)| {
+        let wrote = store.flush().unwrap_or_else(|e| panic!("store flush: {e}"));
+        let runs = report.total_runs + report.stream.as_ref().map_or(0, |s| s.runs);
+        let wall_us = report.wall_us + report.stream.as_ref().map_or(0, |s| s.wall_us);
+        store.record_invocation(InvocationRecord {
+            runs,
+            hits: cache.hits(),
+            misses: cache.misses(),
+            wrote,
+            wall_us,
+        });
+        let dir = store.dir().display().to_string();
+        store.close().unwrap_or_else(|e| panic!("store close: {e}"));
+        println!(
+            "store: closed {dir} — wrote {wrote} new cell(s), {} hits / {} misses this run",
+            cache.hits(),
+            cache.misses(),
+        );
+        if resume {
+            assert!(
+                cache.hydrated() > 0,
+                "--resume: the store hydrated nothing (empty or mismatched run dir)"
+            );
+            assert_eq!(
+                cache.misses(),
+                0,
+                "--resume: cells were recomputed instead of served from the store"
+            );
+            assert_eq!(cache.hits(), runs, "--resume: not every run was a hit");
+            println!("store: resume verified — all {runs} runs served from the run directory");
+        }
+        cache
+    });
     if compare_seeds > 0 {
         let cmp = fd_bench::queue_comparison(compare_seeds, runner);
         for r in &cmp.rates {
@@ -212,6 +320,41 @@ fn main() {
         );
         report = report.with_cache_leg(leg);
     }
+    if store_leg_seeds > 0 {
+        let scratch =
+            std::env::temp_dir().join(format!("fd-sweep-store-leg-{}", std::process::id()));
+        std::fs::remove_dir_all(&scratch).ok();
+        let leg = fd_bench::store_leg(store_leg_seeds, runner, &scratch)
+            .unwrap_or_else(|e| panic!("store leg: {e}"));
+        std::fs::remove_dir_all(&scratch).ok();
+        println!(
+            "store leg: {} cold runs ({} us, {} cells written); resume: {} us open+hydrate, \
+             {} us sweep — {} hits, {} misses, identical: {}, speedup {:.0}x",
+            leg.cold_runs,
+            leg.cold_wall_us,
+            leg.wrote,
+            leg.open_wall_us,
+            leg.warm_wall_us,
+            leg.warm_hits,
+            leg.warm_misses,
+            leg.identical,
+            leg.speedup,
+        );
+        assert!(
+            leg.identical,
+            "store-resumed sweep diverged from the cold sweep"
+        );
+        assert_eq!(
+            leg.wrote, leg.cold_runs,
+            "cold sweep cells not all persisted"
+        );
+        assert_eq!(
+            leg.warm_hits, leg.warm_runs,
+            "store resume was not all cache hits"
+        );
+        assert_eq!(leg.warm_misses, 0, "store resume recomputed cells");
+        report = report.with_store_leg(leg);
+    }
     if adv_seeds > 0 {
         let leg = fd_bench::adversary_leg(adv_seeds, runner, adv_drop, adv_dup);
         println!(
@@ -279,6 +422,19 @@ fn main() {
             println!(
                 "  adversary {:<28} {:>12} events  ({} runs)",
                 "TOTAL", a.events, a.runs
+            );
+        }
+        if let Some(cache) = store_cache {
+            // Occupancy and "eviction" (capped-insert) stats: how full the
+            // in-memory cache is and whether store hydration was capped.
+            println!(
+                "  cache     {:<28} {:>12} entries ({} hits, {} misses, {} hydrated, {} capped)",
+                "report-cache",
+                cache.len(),
+                cache.hits(),
+                cache.misses(),
+                cache.hydrated(),
+                cache.capped_inserts(),
             );
         }
     }

@@ -49,6 +49,20 @@ fn runner() -> Runner {
     Runner::parallel().with_cache(ReportCache::global())
 }
 
+/// Makes the experiment suite durable: hydrates the global report cache
+/// from `store` and registers its spill hook, so every swept experiment
+/// cell is persisted into the run directory as it is computed and a rerun
+/// against the same directory resumes from disk (the `tables` binary's
+/// `--store DIR`). Returns the number of cells hydrated. The bespoke
+/// oracle-audit loops (E1, E2, E6) don't flow through the runner, so they
+/// recompute regardless — by design, they are scenario-free.
+pub fn attach_store(store: &crate::store::SweepStore) -> usize {
+    let cache = ReportCache::global();
+    let hydrated = store.hydrate_into(cache);
+    cache.set_spill(Some(store.spill()));
+    hydrated
+}
+
 fn random_fp(n: usize, t: usize, seed: u64, horizon: Time) -> FailurePattern {
     CrashPlan::Anarchic { by: horizon }.materialize(n, t, seed)
 }

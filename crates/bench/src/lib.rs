@@ -11,17 +11,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod experiments;
+pub mod json;
 pub mod micro;
+pub mod store;
 pub mod sweep;
 pub mod table;
 
+pub use analyze::{analyze_run_dirs, AnalyzeReport};
 pub use experiments::all;
 pub use micro::{BenchResult, CountingAlloc, Suite};
+pub use store::{
+    decode_cell, encode_cell, load_run_dir, InvocationRecord, Manifest, RunDir, SpecEntry,
+    StoreSummary, SweepStore, STORE_FORMAT, STORE_SHARDS,
+};
 pub use sweep::{
-    adversary_leg, auto_queue_comparison, cache_leg, check_baseline, large_n_comparison,
-    queue_comparison, representative_sweep, representative_sweep_on, scaling_curve,
-    streaming_sweep, streaming_sweep_on, AdversaryLeg, BaselineVerdict, CacheLeg, QueueCompare,
-    QueueRate, ScalePoint, ScalingCurve, StreamResult, SweepBenchReport,
+    adversary_leg, auto_queue_comparison, cache_leg, check_baseline, grid_cells,
+    large_n_comparison, queue_comparison, representative_sweep, representative_sweep_on,
+    scaling_curve, store_leg, stream_cell, streaming_sweep, streaming_sweep_on, AdversaryLeg,
+    BaselineVerdict, CacheLeg, QueueCompare, QueueRate, ScalePoint, ScalingCurve, StoreLeg,
+    StreamResult, SweepBenchReport,
 };
 pub use table::Table;

@@ -31,7 +31,10 @@ use fd_detectors::scenario::{
 };
 use fd_grid::ChurnKsetScenario;
 use fd_sim::{FailurePattern, ProcessId, Time};
+use std::path::Path;
 use std::time::Instant;
+
+use crate::store::{InvocationRecord, SweepStore};
 
 /// One grid cell of the sweep.
 #[derive(Clone, Debug)]
@@ -170,13 +173,20 @@ pub struct SweepBenchReport {
     pub auto_queue: Option<QueueCompare>,
     /// The report-cache leg, when one was run.
     pub cache: Option<CacheLeg>,
+    /// The durable sweep-store leg, when one was run.
+    pub store: Option<StoreLeg>,
     /// The adversary sweep leg, when one was run.
     pub adversary_leg: Option<AdversaryLeg>,
     /// The `n`-scaling curve, when one was run.
     pub scaling: Option<ScalingCurve>,
 }
 
-/// The grid the sweep covers: `(n, t)` scales × `k` × crash count.
+/// The grid the sweep covers: `(n, t)` scales × `k` × crash count. Public
+/// so the sweep bin can register the specs in a run directory's manifest.
+pub fn grid_cells(seeds_per_cell: u64, queue: QueueKind) -> Vec<(String, ScenarioSpec, u64)> {
+    grid(seeds_per_cell, queue)
+}
+
 fn grid(seeds_per_cell: u64, queue: QueueKind) -> Vec<(String, ScenarioSpec, u64)> {
     let mut cells = Vec::new();
     for &(n, t) in &[(5usize, 2usize), (7, 3), (9, 4)] {
@@ -243,6 +253,7 @@ pub fn representative_sweep_on(
         large_n: None,
         auto_queue: None,
         cache: None,
+        store: None,
         adversary_leg: None,
         scaling: None,
     }
@@ -474,6 +485,125 @@ pub fn cache_leg(seeds_per_cell: u64, runner: Runner) -> CacheLeg {
     }
 }
 
+/// The durable sweep-store proving leg: the on-disk twin of [`CacheLeg`].
+#[derive(Clone, Debug)]
+pub struct StoreLeg {
+    /// Runs computed by the cold pass (all misses, all persisted).
+    pub cold_runs: u64,
+    /// Wall-clock of the cold pass (sweep + final flush), microseconds.
+    pub cold_wall_us: u64,
+    /// Cells the cold pass flushed to the run directory.
+    pub wrote: u64,
+    /// Wall-clock of reopening the directory and hydrating a fresh cache,
+    /// microseconds.
+    pub open_wall_us: u64,
+    /// Cells hydrated into the fresh cache on reopen.
+    pub hydrated: u64,
+    /// Runs requested by the warm (resumed) pass.
+    pub warm_runs: u64,
+    /// Cache hits during the warm pass (gate: equals `warm_runs`).
+    pub warm_hits: u64,
+    /// Cache misses during the warm pass (gate: 0 — nothing recomputed).
+    pub warm_misses: u64,
+    /// Wall-clock of the warm sweep itself, microseconds.
+    pub warm_wall_us: u64,
+    /// Whether warm summaries were bit-identical to cold, cell for cell.
+    pub identical: bool,
+    /// `cold_wall_us / (open_wall_us + warm_wall_us)` — the resume
+    /// speedup including the cost of reading the directory back.
+    pub speedup: f64,
+}
+
+/// The cell set the store leg proves itself on: the representative grid
+/// plus two campaign-scale cells (n = 17 and n = 33, failure-free). The
+/// large cells matter for the speedup claim: replaying a persisted cell
+/// costs microseconds *regardless of what it cost to compute*, so the
+/// resume advantage scales with per-run simulation cost — the small-n
+/// grid alone would understate what a real (large-n, many-seed) campaign
+/// gets back from the store.
+fn store_grid(seeds_per_cell: u64, queue: QueueKind) -> Vec<(String, ScenarioSpec, u64)> {
+    let mut cells = grid(seeds_per_cell, queue);
+    for &(n, t) in &[(17usize, 8usize), (33, 16)] {
+        let label = format!("n{n}_t{t}_k2_f0");
+        let spec = kset_config(n, t, 2).gst(Time(400)).queue(queue);
+        cells.push((label, spec, seeds_per_cell));
+    }
+    cells
+}
+
+/// Runs the store leg against `dir` (which should be empty or absent): the
+/// store grid ([`store_grid`]: the representative grid plus n = 17/33
+/// cells) is swept cold through a fresh [`ReportCache`] whose spill hook
+/// persists into a [`SweepStore`], the store is closed, and then —
+/// simulating a new process — the directory is reopened, a *second* fresh
+/// cache is hydrated from it, and the same grid is swept warm. The warm
+/// pass must be bit-identical, all hits, zero misses; the sweep bin gates
+/// on exactly that. Both passes run single-queue (the queue-knob
+/// independence is already proven by [`cache_leg`]).
+pub fn store_leg(seeds_per_cell: u64, runner: Runner, dir: &Path) -> std::io::Result<StoreLeg> {
+    let queue = QueueKind::default();
+    let sweep_all = |runner: Runner| -> Vec<SweepSummary> {
+        store_grid(seeds_per_cell, queue)
+            .into_iter()
+            .map(|(_, spec, seeds)| runner.sweep_summary(&KsetScenario, &spec, 0..seeds))
+            .collect()
+    };
+    // Cold: compute everything, spill every cell into the run directory.
+    let store = SweepStore::open(dir)?;
+    for (label, spec, _) in store_grid(seeds_per_cell, queue) {
+        store.register_spec(&label, &KsetScenario.cache_tag(), &spec);
+    }
+    // Leaked for the same `'static` reason as in `cache_leg`.
+    let cold_cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+    cold_cache.set_spill(Some(store.spill()));
+    let t0 = Instant::now();
+    let cold = sweep_all(runner.with_cache(cold_cache));
+    let cold_runs: u64 = cold.iter().map(|s| s.runs).sum();
+    let cold_wrote = store.flush()?;
+    store.record_invocation(InvocationRecord {
+        runs: cold_runs,
+        hits: cold_cache.hits(),
+        misses: cold_cache.misses(),
+        wrote: cold_wrote,
+        wall_us: (t0.elapsed().as_micros() as u64).max(1),
+    });
+    let summary = store.close()?;
+    let cold_wall_us = (t0.elapsed().as_micros() as u64).max(1);
+    cold_cache.set_spill(None);
+
+    // Warm: a fresh cache in a "new process", hydrated from disk.
+    let t1 = Instant::now();
+    let store = SweepStore::open(dir)?;
+    let warm_cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+    let hydrated = store.hydrate_into(warm_cache) as u64;
+    let open_wall_us = (t1.elapsed().as_micros() as u64).max(1);
+    let t2 = Instant::now();
+    let warm = sweep_all(runner.with_cache(warm_cache));
+    let warm_wall_us = (t2.elapsed().as_micros() as u64).max(1);
+    let warm_runs: u64 = warm.iter().map(|s| s.runs).sum();
+    store.record_invocation(InvocationRecord {
+        runs: warm_runs,
+        hits: warm_cache.hits(),
+        misses: warm_cache.misses(),
+        wrote: 0,
+        wall_us: warm_wall_us,
+    });
+    store.close()?;
+    Ok(StoreLeg {
+        cold_runs,
+        cold_wall_us,
+        wrote: summary.wrote,
+        open_wall_us,
+        hydrated,
+        warm_runs,
+        warm_hits: warm_cache.hits(),
+        warm_misses: warm_cache.misses(),
+        warm_wall_us,
+        identical: cold == warm,
+        speedup: cold_wall_us as f64 / (open_wall_us + warm_wall_us) as f64,
+    })
+}
+
 /// The pre-GST drop/duplicate rule set of the adversary leg.
 fn windowed_adversary(drop_pct: u8, dup_pct: u8, gst: Time) -> MessageAdversary {
     MessageAdversary::Rules(vec![
@@ -674,6 +804,17 @@ fn json_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// The single cell [`streaming_sweep`] drives, public for the same
+/// manifest-registration reason as [`grid_cells`].
+pub fn stream_cell(queue: QueueKind) -> (String, ScenarioSpec) {
+    let (n, t, k, f) = (5, 2, 2, 2);
+    let spec = kset_config(n, t, k)
+        .gst(Time(400))
+        .queue(queue)
+        .crashes(CrashPlan::Random { f, by: Time(500) });
+    (format!("n{n}_t{t}_k{k}_f{f}"), spec)
+}
+
 /// Streams `seeds` runs of one representative crashy cell (`n5_t2_k2_f2`)
 /// through [`Runner::sweep_fold`]. Memory stays `O(threads)` full reports
 /// regardless of `seeds`, which is the point: this is the million-seed mode
@@ -687,16 +828,12 @@ pub fn streaming_sweep(seeds: u64, runner: Runner) -> StreamResult {
 /// `--queue binary_heap` report's stream numbers are actually measured on
 /// the heap).
 pub fn streaming_sweep_on(seeds: u64, runner: Runner, queue: QueueKind) -> StreamResult {
-    let (n, t, k, f) = (5, 2, 2, 2);
-    let spec = kset_config(n, t, k)
-        .gst(Time(400))
-        .queue(queue)
-        .crashes(CrashPlan::Random { f, by: Time(500) });
+    let (label, spec) = stream_cell(queue);
     let t0 = Instant::now();
     let summary = runner.sweep_summary(&KsetScenario, &spec, 0..seeds);
     let wall_us = (t0.elapsed().as_micros() as u64).max(1);
     StreamResult {
-        cell: format!("n{n}_t{t}_k{k}_f{f}"),
+        cell: label,
         runs: summary.runs,
         passes: summary.passes,
         events: summary.total_events,
@@ -736,6 +873,12 @@ impl SweepBenchReport {
         self
     }
 
+    /// Attaches a durable-store leg to the report (builder style).
+    pub fn with_store_leg(mut self, store: StoreLeg) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Attaches an adversary leg to the report (builder style).
     pub fn with_adversary_leg(mut self, leg: AdversaryLeg) -> Self {
         self.adversary_leg = Some(leg);
@@ -746,6 +889,25 @@ impl SweepBenchReport {
     pub fn with_scaling(mut self, scaling: ScalingCurve) -> Self {
         self.scaling = Some(scaling);
         self
+    }
+
+    /// A deterministic digest of the grid results (cells + stream): two
+    /// invocations that produced bit-identical sweeps render the same
+    /// digest, so CI can diff the `grid_digest` line between a cold store
+    /// run and its resume. Rendered as hex in the JSON (a raw u64 would be
+    /// mangled by f64-based readers).
+    pub fn grid_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for c in &self.cells {
+            c.label.hash(&mut h);
+            (c.runs, c.passes, c.events, c.msgs).hash(&mut h);
+        }
+        if let Some(st) = &self.stream {
+            st.cell.hash(&mut h);
+            (st.runs, st.passes, st.events).hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Renders the report as a JSON document.
@@ -766,6 +928,10 @@ impl SweepBenchReport {
         s.push_str(&format!(
             "  \"events_per_sec\": {:.2},\n",
             self.events_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"grid_digest\": \"{:016x}\",\n",
+            self.grid_digest()
         ));
         if let Some(st) = &self.stream {
             s.push_str(&format!(
@@ -838,6 +1004,24 @@ impl SweepBenchReport {
                 c.identical,
                 c.cold_wall_us,
                 c.warm_wall_us,
+            ));
+        }
+        if let Some(st) = &self.store {
+            s.push_str(&format!(
+                "  \"store\": {{\"cold_runs\": {}, \"cold_wall_us\": {}, \"wrote\": {}, \
+                 \"open_wall_us\": {}, \"hydrated\": {}, \"warm_runs\": {}, \"warm_hits\": {}, \
+                 \"warm_misses\": {}, \"warm_wall_us\": {}, \"identical\": {}, \"speedup\": {:.1}}},\n",
+                st.cold_runs,
+                st.cold_wall_us,
+                st.wrote,
+                st.open_wall_us,
+                st.hydrated,
+                st.warm_runs,
+                st.warm_hits,
+                st.warm_misses,
+                st.warm_wall_us,
+                st.identical,
+                st.speedup,
             ));
         }
         if let Some(leg) = &self.adversary_leg {
@@ -980,6 +1164,40 @@ mod tests {
             .to_json();
         assert!(json.contains("\"cache\": {"));
         assert!(json.contains("\"identical\": true"));
+    }
+
+    #[test]
+    fn store_leg_resumes_all_hits_and_identical() {
+        let dir = std::env::temp_dir().join(format!("fd-store-leg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let leg = store_leg(2, Runner::parallel(), &dir).unwrap();
+        assert!(leg.identical, "warm summaries diverged from cold");
+        assert_eq!(leg.cold_runs, leg.warm_runs);
+        assert_eq!(leg.wrote, leg.cold_runs, "every cold run must persist");
+        assert_eq!(leg.hydrated, leg.cold_runs, "every cell must hydrate");
+        assert_eq!(leg.warm_hits, leg.warm_runs, "resume must be all hits");
+        assert_eq!(leg.warm_misses, 0, "resume must recompute nothing");
+        let json = representative_sweep(1, Runner::sequential())
+            .with_store_leg(leg)
+            .to_json();
+        assert!(json.contains("\"store\": {"));
+        assert!(json.contains("\"warm_misses\": 0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_digest_tracks_results_not_timing() {
+        let a = representative_sweep(2, Runner::sequential());
+        let b = representative_sweep(2, Runner::parallel());
+        assert_eq!(
+            a.grid_digest(),
+            b.grid_digest(),
+            "digest must ignore wall time and thread count"
+        );
+        let c = representative_sweep(1, Runner::sequential());
+        assert_ne!(a.grid_digest(), c.grid_digest());
+        let digest_line = format!("\"grid_digest\": \"{:016x}\"", a.grid_digest());
+        assert!(a.to_json().contains(&digest_line));
     }
 
     #[test]

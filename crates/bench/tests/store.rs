@@ -1,0 +1,217 @@
+//! End-to-end durability tests for the sweep store: each test plays a
+//! sequence of "process lifetimes" against one run directory — every
+//! session opens the directory fresh, hydrates a brand-new
+//! [`ReportCache`], sweeps, and closes — and asserts the cross-process
+//! resume contract: warm passes are all hits and bit-identical, partial
+//! cold sweeps recompute only the missing cells, and on-disk damage
+//! (corrupted cell lines, tampered or garbled manifests) degrades to
+//! recomputation, never to a panic or a wrong report.
+
+use fd_bench::SweepStore;
+use fd_core::harness::kset_config;
+use fd_core::KsetScenario;
+use fd_detectors::scenario::{
+    CrashPlan, ReportCache, Runner, Scenario, ScenarioSpec, SweepSummary,
+};
+use fd_sim::Time;
+use std::fs;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique scratch run directory per call, pre-cleaned.
+fn scratch(name: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fd-store-it-{}-{}-{name}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The single crashy cell every session sweeps (seeds vary per session).
+fn cell_spec() -> ScenarioSpec {
+    kset_config(5, 2, 2)
+        .gst(Time(400))
+        .crashes(CrashPlan::Random {
+            f: 2,
+            by: Time(500),
+        })
+}
+
+/// Everything one "process lifetime" observed, for assertions.
+struct Session {
+    summary: SweepSummary,
+    hits: u64,
+    misses: u64,
+    hydrated: usize,
+    loaded: usize,
+    corrupt: u64,
+    archived_stale: bool,
+    wrote: u64,
+}
+
+/// One process lifetime: open `dir`, hydrate a fresh cache, sweep `seeds`
+/// with the spill hook persisting every computed cell, flush, close.
+fn sweep_session(dir: &Path, seeds: Range<u64>) -> Session {
+    let store = SweepStore::open(dir).expect("open run dir");
+    let spec = cell_spec();
+    store.register_spec("n5_t2_k2_f2", &KsetScenario.cache_tag(), &spec);
+    // Leaked because `Runner::with_cache` wants `'static` (the runner
+    // stays `Copy`); each session deliberately starts from a cold cache.
+    let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+    let loaded = store.loaded();
+    let corrupt = store.corrupt();
+    let archived_stale = store.archived_stale();
+    let hydrated = store.hydrate_into(cache);
+    cache.set_spill(Some(store.spill()));
+    let runner = Runner::sequential().with_cache(cache);
+    let summary = runner.sweep_summary(&KsetScenario, &spec, seeds);
+    store.flush().expect("flush");
+    let closed = store.close().expect("close");
+    cache.set_spill(None);
+    Session {
+        summary,
+        hits: cache.hits(),
+        misses: cache.misses(),
+        hydrated,
+        loaded,
+        corrupt,
+        archived_stale,
+        wrote: closed.wrote,
+    }
+}
+
+#[test]
+fn cross_process_resume_is_all_hits_and_bit_identical() {
+    let dir = scratch("resume");
+    let cold = sweep_session(&dir, 0..16);
+    assert_eq!(cold.loaded, 0);
+    assert_eq!(cold.hits, 0);
+    assert_eq!(cold.misses, 16);
+    assert_eq!(cold.wrote, 16, "every computed cell must persist");
+
+    let warm = sweep_session(&dir, 0..16);
+    assert_eq!(warm.loaded, 16);
+    assert_eq!(warm.hydrated, 16);
+    assert_eq!(warm.hits, 16, "resume must be all hits");
+    assert_eq!(warm.misses, 0, "resume must recompute nothing");
+    assert_eq!(warm.wrote, 0, "nothing new to persist on resume");
+    assert_eq!(
+        cold.summary, warm.summary,
+        "warm summary diverged from cold"
+    );
+}
+
+#[test]
+fn interrupted_cold_sweep_recomputes_only_missing_cells() {
+    // Session one "crashes" after 4 of 12 seeds; the resumed session
+    // must serve those 4 from disk and compute exactly the other 8.
+    let dir = scratch("partial");
+    let partial = sweep_session(&dir, 0..4);
+    assert_eq!(partial.wrote, 4);
+
+    let resumed = sweep_session(&dir, 0..12);
+    assert_eq!(resumed.hydrated, 4);
+    assert_eq!(resumed.hits, 4, "persisted prefix must be served");
+    assert_eq!(resumed.misses, 8, "only missing seeds recompute");
+    assert_eq!(resumed.wrote, 8, "recomputed cells must persist too");
+
+    let warm = sweep_session(&dir, 0..12);
+    assert_eq!(warm.hits, 12);
+    assert_eq!(warm.misses, 0);
+    assert_eq!(warm.summary, resumed.summary);
+
+    // The stitched-together sweep is bit-identical to one that never
+    // stopped: runs are pure in (scenario, spec, seed).
+    let oneshot = sweep_session(&scratch("partial-oneshot"), 0..12);
+    assert_eq!(oneshot.summary, resumed.summary);
+}
+
+#[test]
+fn corrupted_cell_line_is_dropped_recomputed_and_rewritten() {
+    let dir = scratch("corrupt");
+    let cold = sweep_session(&dir, 0..8);
+    assert_eq!(cold.wrote, 8);
+
+    // Garble the first line of one shard segment — one cell's record.
+    let shards = dir.join("shards");
+    let segment = fs::read_dir(&shards)
+        .expect("read shards dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .expect("at least one segment on disk");
+    let text = fs::read_to_string(&segment).expect("read segment");
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines[0] = "{\"salt\": \"truncated mid-write";
+    fs::write(&segment, lines.join("\n") + "\n").expect("rewrite segment");
+
+    let warm = sweep_session(&dir, 0..8);
+    assert_eq!(warm.corrupt, 1, "the garbled line must be counted");
+    assert_eq!(warm.loaded, 7, "the other cells must survive");
+    assert_eq!(warm.hits, 7);
+    assert_eq!(warm.misses, 1, "exactly the lost cell recomputes");
+    assert_eq!(warm.wrote, 1, "…and is written back");
+    assert_eq!(
+        cold.summary, warm.summary,
+        "corruption must never change a report"
+    );
+
+    // The recompute healed the directory: a third session is clean.
+    let healed = sweep_session(&dir, 0..8);
+    assert_eq!(healed.corrupt, 0);
+    assert_eq!(healed.loaded, 8);
+    assert_eq!(healed.hits, 8);
+    assert_eq!(healed.misses, 0);
+    assert_eq!(healed.summary, cold.summary);
+}
+
+#[test]
+fn manifest_engine_mismatch_archives_shards_and_recomputes() {
+    let dir = scratch("mismatch");
+    let cold = sweep_session(&dir, 0..6);
+    assert_eq!(cold.wrote, 6);
+
+    // Pretend a different engine wrote the directory: the salts can no
+    // longer be trusted, so open must archive and start clean.
+    let manifest = dir.join("manifest.json");
+    let text = fs::read_to_string(&manifest).expect("read manifest");
+    let tampered = text.replace("fd-bench", "fd-bench-from-the-future");
+    assert_ne!(text, tampered, "engine string must appear in manifest");
+    fs::write(&manifest, tampered).expect("tamper manifest");
+
+    let warm = sweep_session(&dir, 0..6);
+    assert!(warm.archived_stale, "mismatch must archive, not panic");
+    assert_eq!(warm.loaded, 0);
+    assert_eq!(warm.hydrated, 0);
+    assert_eq!(warm.hits, 0);
+    assert_eq!(warm.misses, 6, "everything recomputes under a fresh key");
+    assert_eq!(warm.wrote, 6);
+    assert_eq!(cold.summary, warm.summary);
+    assert!(
+        dir.join("stale-0").is_dir(),
+        "archived shards must be preserved, not deleted"
+    );
+
+    let healed = sweep_session(&dir, 0..6);
+    assert!(!healed.archived_stale);
+    assert_eq!(healed.loaded, 6);
+    assert_eq!(healed.hits, 6);
+    assert_eq!(healed.misses, 0);
+}
+
+#[test]
+fn garbled_manifest_never_panics() {
+    let dir = scratch("garbled");
+    let cold = sweep_session(&dir, 0..3);
+    fs::write(dir.join("manifest.json"), "{ not json !!").expect("garble");
+
+    let warm = sweep_session(&dir, 0..3);
+    assert!(warm.archived_stale);
+    assert_eq!(warm.loaded, 0);
+    assert_eq!(warm.misses, 3);
+    assert_eq!(warm.summary, cold.summary);
+}

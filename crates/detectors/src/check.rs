@@ -18,7 +18,7 @@ use fd_sim::{slot, FailurePattern, FdValue, History, OracleSuite, PSet, ProcessI
 use std::fmt;
 
 /// Result of one property check.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckOutcome {
     /// Whether the property holds over the observation window.
     pub ok: bool,

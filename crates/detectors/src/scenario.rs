@@ -55,7 +55,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 // Spec authors pick their event core through the spec's `queue` knob and
 // their message adversary through `adversary`; re-export the knobs so they
@@ -877,7 +877,7 @@ pub fn churn_envelope(
 
 /// Uniform run statistics, extracted from the trace once, consumed by
 /// tables, benches, and tests alike.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Point-to-point messages sent.
     pub msgs_sent: u64,
@@ -1054,7 +1054,7 @@ fn hash_fd_value(v: FdValue, h: &mut impl Hasher) {
 /// full [`ScenarioReport`] holds every published history of the run, which
 /// is what lets [`Runner::sweep_fold`] push millions of seeds while keeping
 /// only `O(threads)` full reports alive at any instant.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SlimReport {
     /// Name of the scenario that ran.
     pub scenario: &'static str,
@@ -1110,12 +1110,54 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 /// gate uncached runners), and anything whose spec mutates state outside
 /// the report — engine scenarios never do. Attach a cache explicitly via
 /// [`Runner::with_cache`]; the default runner never caches.
-#[derive(Debug)]
+///
+/// # Durability hooks
+///
+/// The cache itself is process-local, but it exposes the two hooks a
+/// durable store needs to make sweeps resumable across processes:
+///
+/// * [`ReportCache::hydrate`] inserts an already-computed cell (read back
+///   from disk) without touching the hit/miss tallies or the spill hook —
+///   subsequent sweeps then hit it exactly as if this process had computed
+///   it;
+/// * [`ReportCache::set_spill`] registers a callback invoked once per
+///   *computed* insert (never for hits, never for hydrated cells) with the
+///   cell's key and [`SlimReport`], so a store can persist fresh cells as
+///   they are produced. The callback runs on the sweep worker that
+///   computed the run — keep it cheap (hand off to a writer thread; see
+///   `fd_bench::store`). It fires even when the capacity cap skips the
+///   in-memory insert: durability must not degrade when the process-local
+///   map fills.
 pub struct ReportCache {
     shards: Vec<Mutex<HashMap<(u64, u64), SlimReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Computed inserts skipped because the shard was at capacity (the
+    /// cache never evicts; it stops admitting instead — deterministic, and
+    /// sound because cached values are pure).
+    capped: AtomicU64,
+    /// Cells seeded from a durable store via [`ReportCache::hydrate`].
+    hydrated: AtomicU64,
+    spill: Mutex<Option<Arc<SpillFn>>>,
     per_shard_capacity: usize,
+}
+
+/// The durable-store callback type of [`ReportCache::set_spill`]: invoked
+/// as `(spec_salt, seed, report)` once per computed cell.
+pub type SpillFn = dyn Fn(u64, u64, &SlimReport) + Send + Sync;
+
+impl std::fmt::Debug for ReportCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReportCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("capped_inserts", &self.capped_inserts())
+            .field("hydrated", &self.hydrated())
+            .field("spill", &self.spill.lock().unwrap().is_some())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .finish()
+    }
 }
 
 impl Default for ReportCache {
@@ -1139,6 +1181,9 @@ impl ReportCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            capped: AtomicU64::new(0),
+            hydrated: AtomicU64::new(0),
+            spill: Mutex::new(None),
             per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
         }
     }
@@ -1153,8 +1198,15 @@ impl ReportCache {
 
     /// The scenario-plus-spec half of a cache key: the scenario's
     /// [`Scenario::cache_tag`] (which must cover any out-of-spec knobs)
-    /// mixed with the spec fingerprint.
-    fn salt(tag: &str, spec: &ScenarioSpec) -> u64 {
+    /// mixed with the spec fingerprint. Public because it *is* the
+    /// content-address contract — a durable store persisting cells under
+    /// `(salt, seed)` keys (see `fd_bench::store`) must derive the salt
+    /// exactly as the in-memory sweeps do, or hydrated cells would never
+    /// be looked up. Like [`ScenarioSpec::fingerprint`], the value is
+    /// stable across runs and builds of one toolchain but is not an
+    /// on-disk format across toolchains — which is why stores record the
+    /// engine version in their manifest.
+    pub fn salt(tag: &str, spec: &ScenarioSpec) -> u64 {
         let mut h = DefaultHasher::new();
         tag.hash(&mut h);
         spec.fingerprint().hash(&mut h);
@@ -1183,12 +1235,50 @@ impl ReportCache {
         }
     }
 
-    /// Stores one run (a no-op once the shard is at capacity).
+    /// Stores one computed run (the in-memory insert is a no-op once the
+    /// shard is at capacity, tallied in [`ReportCache::capped_inserts`]),
+    /// then hands the cell to the spill hook, if one is registered — the
+    /// spill fires even for capped inserts, so a durable store keeps
+    /// persisting after the process-local map fills.
     fn insert(&self, key: (u64, u64), slim: SlimReport) {
+        {
+            let mut shard = self.shard(key).lock().unwrap();
+            if shard.len() < self.per_shard_capacity {
+                shard.insert(key, slim.clone());
+            } else {
+                self.capped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let spill = self.spill.lock().unwrap().clone();
+        if let Some(spill) = spill {
+            spill(key.0, key.1, &slim);
+        }
+    }
+
+    /// Seeds one already-computed cell (read back from a durable store)
+    /// under the standard `(spec salt, seed)` key. Neither the hit/miss
+    /// tallies nor the spill hook fire — the cell was not computed here and
+    /// is already persisted. Respects the capacity cap (a skipped insert is
+    /// tallied in [`ReportCache::capped_inserts`] and only costs a
+    /// recompute later). Returns whether the cell was admitted.
+    pub fn hydrate(&self, key: (u64, u64), slim: SlimReport) -> bool {
         let mut shard = self.shard(key).lock().unwrap();
         if shard.len() < self.per_shard_capacity {
             shard.insert(key, slim);
+            drop(shard);
+            self.hydrated.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.capped.fetch_add(1, Ordering::Relaxed);
+            false
         }
+    }
+
+    /// Registers (or clears) the durable-store spill hook. See the type
+    /// docs: the callback observes every *computed* cell, keyed exactly as
+    /// the cache stores it.
+    pub fn set_spill(&self, spill: Option<Arc<SpillFn>>) {
+        *self.spill.lock().unwrap() = spill;
     }
 
     /// Completed-run lookups served from the cache so far.
@@ -1201,18 +1291,45 @@ impl ReportCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Inserts (computed or hydrated) skipped because the target shard was
+    /// at capacity. The cache never evicts — it stops admitting — so this
+    /// is the "eviction" observability counter: a nonzero value means the
+    /// in-memory cache is full and store hydration is partially effective.
+    pub fn capped_inserts(&self) -> u64 {
+        self.capped.load(Ordering::Relaxed)
+    }
+
+    /// Cells admitted via [`ReportCache::hydrate`] so far.
+    pub fn hydrated(&self) -> u64 {
+        self.hydrated.load(Ordering::Relaxed)
+    }
+
     /// Number of cached runs.
     pub fn entries(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
-    /// Drops every entry and zeroes the tallies.
+    /// Alias of [`ReportCache::entries`] — the occupancy stat surfaced by
+    /// the sweep bin's `--profile` output.
+    pub fn len(&self) -> usize {
+        self.entries()
+    }
+
+    /// Whether the cache holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and zeroes the tallies (the spill hook, if any,
+    /// stays registered).
     pub fn clear(&self) {
         for s in &self.shards {
             s.lock().unwrap().clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.capped.store(0, Ordering::Relaxed);
+        self.hydrated.store(0, Ordering::Relaxed);
     }
 }
 
@@ -1828,8 +1945,90 @@ mod tests {
         let b = runner.sweep_summary(&Probe, &base, 0..100);
         assert_eq!(a, b, "capped cache must not change summaries");
         assert!(cache.hits() > 0, "capped cache still serves what it holds");
+        assert!(
+            cache.capped_inserts() > 0,
+            "skipped inserts must be observable"
+        );
         cache.clear();
         assert_eq!((cache.entries(), cache.hits(), cache.misses()), (0, 0, 0));
+        assert_eq!((cache.capped_inserts(), cache.hydrated()), (0, 0));
+    }
+
+    #[test]
+    fn spill_hook_observes_every_computed_cell_exactly_once() {
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::with_capacity(16)));
+        let spilled: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&spilled);
+        cache.set_spill(Some(Arc::new(move |salt, seed, _slim| {
+            sink.lock().unwrap().push((salt, seed));
+        })));
+        let runner = Runner::sequential().with_cache(cache);
+        let base = ScenarioSpec::new(5, 2);
+        runner.sweep_summary(&Probe, &base, 0..100);
+        // Every computed cell spills — including the ones the capacity cap
+        // kept out of the in-memory map.
+        let seen = spilled.lock().unwrap().clone();
+        assert_eq!(seen.len(), 100, "one spill per computed cell");
+        let salts: std::collections::BTreeSet<u64> = seen.iter().map(|&(s, _)| s).collect();
+        assert_eq!(salts.len(), 1, "one spec ⇒ one salt");
+        let seeds: std::collections::BTreeSet<u64> = seen.iter().map(|&(_, s)| s).collect();
+        assert_eq!(seeds.len(), 100);
+        assert!(cache.capped_inserts() > 0, "cap engaged during the sweep");
+        // Warm lookups and hydration never re-spill.
+        runner.sweep_summary(&Probe, &base, 0..10);
+        let slim = SlimReport {
+            scenario: "probe",
+            seed: 7,
+            num_faulty: 0,
+            check: CheckOutcome::pass(None, "ok"),
+            metrics: Metrics::default(),
+            counters: Vec::new(),
+        };
+        cache.hydrate((1, 7), slim);
+        assert_eq!(spilled.lock().unwrap().len(), 100);
+        cache.set_spill(None);
+        runner.sweep_summary(&Probe, &base.clone().k(2), 0..5);
+        assert_eq!(
+            spilled.lock().unwrap().len(),
+            100,
+            "cleared hook must not fire"
+        );
+    }
+
+    #[test]
+    fn hydrated_cells_serve_hits_without_tallying() {
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let executed = AtomicU64::new(0);
+        let probe = CountingProbe(&executed);
+        let base = ScenarioSpec::new(5, 2);
+        // Compute the cells once in a scratch cache, capturing them via the
+        // spill hook — exactly what a durable store does on a cold run.
+        let scratch: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        let captured: Arc<Mutex<Vec<(u64, u64, SlimReport)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&captured);
+        scratch.set_spill(Some(Arc::new(move |salt, seed, slim| {
+            sink.lock().unwrap().push((salt, seed, slim.clone()));
+        })));
+        let cold = Runner::sequential()
+            .with_cache(scratch)
+            .sweep_summary(&probe, &base, 0..50);
+        assert_eq!(executed.load(Ordering::Relaxed), 50);
+        // Hydrate a fresh cache from the captured cells ("reopen").
+        for (salt, seed, slim) in captured.lock().unwrap().iter() {
+            assert!(cache.hydrate((*salt, *seed), slim.clone()));
+        }
+        assert_eq!(cache.hydrated(), 50);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        let warm = Runner::sequential()
+            .with_cache(cache)
+            .sweep_summary(&probe, &base, 0..50);
+        assert_eq!(warm, cold, "hydrated sweep must be bit-identical");
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            50,
+            "hydrated cells must serve as hits"
+        );
+        assert_eq!((cache.hits(), cache.misses()), (50, 0));
     }
 
     #[test]
