@@ -23,7 +23,7 @@ fn sample(seed: u64) -> SlimReport {
         seed,
         num_faulty: 2,
         check: CheckOutcome {
-            ok: seed % 7 != 0,
+            ok: !seed.is_multiple_of(7),
             stabilized_at: Some(Time(400 + seed % 64)),
             detail: String::from("k-set: decided within bound \"ok\""),
         },

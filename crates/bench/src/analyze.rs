@@ -181,7 +181,8 @@ impl AnalyzeReport {
             &["phase", "specs", "runs", "example spec"],
         );
         let aggs = self.aggregates();
-        let bands: [(&str, Box<dyn Fn(f64) -> bool>); 3] = [
+        type Band = (&'static str, Box<dyn Fn(f64) -> bool>);
+        let bands: [Band; 3] = [
             ("all pass (100%)", Box::new(|r| r >= 1.0)),
             ("mixed (0–100%)", Box::new(|r| r > 0.0 && r < 1.0)),
             ("all fail (0%)", Box::new(|r| r <= 0.0)),

@@ -8,8 +8,8 @@
 //! [-- --threads N] [-- --stream N] [-- --queue auto|calendar|binary_heap]
 //! [-- --compare N] [-- --large N] [-- --auto-queue N] [-- --cache N]
 //! [-- --store-leg N] [-- --store DIR] [-- --resume] [-- --adv N]
-//! [-- --adv-drop P] [-- --adv-dup P] [-- --curve LIST] [-- --n-max N]
-//! [-- --baseline PATH] [-- --out PATH] [-- --profile]`
+//! [-- --adv-drop P] [-- --adv-dup P] [-- --topo N] [-- --curve LIST]
+//! [-- --n-max N] [-- --baseline PATH] [-- --out PATH] [-- --profile]`
 //!
 //! Or, to aggregate previously written run directories:
 //! `cargo run -p fd-bench --bin sweep --release -- analyze DIR [DIR ...]`
@@ -47,7 +47,13 @@
 //! seeds per cell; 0 skips) — its determinism, `None`-differential, and
 //! churn catch-up gates abort on failure; its grid pass-rate is recorded,
 //! not gated (uniform drops are outside the algorithm's liveness tolerance
-//! by design). `--curve LIST` runs the `n`-scaling leg at the
+//! by design). `--topo N` runs the topology leg (default 2 seeds per heal
+//! cell; 0 skips): a partition's heal time swept against the termination
+//! horizon into a liveness phase diagram — its determinism,
+//! `TopologySchedule::None`-differential, partition-during-join churn and
+//! liveness-flip gates abort on failure; pass-rate per heal cell is
+//! recorded, not gated (past-horizon heals *must* fail).
+//! `--curve LIST` runs the `n`-scaling leg at the
 //! comma-separated process counts in `LIST` (default `256,512,1024`; pass
 //! `--curve 0` to skip), one seed per size, recording the events/s-vs-`n`
 //! curve and the chosen `n` list in the JSON; `--n-max N` drops every
@@ -108,6 +114,9 @@ fn main() {
         .unwrap_or(1);
     let resume = args.iter().any(|a| a == "--resume");
     let adv_seeds: u64 = arg_value("--adv").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let topo_seeds: u64 = arg_value("--topo")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
     let adv_drop: u8 = arg_value("--adv-drop")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
@@ -379,6 +388,41 @@ fn main() {
         );
         report = report.with_adversary_leg(leg);
     }
+    if topo_seeds > 0 {
+        let leg = fd_bench::topology_leg(topo_seeds, runner);
+        println!(
+            "topology leg ({}): {}/{} runs passed, {} severed — heal grid [{}], \
+             negative witness seed {:?}",
+            leg.schedule,
+            leg.passes,
+            leg.runs,
+            leg.severed,
+            leg.cells
+                .iter()
+                .map(|c| format!("{}:{}/{}", c.heal, c.passes, c.runs))
+                .collect::<Vec<_>>()
+                .join(", "),
+            leg.negative_witness_seed,
+        );
+        assert!(
+            leg.deterministic,
+            "partitioned grid did not rerun bit-identically"
+        );
+        assert!(
+            leg.none_identical,
+            "explicit TopologySchedule::None diverged from the default spec"
+        );
+        assert!(
+            leg.churn_partition_live,
+            "churn + catch-up failed liveness under a partition-during-join"
+        );
+        assert!(
+            leg.liveness_flip,
+            "heal-time phase diagram did not flip: earliest heal must pass, \
+             past-horizon heal must fail"
+        );
+        report = report.with_topology_leg(leg);
+    }
     if !curve_ns.is_empty() {
         let sc = fd_bench::scaling_curve(&curve_ns, 1, runner);
         for p in &sc.points {
@@ -422,6 +466,18 @@ fn main() {
             println!(
                 "  adversary {:<28} {:>12} events  ({} runs)",
                 "TOTAL", a.events, a.runs
+            );
+        }
+        if let Some(t) = &report.topology_leg {
+            for c in &t.cells {
+                println!(
+                    "  topology  heal={:<23} {:>12} events  ({} runs)",
+                    c.heal, c.events, c.runs
+                );
+            }
+            println!(
+                "  topology  {:<28} {:>12} events  ({} runs)",
+                "TOTAL", t.events, t.runs
             );
         }
         if let Some(cache) = store_cache {

@@ -29,8 +29,8 @@ pub use store::{
 pub use sweep::{
     adversary_leg, auto_queue_comparison, cache_leg, check_baseline, grid_cells,
     large_n_comparison, queue_comparison, representative_sweep, representative_sweep_on,
-    scaling_curve, store_leg, stream_cell, streaming_sweep, streaming_sweep_on, AdversaryLeg,
-    BaselineVerdict, CacheLeg, QueueCompare, QueueRate, ScalePoint, ScalingCurve, StoreLeg,
-    StreamResult, SweepBenchReport,
+    scaling_curve, store_leg, stream_cell, streaming_sweep, streaming_sweep_on, topology_leg,
+    AdversaryLeg, BaselineVerdict, CacheLeg, HealCell, QueueCompare, QueueRate, ScalePoint,
+    ScalingCurve, StoreLeg, StreamResult, SweepBenchReport, TopologyLeg,
 };
 pub use table::Table;

@@ -897,8 +897,8 @@ mod tests {
             seed,
             num_faulty: 2,
             check: CheckOutcome {
-                ok: seed % 3 != 0,
-                stabilized_at: if seed % 2 == 0 {
+                ok: !seed.is_multiple_of(3),
+                stabilized_at: if seed.is_multiple_of(2) {
                     Some(Time(seed.wrapping_mul(7)))
                 } else {
                     None

@@ -30,7 +30,7 @@ use fd_detectors::scenario::{
     ScenarioSpec, SweepSummary,
 };
 use fd_grid::ChurnKsetScenario;
-use fd_sim::{FailurePattern, ProcessId, Time};
+use fd_sim::{FailurePattern, PSet, ProcessId, Time, TopologySchedule};
 use std::path::Path;
 use std::time::Instant;
 
@@ -135,6 +135,65 @@ pub struct AdversaryLeg {
     pub cells: Vec<CellResult>,
 }
 
+/// One heal-time cell of the topology phase diagram.
+#[derive(Clone, Debug)]
+pub struct HealCell {
+    /// Heal tick of the partition epoch (`[0, heal)` severs the islands).
+    pub heal: u64,
+    /// Seeds run at this heal time.
+    pub runs: u64,
+    /// Runs whose spec check passed (liveness *and* safety).
+    pub passes: u64,
+    /// Minimum decider count across the cell's runs — the wedged floor.
+    pub min_deciders: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Messages the partition severed structurally.
+    pub severed: u64,
+}
+
+/// The topology sweep leg: the `{0..n−2} | {n−1}` partition's heal time
+/// swept against the termination horizon — a one-axis phase diagram of
+/// liveness — plus the partition-during-join churn probe and its gates.
+#[derive(Clone, Debug)]
+pub struct TopologyLeg {
+    /// `TopologySchedule::describe()` of the smallest-heal schedule.
+    pub schedule: String,
+    /// Seeds run across all heal cells.
+    pub runs: u64,
+    /// Runs that passed the full envelope. This is the phase diagram's
+    /// y-axis, deliberately not gated at 100%: late heals *must* fail.
+    pub passes: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Messages severed structurally across the leg.
+    pub severed: u64,
+    /// Wall-clock duration, microseconds (≥ 1).
+    pub wall_us: u64,
+    /// Completed scenario runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Gate: the partitioned grid reruns bit-identically (the topology
+    /// stream is deterministic in the seed).
+    pub deterministic: bool,
+    /// Gate: an explicit `TopologySchedule::None` spec is
+    /// fingerprint-identical to the default spec (the unset schedule
+    /// draws nothing).
+    pub none_identical: bool,
+    /// Gate: churn + catch-up rides out a partition that isolates the
+    /// joiner through its own join instant (heal before the horizon).
+    pub churn_partition_live: bool,
+    /// Gate: the phase diagram actually flips — the earliest heal cell
+    /// has passing runs and the latest (past-horizon) cell has none.
+    pub liveness_flip: bool,
+    /// First seed at the past-horizon heal that is the honest negative
+    /// witness: liveness rejected with the mainland (`n − 1` deciders)
+    /// agreeing safely among themselves. `None` if no seed exhibited it
+    /// (all sampled seeds had the Ω leader inside the cut island).
+    pub negative_witness_seed: Option<u64>,
+    /// Per-heal cells, in sweep order (ascending heal).
+    pub cells: Vec<HealCell>,
+}
+
 /// The whole sweep: cells plus throughput.
 #[derive(Clone, Debug)]
 pub struct SweepBenchReport {
@@ -177,6 +236,8 @@ pub struct SweepBenchReport {
     pub store: Option<StoreLeg>,
     /// The adversary sweep leg, when one was run.
     pub adversary_leg: Option<AdversaryLeg>,
+    /// The topology (partition phase-diagram) leg, when one was run.
+    pub topology_leg: Option<TopologyLeg>,
     /// The `n`-scaling curve, when one was run.
     pub scaling: Option<ScalingCurve>,
 }
@@ -255,6 +316,7 @@ pub fn representative_sweep_on(
         cache: None,
         store: None,
         adversary_leg: None,
+        topology_leg: None,
         scaling: None,
     }
 }
@@ -744,6 +806,141 @@ pub fn adversary_leg(
     }
 }
 
+/// The topology leg: sweep the heal time of a `{0..3} | {4}` partition on
+/// the `n = 5, t = 2, k = 2` scenario against the termination horizon
+/// (`max_time = 100_000`, GST 400) and record pass-rate per heal — a
+/// one-axis termination phase diagram. The physics it charts (see
+/// `fd_grid::churn` and the scenario-engine topology tests): phase
+/// messages are plain broadcasts with no retransmission, so the cut
+/// process can only decide through the heal-delayed `DECISION` reliable
+/// broadcast, and only when the post-GST Ω leader sits in the mainland.
+/// Pass ⇔ leader in mainland ∧ heal before horizon; the last grid point
+/// (heal = 2 × horizon) therefore *must* fail — its first
+/// mainland-leader seed is recorded as the negative witness (liveness
+/// honestly rejected with `n − 1` deciders in safe agreement).
+///
+/// Gates: determinism (the partitioned grid reruns bit-identically), the
+/// `TopologySchedule::None` differential (unset schedule draws nothing),
+/// the churn probe (catch-up rides out a partition that isolates a
+/// joiner through its join instant), and the liveness flip itself.
+pub fn topology_leg(seeds_per_cell: u64, runner: Runner) -> TopologyLeg {
+    let n = 5usize;
+    let horizon = Time(100_000);
+    let islands = || -> Vec<PSet> {
+        vec![
+            (0..n - 1).map(ProcessId).collect(),
+            (n - 1..n).map(ProcessId).collect(),
+        ]
+    };
+    // Two decades below the horizon, one straddling cell, one past it.
+    let heal_grid: &[u64] = &[200, 2_000, 20_000, 200_000];
+    let spec_at = |heal: u64| {
+        kset_config(n, 2, 2)
+            .gst(Time(400))
+            .max_time(horizon)
+            .topology(TopologySchedule::partition_until(islands(), Time(heal)))
+    };
+    let t0 = Instant::now();
+    let mut cells = Vec::new();
+    let mut prints: Vec<u64> = Vec::new();
+    let mut events = 0;
+    let mut severed = 0;
+    let mut negative_witness_seed = None;
+    for &heal in heal_grid {
+        let reports = runner.sweep(&KsetScenario, &spec_at(heal), 0..seeds_per_cell);
+        let mut cell = HealCell {
+            heal,
+            runs: 0,
+            passes: 0,
+            min_deciders: u64::MAX,
+            events: 0,
+            severed: 0,
+        };
+        for rep in reports {
+            let deciders = rep.trace.deciders().len() as u64;
+            cell.runs += 1;
+            cell.passes += rep.check.ok as u64;
+            cell.min_deciders = cell.min_deciders.min(deciders);
+            cell.events += rep.metrics.events;
+            cell.severed += rep.trace.counter(fd_sim::counter::PARTITIONED);
+            if heal > horizon.ticks()
+                && negative_witness_seed.is_none()
+                && !rep.check.ok
+                && deciders == (n - 1) as u64
+            {
+                negative_witness_seed = Some(rep.seed());
+            }
+            prints.push(rep.fingerprint());
+        }
+        events += cell.events;
+        severed += cell.severed;
+        cells.push(cell);
+    }
+    let wall_us = (t0.elapsed().as_micros() as u64).max(1);
+    // Determinism gate: the partitioned grid reruns bit-identically.
+    let mut reprints: Vec<u64> = Vec::new();
+    for &heal in heal_grid {
+        for rep in runner.sweep(&KsetScenario, &spec_at(heal), 0..seeds_per_cell) {
+            reprints.push(rep.fingerprint());
+        }
+    }
+    let deterministic = prints == reprints;
+    // None-differential gate: the unset schedule draws nothing.
+    let none_identical = {
+        let base = kset_config(5, 2, 2)
+            .gst(Time(400))
+            .crashes(CrashPlan::Anarchic { by: Time(400) });
+        (0..4).all(|seed| {
+            let spec = base.with_seed(seed);
+            let explicit = spec.clone().topology(TopologySchedule::None);
+            KsetScenario.run(&spec).fingerprint() == KsetScenario.run(&explicit).fingerprint()
+        })
+    };
+    // Churn probe: the joiner comes up *inside* the partition; catch-up's
+    // retry loop must carry it across the heal.
+    let churn_fp = FailurePattern::builder(6)
+        .crash(ProcessId(1), Time(100))
+        .join(ProcessId(5), Time(600))
+        .build();
+    let churn_islands: Vec<PSet> = vec![
+        (0..5).map(ProcessId).collect(),
+        (5..6).map(ProcessId).collect(),
+    ];
+    let churn_base = ChurnKsetScenario::spec(6, 2, 1)
+        .gst(Time(300))
+        .max_time(Time(60_000))
+        .crashes(CrashPlan::Explicit(churn_fp))
+        .topology(TopologySchedule::partition_until(
+            churn_islands,
+            Time(1_200),
+        ));
+    let churn_partition_live = (0..seeds_per_cell.clamp(1, 4)).all(|seed| {
+        let rep = ChurnKsetScenario.run(&churn_base.with_seed(seed));
+        rep.check.ok
+            && rep.trace.deciders().contains(ProcessId(5))
+            && rep.trace.counter(fd_sim::counter::PARTITIONED) > 0
+    });
+    let liveness_flip =
+        cells.first().is_some_and(|c| c.passes > 0) && cells.last().is_some_and(|c| c.passes == 0);
+    let runs: u64 = cells.iter().map(|c| c.runs).sum();
+    let passes: u64 = cells.iter().map(|c| c.passes).sum();
+    TopologyLeg {
+        schedule: spec_at(heal_grid[0]).topology.describe(),
+        runs,
+        passes,
+        events,
+        severed,
+        wall_us,
+        runs_per_sec: runs as f64 / (wall_us as f64 / 1e6),
+        deterministic,
+        none_identical,
+        churn_partition_live,
+        liveness_flip,
+        negative_witness_seed,
+        cells,
+    }
+}
+
 /// Verdict of [`check_baseline`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum BaselineVerdict {
@@ -882,6 +1079,12 @@ impl SweepBenchReport {
     /// Attaches an adversary leg to the report (builder style).
     pub fn with_adversary_leg(mut self, leg: AdversaryLeg) -> Self {
         self.adversary_leg = Some(leg);
+        self
+    }
+
+    /// Attaches the topology (partition phase-diagram) leg.
+    pub fn with_topology_leg(mut self, leg: TopologyLeg) -> Self {
+        self.topology_leg = Some(leg);
         self
     }
 
@@ -1054,6 +1257,42 @@ impl SweepBenchReport {
                     c.passes,
                     c.events,
                     c.msgs,
+                    if i + 1 == leg.cells.len() { "" } else { "," }
+                ));
+            }
+            s.push_str("  ],\n");
+        }
+        if let Some(leg) = &self.topology_leg {
+            s.push_str(&format!(
+                "  \"topology_leg\": {{\"schedule\": \"{}\", \"runs\": {}, \"passes\": {}, \
+                 \"events\": {}, \"severed\": {}, \"wall_us\": {}, \"runs_per_sec\": {:.2}, \
+                 \"deterministic\": {}, \"none_identical\": {}, \"churn_partition_live\": {}, \
+                 \"liveness_flip\": {}, \"negative_witness_seed\": {}}},\n",
+                leg.schedule,
+                leg.runs,
+                leg.passes,
+                leg.events,
+                leg.severed,
+                leg.wall_us,
+                leg.runs_per_sec,
+                leg.deterministic,
+                leg.none_identical,
+                leg.churn_partition_live,
+                leg.liveness_flip,
+                leg.negative_witness_seed
+                    .map_or("null".into(), |s| s.to_string()),
+            ));
+            s.push_str("  \"topology_cells\": [\n");
+            for (i, c) in leg.cells.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"heal\": {}, \"runs\": {}, \"passes\": {}, \"min_deciders\": {}, \
+                     \"events\": {}, \"severed\": {}}}{}\n",
+                    c.heal,
+                    c.runs,
+                    c.passes,
+                    c.min_deciders,
+                    c.events,
+                    c.severed,
                     if i + 1 == leg.cells.len() { "" } else { "," }
                 ));
             }
@@ -1234,6 +1473,30 @@ mod tests {
         assert!(json.contains("\"adversary_leg\""));
         assert!(json.contains("\"churn_catchup_live\": true"));
         assert!(json.contains("adv_n65_t32_k2_f0"));
+    }
+
+    #[test]
+    fn topology_leg_gates_hold_and_the_diagram_flips() {
+        let leg = topology_leg(1, Runner::parallel());
+        assert!(leg.deterministic, "partitioned grid not deterministic");
+        assert!(leg.none_identical, "None-differential failed");
+        assert!(leg.churn_partition_live, "partition-during-join wedged");
+        assert!(leg.liveness_flip, "phase diagram never flipped");
+        assert!(leg.severed > 0, "partition never severed a message");
+        // Seed 0's Ω leader sits in the mainland, so the past-horizon
+        // cell records it as the honest negative witness: liveness
+        // rejected with the four mainland deciders in safe agreement.
+        assert_eq!(leg.negative_witness_seed, Some(0));
+        let last = leg.cells.last().unwrap();
+        assert_eq!(last.passes, 0, "past-horizon heal must fail");
+        assert_eq!(last.min_deciders, 4, "mainland decides alone");
+        let json = representative_sweep(1, Runner::sequential())
+            .with_topology_leg(leg)
+            .to_json();
+        assert!(json.contains("\"topology_leg\""));
+        assert!(json.contains("\"liveness_flip\": true"));
+        assert!(json.contains("\"negative_witness_seed\": 0"));
+        assert!(json.contains("{\"heal\": 200,"));
     }
 
     #[test]

@@ -61,6 +61,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 // their message adversary through `adversary`; re-export the knobs so they
 // need not depend on `fd_sim` directly.
 pub use fd_sim::QueueKind;
+pub use fd_sim::{LinkFate, LinkOverride, TopologyEpoch, TopologySchedule};
 pub use fd_sim::{MessageAdversary, MessageRule, RuleAction};
 
 /// Seed-mixing constants, one per oracle role, so that the detectors of a
@@ -121,6 +122,13 @@ pub mod salt {
     /// the stream is never drawn from, which is what makes the empty
     /// adversary bit-identical to the pre-adversary simulator.
     pub const ADVERSARY: u64 = 0xADE5;
+    /// Topology-schedule stream (override-latency draws and post-heal
+    /// release jitter). The runtime derives it in `fd_sim` as
+    /// `root.stream(0x7090)`; mirrored here for the same reason as
+    /// [`ADVERSARY`]: with [`super::TopologySchedule::None`] the stream is
+    /// never drawn from, which is what keeps the empty schedule
+    /// bit-identical to the pre-topology simulator.
+    pub const TOPOLOGY: u64 = 0x7090;
 }
 
 /// How crashes are injected into a run.
@@ -307,6 +315,11 @@ pub struct ScenarioSpec {
     /// duplicate / bounded corruption; [`MessageAdversary::None`] is
     /// bit-identical to the pre-adversary engine).
     pub adversary: MessageAdversary,
+    /// The structural topology schedule — partitions, heals, asymmetric
+    /// links ([`TopologySchedule::None`] is bit-identical to the
+    /// pre-topology engine; severed reliable-broadcast messages are
+    /// delayed until the heal, never lost).
+    pub topology: TopologySchedule,
     /// Whether churn-aware scenarios run their catch-up layer (rebroadcast
     /// / state transfer for late joiners), upgrading churn guarantees from
     /// safety-only to liveness. Scenarios without a catch-up variant
@@ -335,6 +348,7 @@ impl ScenarioSpec {
             max_steps: 200_000,
             queue: QueueKind::default(),
             adversary: MessageAdversary::None,
+            topology: TopologySchedule::None,
             catch_up: false,
         }
     }
@@ -430,6 +444,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the topology schedule (builder style).
+    pub fn topology(mut self, topology: TopologySchedule) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Enables or disables the churn catch-up layer (builder style).
     pub fn catch_up(mut self, catch_up: bool) -> Self {
         self.catch_up = catch_up;
@@ -496,6 +516,7 @@ impl ScenarioSpec {
             max_steps,
             queue: _, // never changes a trace (the determinism contract)
             adversary,
+            topology,
             catch_up,
         } = self;
         let mut h = DefaultHasher::new();
@@ -561,6 +582,24 @@ impl ScenarioSpec {
             r.to.words().hash(&mut h);
             (r.active_from.ticks(), r.active_to.ticks()).hash(&mut h);
         }
+        // Topology by full content: epoch boundaries, island membership,
+        // and override link sets/latencies all shape the run, so any
+        // single-tick or single-member difference must change the digest
+        // (the cache-poisoning guard for the sweep store).
+        let epochs = topology.epochs();
+        (topology.is_none(), epochs.len()).hash(&mut h);
+        for ep in epochs {
+            (ep.from.ticks(), ep.until.ticks(), ep.islands.len()).hash(&mut h);
+            for island in &ep.islands {
+                island.words().hash(&mut h);
+            }
+            ep.overrides.len().hash(&mut h);
+            for o in &ep.overrides {
+                o.from.words().hash(&mut h);
+                o.to.words().hash(&mut h);
+                o.latency.hash(&mut h);
+            }
+        }
         catch_up.hash(&mut h);
         h.finish()
     }
@@ -574,6 +613,7 @@ impl ScenarioSpec {
             rules: self.rules.clone(),
             queue: self.queue,
             adversary: self.adversary.clone(),
+            topology: self.topology.clone(),
             ..SimConfig::new(self.n, self.t)
         }
     }
@@ -1830,6 +1870,18 @@ mod tests {
 
     #[test]
     fn spec_fingerprint_covers_the_knobs_but_not_seed_or_queue() {
+        fn islands_34() -> Vec<fd_sim::PSet> {
+            vec![
+                (0..3).map(ProcessId).collect(),
+                (3..7).map(ProcessId).collect(),
+            ]
+        }
+        fn islands_43() -> Vec<fd_sim::PSet> {
+            vec![
+                (0..4).map(ProcessId).collect(),
+                (4..7).map(ProcessId).collect(),
+            ]
+        }
         let base = ScenarioSpec::new(7, 3).kz(2).gst(Time(500));
         let fp = base.fingerprint();
         // Stable across clones and reruns.
@@ -1869,6 +1921,48 @@ mod tests {
                 .adversary(MessageAdversary::Rules(vec![MessageRule::drop(11)])),
             base.clone().adversary(MessageAdversary::Rules(vec![])),
             base.clone().catch_up(true),
+            // Topology schedules: empty-but-set, a partition, the same
+            // partition with its epoch boundary moved one tick, the same
+            // partition with one island member moved across the cut, and a
+            // latency override (cache-poisoning guards for the store).
+            base.clone().topology(TopologySchedule::Epochs(vec![])),
+            base.clone()
+                .topology(TopologySchedule::partition_until(islands_34(), Time(500))),
+            base.clone()
+                .topology(TopologySchedule::partition_until(islands_34(), Time(501))),
+            base.clone()
+                .topology(TopologySchedule::partition_until(islands_43(), Time(500))),
+            base.clone()
+                .topology(TopologySchedule::Epochs(vec![TopologyEpoch::new(
+                    Time::ZERO,
+                    Time(500),
+                )
+                .link(LinkOverride::latency(
+                    fd_sim::PSet::singleton(ProcessId(0)),
+                    fd_sim::PSet::singleton(ProcessId(1)),
+                    40,
+                    90,
+                ))])),
+            base.clone()
+                .topology(TopologySchedule::Epochs(vec![TopologyEpoch::new(
+                    Time::ZERO,
+                    Time(500),
+                )
+                .link(LinkOverride::latency(
+                    fd_sim::PSet::singleton(ProcessId(0)),
+                    fd_sim::PSet::singleton(ProcessId(1)),
+                    40,
+                    91,
+                ))])),
+            base.clone()
+                .topology(TopologySchedule::Epochs(vec![TopologyEpoch::new(
+                    Time::ZERO,
+                    Time(500),
+                )
+                .link(LinkOverride::silence(
+                    fd_sim::PSet::singleton(ProcessId(0)),
+                    fd_sim::PSet::singleton(ProcessId(1)),
+                ))])),
         ];
         let mut prints: Vec<u64> = variants.iter().map(|s| s.fingerprint()).collect();
         prints.push(fp);

@@ -46,6 +46,34 @@
 //! duplicate and the draws of each corruption). Same `(spec, seed)` ⇒ same
 //! dropped set, same duplicate schedule, same corrupted values — the
 //! property tests in `crates/sim/tests/props.rs` pin this down.
+//!
+//! ## The topology adversary
+//!
+//! [`TopologySchedule`] is the *structural* counterpart of the probabilistic
+//! rules above: a time-indexed sequence of [`TopologyEpoch`]s, each
+//! declaring partition islands (messages crossing island boundaries are
+//! severed — dropped with certainty, no coin flipped) and per-direction
+//! [`LinkOverride`]s (asymmetric latency ranges, or one-way silences). The
+//! schedule answers one question per message, [`TopologySchedule::fate`]:
+//! is this link open, severed until a heal time, or rerouted through an
+//! override latency range?
+//!
+//! Semantics chosen to preserve the model's axioms:
+//!
+//! * **Plain channels** — a severed message is lost (like a 100% drop, but
+//!   structural: zero adversary draws). The base delay draw still happens
+//!   first, so the delivered subset keeps clean-run delivery times.
+//! * **Reliable broadcast** ([`crate::network::Network::route_protected`])
+//!   — rb is an axiom: messages may be arbitrarily *delayed* but never
+//!   lost. A severed rb message is therefore *held until the heal time*
+//!   (delivered shortly after the epoch ends), and latency overrides
+//!   apply. This is exactly the paper's delay-only adversary.
+//!
+//! The schedule draws from its own salt stream (`0x7090`), used only for
+//! override-latency sampling and post-heal release jitter. When the
+//! schedule is [`TopologySchedule::None`] (the default) *zero* draws are
+//! consumed and no epoch scan runs — runs are bit-identical to a simulator
+//! without this feature, pinned by the recorded scenario fingerprints.
 
 use crate::id::{PSet, ProcessId};
 use crate::rng::SplitMix64;
@@ -191,6 +219,227 @@ impl MessageAdversary {
     }
 }
 
+/// A per-direction link override inside a [`TopologyEpoch`].
+///
+/// Overrides are consulted *before* island membership, in declaration
+/// order (first match wins), so an epoch can sever the system into
+/// islands yet keep one asymmetric channel across the cut — or silence a
+/// single direction of an otherwise-open link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkOverride {
+    /// Senders the override applies to.
+    pub from: PSet,
+    /// Receivers the override applies to.
+    pub to: PSet,
+    /// `Some((lo, hi))` replaces the link's latency with a uniform draw in
+    /// `[lo, hi]` (from the topology stream); `None` is a one-way silence
+    /// — the direction is severed for the epoch.
+    pub latency: Option<(u64, u64)>,
+}
+
+impl LinkOverride {
+    /// A one-way silence: messages `from → to` are severed for the epoch.
+    pub fn silence(from: PSet, to: PSet) -> Self {
+        LinkOverride {
+            from,
+            to,
+            latency: None,
+        }
+    }
+
+    /// An asymmetric latency range: messages `from → to` take a uniform
+    /// delay in `[lo, hi]` ticks instead of the base delay model.
+    pub fn latency(from: PSet, to: PSet, lo: u64, hi: u64) -> Self {
+        LinkOverride {
+            from,
+            to,
+            latency: Some((lo, hi)),
+        }
+    }
+}
+
+/// One epoch of a [`TopologySchedule`]: a half-open time window
+/// `[from, until)` during which the declared partition and overrides are
+/// in force. `until` doubles as the epoch's *heal time* — at that tick the
+/// islands rejoin (unless a later epoch re-severs them).
+///
+/// Island semantics: a message is **open** if sender and receiver share a
+/// listed island, or both are unlisted (unlisted processes form an
+/// implicit remainder island), or the island list is empty (overrides
+/// only). Self-sends are always open. Everything else crossing the cut is
+/// **severed** until `until`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyEpoch {
+    /// Start (inclusive) of the epoch.
+    pub from: Time,
+    /// End (exclusive) of the epoch — the heal time.
+    pub until: Time,
+    /// Partition islands (disjoint by intent; first containing set wins).
+    pub islands: Vec<PSet>,
+    /// Per-direction overrides, consulted before island membership.
+    pub overrides: Vec<LinkOverride>,
+}
+
+impl TopologyEpoch {
+    /// An epoch with no islands and no overrides (builder seed).
+    pub fn new(from: Time, until: Time) -> Self {
+        TopologyEpoch {
+            from,
+            until,
+            islands: Vec::new(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Declares the partition islands (builder style).
+    pub fn islands(mut self, islands: Vec<PSet>) -> Self {
+        self.islands = islands;
+        self
+    }
+
+    /// Appends a per-direction override (builder style).
+    pub fn link(mut self, o: LinkOverride) -> Self {
+        self.overrides.push(o);
+        self
+    }
+
+    /// Whether `sent_at` falls inside this epoch's `[from, until)` window.
+    #[inline]
+    pub fn covers(&self, sent_at: Time) -> bool {
+        sent_at >= self.from && sent_at < self.until
+    }
+
+    /// The fate of one directed message inside this epoch.
+    fn link_fate(&self, from: ProcessId, to: ProcessId) -> LinkFate {
+        for o in &self.overrides {
+            if o.from.contains(from) && o.to.contains(to) {
+                return match o.latency {
+                    Some((lo, hi)) => LinkFate::Latency { lo, hi },
+                    None => LinkFate::Severed { heal: self.until },
+                };
+            }
+        }
+        if from == to || self.islands.is_empty() {
+            return LinkFate::Open;
+        }
+        let home = self.islands.iter().position(|i| i.contains(from));
+        let dest = self.islands.iter().position(|i| i.contains(to));
+        // Unlisted processes form an implicit remainder island (None == None).
+        if home == dest {
+            LinkFate::Open
+        } else {
+            LinkFate::Severed { heal: self.until }
+        }
+    }
+}
+
+/// What the topology schedule decides for one directed message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFate {
+    /// The link is untouched: base delay model, ordinary adversary rules.
+    Open,
+    /// The link is cut until `heal`. Plain channels lose the message;
+    /// reliable-broadcast channels hold it and deliver just after `heal`.
+    Severed {
+        /// First tick at which the cut is no longer in force.
+        heal: Time,
+    },
+    /// The link is open but its latency is overridden: a uniform draw in
+    /// `[lo, hi]` ticks from the topology stream replaces the base delay.
+    Latency {
+        /// Lower latency bound (ticks).
+        lo: u64,
+        /// Upper latency bound (ticks).
+        hi: u64,
+    },
+}
+
+/// The structural topology adversary of a run: nothing, or a time-indexed
+/// epoch list. See the module docs for semantics and the determinism
+/// contract (own salt stream `0x7090`, zero draws when unset).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TopologySchedule {
+    /// Full connectivity throughout (the base model). Guaranteed
+    /// bit-identical to a simulator without this feature: no epoch scan,
+    /// no RNG stream touched.
+    #[default]
+    None,
+    /// Apply these epochs; for each message the first epoch covering its
+    /// send time decides the link fate.
+    Epochs(Vec<TopologyEpoch>),
+}
+
+impl TopologySchedule {
+    /// Whether this is the empty schedule.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        matches!(self, TopologySchedule::None)
+    }
+
+    /// The epoch list (empty for [`TopologySchedule::None`]).
+    pub fn epochs(&self) -> &[TopologyEpoch] {
+        match self {
+            TopologySchedule::None => &[],
+            TopologySchedule::Epochs(eps) => eps,
+        }
+    }
+
+    /// GST-phase shorthand: partition the system into `islands` from time
+    /// zero until `heal` (one epoch; full connectivity afterwards).
+    /// `partition_until(islands, gst)` severs the cut exactly *until* GST,
+    /// not through it — the window is half-open like every other rule.
+    pub fn partition_until(islands: Vec<PSet>, heal: Time) -> Self {
+        TopologySchedule::Epochs(vec![TopologyEpoch::new(Time::ZERO, heal).islands(islands)])
+    }
+
+    /// The first epoch covering `sent_at`, if any.
+    #[inline]
+    pub fn epoch_at(&self, sent_at: Time) -> Option<&TopologyEpoch> {
+        match self {
+            TopologySchedule::None => None,
+            TopologySchedule::Epochs(eps) => eps.iter().find(|e| e.covers(sent_at)),
+        }
+    }
+
+    /// The fate of one directed message sent at `sent_at`.
+    #[inline]
+    pub fn fate(&self, from: ProcessId, to: ProcessId, sent_at: Time) -> LinkFate {
+        match self.epoch_at(sent_at) {
+            None => LinkFate::Open,
+            Some(ep) => ep.link_fate(from, to),
+        }
+    }
+
+    /// A one-line description for bench reports and tables (`"none"` or
+    /// e.g. `"part[0,500)x2+lat[500,1000)"`).
+    pub fn describe(&self) -> String {
+        match self {
+            TopologySchedule::None => "none".into(),
+            TopologySchedule::Epochs(eps) => {
+                if eps.is_empty() {
+                    return "none".into();
+                }
+                let parts: Vec<String> = eps
+                    .iter()
+                    .map(|e| {
+                        let kind = if !e.islands.is_empty() {
+                            format!("part[{},{})x{}", e.from.0, e.until.0, e.islands.len())
+                        } else {
+                            format!("lat[{},{})", e.from.0, e.until.0)
+                        };
+                        if e.islands.is_empty() || e.overrides.is_empty() {
+                            kind
+                        } else {
+                            format!("{kind}+{}ovr", e.overrides.len())
+                        }
+                    })
+                    .collect();
+                parts.join("+")
+            }
+        }
+    }
+}
+
 /// What the adversary did to one routed message (all-false on the clean
 /// path). The runtime turns set flags into trace counters, so reports can
 /// cite how many messages were dropped / duplicated / corrupted.
@@ -202,13 +451,16 @@ pub struct RouteEffects {
     pub duplicated: bool,
     /// The payload was mutated.
     pub corrupted: bool,
+    /// The message was cut by the topology schedule (structural, counted
+    /// separately from probabilistic `dropped`).
+    pub severed: bool,
 }
 
 impl RouteEffects {
     /// Whether the adversary left the message alone.
     #[inline]
     pub fn is_clean(&self) -> bool {
-        !(self.dropped || self.duplicated || self.corrupted)
+        !(self.dropped || self.duplicated || self.corrupted || self.severed)
     }
 }
 
@@ -224,6 +476,8 @@ pub struct BroadcastEffects {
     pub duplicated: u64,
     /// Recipients whose copy was mutated.
     pub corrupted: u64,
+    /// Recipients whose copy was cut by the topology schedule.
+    pub severed: u64,
 }
 
 impl BroadcastEffects {
@@ -233,12 +487,13 @@ impl BroadcastEffects {
         self.dropped += fx.dropped as u64;
         self.duplicated += fx.duplicated as u64;
         self.corrupted += fx.corrupted as u64;
+        self.severed += fx.severed as u64;
     }
 
     /// Whether the adversary left the whole broadcast alone.
     #[inline]
     pub fn is_clean(&self) -> bool {
-        self.dropped == 0 && self.duplicated == 0 && self.corrupted == 0
+        self.dropped == 0 && self.duplicated == 0 && self.corrupted == 0 && self.severed == 0
     }
 }
 
@@ -264,6 +519,19 @@ pub trait Corruptible {
 /// Moves `v` by a uniformly drawn distance in `[1, bound]`, up or down
 /// (saturating, which can only shrink the distance). The building block for
 /// numeric [`Corruptible`] impls.
+///
+/// ## Draw-stream contract
+///
+/// `bound == 0` is a **no-op that consumes zero draws** and returns
+/// `false`. A *matching* `Corrupt { bound: 0 }` rule still consumes its
+/// one per-rule `chance` draw in [`crate::network::Network::route`] (the
+/// per-rule draw happens before the action runs and is required for
+/// stream stability — every matching rule costs exactly one `chance`
+/// regardless of action or outcome), but no corruption draws follow and
+/// the payload is untouched. With `bound > 0` exactly two draws are
+/// consumed (distance, then direction) whether or not the saturated
+/// result ends up equal to the old value. The small-int impls clamp the
+/// bound to the type's ceiling, which cannot turn a zero bound nonzero.
 pub fn corrupt_u64(v: &mut u64, bound: u64, rng: &mut SplitMix64) -> bool {
     if bound == 0 {
         return false;
@@ -386,5 +654,238 @@ mod tests {
             ..Default::default()
         }
         .is_clean());
+        assert!(!RouteEffects {
+            severed: true,
+            ..Default::default()
+        }
+        .is_clean());
+    }
+
+    // --- boundary-semantics audit (ISSUE 9 satellite): every windowed rule
+    // --- agrees on half-open [active_from, active_to).
+
+    #[test]
+    fn message_rule_window_is_half_open_at_every_edge() {
+        let gst = Time(300);
+        let r = MessageRule::drop(100).window(Time::ZERO, gst);
+        // "attack until GST" means: in force at gst-1, out of force AT gst.
+        assert!(r.applies(ProcessId(0), ProcessId(1), Time::ZERO));
+        assert!(r.applies(ProcessId(0), ProcessId(1), Time(gst.0 - 1)));
+        assert!(!r.applies(ProcessId(0), ProcessId(1), gst));
+        assert!(!r.applies(ProcessId(0), ProcessId(1), Time(gst.0 + 1)));
+
+        // sent_at == active_to is excluded for interior windows too.
+        let w = MessageRule::duplicate(100).window(Time(50), Time(60));
+        assert!(w.applies(ProcessId(2), ProcessId(3), Time(50)));
+        assert!(w.applies(ProcessId(2), ProcessId(3), Time(59)));
+        assert!(!w.applies(ProcessId(2), ProcessId(3), Time(60)));
+    }
+
+    #[test]
+    fn message_rule_empty_window_never_applies() {
+        // active_from == active_to: the half-open window is empty, the rule
+        // is inert everywhere (including AT the shared edge).
+        let r = MessageRule::corrupt(100, 7).window(Time(40), Time(40));
+        for t in [0u64, 39, 40, 41, 1_000] {
+            assert!(!r.applies(ProcessId(0), ProcessId(1), Time(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn corrupt_zero_bound_consumes_no_draws() {
+        // Pin the draw-stream contract: corrupt_u64 with bound 0 is a no-op
+        // that leaves the RNG stream position untouched.
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        let mut v = 42u64;
+        assert!(!corrupt_u64(&mut v, 0, &mut a));
+        assert_eq!(v, 42);
+        assert_eq!(
+            a.next_u64(),
+            b.next_u64(),
+            "bound=0 must not advance the stream"
+        );
+
+        // bound > 0 consumes exactly two draws (distance + direction).
+        let mut c = SplitMix64::new(7);
+        let mut d = SplitMix64::new(7);
+        let mut w = 10u64;
+        corrupt_u64(&mut w, 5, &mut c);
+        d.next_u64();
+        d.next_u64();
+        assert_eq!(
+            c.next_u64(),
+            d.next_u64(),
+            "bound>0 must consume exactly 2 draws"
+        );
+
+        // The small-int clamp cannot resurrect a zero bound.
+        let mut e = SplitMix64::new(11);
+        let mut f = SplitMix64::new(11);
+        let mut byte = 9u8;
+        assert!(!byte.corrupt(0, &mut e));
+        assert_eq!(byte, 9);
+        assert_eq!(e.next_u64(), f.next_u64());
+    }
+
+    // --- topology schedule ---
+
+    fn two_islands() -> Vec<PSet> {
+        let a: PSet = [ProcessId(0), ProcessId(1), ProcessId(2)]
+            .into_iter()
+            .collect();
+        let b: PSet = [ProcessId(3), ProcessId(4), ProcessId(5)]
+            .into_iter()
+            .collect();
+        vec![a, b]
+    }
+
+    #[test]
+    fn unset_schedule_is_always_open() {
+        let s = TopologySchedule::None;
+        assert!(s.is_none());
+        assert!(s.epochs().is_empty());
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(5), Time(100)),
+            LinkFate::Open
+        );
+        assert_eq!(s.describe(), "none");
+        assert_eq!(TopologySchedule::Epochs(vec![]).describe(), "none");
+        assert_eq!(TopologySchedule::default(), TopologySchedule::None);
+    }
+
+    #[test]
+    fn partition_until_severs_across_islands_and_heals_at_the_edge() {
+        let heal = Time(500);
+        let s = TopologySchedule::partition_until(two_islands(), heal);
+        // Cross-island: severed strictly before heal, open AT heal (half-open).
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(3), Time(499)),
+            LinkFate::Severed { heal }
+        );
+        assert_eq!(s.fate(ProcessId(0), ProcessId(3), heal), LinkFate::Open);
+        assert_eq!(
+            s.fate(ProcessId(4), ProcessId(1), Time::ZERO),
+            LinkFate::Severed { heal }
+        );
+        // Intra-island and self-sends stay open throughout.
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(2), Time(100)),
+            LinkFate::Open
+        );
+        assert_eq!(
+            s.fate(ProcessId(3), ProcessId(4), Time(100)),
+            LinkFate::Open
+        );
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(0), Time(100)),
+            LinkFate::Open
+        );
+    }
+
+    #[test]
+    fn unlisted_processes_form_the_remainder_island() {
+        // Only {0,1} is listed: 6 and 7 are both unlisted, so they talk to
+        // each other but not across the cut.
+        let s = TopologySchedule::partition_until(
+            vec![[ProcessId(0), ProcessId(1)].into_iter().collect()],
+            Time(500),
+        );
+        assert_eq!(s.fate(ProcessId(6), ProcessId(7), Time(10)), LinkFate::Open);
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(6), Time(10)),
+            LinkFate::Severed { heal: Time(500) }
+        );
+        assert_eq!(
+            s.fate(ProcessId(6), ProcessId(1), Time(10)),
+            LinkFate::Severed { heal: Time(500) }
+        );
+    }
+
+    #[test]
+    fn overrides_take_precedence_over_islands() {
+        // Sever into two islands, but keep a one-directional slow channel
+        // 0 → 3 across the cut, and silence the intra-island link 1 → 2.
+        let ep = TopologyEpoch::new(Time::ZERO, Time(800))
+            .islands(two_islands())
+            .link(LinkOverride::latency(
+                PSet::singleton(ProcessId(0)),
+                PSet::singleton(ProcessId(3)),
+                40,
+                90,
+            ))
+            .link(LinkOverride::silence(
+                PSet::singleton(ProcessId(1)),
+                PSet::singleton(ProcessId(2)),
+            ));
+        let s = TopologySchedule::Epochs(vec![ep]);
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(3), Time(10)),
+            LinkFate::Latency { lo: 40, hi: 90 }
+        );
+        // The reverse direction is not overridden: still severed.
+        assert_eq!(
+            s.fate(ProcessId(3), ProcessId(0), Time(10)),
+            LinkFate::Severed { heal: Time(800) }
+        );
+        // One-way silence beats the open intra-island default...
+        assert_eq!(
+            s.fate(ProcessId(1), ProcessId(2), Time(10)),
+            LinkFate::Severed { heal: Time(800) }
+        );
+        // ...and only in that direction.
+        assert_eq!(s.fate(ProcessId(2), ProcessId(1), Time(10)), LinkFate::Open);
+    }
+
+    #[test]
+    fn epoch_lookup_is_half_open_and_first_match_wins() {
+        let e1 = TopologyEpoch::new(Time(100), Time(200)).islands(two_islands());
+        let e2 = TopologyEpoch::new(Time(200), Time(300)); // overrides-only, open
+        let s = TopologySchedule::Epochs(vec![e1, e2]);
+        // Before any epoch: open.
+        assert_eq!(s.fate(ProcessId(0), ProcessId(3), Time(99)), LinkFate::Open);
+        // Inside e1: severed; AT the e1/e2 edge e2 governs (empty islands = open).
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(3), Time(100)),
+            LinkFate::Severed { heal: Time(200) }
+        );
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(3), Time(200)),
+            LinkFate::Open
+        );
+        // Past the last epoch: open.
+        assert_eq!(
+            s.fate(ProcessId(0), ProcessId(3), Time(300)),
+            LinkFate::Open
+        );
+        // An empty epoch window (from == until) never covers anything.
+        let empty = TopologySchedule::Epochs(vec![
+            TopologyEpoch::new(Time(40), Time(40)).islands(two_islands())
+        ]);
+        assert_eq!(
+            empty.fate(ProcessId(0), ProcessId(3), Time(40)),
+            LinkFate::Open
+        );
+    }
+
+    #[test]
+    fn topology_describe_distinguishes_shapes() {
+        let part = TopologySchedule::partition_until(two_islands(), Time(500));
+        assert_eq!(part.describe(), "part[0,500)x2");
+        let lat = TopologySchedule::Epochs(vec![TopologyEpoch::new(Time(500), Time(1000))
+            .link(LinkOverride::latency(PSet::full(6), PSet::full(6), 10, 20))]);
+        assert_eq!(lat.describe(), "lat[500,1000)");
+        let both = TopologySchedule::Epochs(vec![TopologyEpoch::new(Time::ZERO, Time(500))
+            .islands(two_islands())
+            .link(LinkOverride::silence(
+                PSet::singleton(ProcessId(0)),
+                PSet::singleton(ProcessId(3)),
+            ))]);
+        assert_eq!(both.describe(), "part[0,500)x2+1ovr");
+        // Differing heal times alone must not collide.
+        assert_ne!(
+            TopologySchedule::partition_until(two_islands(), Time(500)).describe(),
+            TopologySchedule::partition_until(two_islands(), Time(501)).describe()
+        );
     }
 }

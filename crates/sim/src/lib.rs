@@ -76,8 +76,8 @@ pub mod time;
 pub mod trace;
 
 pub use adversary::{
-    corrupt_u64, BroadcastEffects, Corruptible, MessageAdversary, MessageRule, RouteEffects,
-    RuleAction,
+    corrupt_u64, BroadcastEffects, Corruptible, LinkFate, LinkOverride, MessageAdversary,
+    MessageRule, RouteEffects, RuleAction, TopologyEpoch, TopologySchedule,
 };
 pub use arena::{MsgArena, MsgSlot};
 pub use automaton::{forward_ops, Automaton, Ctx, Op};

@@ -14,7 +14,10 @@
 //! events holding a [`crate::arena::MsgSlot`] handle — a clean broadcast is
 //! one arena insert plus `n` index writes, not `n` clones of `M`.
 
-use crate::adversary::{BroadcastEffects, Corruptible, MessageAdversary, RouteEffects, RuleAction};
+use crate::adversary::{
+    BroadcastEffects, Corruptible, LinkFate, MessageAdversary, RouteEffects, RuleAction,
+    TopologySchedule,
+};
 use crate::arena::MsgArena;
 use crate::event::{EventKind, Scheduler, Staged};
 use crate::id::{PSet, ProcessId};
@@ -131,6 +134,11 @@ pub struct Network {
     /// enabling rules never perturbs the delay draws of the messages that
     /// still get through.
     adv_rng: SplitMix64,
+    topology: TopologySchedule,
+    /// The topology schedule's own stream (salt `0x7090`): override-latency
+    /// draws and post-heal release jitter never perturb the delay or
+    /// adversary streams, and an unset schedule never touches it.
+    topo_rng: SplitMix64,
 }
 
 /// Draws one delivery time from `delay` + `rules` using `rng`. Together
@@ -237,12 +245,15 @@ impl Network {
     /// [`MessageAdversary::None`]; see [`Network::with_adversary`].
     pub fn new(delay: DelayModel, rules: Vec<DelayRule>, rng: SplitMix64) -> Self {
         let adv_rng = rng.stream(0xADE5);
+        let topo_rng = rng.stream(0x7090);
         Network {
             delay,
             rules,
             rng,
             adversary: MessageAdversary::None,
             adv_rng,
+            topology: TopologySchedule::None,
+            topo_rng,
         }
     }
 
@@ -254,9 +265,22 @@ impl Network {
         self
     }
 
+    /// Installs a topology schedule with its own RNG stream (builder
+    /// style). The runtime derives `rng` as `root.stream(0x7090)`.
+    pub fn with_topology(mut self, topology: TopologySchedule, rng: SplitMix64) -> Self {
+        self.topology = topology;
+        self.topo_rng = rng;
+        self
+    }
+
     /// The installed message adversary.
     pub fn adversary(&self) -> &MessageAdversary {
         &self.adversary
+    }
+
+    /// The installed topology schedule.
+    pub fn topology(&self) -> &TopologySchedule {
+        &self.topology
     }
 
     /// Delivery time for a message `from → to` sent at `sent_at`.
@@ -307,6 +331,16 @@ impl Network {
     /// its payload once (one slot, two pending deliveries); the original is
     /// emitted first, so at equal delivery times it keeps the smaller
     /// sequence number.
+    ///
+    /// The topology schedule is resolved *before* the message adversary
+    /// (structure trumps probability): a severed message consumes its base
+    /// delay draw — keeping the delay stream at clean-run positions — and
+    /// is then lost with zero adversary draws; a latency override replaces
+    /// the drawn delivery time with one draw from the topology stream
+    /// (again leaving the delay stream clean-run-identical) and the message
+    /// then faces the adversary rules as usual. Duplicates of a
+    /// latency-overridden message keep the base-model delay from the
+    /// adversary stream, like every duplicate.
     #[inline]
     fn route_with<M: Clone + Corruptible>(
         &mut self,
@@ -317,13 +351,33 @@ impl Network {
         mut msg: M,
         mut emit: impl FnMut(Time, ProcessId, EventKind),
     ) -> RouteEffects {
-        if self.adversary.is_none() {
+        let fate = if self.topology.is_none() {
+            LinkFate::Open
+        } else {
+            self.topology.fate(from, to, sent_at)
+        };
+        if self.adversary.is_none() && matches!(fate, LinkFate::Open) {
             let at = self.delivery_time(from, to, sent_at);
             let slot = arena.alloc(msg, 1);
             emit(at, to, EventKind::Deliver { from, slot });
             return RouteEffects::default();
         }
-        let at = self.delivery_time(from, to, sent_at);
+        let mut at = self.delivery_time(from, to, sent_at);
+        match fate {
+            LinkFate::Open => {}
+            LinkFate::Severed { .. } => {
+                // Cut: lost structurally, no adversary draws, no arena slot.
+                // The base delay draw above already happened, so delivered
+                // messages keep their clean-run times.
+                return RouteEffects {
+                    severed: true,
+                    ..RouteEffects::default()
+                };
+            }
+            LinkFate::Latency { lo, hi } => {
+                at = sent_at + self.topo_rng.range(lo.min(hi), hi.max(lo)).max(1);
+            }
+        }
         let mut fx = RouteEffects::default();
         {
             // Disjoint-field borrows: rules read-only, adversary stream
@@ -417,10 +471,12 @@ impl Network {
     ) -> BroadcastEffects {
         debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
         let mut fx = BroadcastEffects::default();
-        if self.adversary.is_none() {
+        if self.adversary.is_none() && self.topology.epoch_at(sent_at).is_none() {
             // Fast path: one arena slot for the whole storm, all n delays
             // drawn in one bulk pass, no per-recipient adversary branching
-            // or model re-matching.
+            // or model re-matching. A topology epoch covering the send time
+            // forces the per-recipient loop below, because each link can
+            // have a different fate.
             let slot = arena.stage(msg);
             sample_delivery_bulk(
                 &self.delay,
@@ -455,6 +511,13 @@ impl Network {
     /// Routes a message on a channel the adversary cannot touch — the
     /// runtime's path for reliable-broadcast deliveries, whose axioms (no
     /// loss, no alteration, no duplication) are a premise of the model.
+    ///
+    /// The topology schedule *delays* rb messages but never loses them: a
+    /// severed link holds the message until just past the epoch's heal
+    /// time (release jitter from the topology stream keeps heals from
+    /// synchronizing into one mega-tick), and a latency override replaces
+    /// the drawn delivery time. This is exactly the model's delay-only
+    /// adversary — arbitrary finite delays over reliable channels.
     pub fn route_protected<M, Q: Scheduler + ?Sized>(
         &mut self,
         queue: &mut Q,
@@ -464,9 +527,32 @@ impl Network {
         sent_at: Time,
         msg: M,
     ) {
-        let at = self.delivery_time(from, to, sent_at);
+        let mut at = self.delivery_time(from, to, sent_at);
+        if !self.topology.is_none() {
+            at = Self::protected_fate(&self.topology, &mut self.topo_rng, from, to, sent_at, at);
+        }
         let slot = arena.alloc(msg, 1);
         queue.push(at, to, EventKind::RbDeliver { from, slot });
+    }
+
+    /// Applies the topology schedule to one protected delivery: severed
+    /// links hold the message until just past `heal`, latency overrides
+    /// replace the base draw. Shared by the scalar and batched rb paths so
+    /// the two stay draw-for-draw identical.
+    #[inline]
+    fn protected_fate(
+        topology: &TopologySchedule,
+        topo_rng: &mut SplitMix64,
+        from: ProcessId,
+        to: ProcessId,
+        sent_at: Time,
+        at: Time,
+    ) -> Time {
+        match topology.fate(from, to, sent_at) {
+            LinkFate::Open => at,
+            LinkFate::Severed { heal } => at.max(heal + topo_rng.range(0, 3)),
+            LinkFate::Latency { lo, hi } => sent_at + topo_rng.range(lo.min(hi), hi.max(lo)).max(1),
+        }
     }
 
     /// The batched [`Network::route_protected`]: one reliable-broadcast
@@ -491,21 +577,45 @@ impl Network {
     ) {
         debug_assert!(staging.is_empty(), "staging buffer must arrive empty");
         let slot = arena.stage(msg);
-        sample_delivery_bulk(
-            &self.delay,
-            &self.rules,
-            &mut self.rng,
-            from,
-            receivers,
-            sent_at,
-            |to, at| {
+        if self.topology.epoch_at(sent_at).is_none() {
+            sample_delivery_bulk(
+                &self.delay,
+                &self.rules,
+                &mut self.rng,
+                from,
+                receivers,
+                sent_at,
+                |to, at| {
+                    staging.push(Staged {
+                        at,
+                        to,
+                        kind: EventKind::RbDeliver { from, slot },
+                    });
+                },
+            );
+        } else {
+            // A topology epoch covers this send: each link can have its own
+            // fate, so fall back to the scalar sampler per receiver (base
+            // delay draw first, draw-identical to the clean bulk pass, then
+            // the protected fate from the topology stream).
+            let Network {
+                delay,
+                rules,
+                rng,
+                topology,
+                topo_rng,
+                ..
+            } = self;
+            for to in receivers {
+                let base = sample_delivery(delay, rules, rng, from, to, sent_at);
+                let at = Self::protected_fate(topology, topo_rng, from, to, sent_at, base);
                 staging.push(Staged {
                     at,
                     to,
                     kind: EventKind::RbDeliver { from, slot },
                 });
-            },
-        );
+            }
+        }
         arena.commit(slot, staging.len() as u32);
         queue.push_batch(staging);
         staging.clear();
@@ -1001,5 +1111,312 @@ mod tests {
         // Sent after the window: unaffected.
         let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(200));
         assert_eq!(at, Time(201));
+    }
+
+    /// Boundary-semantics audit (ISSUE 9 satellite): `DelayRule` windows
+    /// are half-open `[active_from, active_to)`, in agreement with
+    /// `MessageRule::applies` and the topology epochs — a message sent
+    /// exactly AT `active_to` (== `silence_until`'s release point) is
+    /// already out of scope, and an empty window is inert everywhere.
+    #[test]
+    fn delay_rule_window_is_half_open_at_every_edge() {
+        let gst = Time(100);
+        let rule = DelayRule::silence_until(PSet::full(3), PSet::full(3), gst);
+        let mut net = Network::new(DelayModel::Fixed(1), vec![rule], rng());
+        // Sent one tick before the edge: still silenced.
+        let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(gst.0 - 1));
+        assert!(at >= gst);
+        // Sent exactly AT gst: the rule no longer applies.
+        let at = net.delivery_time(ProcessId(0), ProcessId(1), gst);
+        assert_eq!(at, gst + 1);
+
+        // active_from == active_to: an empty window never fires, even AT
+        // the shared edge.
+        let empty = DelayRule {
+            from: PSet::full(3),
+            to: PSet::full(3),
+            active_from: Time(40),
+            active_to: Time(40),
+            deliver_not_before: Time(500),
+        };
+        let mut net = Network::new(DelayModel::Fixed(1), vec![empty], rng());
+        for t in [39u64, 40, 41] {
+            let at = net.delivery_time(ProcessId(0), ProcessId(1), Time(t));
+            assert_eq!(at, Time(t + 1), "sent at {t}");
+        }
+    }
+
+    // --- topology schedule ---
+
+    use crate::adversary::{LinkOverride, TopologyEpoch, TopologySchedule};
+
+    fn islands_2x3() -> Vec<PSet> {
+        let a: PSet = [ProcessId(0), ProcessId(1), ProcessId(2)]
+            .into_iter()
+            .collect();
+        let b: PSet = [ProcessId(3), ProcessId(4), ProcessId(5)]
+            .into_iter()
+            .collect();
+        vec![a, b]
+    }
+
+    /// The tentpole's determinism contract: installing
+    /// `TopologySchedule::None` explicitly is bit-identical to never
+    /// mentioning topology at all — same events, same payloads, same RNG
+    /// stream positions, on plain and protected paths alike.
+    #[test]
+    fn topology_none_is_bit_identical_to_plain() {
+        use crate::event::EventQueue;
+        let mut plain = Network::new(DelayModel::default(), vec![], rng());
+        let mut explicit = Network::new(DelayModel::default(), vec![], rng())
+            .with_topology(TopologySchedule::None, SplitMix64::new(123));
+        let mut q1 = EventQueue::new();
+        let mut q2 = EventQueue::new();
+        let mut a1: MsgArena<u64> = MsgArena::new();
+        let mut a2: MsgArena<u64> = MsgArena::new();
+        let mut staging = Vec::new();
+        for i in 0..60u64 {
+            let from = ProcessId(i as usize % 6);
+            let to = ProcessId((i as usize + 1) % 6);
+            let fx1 = plain.route(&mut q1, &mut a1, from, to, Time(i), i);
+            let fx2 = explicit.route(&mut q2, &mut a2, from, to, Time(i), i);
+            assert_eq!(fx1, fx2);
+            plain.route_protected(&mut q1, &mut a1, from, to, Time(i), i + 500);
+            explicit.route_protected(&mut q2, &mut a2, from, to, Time(i), i + 500);
+            plain.route_broadcast(&mut q1, &mut a1, from, 6, Time(i), i, &mut staging);
+            explicit.route_broadcast(&mut q2, &mut a2, from, 6, Time(i), i, &mut staging);
+        }
+        while let Some(a) = q1.pop() {
+            let b = q2.pop().unwrap();
+            assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+            assert_eq!(take_delivery(&mut a1, &a), take_delivery(&mut a2, &b));
+        }
+        assert!(q2.pop().is_none());
+    }
+
+    /// Plain messages crossing a severed cut are lost structurally: no
+    /// coin flip, no arena slot — and the delivered (intra-island) subset
+    /// keeps exactly the delivery times of a schedule-free run, because
+    /// the base delay draw happens before the fate is applied.
+    #[test]
+    fn severed_links_drop_structurally_and_heal_at_the_edge() {
+        use crate::event::EventQueue;
+        let heal = Time(500);
+        let sched = TopologySchedule::partition_until(islands_2x3(), heal);
+        let mut cut = Network::new(DelayModel::default(), vec![], rng())
+            .with_topology(sched, SplitMix64::new(7).stream(0x7090));
+        let mut free = Network::new(DelayModel::default(), vec![], rng());
+        let mut qc = EventQueue::new();
+        let mut qf = EventQueue::new();
+        let mut ac: MsgArena<u64> = MsgArena::new();
+        let mut af: MsgArena<u64> = MsgArena::new();
+        let mut severed = 0u32;
+        for i in 0..120u64 {
+            let from = ProcessId(i as usize % 6);
+            let to = ProcessId((i as usize * 5 + 1) % 6);
+            // Straddle the heal: sends after 500 all go through.
+            let sent = Time(i * 5);
+            let fx_c = cut.route(&mut qc, &mut ac, from, to, sent, i);
+            let fx_f = free.route(&mut qf, &mut af, from, to, sent, i);
+            assert!(fx_f.is_clean());
+            let crosses = (from.0 < 3) != (to.0 < 3);
+            let expect_severed = crosses && sent < heal;
+            assert_eq!(fx_c.severed, expect_severed, "i={i}");
+            assert!(!fx_c.dropped, "severed is counted separately from dropped");
+            severed += fx_c.severed as u32;
+        }
+        assert!(severed > 0, "the cut severed nothing");
+        // Every message the cut run delivered arrives at its clean-run time.
+        let mut clean: std::collections::HashMap<u64, Time> = std::collections::HashMap::new();
+        while let Some(e) = qf.pop() {
+            let (_, payload) = take_delivery(&mut af, &e);
+            clean.insert(payload, e.at);
+        }
+        let mut delivered = 0u32;
+        while let Some(e) = qc.pop() {
+            let (_, payload) = take_delivery(&mut ac, &e);
+            assert_eq!(clean[&payload], e.at, "payload {payload}");
+            delivered += 1;
+        }
+        assert_eq!(delivered + severed, 120);
+        assert!(ac.is_empty(), "severed payloads must never touch the arena");
+    }
+
+    /// A latency override replaces the base delay with a draw from the
+    /// topology stream, leaving the delay stream at clean-run positions.
+    #[test]
+    fn latency_override_draws_from_the_topology_stream() {
+        use crate::event::EventQueue;
+        let (lo, hi) = (200u64, 300u64);
+        let ep = TopologyEpoch::new(Time::ZERO, Time(1_000)).link(LinkOverride::latency(
+            PSet::singleton(ProcessId(0)),
+            PSet::singleton(ProcessId(1)),
+            lo,
+            hi,
+        ));
+        let mut slow = Network::new(DelayModel::Uniform { lo: 1, hi: 9 }, vec![], rng())
+            .with_topology(
+                TopologySchedule::Epochs(vec![ep]),
+                SplitMix64::new(7).stream(0x7090),
+            );
+        let mut free = Network::new(DelayModel::Uniform { lo: 1, hi: 9 }, vec![], rng());
+        let mut qs = EventQueue::new();
+        let mut as_: MsgArena<u64> = MsgArena::new();
+        for i in 0..50u64 {
+            let sent = Time(i * 10);
+            // Overridden direction: delivery inside [sent+lo, sent+hi].
+            let fx = slow.route(&mut qs, &mut as_, ProcessId(0), ProcessId(1), sent, i);
+            assert!(fx.is_clean(), "latency override is not an attack");
+            let e = qs.pop().unwrap();
+            assert!(
+                (sent + lo..=sent + hi).contains(&e.at),
+                "i={i}: {:?} outside [{:?}, {:?}]",
+                e.at,
+                sent + lo,
+                sent + hi
+            );
+            take_delivery(&mut as_, &e);
+            // The *delay* stream stays clean-run-identical: the overridden
+            // send above still consumed its base draw, so after burning
+            // that draw on the free network the next clean send (the
+            // non-overridden reverse direction) must agree draw-for-draw.
+            let _ = free.delivery_time(ProcessId(0), ProcessId(1), sent);
+            let expect = free.delivery_time(ProcessId(1), ProcessId(0), sent);
+            let fx = slow.route(&mut qs, &mut as_, ProcessId(1), ProcessId(0), sent, i);
+            assert!(fx.is_clean());
+            let a = qs.pop().unwrap();
+            assert_eq!(a.at, expect, "delay stream diverged at i={i}");
+            take_delivery(&mut as_, &a);
+        }
+    }
+
+    /// rb messages crossing a severed cut are *delayed until the heal*,
+    /// never lost — the axioms of the protected channel survive the
+    /// partition — and the batched path matches the scalar one.
+    #[test]
+    fn protected_route_is_delayed_until_heal_never_lost() {
+        use crate::event::EventQueue;
+        let heal = Time(400);
+        let sched = TopologySchedule::partition_until(islands_2x3(), heal);
+        let mut scalar = Network::new(DelayModel::default(), vec![], rng())
+            .with_topology(sched.clone(), SplitMix64::new(21).stream(0x7090));
+        let mut batch = scalar.clone();
+        let mut qs = EventQueue::new();
+        let mut qb = EventQueue::new();
+        let mut as_: MsgArena<u64> = MsgArena::new();
+        let mut ab: MsgArena<u64> = MsgArena::new();
+        let mut staging = Vec::new();
+        let receivers = PSet::full(6);
+        for round in 0..40u64 {
+            let from = ProcessId(round as usize % 6);
+            let sent = Time(round * 20);
+            for to in receivers {
+                scalar.route_protected(&mut qs, &mut as_, from, to, sent, round);
+            }
+            batch.route_protected_batch(
+                &mut qb,
+                &mut ab,
+                from,
+                receivers,
+                sent,
+                round,
+                &mut staging,
+            );
+        }
+        let mut total = 0u32;
+        while let Some(a) = qs.pop() {
+            let b = qb.pop().unwrap();
+            assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+            let (src, payload) = take_delivery(&mut as_, &a);
+            assert_eq!((src, payload), take_delivery(&mut ab, &b));
+            let sent = Time(payload * 20);
+            let crosses = (src.0 < 3) != (a.to.0 < 3);
+            if crosses && sent < heal {
+                assert!(a.at >= heal, "cross-cut rb delivered before the heal");
+            }
+            total += 1;
+        }
+        assert!(qb.pop().is_none());
+        assert_eq!(total, 40 * 6, "rb must never lose a message");
+        assert!(as_.is_empty() && ab.is_empty());
+    }
+
+    /// `route_broadcast` under a topology schedule matches the scalar
+    /// per-recipient loop draw-for-draw (with and without an armed message
+    /// adversary on top).
+    #[test]
+    fn route_broadcast_matches_scalar_loop_under_topology() {
+        use crate::event::{CalendarQueue, EventQueue};
+        let sched = TopologySchedule::Epochs(vec![TopologyEpoch::new(Time::ZERO, Time(300))
+            .islands(islands_2x3())
+            .link(LinkOverride::latency(
+                PSet::singleton(ProcessId(0)),
+                PSet::singleton(ProcessId(3)),
+                50,
+                80,
+            ))]);
+        let adversaries = [
+            MessageAdversary::None,
+            MessageAdversary::Rules(vec![
+                crate::adversary::MessageRule::drop(15),
+                crate::adversary::MessageRule::duplicate(20),
+            ]),
+        ];
+        for adv in adversaries {
+            let mut scalar_net = Network::new(DelayModel::default(), vec![], rng())
+                .with_adversary(adv.clone(), SplitMix64::new(31).stream(0xADE5))
+                .with_topology(sched.clone(), SplitMix64::new(31).stream(0x7090));
+            let mut batch_net = scalar_net.clone();
+            let mut scalar_q = EventQueue::new();
+            let mut batch_q = CalendarQueue::new();
+            let mut scalar_arena: MsgArena<u64> = MsgArena::new();
+            let mut batch_arena: MsgArena<u64> = MsgArena::new();
+            let mut staging = Vec::new();
+            let n = 6usize;
+            for round in 0..40u64 {
+                let from = ProcessId(round as usize % n);
+                // Straddles the heal at 300.
+                let sent = Time(round * 10);
+                let msg = 1_000 + round;
+                let mut scalar_fx = BroadcastEffects::default();
+                for i in 0..n {
+                    scalar_fx.absorb(scalar_net.route(
+                        &mut scalar_q,
+                        &mut scalar_arena,
+                        from,
+                        ProcessId(i),
+                        sent,
+                        msg,
+                    ));
+                }
+                let batch_fx = batch_net.route_broadcast(
+                    &mut batch_q,
+                    &mut batch_arena,
+                    from,
+                    n,
+                    sent,
+                    msg,
+                    &mut staging,
+                );
+                assert_eq!(scalar_fx, batch_fx, "round={round}");
+                if sent < Time(300) && from.0 != 0 {
+                    assert!(batch_fx.severed > 0, "round={round}: cut severed nothing");
+                }
+            }
+            loop {
+                match (scalar_q.pop(), batch_q.pop()) {
+                    (None, None) => break,
+                    (a, b) => {
+                        let a = a.expect("scalar drained first");
+                        let b = b.expect("batch drained first");
+                        assert_eq!((a.at, a.seq, a.to), (b.at, b.seq, b.to));
+                        assert_eq!(
+                            take_delivery(&mut scalar_arena, &a),
+                            take_delivery(&mut batch_arena, &b)
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! [`crate::network`], under a [`FailurePattern`], recording a [`Trace`].
 //! Everything is deterministic in the `(config, pattern, seed)` triple.
 
-use crate::adversary::{BroadcastEffects, MessageAdversary, RouteEffects};
+use crate::adversary::{BroadcastEffects, MessageAdversary, RouteEffects, TopologySchedule};
 use crate::arena::MsgArena;
 use crate::automaton::{Automaton, Ctx, Op};
 use crate::event::{EventCore, EventKind, QueueKind, Scheduler, Staged};
@@ -32,6 +32,9 @@ pub mod counter {
     pub const DUPLICATED: &str = "sim.duplicated";
     /// Messages corrupted by the message adversary.
     pub const CORRUPTED: &str = "sim.corrupted";
+    /// Plain messages cut by the topology schedule (structural partition
+    /// loss, counted separately from probabilistic `DROPPED`).
+    pub const PARTITIONED: &str = "sim.partitioned";
 }
 
 /// Static configuration of a run.
@@ -68,6 +71,11 @@ pub struct SimConfig {
     /// ([`MessageAdversary::None`] is bit-identical to no adversary at
     /// all; reliable-broadcast deliveries are exempt by construction).
     pub adversary: MessageAdversary,
+    /// The structural topology schedule — partitions, heals, asymmetric
+    /// links ([`TopologySchedule::None`] is bit-identical to no schedule
+    /// at all; severed reliable-broadcast messages are delayed until the
+    /// heal, never lost).
+    pub topology: TopologySchedule,
 }
 
 impl SimConfig {
@@ -94,6 +102,7 @@ impl SimConfig {
             max_events: 20_000_000u64.max((n as u64 * n as u64).saturating_mul(200)),
             queue: QueueKind::default(),
             adversary: MessageAdversary::None,
+            topology: TopologySchedule::None,
         }
     }
 
@@ -112,6 +121,12 @@ impl SimConfig {
     /// Sets the message adversary (builder style).
     pub fn adversary(mut self, adversary: MessageAdversary) -> Self {
         self.adversary = adversary;
+        self
+    }
+
+    /// Sets the topology schedule (builder style).
+    pub fn topology(mut self, topology: TopologySchedule) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -269,7 +284,8 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         // `fd_detectors::scenario::salt`): enabling it never perturbs the
         // delay stream of the messages that still get through.
         let net = Network::new(cfg.delay.clone(), cfg.rules.clone(), root.stream(0xDE1A))
-            .with_adversary(cfg.adversary.clone(), root.stream(0xADE5));
+            .with_adversary(cfg.adversary.clone(), root.stream(0xADE5))
+            .with_topology(cfg.topology.clone(), root.stream(0x7090));
         let procs: Vec<A> = (0..cfg.n).map(|i| make(ProcessId(i))).collect();
         let mut sim = Sim {
             halted: vec![false; cfg.n],
@@ -492,6 +508,9 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         if fx.corrupted {
             self.trace.bump(counter::CORRUPTED, 1);
         }
+        if fx.severed {
+            self.trace.bump(counter::PARTITIONED, 1);
+        }
     }
 
     /// As [`Sim::note_effects`] for a whole broadcast: the counter totals
@@ -509,6 +528,9 @@ impl<A: Automaton, O: OracleSuite> Sim<A, O> {
         }
         if fx.corrupted > 0 {
             self.trace.bump(counter::CORRUPTED, fx.corrupted);
+        }
+        if fx.severed > 0 {
+            self.trace.bump(counter::PARTITIONED, fx.severed);
         }
     }
 

@@ -195,6 +195,85 @@ mod tests {
     }
 
     #[test]
+    fn catch_up_rides_out_a_partition_during_join() {
+        // The hardest liveness shape the topology adversary unlocks: p5
+        // joins at 600 *inside* a partition that isolates it until 1200.
+        // Every JOIN_REQ it broadcasts before the heal is severed
+        // structurally — but the catch-up retry loop keeps re-sending, so
+        // the first post-heal request gets the DIGEST transfer through and
+        // the joiner still decides. No probabilistic adversary can express
+        // this run: a 100% drop rule would also kill the retries *after*
+        // 1200, and the schedule's heal is what makes the difference.
+        use fd_sim::{FailurePattern, PSet, ProcessId, TopologySchedule};
+        let islands = || -> Vec<PSet> {
+            vec![
+                (0..5).map(ProcessId).collect(),
+                (5..6).map(ProcessId).collect(),
+            ]
+        };
+        let fp = FailurePattern::builder(6)
+            .crash(ProcessId(1), Time(100))
+            .join(ProcessId(5), Time(600))
+            .build();
+        for seed in 0..4 {
+            let spec = ChurnKsetScenario::spec(6, 2, 1)
+                .gst(Time(300))
+                .seed(seed)
+                .max_time(Time(60_000))
+                .crashes(CrashPlan::Explicit(fp.clone()))
+                .topology(TopologySchedule::partition_until(islands(), Time(1_200)));
+            let rep = ChurnKsetScenario.run(&spec);
+            assert!(rep.check.ok, "seed {seed}: {}", rep.check);
+            assert!(
+                rep.trace.deciders().contains(ProcessId(5)),
+                "seed {seed}: joiner never decided"
+            );
+            let slim = rep.slim();
+            assert!(
+                slim.counter("sim.partitioned") > 0,
+                "seed {seed}: partition never severed anything"
+            );
+
+            // Negative control — the honest rejection: heal the same
+            // partition only *after* the horizon and the joiner can never
+            // catch up. The envelope must fail on termination (liveness
+            // rejected) while safety (agreement on decided values) holds.
+            let wedged = spec
+                .clone()
+                .topology(TopologySchedule::partition_until(islands(), Time(70_000)));
+            let rep = ChurnKsetScenario.run(&wedged);
+            assert!(
+                !rep.check.ok,
+                "seed {seed}: heal-after-horizon must fail liveness"
+            );
+            assert!(
+                !rep.trace.deciders().contains(ProcessId(5)),
+                "seed {seed}: isolated joiner cannot have decided"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_churn_is_queue_and_thread_deterministic() {
+        // With a schedule set, runs stay deterministic across both event
+        // cores and across sequential vs work-stealing parallel sweeps.
+        use fd_sim::{ProcessId, TopologySchedule};
+        let islands = vec![
+            (0..5).map(ProcessId).collect(),
+            (5..6).map(ProcessId).collect(),
+        ];
+        let base = churn_spec(2).topology(TopologySchedule::partition_until(islands, Time(1_200)));
+        let cal = ChurnKsetScenario.run(&base.clone().queue(QueueKind::Calendar));
+        let heap = ChurnKsetScenario.run(&base.clone().queue(QueueKind::BinaryHeap));
+        assert_eq!(cal.fingerprint(), heap.fingerprint());
+        let seq = Runner::sequential().sweep(&ChurnKsetScenario, &base, 0..12);
+        let par = Runner::with_threads(4).sweep(&ChurnKsetScenario, &base, 0..12);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.fingerprint(), b.fingerprint(), "seed {}", a.seed());
+        }
+    }
+
+    #[test]
     fn churn_catch_up_is_queue_and_thread_deterministic() {
         let base = churn_spec(2);
         let cal = ChurnKsetScenario.run(&base.clone().queue(QueueKind::Calendar));

@@ -84,8 +84,9 @@ pub use fd_detectors::scenario::{
 };
 
 pub use fd_sim::{
-    DelayModel, DelayRule, FailurePattern, MessageAdversary, MessageRule, PSet, ProcessId,
-    QueueKind, RuleAction, Scheduler, SimConfig, Time, Trace,
+    DelayModel, DelayRule, FailurePattern, LinkFate, LinkOverride, MessageAdversary, MessageRule,
+    PSet, ProcessId, QueueKind, RuleAction, Scheduler, SimConfig, Time, TopologyEpoch,
+    TopologySchedule, Trace,
 };
 
 pub use churn::ChurnKsetScenario;

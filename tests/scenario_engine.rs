@@ -388,7 +388,7 @@ mod adversary {
     /// failure-free k = 1). If any of these moves, the adversary layer
     /// (or a salt / draw-order change) perturbed the clean path — exactly
     /// the silent drift this table exists to catch.
-    const PR3_DIGESTS: [u64; 24] = [
+    pub(crate) const PR3_DIGESTS: [u64; 24] = [
         0x4cde60aaa105139c,
         0x691b88ef8aae7d03,
         0x75bdead03f0adc01,
@@ -415,7 +415,7 @@ mod adversary {
         0x067e213f6c2c1eff,
     ];
 
-    fn pinned_grid() -> Vec<fd_grid::ScenarioSpec> {
+    pub(crate) fn pinned_grid() -> Vec<fd_grid::ScenarioSpec> {
         let mut specs = Vec::new();
         for &(n, t) in &[(5usize, 2usize), (9, 4), (13, 6)] {
             for seed in 0..4 {
@@ -585,6 +585,133 @@ mod adversary {
         assert!(
             rep.check.detail.contains("agreement"),
             "seed 1: expected the agreement witness, got {}",
+            rep.check
+        );
+    }
+}
+
+mod topology {
+    //! The topology-adversary acceptance suite: the unset-schedule
+    //! differential (the new `fate()` branch costs zero draws and stays
+    //! bit-identical to every recorded digest), determinism with a
+    //! schedule *set* (both event cores, 1 / 4 threads), and the
+    //! liveness-flip witnesses around the heal-time threshold.
+
+    use super::adversary::{pinned_grid, PR3_DIGESTS};
+    use super::*;
+    use fd_grid::{PSet, TopologyEpoch, TopologySchedule};
+
+    #[test]
+    fn unset_schedule_matches_recorded_pr3_digests() {
+        // Explicit `TopologySchedule::None` (and an empty Epochs list,
+        // which `epoch_at` never matches) reproduce the pinned grid bit
+        // for bit: the topology layer draws nothing when it has nothing
+        // to say.
+        for (variant, topo) in [
+            ("explicit_none", TopologySchedule::None),
+            ("empty_epochs", TopologySchedule::Epochs(vec![])),
+        ] {
+            for (spec, &want) in pinned_grid().iter().zip(PR3_DIGESTS.iter()) {
+                let got = KsetScenario
+                    .run(&spec.clone().topology(topo.clone()))
+                    .fingerprint();
+                assert_eq!(
+                    got, want,
+                    "{variant}: n={} seed={} diverged from the PR-3 engine",
+                    spec.n, spec.seed
+                );
+            }
+        }
+    }
+
+    fn islands_41(n: usize) -> Vec<PSet> {
+        vec![
+            (0..n - 1).map(ProcessId).collect(),
+            (n - 1..n).map(ProcessId).collect(),
+        ]
+    }
+
+    #[test]
+    fn armed_schedule_is_deterministic_across_threads_and_queues() {
+        // A schedule mixing a partition epoch with an asymmetric latency
+        // epoch is as deterministic as the clean engine: same seed ⇒ same
+        // run, on both event cores, sequential or work-stealing.
+        let all: PSet = (0..5).map(ProcessId).collect();
+        let last: PSet = (4..5).map(ProcessId).collect();
+        let topo = TopologySchedule::Epochs(vec![
+            TopologyEpoch::new(Time::ZERO, Time(800)).islands(islands_41(5)),
+            TopologyEpoch::new(Time(800), Time(2_000))
+                .link(fd_grid::LinkOverride::latency(all, last, 40, 120)),
+        ]);
+        let specs: Vec<fd_grid::ScenarioSpec> = (0..12)
+            .map(|seed| {
+                KsetScenario::spec(5, 2, 2)
+                    .gst(Time(400))
+                    .seed(seed)
+                    .max_time(Time(60_000))
+                    .topology(topo.clone())
+            })
+            .collect();
+        let baseline: Vec<String> = Runner::sequential()
+            .grid(&KsetScenario, &specs)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        for queue in [QueueKind::Calendar, QueueKind::BinaryHeap] {
+            let queued: Vec<fd_grid::ScenarioSpec> =
+                specs.iter().map(|s| s.clone().queue(queue)).collect();
+            for threads in [1usize, 4] {
+                let prints: Vec<String> = Runner::with_threads(threads)
+                    .grid(&KsetScenario, &queued)
+                    .iter()
+                    .map(fingerprint)
+                    .collect();
+                assert_eq!(
+                    baseline,
+                    prints,
+                    "queue={} threads={threads} diverged under the schedule",
+                    queue.name()
+                );
+            }
+        }
+    }
+
+    /// The liveness flip the phase-diagram bench leg sweeps, pinned at
+    /// test scale. Partition `{0..3} | {4}` on n = 5, t = 2, k = 2:
+    /// with the Ω leader in the big island (seed 0), an early heal lets
+    /// every process decide (the cut process by the heal-delayed
+    /// `DECISION` rb), while a heal *after* the horizon leaves exactly
+    /// the four mainland deciders — liveness honestly rejected, safety
+    /// (k-agreement, validity) intact.
+    #[test]
+    fn heal_time_flips_liveness_but_never_safety() {
+        let base = KsetScenario::spec(5, 2, 2)
+            .gst(Time(400))
+            .seed(0)
+            .max_time(Time(100_000));
+        let healed = base.clone().topology(TopologySchedule::partition_until(
+            islands_41(5),
+            Time(2_000),
+        ));
+        let rep = KsetScenario.run(&healed);
+        assert!(rep.check.ok, "healed: {}", rep.check);
+        assert_eq!(rep.trace.deciders().len(), 5, "healed: everyone decides");
+        assert!(rep.slim().counter("sim.partitioned") > 0);
+
+        let wedged = base.topology(TopologySchedule::partition_until(
+            islands_41(5),
+            Time(200_000),
+        ));
+        let rep = KsetScenario.run(&wedged);
+        assert!(!rep.check.ok, "wedged: liveness must be rejected");
+        assert_eq!(
+            rep.trace.deciders().len(),
+            4,
+            "wedged: mainland decides alone"
+        );
+        assert!(
+            !rep.check.detail.contains("agreement") && !rep.check.detail.contains("validity"),
+            "wedged: safety must hold, got {}",
             rep.check
         );
     }
