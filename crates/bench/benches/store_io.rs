@@ -8,7 +8,7 @@
 
 use fd_bench::{decode_cell, encode_cell, Suite, SweepStore};
 use fd_detectors::scenario::{Metrics, ReportCache, SlimReport};
-use fd_detectors::CheckOutcome;
+use fd_detectors::{CheckOutcome, ViolationClass};
 use fd_sim::Time;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -26,6 +26,11 @@ fn sample(seed: u64) -> SlimReport {
             ok: !seed.is_multiple_of(7),
             stabilized_at: Some(Time(400 + seed % 64)),
             detail: String::from("k-set: decided within bound \"ok\""),
+            class: if seed.is_multiple_of(7) {
+                ViolationClass::Termination
+            } else {
+                ViolationClass::None
+            },
         },
         metrics: Metrics {
             msgs_sent: 1_200 + seed,

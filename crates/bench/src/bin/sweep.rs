@@ -14,6 +14,22 @@
 //! Or, to aggregate previously written run directories:
 //! `cargo run -p fd-bench --bin sweep --release -- analyze DIR [DIR ...]`
 //!
+//! Or, to run the adversary search campaign (sample the fault space,
+//! classify outcomes, shrink checker violations to minimal witnesses):
+//! `cargo run -p fd-bench --bin sweep --release -- search [--budget N]
+//! [--search-seed S] [--seeds-per-spec N] [--max-witnesses N]
+//! [--threads N] [--store DIR] [--resume] [--out PATH]`
+//!
+//! The search campaign is deterministic in `--search-seed`: reruns —
+//! at any `--threads` — emit a byte-identical witness report. It exits
+//! non-zero if any spec *without* a corruption rule breaks a safety
+//! property (drops, duplicates, delays, partitions, and in-bound crashes
+//! must only ever cost liveness), or if the seeded-in probe violation is
+//! not found and shrunk. With `--store DIR` every computed cell — shrink
+//! candidates included — persists to the run directory, and a rerun
+//! resumes from it; `--resume` asserts the resumed campaign recomputed
+//! nothing.
+//!
 //! `--profile` prints a per-phase event-count breakdown after the run:
 //! every grid cell's simulated events, plus the streaming and adversary
 //! phases — where the work actually goes, for sizing optimization targets.
@@ -82,10 +98,159 @@ fn run_analyze(dirs: &[String]) {
     print!("{}", report.render());
 }
 
+/// `sweep search ...` — the adversary search campaign: sample the fault
+/// space across message rules, crash plans, delays, and topology; classify
+/// every cell as pass / honest liveness refusal / checker violation; and
+/// shrink each expected violation to a minimal witness.
+fn run_search_cmd() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = fd_bench::SearchConfig {
+        search_seed: arg_value("--search-seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        budget: arg_value("--budget")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32),
+        seeds_per_spec: arg_value("--seeds-per-spec")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
+        max_witnesses: arg_value("--max-witnesses")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3),
+    };
+    let threads: usize = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let resume = args.iter().any(|a| a == "--resume");
+    let out = arg_value("--out").unwrap_or_else(|| "SEARCH_witnesses.json".into());
+    let runner = if threads == 0 {
+        Runner::parallel()
+    } else {
+        Runner::with_threads(threads)
+    };
+    // Always cache-backed: the shrinker's fixed-point loop re-visits
+    // candidates, and the cache turns repeats into lookups. With --store
+    // the cache additionally hydrates from / spills to the run directory,
+    // making a killed campaign resumable without recomputing any cell.
+    let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+    let store = arg_value("--store").map(|dir| {
+        let store = SweepStore::open(&dir).unwrap_or_else(|e| panic!("open --store {dir}: {e}"));
+        for (i, spec) in fd_bench::generate(&cfg).iter().enumerate() {
+            let scenario = fd_bench::scenario_for(spec);
+            store.register_spec(
+                &format!("search[{i}] {}", fd_bench::describe_spec(spec)),
+                &scenario.cache_tag(),
+                spec,
+            );
+        }
+        let hydrated = store.hydrate_into(cache);
+        cache.set_spill(Some(store.spill()));
+        // Commit the manifest before computing anything: a killed campaign
+        // then leaves a trusted, resumable run directory behind.
+        store
+            .commit_manifest()
+            .unwrap_or_else(|e| panic!("store commit manifest: {e}"));
+        println!(
+            "store: opened {dir} — {} cell(s) on disk, {hydrated} hydrated",
+            store.loaded(),
+        );
+        store
+    });
+    let runner = runner.with_cache(cache);
+    let t0 = std::time::Instant::now();
+    let report = fd_bench::run_search(&runner, &cfg);
+    let wall_us = t0.elapsed().as_micros() as u64;
+    let s = &report.stats;
+    println!(
+        "search (seed {}): {} specs, {} runs in {} us — {} passes, {} refusals, \
+         {} violations ({} shrink runs)",
+        cfg.search_seed,
+        s.specs,
+        s.runs,
+        wall_us,
+        s.passes,
+        s.refusals,
+        s.violations,
+        s.shrink_runs,
+    );
+    for w in &report.witnesses {
+        println!(
+            "witness [{}] seed {} ({} shrink steps, {} events to violation): {}",
+            w.class.name(),
+            w.seed,
+            w.shrink_steps.len(),
+            w.events,
+            w.description,
+        );
+    }
+    for u in &report.unexpected {
+        eprintln!(
+            "UNEXPECTED [{}] violation at seed {}: {} — {}",
+            u.class.name(),
+            u.seed,
+            u.description,
+            u.detail,
+        );
+    }
+    if let Some(store) = store {
+        let wrote = store.flush().unwrap_or_else(|e| panic!("store flush: {e}"));
+        store.record_invocation(InvocationRecord {
+            runs: s.runs,
+            hits: cache.hits(),
+            misses: cache.misses(),
+            wrote,
+            wall_us,
+        });
+        let dir = store.dir().display().to_string();
+        store.close().unwrap_or_else(|e| panic!("store close: {e}"));
+        println!(
+            "store: closed {dir} — wrote {wrote} new cell(s), {} hits / {} misses this run",
+            cache.hits(),
+            cache.misses(),
+        );
+        if resume {
+            assert!(
+                cache.hydrated() > 0,
+                "--resume: the store hydrated nothing (empty or mismatched run dir)"
+            );
+            assert_eq!(
+                cache.misses(),
+                0,
+                "--resume: cells (shrink candidates included) were recomputed \
+                 instead of served from the store"
+            );
+            assert_eq!(cache.hits(), s.runs, "--resume: not every run was a hit");
+            println!(
+                "store: resume verified — all {} runs served from the run directory",
+                s.runs,
+            );
+        }
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write witness report");
+    println!("wrote {out}");
+    assert!(
+        report.unexpected.is_empty(),
+        "search surfaced {} unexpected safety violation(s): a drop/duplicate/delay/\
+         topology/crash adversary broke a safety property",
+        report.unexpected.len(),
+    );
+    assert!(
+        report
+            .witnesses
+            .iter()
+            .any(|w| w.class == fd_detectors::ViolationClass::Validity),
+        "the seeded-in probe violation was not found and shrunk"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("analyze") {
         run_analyze(&args[2..]);
+        return;
+    }
+    if args.get(1).map(String::as_str) == Some("search") {
+        run_search_cmd();
         return;
     }
     let seeds: u64 = arg_value("--seeds")
@@ -177,6 +342,11 @@ fn main() {
         let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
         let hydrated = store.hydrate_into(cache);
         cache.set_spill(Some(store.spill()));
+        // Commit the manifest before computing anything: a killed sweep
+        // then leaves a trusted, resumable run directory behind.
+        store
+            .commit_manifest()
+            .unwrap_or_else(|e| panic!("store commit manifest: {e}"));
         println!(
             "store: opened {dir} — {} cell(s) on disk, {hydrated} hydrated, {} corrupt line(s){}",
             store.loaded(),
@@ -392,7 +562,7 @@ fn main() {
         let leg = fd_bench::topology_leg(topo_seeds, runner);
         println!(
             "topology leg ({}): {}/{} runs passed, {} severed — heal grid [{}], \
-             negative witness seed {:?}",
+             negative witness seeds {:?}",
             leg.schedule,
             leg.passes,
             leg.runs,
@@ -402,7 +572,7 @@ fn main() {
                 .map(|c| format!("{}:{}/{}", c.heal, c.passes, c.runs))
                 .collect::<Vec<_>>()
                 .join(", "),
-            leg.negative_witness_seed,
+            leg.negative_witness_seeds,
         );
         assert!(
             leg.deterministic,

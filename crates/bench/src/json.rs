@@ -276,11 +276,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is &str, so this is safe).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the longest run of unescaped bytes in one chunk.
+                // `"` and `\` are ASCII and never occur inside a multi-byte
+                // UTF-8 sequence, so stopping at them cannot split a scalar
+                // — the chunk is validated once, keeping parsing linear in
+                // the document size (per-char validation of the remaining
+                // suffix made multi-megabyte manifests quadratic to load).
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(chunk);
             }
         }
     }

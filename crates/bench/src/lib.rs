@@ -15,6 +15,7 @@ pub mod analyze;
 pub mod experiments;
 pub mod json;
 pub mod micro;
+pub mod search;
 pub mod store;
 pub mod sweep;
 pub mod table;
@@ -22,6 +23,12 @@ pub mod table;
 pub use analyze::{analyze_run_dirs, AnalyzeReport};
 pub use experiments::all;
 pub use micro::{BenchResult, CountingAlloc, Suite};
+pub use search::{
+    classify, describe_spec, expects_safety_violation, generate, probe_specs, run_search,
+    scenario_for, shrink, spec_from_json, spec_to_json, MinimalWitness, RunClass, SearchConfig,
+    SearchReport, SearchStats, ShrinkOutcome, ShrinkStep, ShrinkStepRecord, UnexpectedViolation,
+    SEARCH_SCHEMA, WITNESS_SCHEMA,
+};
 pub use store::{
     decode_cell, encode_cell, load_run_dir, InvocationRecord, Manifest, RunDir, SpecEntry,
     StoreSummary, SweepStore, STORE_FORMAT, STORE_SHARDS,
@@ -31,6 +38,6 @@ pub use sweep::{
     large_n_comparison, queue_comparison, representative_sweep, representative_sweep_on,
     scaling_curve, store_leg, stream_cell, streaming_sweep, streaming_sweep_on, topology_leg,
     AdversaryLeg, BaselineVerdict, CacheLeg, HealCell, QueueCompare, QueueRate, ScalePoint,
-    ScalingCurve, StoreLeg, StreamResult, SweepBenchReport, TopologyLeg,
+    ScalingCurve, StoreLeg, StreamResult, SweepBenchReport, TopologyLeg, MAX_NEGATIVE_WITNESSES,
 };
 pub use table::Table;

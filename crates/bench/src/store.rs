@@ -56,7 +56,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use fd_detectors::scenario::{Metrics, ReportCache, ScenarioSpec, SlimReport, SpillFn};
-use fd_detectors::CheckOutcome;
+use fd_detectors::{CheckOutcome, ViolationClass};
 use fd_sim::Time;
 
 use crate::json::{self, Json};
@@ -66,7 +66,8 @@ use crate::json::{self, Json};
 pub const STORE_SHARDS: usize = 16;
 
 /// Store format version; bumped on any layout or codec change.
-pub const STORE_FORMAT: u64 = 1;
+/// v2: cells carry the machine-readable `class` of a failed check.
+pub const STORE_FORMAT: u64 = 2;
 
 /// Cells buffered per shard before the writer flushes a segment. Small
 /// enough that an interrupted sweep loses little; large enough that a
@@ -135,6 +136,7 @@ pub fn encode_cell(salt: u64, seed: u64, slim: &SlimReport) -> String {
         ("ok", Json::Bool(slim.check.ok)),
         ("stabilized_at", opt_time(slim.check.stabilized_at)),
         ("detail", Json::str(&slim.check.detail)),
+        ("class", Json::str(slim.check.class.name())),
         (
             "metrics",
             Json::obj([
@@ -184,6 +186,11 @@ pub fn decode_cell(line: &str) -> Result<((u64, u64), SlimReport), String> {
         .get("detail")
         .and_then(Json::as_str)
         .ok_or("missing detail")?;
+    let class = doc
+        .get("class")
+        .and_then(Json::as_str)
+        .and_then(ViolationClass::from_name)
+        .ok_or("missing/bad class")?;
     let m = doc.get("metrics").ok_or("missing metrics")?;
     let m_u64 = |key: &str| -> Result<u64, String> {
         m.get(key)
@@ -220,6 +227,7 @@ pub fn decode_cell(line: &str) -> Result<((u64, u64), SlimReport), String> {
             ok,
             stabilized_at: decode_opt_time(doc.get("stabilized_at"))?,
             detail: detail.to_string(),
+            class,
         },
         metrics: Metrics {
             msgs_sent: m_u64("msgs_sent")?,
@@ -611,6 +619,10 @@ pub struct SweepStore {
     corrupt: u64,
     archived_stale: bool,
     manifest: Mutex<Manifest>,
+    // label → index into `manifest.specs`, so re-registering a campaign's
+    // specs against an already-populated manifest stays O(1) per spec
+    // instead of a linear label scan (quadratic over large campaigns).
+    spec_index: Mutex<HashMap<String, usize>>,
     tx: Option<Sender<Msg>>,
     writer: Option<JoinHandle<io::Result<()>>>,
     wrote: Arc<AtomicU64>,
@@ -695,12 +707,19 @@ impl SweepStore {
             .name("sweep-store-writer".into())
             .spawn(move || writer.run(rx))?;
 
+        let spec_index = manifest
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.label.clone(), i))
+            .collect();
         Ok(SweepStore {
             dir,
             cells: loaded.cells,
             corrupt: loaded.corrupt,
             archived_stale,
             manifest: Mutex::new(manifest),
+            spec_index: Mutex::new(spec_index),
             tx: Some(tx),
             writer: Some(handle),
             wrote,
@@ -775,10 +794,12 @@ impl SweepStore {
             fingerprint: spec.fingerprint(),
             salt,
         };
+        let mut index = self.spec_index.lock().unwrap();
         let mut manifest = self.manifest.lock().unwrap();
-        if let Some(existing) = manifest.specs.iter_mut().find(|s| s.label == entry.label) {
-            *existing = entry;
+        if let Some(&i) = index.get(&entry.label) {
+            manifest.specs[i] = entry;
         } else {
+            index.insert(entry.label.clone(), manifest.specs.len());
             manifest.specs.push(entry);
         }
         salt
@@ -787,6 +808,19 @@ impl SweepStore {
     /// Appends one invocation record to the manifest.
     pub fn record_invocation(&self, record: InvocationRecord) {
         self.manifest.lock().unwrap().invocations.push(record);
+    }
+
+    /// Writes the manifest now (atomically), without closing the store.
+    ///
+    /// A run directory is only trusted on open when a manifest is present
+    /// — half-written shards without one are archived, not loaded. Long
+    /// campaigns therefore commit the manifest right after registering
+    /// their specs, *before* computing: a `SIGKILL` at any later point
+    /// leaves a resumable directory in which every flushed segment loads,
+    /// and only the unflushed tail of each batch is recomputed.
+    pub fn commit_manifest(&self) -> io::Result<()> {
+        let manifest = self.manifest.lock().unwrap().emit();
+        write_atomic(&self.dir.join("manifest.json"), &manifest)
     }
 
     /// Durability barrier: forces every cell spilled so far onto disk and
@@ -904,6 +938,11 @@ mod tests {
                     None
                 },
                 detail: format!("detail \"quoted\" \\ line\nπ #{seed}"),
+                class: if seed.is_multiple_of(3) {
+                    ViolationClass::ALL[(seed as usize / 3) % ViolationClass::ALL.len()]
+                } else {
+                    ViolationClass::None
+                },
             },
             metrics: Metrics {
                 msgs_sent: seed.wrapping_mul(11),

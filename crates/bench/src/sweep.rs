@@ -152,6 +152,11 @@ pub struct HealCell {
     pub severed: u64,
 }
 
+/// Cap on the honest-rejection seeds a [`TopologyLeg`] records: enough
+/// to show the rejection is systematic rather than a one-seed fluke,
+/// small enough to keep the report line readable.
+pub const MAX_NEGATIVE_WITNESSES: usize = 4;
+
 /// The topology sweep leg: the `{0..n−2} | {n−1}` partition's heal time
 /// swept against the termination horizon — a one-axis phase diagram of
 /// liveness — plus the partition-during-join churn probe and its gates.
@@ -185,11 +190,12 @@ pub struct TopologyLeg {
     /// Gate: the phase diagram actually flips — the earliest heal cell
     /// has passing runs and the latest (past-horizon) cell has none.
     pub liveness_flip: bool,
-    /// First seed at the past-horizon heal that is the honest negative
-    /// witness: liveness rejected with the mainland (`n − 1` deciders)
-    /// agreeing safely among themselves. `None` if no seed exhibited it
-    /// (all sampled seeds had the Ω leader inside the cut island).
-    pub negative_witness_seed: Option<u64>,
+    /// Seeds at the past-horizon heal that are honest negative
+    /// witnesses: liveness rejected with the mainland (`n − 1` deciders)
+    /// agreeing safely among themselves. In seed order, capped at
+    /// [`MAX_NEGATIVE_WITNESSES`]; empty if no seed exhibited it (all
+    /// sampled seeds had the Ω leader inside the cut island).
+    pub negative_witness_seeds: Vec<u64>,
     /// Per-heal cells, in sweep order (ascending heal).
     pub cells: Vec<HealCell>,
 }
@@ -845,7 +851,7 @@ pub fn topology_leg(seeds_per_cell: u64, runner: Runner) -> TopologyLeg {
     let mut prints: Vec<u64> = Vec::new();
     let mut events = 0;
     let mut severed = 0;
-    let mut negative_witness_seed = None;
+    let mut negative_witness_seeds = Vec::new();
     for &heal in heal_grid {
         let reports = runner.sweep(&KsetScenario, &spec_at(heal), 0..seeds_per_cell);
         let mut cell = HealCell {
@@ -864,11 +870,11 @@ pub fn topology_leg(seeds_per_cell: u64, runner: Runner) -> TopologyLeg {
             cell.events += rep.metrics.events;
             cell.severed += rep.trace.counter(fd_sim::counter::PARTITIONED);
             if heal > horizon.ticks()
-                && negative_witness_seed.is_none()
+                && negative_witness_seeds.len() < MAX_NEGATIVE_WITNESSES
                 && !rep.check.ok
                 && deciders == (n - 1) as u64
             {
-                negative_witness_seed = Some(rep.seed());
+                negative_witness_seeds.push(rep.seed());
             }
             prints.push(rep.fingerprint());
         }
@@ -936,7 +942,7 @@ pub fn topology_leg(seeds_per_cell: u64, runner: Runner) -> TopologyLeg {
         none_identical,
         churn_partition_live,
         liveness_flip,
-        negative_witness_seed,
+        negative_witness_seeds,
         cells,
     }
 }
@@ -1267,7 +1273,7 @@ impl SweepBenchReport {
                 "  \"topology_leg\": {{\"schedule\": \"{}\", \"runs\": {}, \"passes\": {}, \
                  \"events\": {}, \"severed\": {}, \"wall_us\": {}, \"runs_per_sec\": {:.2}, \
                  \"deterministic\": {}, \"none_identical\": {}, \"churn_partition_live\": {}, \
-                 \"liveness_flip\": {}, \"negative_witness_seed\": {}}},\n",
+                 \"liveness_flip\": {}, \"negative_witness_seeds\": [{}]}},\n",
                 leg.schedule,
                 leg.runs,
                 leg.passes,
@@ -1279,8 +1285,11 @@ impl SweepBenchReport {
                 leg.none_identical,
                 leg.churn_partition_live,
                 leg.liveness_flip,
-                leg.negative_witness_seed
-                    .map_or("null".into(), |s| s.to_string()),
+                leg.negative_witness_seeds
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
             ));
             s.push_str("  \"topology_cells\": [\n");
             for (i, c) in leg.cells.iter().enumerate() {
@@ -1484,9 +1493,19 @@ mod tests {
         assert!(leg.liveness_flip, "phase diagram never flipped");
         assert!(leg.severed > 0, "partition never severed a message");
         // Seed 0's Ω leader sits in the mainland, so the past-horizon
-        // cell records it as the honest negative witness: liveness
+        // cell records it as an honest negative witness: liveness
         // rejected with the four mainland deciders in safe agreement.
-        assert_eq!(leg.negative_witness_seed, Some(0));
+        // Every mainland-leader seed at that heal qualifies, in seed
+        // order, up to the cap.
+        assert_eq!(leg.negative_witness_seeds.first(), Some(&0));
+        assert!(
+            leg.negative_witness_seeds.len() <= MAX_NEGATIVE_WITNESSES,
+            "witness list must honor the cap"
+        );
+        assert!(
+            leg.negative_witness_seeds.windows(2).all(|w| w[0] < w[1]),
+            "witnesses must be recorded in seed order"
+        );
         let last = leg.cells.last().unwrap();
         assert_eq!(last.passes, 0, "past-horizon heal must fail");
         assert_eq!(last.min_deciders, 4, "mainland decides alone");
@@ -1495,7 +1514,7 @@ mod tests {
             .to_json();
         assert!(json.contains("\"topology_leg\""));
         assert!(json.contains("\"liveness_flip\": true"));
-        assert!(json.contains("\"negative_witness_seed\": 0"));
+        assert!(json.contains("\"negative_witness_seeds\": [0"));
         assert!(json.contains("{\"heal\": 200,"));
     }
 

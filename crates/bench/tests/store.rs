@@ -84,6 +84,39 @@ fn sweep_session(dir: &Path, seeds: Range<u64>) -> Session {
     }
 }
 
+/// A `SIGKILL`ed campaign — no `close()`, no `Drop` — must stay
+/// resumable when the manifest was committed up front: every flushed
+/// segment loads on reopen instead of being archived as untrusted, and
+/// only the cells the kill lost are recomputed.
+#[test]
+fn early_manifest_commit_survives_a_kill() {
+    let dir = scratch("kill");
+    {
+        let store = SweepStore::open(&dir).expect("open run dir");
+        let spec = cell_spec();
+        store.register_spec("n5_t2_k2_f2", &KsetScenario.cache_tag(), &spec);
+        store.commit_manifest().expect("commit manifest");
+        let cache: &'static ReportCache = Box::leak(Box::new(ReportCache::new()));
+        cache.set_spill(Some(store.spill()));
+        let runner = Runner::sequential().with_cache(cache);
+        let _ = runner.sweep_summary(&KsetScenario, &spec, 0..6);
+        store.flush().expect("flush");
+        cache.set_spill(None);
+        // Simulate the kill: the store is neither closed nor dropped, so
+        // the manifest written at close time never lands.
+        std::mem::forget(store);
+    }
+    let resumed = sweep_session(&dir, 0..9);
+    assert!(
+        !resumed.archived_stale,
+        "killed run dir must not be archived"
+    );
+    assert_eq!(resumed.loaded, 6, "flushed cells must load after a kill");
+    assert_eq!(resumed.hydrated, 6);
+    assert_eq!(resumed.hits, 6, "surviving cells must be served");
+    assert_eq!(resumed.misses, 3, "only the lost seeds recompute");
+}
+
 #[test]
 fn cross_process_resume_is_all_hits_and_bit_identical() {
     let dir = scratch("resume");

@@ -304,26 +304,30 @@ pub fn run_repeated_spec(
                     // this instance.
                     let valid = (0..n).any(|q| d.value == proposal(ProcessId(q), inst));
                     if !valid {
-                        spec = spec.and(CheckOutcome::fail(format!(
-                            "instance {inst}: {p} decided foreign value {}",
-                            d.value
-                        )));
+                        spec = spec.and(CheckOutcome::fail_as(
+                            fd_detectors::ViolationClass::Validity,
+                            format!("instance {inst}: {p} decided foreign value {}", d.value),
+                        ));
                     }
                 }
             }
         }
         if !missing.is_empty() {
-            spec = spec.and(CheckOutcome::fail(format!(
-                "instance {inst}: correct {missing} never decided"
-            )));
+            spec = spec.and(CheckOutcome::fail_as(
+                fd_detectors::ViolationClass::Termination,
+                format!("instance {inst}: correct {missing} never decided"),
+            ));
         }
         values.sort_unstable();
         values.dedup();
         if values.len() > k {
-            spec = spec.and(CheckOutcome::fail(format!(
-                "instance {inst}: {} distinct values (> k = {k})",
-                values.len()
-            )));
+            spec = spec.and(CheckOutcome::fail_as(
+                fd_detectors::ViolationClass::Agreement,
+                format!(
+                    "instance {inst}: {} distinct values (> k = {k})",
+                    values.len()
+                ),
+            ));
         }
         per_instance.push(InstanceStats {
             inst,

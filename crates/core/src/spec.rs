@@ -5,17 +5,20 @@
 //! different values are decided (agreement) and every decided value is a
 //! proposed value (validity). `k = 1` is consensus.
 
-use fd_detectors::CheckOutcome;
+use fd_detectors::{CheckOutcome, ViolationClass};
 use fd_sim::{FailurePattern, Trace};
 
 /// **Validity**: every decided value was proposed.
 pub fn validity(trace: &Trace, proposals: &[u64]) -> CheckOutcome {
     for d in trace.decisions() {
         if !proposals.contains(&d.value) {
-            return CheckOutcome::fail(format!(
-                "validity: {} decided {} which was never proposed",
-                d.by, d.value
-            ));
+            return CheckOutcome::fail_as(
+                ViolationClass::Validity,
+                format!(
+                    "validity: {} decided {} which was never proposed",
+                    d.by, d.value
+                ),
+            );
         }
     }
     CheckOutcome::pass(None, "validity")
@@ -25,10 +28,13 @@ pub fn validity(trace: &Trace, proposals: &[u64]) -> CheckOutcome {
 pub fn k_agreement(trace: &Trace, k: usize) -> CheckOutcome {
     let distinct = trace.decided_values();
     if distinct.len() > k {
-        CheckOutcome::fail(format!(
-            "agreement: {} distinct values decided ({distinct:?}) > k = {k}",
-            distinct.len()
-        ))
+        CheckOutcome::fail_as(
+            ViolationClass::Agreement,
+            format!(
+                "agreement: {} distinct values decided ({distinct:?}) > k = {k}",
+                distinct.len()
+            ),
+        )
     } else {
         CheckOutcome::pass(
             None,
@@ -43,7 +49,10 @@ pub fn termination(trace: &Trace, fp: &FailurePattern) -> CheckOutcome {
     if missing.is_empty() {
         CheckOutcome::pass(None, "termination")
     } else {
-        CheckOutcome::fail(format!("termination: correct {missing} never decided"))
+        CheckOutcome::fail_as(
+            ViolationClass::Termination,
+            format!("termination: correct {missing} never decided"),
+        )
     }
 }
 
@@ -52,7 +61,10 @@ pub fn decide_once(trace: &Trace) -> CheckOutcome {
     let mut seen = fd_sim::PSet::new();
     for d in trace.decisions() {
         if !seen.insert(d.by) {
-            return CheckOutcome::fail(format!("{} decided twice", d.by));
+            return CheckOutcome::fail_as(
+                ViolationClass::DecideOnce,
+                format!("{} decided twice", d.by),
+            );
         }
     }
     CheckOutcome::pass(None, "decide-once")

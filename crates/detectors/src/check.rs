@@ -17,6 +17,123 @@
 use fd_sim::{slot, FailurePattern, FdValue, History, OracleSuite, PSet, ProcessId, Time, Trace};
 use std::fmt;
 
+/// Machine-readable classification of a failed check — *which* predicate
+/// of the problem spec or detector-class definition was violated.
+///
+/// Until this type existed, distinguishing "validity broke" from "liveness
+/// was honestly refused" meant string-matching on [`CheckOutcome::detail`],
+/// which is exactly the kind of contract a fuzzer cannot build on. Every
+/// checker now tags its failures with a class via
+/// [`CheckOutcome::fail_as`]; the adversary search engine
+/// (`fd_bench::search`) keys its expected-pass / honest-liveness-refusal /
+/// checker-violation triage on [`ViolationClass::is_safety`].
+///
+/// The class is part of the durable sweep-store cell format (encoded by
+/// name, see `fd_bench::store`), so [`ViolationClass::name`] /
+/// [`ViolationClass::from_name`] round-trip every variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationClass {
+    /// No violation: the check passed.
+    None,
+    /// A decided value was never proposed (k-set validity).
+    Validity,
+    /// More than `k` distinct values decided (k-set agreement).
+    Agreement,
+    /// A process decided twice, or decided before it joined the run.
+    DecideOnce,
+    /// A correct process never decided within the horizon (termination /
+    /// churn liveness).
+    Termination,
+    /// A crashed process was never permanently suspected (strong
+    /// completeness).
+    Completeness,
+    /// No scope of the required size eventually protects a correct
+    /// process (limited-scope accuracy).
+    Accuracy,
+    /// The trusted outputs never converge to a valid leader set (`Ω_z` /
+    /// `Ω^S` eventual leadership).
+    Leadership,
+    /// A live process was suspected (perpetual accuracy of `P`).
+    Slander,
+    /// A `φ_y` query answer broke the triviality/safety/liveness audit.
+    PhiAudit,
+    /// A failure produced by the legacy [`CheckOutcome::fail`] constructor
+    /// with no class attached. Counted as a safety violation so that
+    /// unclassified failures surface loudly instead of being filed as
+    /// honest refusals.
+    Unclassified,
+}
+
+impl ViolationClass {
+    /// Every variant, in a stable order (schema enumeration for docs and
+    /// round-trip tests).
+    pub const ALL: [ViolationClass; 11] = [
+        ViolationClass::None,
+        ViolationClass::Validity,
+        ViolationClass::Agreement,
+        ViolationClass::DecideOnce,
+        ViolationClass::Termination,
+        ViolationClass::Completeness,
+        ViolationClass::Accuracy,
+        ViolationClass::Leadership,
+        ViolationClass::Slander,
+        ViolationClass::PhiAudit,
+        ViolationClass::Unclassified,
+    ];
+
+    /// Stable wire name (the on-disk encoding of the class).
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationClass::None => "none",
+            ViolationClass::Validity => "validity",
+            ViolationClass::Agreement => "agreement",
+            ViolationClass::DecideOnce => "decide_once",
+            ViolationClass::Termination => "termination",
+            ViolationClass::Completeness => "completeness",
+            ViolationClass::Accuracy => "accuracy",
+            ViolationClass::Leadership => "leadership",
+            ViolationClass::Slander => "slander",
+            ViolationClass::PhiAudit => "phi_audit",
+            ViolationClass::Unclassified => "unclassified",
+        }
+    }
+
+    /// Parses a wire name back to the class (`None` for unknown names).
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// Whether a violation of this class breaks a *safety* guarantee.
+    ///
+    /// Safety classes must never fail, under any adversary the model
+    /// admits — a safety-class failure is a checker violation worth a
+    /// minimal witness. Liveness-flavoured classes (termination and the
+    /// eventual detector properties) are honestly refusable: an
+    /// above-tolerance drop rate or an unhealed partition is *supposed*
+    /// to starve them.
+    pub fn is_safety(self) -> bool {
+        match self {
+            ViolationClass::Validity
+            | ViolationClass::Agreement
+            | ViolationClass::DecideOnce
+            | ViolationClass::Slander
+            | ViolationClass::PhiAudit
+            | ViolationClass::Unclassified => true,
+            ViolationClass::None
+            | ViolationClass::Termination
+            | ViolationClass::Completeness
+            | ViolationClass::Accuracy
+            | ViolationClass::Leadership => false,
+        }
+    }
+}
+
+impl fmt::Display for ViolationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Result of one property check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckOutcome {
@@ -26,6 +143,8 @@ pub struct CheckOutcome {
     pub stabilized_at: Option<Time>,
     /// Human-readable explanation, most useful on failure.
     pub detail: String,
+    /// Which predicate failed ([`ViolationClass::None`] on a pass).
+    pub class: ViolationClass,
 }
 
 impl CheckOutcome {
@@ -35,25 +154,44 @@ impl CheckOutcome {
             ok: true,
             stabilized_at,
             detail: detail.into(),
+            class: ViolationClass::None,
         }
     }
 
-    /// A failing outcome with an explanation.
+    /// A failing outcome with an explanation but no machine-readable
+    /// class ([`ViolationClass::Unclassified`]). Prefer
+    /// [`CheckOutcome::fail_as`] in checkers — unclassified failures are
+    /// conservatively triaged as safety violations downstream.
     pub fn fail(detail: impl Into<String>) -> Self {
+        Self::fail_as(ViolationClass::Unclassified, detail)
+    }
+
+    /// A failing outcome tagged with the violated predicate's class.
+    pub fn fail_as(class: ViolationClass, detail: impl Into<String>) -> Self {
         CheckOutcome {
             ok: false,
             stabilized_at: None,
             detail: detail.into(),
+            class,
         }
     }
 
-    /// Combines two outcomes conjunctively.
+    /// Combines two outcomes conjunctively. On failure the *first* failing
+    /// operand's class and detail win (checkers short-circuit the same
+    /// way), so `a.and(b)` classifies like `a` when both fail.
     pub fn and(self, other: CheckOutcome) -> CheckOutcome {
         CheckOutcome {
             ok: self.ok && other.ok,
             stabilized_at: match (self.stabilized_at, other.stabilized_at) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
+            },
+            class: if !self.ok {
+                self.class
+            } else if !other.ok {
+                other.class
+            } else {
+                ViolationClass::None
             },
             detail: if self.ok && other.ok {
                 format!("{}; {}", self.detail, other.detail)
@@ -115,19 +253,23 @@ pub fn strong_completeness(trace: &Trace, fp: &FailurePattern, margin: u64) -> C
         let h = trace.history(i, slot::SUSPECTED);
         match suffix_start(h, horizon, |v| faulty.is_subset(v.as_set())) {
             None => {
-                return CheckOutcome::fail(format!(
-                    "completeness: {i} does not permanently suspect all of {faulty} \
-                     (last suspicion set: {:?})",
-                    h.last()
-                ))
+                return CheckOutcome::fail_as(
+                    ViolationClass::Completeness,
+                    format!(
+                        "completeness: {i} does not permanently suspect all of {faulty} \
+                         (last suspicion set: {:?})",
+                        h.last()
+                    ),
+                )
             }
             Some(tau) => worst = worst.max(tau),
         }
     }
     if horizon.ticks().saturating_sub(worst.ticks()) < margin {
-        return CheckOutcome::fail(format!(
-            "completeness stabilized only at {worst} (< margin {margin} before {horizon})"
-        ));
+        return CheckOutcome::fail_as(
+            ViolationClass::Completeness,
+            format!("completeness stabilized only at {worst} (< margin {margin} before {horizon})"),
+        );
     }
     CheckOutcome::pass(Some(worst), format!("completeness from {worst}"))
 }
@@ -200,20 +342,30 @@ pub fn limited_scope_accuracy(
         }
     }
     match best {
-        None => CheckOutcome::fail(format!(
-            "accuracy(x={x}): no correct process is eventually unsuspected by {x} processes"
-        )),
+        None => CheckOutcome::fail_as(
+            ViolationClass::Accuracy,
+            format!(
+                "accuracy(x={x}): no correct process is eventually unsuspected by {x} processes"
+            ),
+        ),
         Some((tau, ell, q)) => {
             if perpetual && tau.ticks() > start_slack {
-                return CheckOutcome::fail(format!(
-                    "perpetual accuracy(x={x}): best scope {q} protects {ell} only from {tau} \
-                     (> start slack {start_slack})"
-                ));
+                return CheckOutcome::fail_as(
+                    ViolationClass::Accuracy,
+                    format!(
+                        "perpetual accuracy(x={x}): best scope {q} protects {ell} only from {tau} \
+                         (> start slack {start_slack})"
+                    ),
+                );
             }
             if horizon.ticks().saturating_sub(tau.ticks()) < margin {
-                return CheckOutcome::fail(format!(
-                    "accuracy(x={x}): stabilized only at {tau} (< margin {margin} before {horizon})"
-                ));
+                return CheckOutcome::fail_as(
+                    ViolationClass::Accuracy,
+                    format!(
+                        "accuracy(x={x}): stabilized only at {tau} \
+                         (< margin {margin} before {horizon})"
+                    ),
+                );
             }
             CheckOutcome::pass(
                 Some(tau),
@@ -239,40 +391,52 @@ pub fn eventual_leadership(
     for i in fp.correct() {
         let h = trace.history(i, slot::TRUSTED);
         let Some(last) = h.last() else {
-            return CheckOutcome::fail(format!(
-                "leadership: correct {i} never published trusted_i"
-            ));
+            return CheckOutcome::fail_as(
+                ViolationClass::Leadership,
+                format!("leadership: correct {i} never published trusted_i"),
+            );
         };
         let set = last.as_set();
         match common {
             None => common = Some(set),
             Some(c) if c != set => {
-                return CheckOutcome::fail(format!(
-                    "leadership: correct processes disagree at horizon ({c} vs {set} at {i})"
-                ))
+                return CheckOutcome::fail_as(
+                    ViolationClass::Leadership,
+                    format!(
+                        "leadership: correct processes disagree at horizon ({c} vs {set} at {i})"
+                    ),
+                )
             }
             _ => {}
         }
         tau = tau.max(h.last_change().unwrap_or(Time::ZERO));
     }
     let Some(l) = common else {
-        return CheckOutcome::fail("leadership: no correct process".to_string());
+        return CheckOutcome::fail_as(
+            ViolationClass::Leadership,
+            "leadership: no correct process".to_string(),
+        );
     };
     if l.len() > z {
-        return CheckOutcome::fail(format!(
-            "leadership: eventual set {l} has {} members (> z = {z})",
-            l.len()
-        ));
+        return CheckOutcome::fail_as(
+            ViolationClass::Leadership,
+            format!(
+                "leadership: eventual set {l} has {} members (> z = {z})",
+                l.len()
+            ),
+        );
     }
     if (l & fp.correct()).is_empty() {
-        return CheckOutcome::fail(format!(
-            "leadership: eventual set {l} contains no correct process"
-        ));
+        return CheckOutcome::fail_as(
+            ViolationClass::Leadership,
+            format!("leadership: eventual set {l} contains no correct process"),
+        );
     }
     if horizon.ticks().saturating_sub(tau.ticks()) < margin {
-        return CheckOutcome::fail(format!(
-            "leadership: last change at {tau} (< margin {margin} before {horizon})"
-        ));
+        return CheckOutcome::fail_as(
+            ViolationClass::Leadership,
+            format!("leadership: last change at {tau} (< margin {margin} before {horizon})"),
+        );
     }
     CheckOutcome::pass(Some(tau), format!("Ω_{z} leadership on {l} from {tau}"))
 }
@@ -286,11 +450,14 @@ pub fn never_slanders(trace: &Trace, fp: &FailurePattern) -> CheckOutcome {
             let crashed = fp.crashed_at(s.at);
             let v = s.value.as_set();
             if !v.is_subset(crashed) {
-                return CheckOutcome::fail(format!(
-                    "perfection: {i} suspected {} at {} while alive",
-                    v - crashed,
-                    s.at
-                ));
+                return CheckOutcome::fail_as(
+                    ViolationClass::Slander,
+                    format!(
+                        "perfection: {i} suspected {} at {} while alive",
+                        v - crashed,
+                        s.at
+                    ),
+                );
             }
         }
     }
@@ -380,18 +547,27 @@ pub fn audit_phi<O: OracleSuite + ?Sized>(
 
     for &tau in &probe_times {
         if !small.is_empty() && !oracle.query(asker, small, tau) {
-            return CheckOutcome::fail(format!("φ triviality: |X|≤t−y answered false at {tau}"));
+            return CheckOutcome::fail_as(
+                ViolationClass::PhiAudit,
+                format!("φ triviality: |X|≤t−y answered false at {tau}"),
+            );
         }
         if big.len() > t && oracle.query(asker, big, tau) {
-            return CheckOutcome::fail(format!("φ triviality: |X|>t answered true at {tau}"));
+            return CheckOutcome::fail_as(
+                ViolationClass::PhiAudit,
+                format!("φ triviality: |X|>t answered true at {tau}"),
+            );
         }
         if with_correct.len() > t.saturating_sub(y)
             && tau >= check_from
             && oracle.query(asker, with_correct, tau)
         {
-            return CheckOutcome::fail(format!(
-                "φ safety: {with_correct} (contains correct {asker}) answered true at {tau}"
-            ));
+            return CheckOutcome::fail_as(
+                ViolationClass::PhiAudit,
+                format!(
+                    "φ safety: {with_correct} (contains correct {asker}) answered true at {tau}"
+                ),
+            );
         }
     }
     if let Some(dead) = dead {
@@ -399,9 +575,10 @@ pub fn audit_phi<O: OracleSuite + ?Sized>(
             let late_from = Time(horizon.ticks() - horizon.ticks() / 10);
             for &tau in probe_times.iter().filter(|&&tau| tau >= late_from) {
                 if !oracle.query(asker, dead, tau) {
-                    return CheckOutcome::fail(format!(
-                        "φ liveness: fully-crashed {dead} still answered false at {tau}"
-                    ));
+                    return CheckOutcome::fail_as(
+                        ViolationClass::PhiAudit,
+                        format!("φ liveness: fully-crashed {dead} still answered false at {tau}"),
+                    );
                 }
             }
         }

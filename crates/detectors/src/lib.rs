@@ -61,7 +61,7 @@ pub mod scenario;
 pub mod scripted;
 pub mod sx;
 
-pub use check::CheckOutcome;
+pub use check::{CheckOutcome, ViolationClass};
 pub use omega::{OmegaAdversary, OmegaOracle};
 pub use omega_s::{check_omega_scoped, OmegaScopedOracle, PairsToOmega};
 pub use perfect::PerfectOracle;

@@ -96,13 +96,19 @@ pub fn check_omega_scoped(
     for i in members {
         let h = trace.history(i, slot::TRUSTED);
         let Some(last) = h.last() else {
-            return CheckOutcome::fail(format!("Ω^S: {i} never published trusted_i"));
+            return CheckOutcome::fail_as(
+                crate::ViolationClass::Leadership,
+                format!("Ω^S: {i} never published trusted_i"),
+            );
         };
         let set = last.as_set();
         match common {
             None => common = Some(set),
             Some(c) if c != set => {
-                return CheckOutcome::fail(format!("Ω^S: scope members disagree ({c} vs {set})"))
+                return CheckOutcome::fail_as(
+                    crate::ViolationClass::Leadership,
+                    format!("Ω^S: scope members disagree ({c} vs {set})"),
+                )
             }
             _ => {}
         }
@@ -110,10 +116,16 @@ pub fn check_omega_scoped(
     }
     let l = common.expect("non-empty scope");
     if l.len() != 1 || (l & fp.correct()).is_empty() {
-        return CheckOutcome::fail(format!("Ω^S: eventual output {l} is not a correct leader"));
+        return CheckOutcome::fail_as(
+            crate::ViolationClass::Leadership,
+            format!("Ω^S: eventual output {l} is not a correct leader"),
+        );
     }
     if horizon.ticks().saturating_sub(tau.ticks()) < margin {
-        return CheckOutcome::fail(format!("Ω^S: stabilized only at {tau}"));
+        return CheckOutcome::fail_as(
+            crate::ViolationClass::Leadership,
+            format!("Ω^S: stabilized only at {tau}"),
+        );
     }
     crate::CheckOutcome::pass(Some(tau), format!("Ω^S leader {l} from {tau}"))
 }

@@ -44,7 +44,7 @@
 //! assert!(reports.iter().all(|r| r.check.ok));
 //! ```
 
-use crate::check::CheckOutcome;
+use crate::check::{CheckOutcome, ViolationClass};
 use crate::{OmegaOracle, PerfectOracle, PhiOracle, PsiOracle, Scope, SxOracle};
 use fd_sim::{
     counter, slot, Automaton, DelayModel, DelayRule, FailurePattern, FdValue, OracleSuite,
@@ -862,33 +862,45 @@ pub fn churn_envelope(
     // Safety 1: validity — every decided value was proposed.
     for d in trace.decisions() {
         if !proposals.contains(&d.value) {
-            return CheckOutcome::fail(format!(
-                "churn validity: {} decided {} which was never proposed",
-                d.by, d.value
-            ));
+            return CheckOutcome::fail_as(
+                ViolationClass::Validity,
+                format!(
+                    "churn validity: {} decided {} which was never proposed",
+                    d.by, d.value
+                ),
+            );
         }
     }
     // Safety 2: at most k distinct decisions.
     let distinct = trace.decided_values();
     if distinct.len() > k {
-        return CheckOutcome::fail(format!(
-            "churn agreement: {} distinct values decided ({distinct:?}) > k = {k}",
-            distinct.len()
-        ));
+        return CheckOutcome::fail_as(
+            ViolationClass::Agreement,
+            format!(
+                "churn agreement: {} distinct values decided ({distinct:?}) > k = {k}",
+                distinct.len()
+            ),
+        );
     }
     // Safety 3: decide-once, and only by processes that were started.
     let mut seen = fd_sim::PSet::new();
     for d in trace.decisions() {
         if !seen.insert(d.by) {
-            return CheckOutcome::fail(format!("churn decide-once: {} decided twice", d.by));
+            return CheckOutcome::fail_as(
+                ViolationClass::DecideOnce,
+                format!("churn decide-once: {} decided twice", d.by),
+            );
         }
         if d.at < fp.start_time(d.by) {
-            return CheckOutcome::fail(format!(
-                "churn structure: {} decided at {} before joining at {}",
-                d.by,
-                d.at,
-                fp.start_time(d.by)
-            ));
+            return CheckOutcome::fail_as(
+                ViolationClass::DecideOnce,
+                format!(
+                    "churn structure: {} decided at {} before joining at {}",
+                    d.by,
+                    d.at,
+                    fp.start_time(d.by)
+                ),
+            );
         }
     }
     match guarantee {
@@ -907,9 +919,12 @@ pub fn churn_envelope(
                     format!("churn liveness envelope: all correct decided within k = {k}"),
                 )
             } else {
-                CheckOutcome::fail(format!(
-                    "churn liveness: correct {missing} never decided (late joiners included)"
-                ))
+                CheckOutcome::fail_as(
+                    ViolationClass::Termination,
+                    format!(
+                        "churn liveness: correct {missing} never decided (late joiners included)"
+                    ),
+                )
             }
         }
     }
